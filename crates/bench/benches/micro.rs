@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks over the hot components: the crypto the GSI
+//! layer runs per block, the EBLOCK codec on the data path, restart-marker
+//! bookkeeping, the max-min fair allocator, and ESG1 serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gsi-crypto");
+    let data = vec![0xabu8; 64 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_64k", |b| {
+        b.iter(|| esg_gsi::sha256(black_box(&data)))
+    });
+    g.bench_function("hmac_sha256_64k", |b| {
+        b.iter(|| esg_gsi::hmac_sha256(b"key", black_box(&data)))
+    });
+    g.bench_function("chacha20_64k", |b| {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let mut buf = data.clone();
+        b.iter(|| {
+            esg_gsi::chacha20::chacha20_xor(&key, &nonce, 0, black_box(&mut buf));
+        })
+    });
+    g.finish();
+
+    c.bench_function("gsi-handshake", |b| {
+        let ca = esg_gsi::CertificateAuthority::new("/CN=CA", b"seed");
+        let alice = ca.issue("/CN=alice", 0, 3600);
+        let bob = ca.issue("/CN=bob", 0, 3600);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            esg_gsi::mutual_authenticate(&alice, &bob, &ca, 0, &|_| None, &i.to_be_bytes())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let keys = esg_gsi::SessionKeys {
+        integrity: [1u8; 32],
+        confidentiality: [2u8; 32],
+    };
+    let payload = vec![0x55u8; 64 * 1024];
+    let mut g = c.benchmark_group("secure-channel");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for prot in [esg_gsi::Protection::Safe, esg_gsi::Protection::Private] {
+        let name = format!("{prot:?}").to_lowercase();
+        g.bench_function(format!("seal_open_64k_{name}"), |b| {
+            b.iter(|| {
+                let (mut tx, mut rx) = esg_gsi::channel_pair(&keys, prot);
+                let sealed = tx.seal(black_box(&payload));
+                rx.open(&sealed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_eblock(c: &mut Criterion) {
+    use esg_gridftp::eblock;
+    let payload = vec![0u8; 64 * 1024];
+    let mut g = c.benchmark_group("eblock");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("write_read_64k_block", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(payload.len() + 32);
+            eblock::write_block(&mut buf, 12_345, black_box(&payload)).unwrap();
+            let mut r = buf.as_slice();
+            eblock::read_block(&mut r, 1 << 20).unwrap()
+        })
+    });
+    g.finish();
+
+    c.bench_function("round_robin_blocks_2gb_32way", |b| {
+        b.iter(|| eblock::round_robin_blocks(0, 2_000_000_000, 64 * 1024, black_box(32)))
+    });
+}
+
+fn bench_ranges(c: &mut Criterion) {
+    c.bench_function("rangeset_1000_interleaved_inserts", |b| {
+        b.iter(|| {
+            let mut set = esg_gridftp::RangeSet::new();
+            // 4 parallel streams' worth of interleaved 64 KB blocks.
+            for stream in 0..4u64 {
+                for i in 0..250u64 {
+                    let start = (i * 4 + stream) * 65_536;
+                    set.insert(start, start + 65_536);
+                }
+            }
+            black_box(set.is_complete(1000 * 65_536))
+        })
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    use esg_simnet::allocation::{max_min_fair, AllocFlow};
+    // 64 flows over 24 resources: a busy Table-1-scale allocation problem.
+    let caps: Vec<f64> = (0..24).map(|i| 1e8 + (i as f64) * 1e6).collect();
+    let flows: Vec<AllocFlow> = (0..64)
+        .map(|i| AllocFlow {
+            resources: vec![i % 24, (i * 7 + 3) % 24, (i * 13 + 5) % 24],
+            cap: 2e6 + (i as f64) * 1e4,
+        })
+        .collect();
+    c.bench_function("max_min_fair_64f_24r", |b| {
+        b.iter(|| max_min_fair(black_box(&caps), black_box(&flows)))
+    });
+}
+
+fn bench_ncio(c: &mut Criterion) {
+    let ds = esg_cdms::generate(
+        "bench",
+        esg_cdms::SynthParams {
+            lat_points: 32,
+            lon_points: 64,
+            time_steps: 8,
+            hours_per_step: 6.0,
+            seed: 1,
+        },
+    );
+    let bytes = esg_cdms::to_bytes(&ds);
+    let mut g = c.benchmark_group("ncio");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize", |b| b.iter(|| esg_cdms::to_bytes(black_box(&ds))));
+    g.bench_function("deserialize", |b| {
+        b.iter(|| esg_cdms::from_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto,
+        bench_seal,
+        bench_eblock,
+        bench_ranges,
+        bench_allocation,
+        bench_ncio
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion system benches: how fast the simulator reproduces the paper's
+//! experiments. One bench per table/figure-scale run (shortened horizons;
+//! the report binaries run the full durations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esg_core::{run_fig8, run_table1, Fig8Config, Table1Config};
+use esg_simnet::prelude::*;
+
+fn bench_kernel(c: &mut Criterion) {
+    // Raw event-loop throughput: 10k timer events.
+    c.bench_function("kernel_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new(Topology::new(), 0);
+            for i in 0..10_000u64 {
+                sim.schedule(SimDuration::from_micros(i), |s| s.world += 1);
+            }
+            sim.run();
+            assert_eq!(sim.world, 10_000);
+        })
+    });
+}
+
+fn bench_flows(c: &mut Criterion) {
+    // 64 concurrent flows sharing a dumbbell to completion.
+    c.bench_function("flownet_64_flows_dumbbell", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new();
+            let d = dumbbell(
+                &mut topo,
+                DumbbellParams {
+                    hosts_per_side: 8,
+                    ..DumbbellParams::default()
+                },
+            );
+            let mut sim: Sim<u32> = Sim::new(topo, 0);
+            for i in 0..64 {
+                let src = d.sources[i % 8];
+                let dst = d.sinks[(i * 3 + 1) % 8];
+                sim.start_flow(
+                    FlowSpec::new(src, dst, 50_000_000.0).memory_to_memory(),
+                    |s| s.world += 1,
+                )
+                .unwrap();
+            }
+            sim.run();
+            assert_eq!(sim.world, 64);
+        })
+    });
+}
+
+/// Table 1 at 1/30 scale (2 simulated minutes): the per-iteration cost of
+/// the full striped-transfer machinery.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("table1_2min_sim", |b| {
+        b.iter(|| {
+            run_table1(Table1Config {
+                duration: SimDuration::from_mins(2),
+                ..Table1Config::default()
+            })
+        })
+    });
+    g.bench_function("fig8_30min_sim", |b| {
+        b.iter(|| {
+            run_fig8(Fig8Config {
+                duration: SimDuration::from_mins(30),
+                faults: vec![],
+                ..Fig8Config::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernel, bench_flows, bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! A5: host CPU model ablation — interrupt coalescing and jumbo frames.
+//! §7: "the CPU was running at near 100% capacity ... Interrupt coalescing
+//! ... can help ... A second way ... is by using Jumbo Frames" (untested
+//! at SC'00 because a router lacked support; we can test it).
+
+use esg_core::ablation_cpu_model;
+
+fn main() {
+    println!("== A5: GigE host CPU bottleneck mitigations ==\n");
+    for (name, mbps) in ablation_cpu_model() {
+        println!("{name:>28}: {mbps:>8.1} Mb/s");
+    }
+    println!("\nshape: coalescing lifts the CPU-bound rate; jumbo frames lift");
+    println!("it further until the NIC line rate binds.");
+}

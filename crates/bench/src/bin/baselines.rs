@@ -1,0 +1,21 @@
+//! B1: related-work baselines under a mid-transfer outage (§8).
+//! Single-stream FTP and a DODS-style HTTP mover vs tuned GridFTP on a
+//! lossy WAN that fails for 2 minutes partway through a 2 GB transfer.
+
+use esg_core::baseline_comparison;
+
+fn main() {
+    println!("== B1: 2 GB over a lossy WAN with a 2-minute outage ==\n");
+    let rows = baseline_comparison();
+    for (name, secs) in &rows {
+        println!("{name:>42}: {secs:>8.1} s");
+    }
+    let gridftp = rows.last().unwrap().1;
+    let ftp = rows[0].1;
+    println!(
+        "\nshape: parallel streams beat the loss-limited single stream, and\n\
+         restart markers avoid re-sending data after the outage — GridFTP\n\
+         finishes {:.1}x faster than 2001-era FTP.",
+        ftp / gridftp
+    );
+}

@@ -1,0 +1,15 @@
+//! A7: HRM tape staging impact on request latency.
+//! §4: "HRM ... stages files from the MSS to its local disk cache. After
+//! this action is complete, the RM uses GridFTP to move the file."
+
+use esg_core::hrm_staging_comparison;
+
+fn main() {
+    println!("== A7: request latency vs storage tier (100 MB file) ==\n");
+    for (name, secs) in hrm_staging_comparison() {
+        println!("{name:>26}: {secs:>8.1} s");
+    }
+    println!("\nshape: cold tape pays mount+seek+stream before any WAN byte");
+    println!("moves; the HRM disk cache and prestaging collapse that to the");
+    println!("disk-resident case.");
+}

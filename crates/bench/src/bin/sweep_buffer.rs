@@ -1,0 +1,30 @@
+//! A2: TCP buffer size sweep around the bandwidth-delay product.
+//! §7: "Proper TCP buffer sizes are critical to obtaining good
+//! performance"; buffer = bandwidth x latency.
+
+use esg_bench::sweep;
+use esg_core::sweep_buffer_size;
+
+fn main() {
+    let windows: Vec<u64> = vec![
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        16 << 20,
+    ];
+    let rows = sweep_buffer_size(&windows);
+    sweep(
+        "A2: TCP buffer sweep (622 Mb/s, 30 ms RTT, lossless) — BDP ≈ 2.3 MB",
+        "buffer bytes",
+        "Mb/s",
+        &rows
+            .iter()
+            .map(|&(w, r)| (w, format!("{r:.1}")))
+            .collect::<Vec<_>>(),
+    );
+    println!("\nshape: rate ≈ window/RTT below the bandwidth-delay product,");
+    println!("then flat at the link rate — exactly the paper's sizing rule.");
+}

@@ -1,0 +1,20 @@
+//! A1: aggregate bandwidth vs number of parallel TCP streams.
+//! "Parallel data transfer ... can improve aggregate bandwidth" (§6.1).
+
+use esg_bench::sweep;
+use esg_core::sweep_parallel_streams;
+
+fn main() {
+    let rows = sweep_parallel_streams(&[1, 2, 4, 8, 16, 32]);
+    sweep(
+        "A1: parallel streams on a lossy WAN (622 Mb/s, 24 ms RTT, p=0.1%)",
+        "streams",
+        "Mb/s",
+        &rows
+            .iter()
+            .map(|&(n, r)| (n, format!("{r:.1}")))
+            .collect::<Vec<_>>(),
+    );
+    println!("\nshape: ~linear growth while loss-limited, saturating at the");
+    println!("link/window ceiling — the paper's rationale for parallelism.");
+}

@@ -1,0 +1,21 @@
+//! A3: striping across 1..8 source hosts on the SC'00 testbed.
+//! "Striped data transfer ... increases parallelism by allowing data to be
+//! striped across multiple hosts" (§6.1).
+
+use esg_bench::sweep;
+use esg_core::sweep_stripes;
+
+fn main() {
+    let rows = sweep_stripes(&[1, 2, 4, 6, 8]);
+    sweep(
+        "A3: stripe width on the SC'00 testbed (4 streams per server)",
+        "servers",
+        "Mb/s",
+        &rows
+            .iter()
+            .map(|&(k, r)| (k, format!("{r:.1}")))
+            .collect::<Vec<_>>(),
+    );
+    println!("\nshape: each server adds its own NIC/CPU and streams; aggregate");
+    println!("scales until the WAN allotment binds.");
+}

@@ -1,0 +1,230 @@
+//! Climatologies: cycle-aware time aggregation.
+//!
+//! Climate analysis rarely wants plain time means; it wants the *cycle*
+//! composited out of a series — the diurnal cycle from 6-hourly output,
+//! the seasonal march from daily means, anomalies relative to those
+//! climatologies. These are the bread-and-butter diagnostics VCDAT users
+//! computed on data the grid delivered (§3 "the analysis that is to be
+//! performed").
+
+use crate::analysis::Field2d;
+use crate::model::{Dataset, ModelError, Variable};
+
+fn tyx(ds: &Dataset, var: &Variable) -> Result<(usize, usize, usize), ModelError> {
+    let shape = ds.shape_of(var);
+    if shape.len() != 3 {
+        return Err(ModelError::BadSlab(format!(
+            "climatology expects (time, lat, lon), got rank {}",
+            shape.len()
+        )));
+    }
+    Ok((shape[0], shape[1], shape[2]))
+}
+
+/// Composite the time axis by phase: bin step `t` into `t % period`,
+/// averaging all steps of the same phase. With 6-hourly data and
+/// `period = 4` this is the mean diurnal cycle; with daily data and
+/// `period = 365` the mean annual cycle.
+pub fn phase_composite(
+    ds: &Dataset,
+    var_name: &str,
+    period: usize,
+) -> Result<Vec<Field2d>, ModelError> {
+    if period == 0 {
+        return Err(ModelError::BadSlab("period must be positive".into()));
+    }
+    let var = ds.variable(var_name)?;
+    let (nt, ny, nx) = tyx(ds, var)?;
+    let cells = ny * nx;
+    let mut acc = vec![vec![0.0f64; cells]; period];
+    let mut counts = vec![0usize; period];
+    for t in 0..nt {
+        let phase = t % period;
+        counts[phase] += 1;
+        let base = t * cells;
+        let bucket = &mut acc[phase];
+        for (c, slot) in bucket.iter_mut().enumerate() {
+            *slot += var.data[base + c] as f64;
+        }
+    }
+    let lat = ds.axes[var.dims[1]].values.clone();
+    let lon = ds.axes[var.dims[2]].values.clone();
+    Ok(acc
+        .into_iter()
+        .zip(counts)
+        .map(|(sums, n)| Field2d {
+            lat: lat.clone(),
+            lon: lon.clone(),
+            data: sums
+                .into_iter()
+                .map(|s| if n == 0 { 0.0 } else { (s / n as f64) as f32 })
+                .collect(),
+        })
+        .collect())
+}
+
+/// The amplitude (max − min over phases) of a composited cycle at each
+/// grid cell — e.g. the diurnal temperature range.
+pub fn cycle_amplitude(composite: &[Field2d]) -> Option<Field2d> {
+    let first = composite.first()?;
+    let cells = first.data.len();
+    let mut lo = vec![f32::INFINITY; cells];
+    let mut hi = vec![f32::NEG_INFINITY; cells];
+    for phase in composite {
+        debug_assert_eq!(phase.data.len(), cells);
+        for (c, &v) in phase.data.iter().enumerate() {
+            lo[c] = lo[c].min(v);
+            hi[c] = hi[c].max(v);
+        }
+    }
+    Some(Field2d {
+        lat: first.lat.clone(),
+        lon: first.lon.clone(),
+        data: hi.iter().zip(&lo).map(|(h, l)| h - l).collect(),
+    })
+}
+
+/// Anomaly series: the area-weighted global mean with the phase
+/// climatology removed — the "simulated climate variability" signal the
+/// paper's workflows compare against observations.
+pub fn deseasonalized_global_mean(
+    ds: &Dataset,
+    var_name: &str,
+    period: usize,
+) -> Result<Vec<f64>, ModelError> {
+    let composite = phase_composite(ds, var_name, period)?;
+    let var = ds.variable(var_name)?;
+    let (nt, ny, nx) = tyx(ds, var)?;
+    let lat = &ds.axes[var.dims[1]].values;
+    let weights: Vec<f64> = lat.iter().map(|&l| l.to_radians().cos().max(0.0)).collect();
+    let wsum: f64 = weights.iter().sum::<f64>() * nx as f64;
+    let mut out = Vec::with_capacity(nt);
+    for t in 0..nt {
+        let clim = &composite[t % period];
+        let mut acc = 0.0f64;
+        for (j, &w) in weights.iter().enumerate() {
+            let base = (t * ny + j) * nx;
+            for i in 0..nx {
+                acc += w * (var.data[base + i] as f64 - clim.data[j * nx + i] as f64);
+            }
+        }
+        out.push(acc / wsum);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Axis;
+
+    /// 8 steps of a 2-phase square wave plus a per-cell offset.
+    fn square_wave() -> Dataset {
+        let mut ds = Dataset::new("sq");
+        ds.add_axis(Axis::time(8, 12.0));
+        ds.add_axis(Axis::latitude(2));
+        ds.add_axis(Axis::longitude(2));
+        let mut data = Vec::new();
+        for t in 0..8 {
+            let phase = if t % 2 == 0 { 10.0 } else { 20.0 };
+            for c in 0..4 {
+                data.push(phase + c as f32);
+            }
+        }
+        ds.add_variable("v", "K", "", &["time", "latitude", "longitude"], data)
+            .unwrap();
+        ds
+    }
+
+    #[test]
+    fn composite_recovers_phases() {
+        let ds = square_wave();
+        let comp = phase_composite(&ds, "v", 2).unwrap();
+        assert_eq!(comp.len(), 2);
+        assert_eq!(comp[0].data, vec![10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(comp[1].data, vec![20.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn amplitude_of_square_wave_is_ten() {
+        let ds = square_wave();
+        let comp = phase_composite(&ds, "v", 2).unwrap();
+        let amp = cycle_amplitude(&comp).unwrap();
+        assert!(amp.data.iter().all(|&v| (v - 10.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn period_one_is_time_mean() {
+        let ds = square_wave();
+        let comp = phase_composite(&ds, "v", 1).unwrap();
+        let mean = crate::analysis::time_mean(&ds, "v").unwrap();
+        assert_eq!(comp[0].data, mean.data);
+    }
+
+    #[test]
+    fn deseasonalizing_pure_cycle_gives_zero() {
+        let ds = square_wave();
+        let anom = deseasonalized_global_mean(&ds, "v", 2).unwrap();
+        for v in anom {
+            assert!(v.abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn deseasonalizing_keeps_trend() {
+        // Cycle + linear trend: the anomaly series should be ~linear.
+        let mut ds = Dataset::new("trend");
+        ds.add_axis(Axis::time(12, 12.0));
+        ds.add_axis(Axis::latitude(1));
+        ds.add_axis(Axis::longitude(1));
+        let data: Vec<f32> = (0..12)
+            .map(|t| if t % 2 == 0 { 0.0 } else { 5.0 } + t as f32 * 0.1)
+            .collect();
+        ds.add_variable("v", "K", "", &["time", "latitude", "longitude"], data)
+            .unwrap();
+        let anom = deseasonalized_global_mean(&ds, "v", 2).unwrap();
+        // Differences between consecutive same-phase anomalies ≈ 0.2.
+        for w in anom.windows(2) {
+            assert!(w[1] - w[0] > 0.0 || (w[1] - w[0]).abs() < 0.3);
+        }
+        assert!(anom.last().unwrap() > anom.first().unwrap());
+    }
+
+    #[test]
+    fn period_longer_than_series_handled() {
+        let ds = square_wave();
+        let comp = phase_composite(&ds, "v", 16).unwrap();
+        assert_eq!(comp.len(), 16);
+        // Phases beyond the series length are zero-filled.
+        assert!(comp[12].data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let ds = square_wave();
+        assert!(phase_composite(&ds, "v", 0).is_err());
+    }
+
+    #[test]
+    fn synthetic_diurnal_cycle_detected() {
+        // The generator embeds a 1.5 K diurnal term in 6-hourly output:
+        // a period-4 composite should expose it.
+        let ds = crate::synth::generate(
+            "diurnal",
+            crate::synth::SynthParams {
+                lat_points: 8,
+                lon_points: 16,
+                time_steps: 80,
+                hours_per_step: 6.0,
+                seed: 33,
+            },
+        );
+        let comp = phase_composite(&ds, "tas", 4).unwrap();
+        let amp = cycle_amplitude(&comp).unwrap();
+        let mean_amp: f32 = amp.data.iter().sum::<f32>() / amp.data.len() as f32;
+        assert!(
+            mean_amp > 1.0 && mean_amp < 6.0,
+            "diurnal amplitude {mean_amp} K"
+        );
+    }
+}

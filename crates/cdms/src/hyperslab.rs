@@ -1,0 +1,240 @@
+//! Hyperslab selection: extracting spatiotemporal regions.
+//!
+//! VCDAT lets the user pick "a dataset name, variable name, and
+//! spatiotemporal region" (§3); the region maps to per-dimension
+//! (start, count) ranges — a hyperslab — over a variable.
+
+use crate::model::{Dataset, ModelError, Variable};
+
+/// Per-dimension (start, count) ranges, in the variable's dimension order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hyperslab {
+    pub ranges: Vec<(usize, usize)>,
+}
+
+impl Hyperslab {
+    /// The slab covering an entire variable.
+    pub fn all(ds: &Dataset, var: &Variable) -> Hyperslab {
+        Hyperslab {
+            ranges: ds.shape_of(var).into_iter().map(|n| (0, n)).collect(),
+        }
+    }
+
+    /// Number of elements selected.
+    pub fn count(&self) -> usize {
+        self.ranges.iter().map(|&(_, c)| c).product()
+    }
+
+    /// Restrict one dimension (by position) to (start, count).
+    pub fn narrow(mut self, dim: usize, start: usize, count: usize) -> Self {
+        self.ranges[dim] = (start, count);
+        self
+    }
+
+    fn validate(&self, shape: &[usize]) -> Result<(), ModelError> {
+        if self.ranges.len() != shape.len() {
+            return Err(ModelError::BadSlab(format!(
+                "rank {} != variable rank {}",
+                self.ranges.len(),
+                shape.len()
+            )));
+        }
+        for (d, (&(start, count), &n)) in self.ranges.iter().zip(shape).enumerate() {
+            if start + count > n {
+                return Err(ModelError::BadSlab(format!(
+                    "dim {d}: {start}+{count} exceeds length {n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extract a hyperslab from a variable into a new contiguous buffer.
+pub fn extract(
+    ds: &Dataset,
+    var: &Variable,
+    slab: &Hyperslab,
+) -> Result<Vec<f32>, ModelError> {
+    let shape = ds.shape_of(var);
+    slab.validate(&shape)?;
+    let rank = shape.len();
+    if rank == 0 {
+        return Ok(var.data.clone());
+    }
+    let mut out = Vec::with_capacity(slab.count());
+    // Iterate over all output indices except the innermost dimension, then
+    // memcpy innermost runs.
+    let inner_start = slab.ranges[rank - 1].0;
+    let inner_count = slab.ranges[rank - 1].1;
+    let mut idx: Vec<usize> = slab.ranges.iter().map(|&(s, _)| s).collect();
+    'outer: loop {
+        // Flat offset of the row start.
+        let mut flat = 0usize;
+        for d in 0..rank {
+            flat = flat * shape[d] + if d == rank - 1 { inner_start } else { idx[d] };
+        }
+        out.extend_from_slice(&var.data[flat..flat + inner_count]);
+        // Odometer increment over dims 0..rank-1.
+        if rank == 1 {
+            break;
+        }
+        let mut d = rank - 2;
+        loop {
+            idx[d] += 1;
+            if idx[d] < slab.ranges[d].0 + slab.ranges[d].1 {
+                break;
+            }
+            idx[d] = slab.ranges[d].0;
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Extract a slab as a standalone dataset (axes sliced to match) — this is
+/// the "subsetting" operation ESG-II planned to push server-side.
+pub fn extract_dataset(
+    ds: &Dataset,
+    var_name: &str,
+    slab: &Hyperslab,
+) -> Result<Dataset, ModelError> {
+    let var = ds.variable(var_name)?;
+    let data = extract(ds, var, slab)?;
+    let mut out = Dataset::new(format!("{}:{}", ds.name, var_name));
+    out.attributes = ds.attributes.clone();
+    let mut axis_names: Vec<String> = Vec::new();
+    for (d, &axis_idx) in var.dims.iter().enumerate() {
+        let src = &ds.axes[axis_idx];
+        let (start, count) = slab.ranges[d];
+        out.add_axis(crate::model::Axis::new(
+            src.name.clone(),
+            src.units.clone(),
+            src.values[start..start + count].to_vec(),
+        ));
+        axis_names.push(src.name.clone());
+    }
+    let names: Vec<&str> = axis_names.iter().map(|s| s.as_str()).collect();
+    out.add_variable(
+        var.name.clone(),
+        var.units.clone(),
+        var.long_name.clone(),
+        &names,
+        data,
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Axis;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("test");
+        ds.add_axis(Axis::time(2, 6.0));
+        ds.add_axis(Axis::latitude(3));
+        ds.add_axis(Axis::longitude(4));
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        ds.add_variable("v", "K", "", &["time", "latitude", "longitude"], data)
+            .unwrap();
+        ds
+    }
+
+    #[test]
+    fn full_slab_is_identity() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab::all(&ds, v);
+        assert_eq!(slab.count(), 24);
+        assert_eq!(extract(&ds, v, &slab).unwrap(), v.data);
+    }
+
+    #[test]
+    fn single_element() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab {
+            ranges: vec![(1, 1), (2, 1), (3, 1)],
+        };
+        // flat = (1*3 + 2)*4 + 3 = 23
+        assert_eq!(extract(&ds, v, &slab).unwrap(), vec![23.0]);
+    }
+
+    #[test]
+    fn inner_run() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab {
+            ranges: vec![(0, 1), (1, 1), (1, 2)],
+        };
+        // row t=0, lat=1 starts at flat 4; take lon 1..3 → 5,6
+        assert_eq!(extract(&ds, v, &slab).unwrap(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn multi_dim_block() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab {
+            ranges: vec![(0, 2), (0, 2), (0, 2)],
+        };
+        assert_eq!(
+            extract(&ds, v, &slab).unwrap(),
+            vec![0.0, 1.0, 4.0, 5.0, 12.0, 13.0, 16.0, 17.0]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab {
+            ranges: vec![(0, 2), (0, 3), (2, 3)],
+        };
+        assert!(matches!(
+            extract(&ds, v, &slab),
+            Err(ModelError::BadSlab(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_rank_rejected() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab {
+            ranges: vec![(0, 2)],
+        };
+        assert!(matches!(
+            extract(&ds, v, &slab),
+            Err(ModelError::BadSlab(_))
+        ));
+    }
+
+    #[test]
+    fn narrow_builder() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab::all(&ds, v).narrow(0, 1, 1);
+        assert_eq!(slab.count(), 12);
+        let out = extract(&ds, v, &slab).unwrap();
+        assert_eq!(out[0], 12.0);
+    }
+
+    #[test]
+    fn extract_dataset_slices_axes() {
+        let ds = dataset();
+        let v = ds.variable("v").unwrap();
+        let slab = Hyperslab::all(&ds, v).narrow(1, 1, 2).narrow(2, 0, 2);
+        let sub = extract_dataset(&ds, "v", &slab).unwrap();
+        assert_eq!(sub.axes[0].len(), 2); // time untouched
+        assert_eq!(sub.axes[1].len(), 2); // lat sliced
+        assert_eq!(sub.axes[2].len(), 2); // lon sliced
+        let sv = sub.variable("v").unwrap();
+        assert_eq!(sub.shape_of(sv), vec![2, 2, 2]);
+        assert_eq!(sv.data.len(), 8);
+    }
+}

@@ -1,0 +1,346 @@
+//! A self-describing binary file format for climate data.
+//!
+//! The prototype's datasets are "stored in a self-describing binary format
+//! such as netCDF" (§3). This module implements such a format ("ESG1"):
+//! a little-endian container with named axes, attributes and f32 variables,
+//! readable without external schema — the files GridFTP moves around in the
+//! experiments are real instances of this format, so checksums and partial
+//! reads act on meaningful bytes.
+//!
+//! Layout (all integers little-endian):
+//! ```text
+//! magic "ESG1" | version u32 |
+//! name str | attr count u32 | (key str, value str)* |
+//! axis count u32 | (name str, units str, len u64, f64*)* |
+//! var count u32 | (name str, units str, long str,
+//!                  rank u32, dim u32*, len u64, f32*)*
+//! str = len u32 | utf8 bytes
+//! ```
+
+use crate::model::{Axis, Dataset, Variable};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"ESG1";
+const VERSION: u32 = 1;
+
+/// Errors reading an ESG1 file.
+#[derive(Debug)]
+pub enum NcError {
+    Io(io::Error),
+    BadMagic([u8; 4]),
+    UnsupportedVersion(u32),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for NcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NcError::Io(e) => write!(f, "i/o error: {e}"),
+            NcError::BadMagic(m) => write!(f, "bad magic: {m:?}"),
+            NcError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            NcError::Corrupt(s) => write!(f, "corrupt file: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NcError {}
+
+impl From<io::Error> for NcError {
+    fn from(e: io::Error) -> Self {
+        NcError::Io(e)
+    }
+}
+
+/// Hard cap on any length field, to fail fast on corrupt files rather than
+/// attempting enormous allocations.
+const MAX_LEN: u64 = 1 << 34; // 16 GiB of elements
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, NcError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, NcError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, NcError> {
+    let len = read_u32(r)? as u64;
+    if len > MAX_LEN {
+        return Err(NcError::Corrupt(format!("string length {len}")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| NcError::Corrupt("non-utf8 string".into()))
+}
+
+/// Serialize a dataset.
+pub fn write_dataset(w: &mut impl Write, ds: &Dataset) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_str(w, &ds.name)?;
+    w.write_all(&(ds.attributes.len() as u32).to_le_bytes())?;
+    for (k, v) in &ds.attributes {
+        write_str(w, k)?;
+        write_str(w, v)?;
+    }
+    w.write_all(&(ds.axes.len() as u32).to_le_bytes())?;
+    for axis in &ds.axes {
+        write_str(w, &axis.name)?;
+        write_str(w, &axis.units)?;
+        w.write_all(&(axis.values.len() as u64).to_le_bytes())?;
+        for &v in &axis.values {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.write_all(&(ds.variables.len() as u32).to_le_bytes())?;
+    for var in &ds.variables {
+        write_str(w, &var.name)?;
+        write_str(w, &var.units)?;
+        write_str(w, &var.long_name)?;
+        w.write_all(&(var.dims.len() as u32).to_le_bytes())?;
+        for &d in &var.dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        w.write_all(&(var.data.len() as u64).to_le_bytes())?;
+        for &x in &var.data {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a dataset.
+pub fn read_dataset(r: &mut impl Read) -> Result<Dataset, NcError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NcError::BadMagic(magic));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(NcError::UnsupportedVersion(version));
+    }
+    let mut ds = Dataset::new(read_str(r)?);
+    let nattrs = read_u32(r)?;
+    for _ in 0..nattrs {
+        let k = read_str(r)?;
+        let v = read_str(r)?;
+        ds.set_attr(k, v);
+    }
+    let naxes = read_u32(r)?;
+    for _ in 0..naxes {
+        let name = read_str(r)?;
+        let units = read_str(r)?;
+        let n = read_u64(r)?;
+        if n > MAX_LEN {
+            return Err(NcError::Corrupt(format!("axis length {n}")));
+        }
+        let mut values = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            values.push(f64::from_le_bytes(b));
+        }
+        ds.add_axis(Axis::new(name, units, values));
+    }
+    let nvars = read_u32(r)?;
+    for _ in 0..nvars {
+        let name = read_str(r)?;
+        let units = read_str(r)?;
+        let long_name = read_str(r)?;
+        let rank = read_u32(r)?;
+        if rank > 16 {
+            return Err(NcError::Corrupt(format!("rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank as usize);
+        let mut expected = 1u64;
+        for _ in 0..rank {
+            let d = read_u32(r)? as usize;
+            if d >= ds.axes.len() {
+                return Err(NcError::Corrupt(format!("dim index {d}")));
+            }
+            expected = expected.saturating_mul(ds.axes[d].len() as u64);
+            dims.push(d);
+        }
+        let n = read_u64(r)?;
+        if n > MAX_LEN {
+            return Err(NcError::Corrupt(format!("variable length {n}")));
+        }
+        if n != expected {
+            return Err(NcError::Corrupt(format!(
+                "variable {name}: data length {n} != shape product {expected}"
+            )));
+        }
+        let mut data = Vec::with_capacity(n as usize);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        ds.variables.push(Variable {
+            name,
+            units,
+            long_name,
+            dims,
+            data,
+        });
+    }
+    Ok(ds)
+}
+
+/// Serialize to a byte vector.
+pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
+    let mut v = Vec::new();
+    write_dataset(&mut v, ds).expect("writing to Vec cannot fail");
+    v
+}
+
+/// Deserialize from a byte slice.
+pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, NcError> {
+    let mut cursor = bytes;
+    read_dataset(&mut cursor)
+}
+
+/// Write a dataset to a file on disk.
+pub fn save(path: &std::path::Path, ds: &Dataset) -> Result<(), NcError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_dataset(&mut w, ds)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a dataset from a file on disk.
+pub fn load(path: &std::path::Path) -> Result<Dataset, NcError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read_dataset(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new("pcm_b06.61");
+        ds.set_attr("model", "PCM");
+        ds.set_attr("experiment", "b06.61");
+        ds.add_axis(Axis::time(2, 6.0));
+        ds.add_axis(Axis::latitude(3));
+        ds.add_axis(Axis::longitude(4));
+        ds.add_variable(
+            "tas",
+            "K",
+            "surface air temperature",
+            &["time", "latitude", "longitude"],
+            (0..24).map(|i| i as f32 * 0.5).collect(),
+        )
+        .unwrap();
+        ds.add_variable(
+            "zonal",
+            "K",
+            "zonal mean",
+            &["time", "latitude"],
+            (0..6).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let ds = sample();
+        let bytes = to_bytes(&ds);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let dir = std::env::temp_dir().join("esg-ncio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.esg");
+        let ds = sample();
+        save(&path, &ds).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(NcError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = 99;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(NcError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = to_bytes(&sample());
+        for cut in [5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let ds = Dataset::new("empty");
+        assert_eq!(from_bytes(&to_bytes(&ds)).unwrap(), ds);
+    }
+
+    #[test]
+    fn shape_mismatch_in_file_detected() {
+        // Craft a file whose variable length disagrees with its dims by
+        // corrupting the length field of the data section. Easiest: build
+        // bytes and flip the variable's u64 length. Locate it by rebuilding
+        // a minimal file manually.
+        let mut ds = Dataset::new("d");
+        ds.add_axis(Axis::latitude(2));
+        ds.add_variable("v", "", "", &["latitude"], vec![1.0, 2.0])
+            .unwrap();
+        let mut bytes = to_bytes(&ds);
+        // The final 2*4 data bytes are preceded by the u64 length field.
+        let len_pos = bytes.len() - 8 - 8;
+        bytes[len_pos] = 3;
+        assert!(matches!(from_bytes(&bytes), Err(NcError::Corrupt(_))));
+    }
+
+    #[test]
+    fn special_floats_preserved() {
+        let mut ds = Dataset::new("nanny");
+        ds.add_axis(Axis::latitude(4));
+        ds.add_variable(
+            "v",
+            "",
+            "",
+            &["latitude"],
+            vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0],
+        )
+        .unwrap();
+        let back = from_bytes(&to_bytes(&ds)).unwrap();
+        let v = back.variable("v").unwrap();
+        assert!(v.data[0].is_nan());
+        assert_eq!(v.data[1], f32::INFINITY);
+        assert_eq!(v.data[2], f32::NEG_INFINITY);
+        assert_eq!(v.data[3].to_bits(), (-0.0f32).to_bits());
+    }
+}

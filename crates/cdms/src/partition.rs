@@ -1,0 +1,207 @@
+//! Dataset → logical file partitioning.
+//!
+//! "A single dataset may consist of thousands of individual data files"
+//! (§3): model output is chunked by time. This module defines the logical
+//! file naming/sizing scheme that the metadata catalog maps queries onto,
+//! and can materialize real ESG1 chunk files on disk for the loopback
+//! transfer tests.
+
+use crate::model::Dataset;
+use crate::synth::{generate, SynthParams};
+
+/// One time-chunk of a dataset: the unit of replication and transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalFile {
+    /// Globally unique logical name, e.g. `pcm_b06.61/tas_00000-00007.esg`.
+    pub name: String,
+    /// Size in bytes (of the serialized chunk).
+    pub size: u64,
+    /// Covered time steps `[start, end)` in the dataset's time axis.
+    pub start_step: usize,
+    pub end_step: usize,
+}
+
+impl LogicalFile {
+    /// Whether this file overlaps the step range `[t0, t1)`.
+    pub fn overlaps(&self, t0: usize, t1: usize) -> bool {
+        self.start_step < t1 && t0 < self.end_step
+    }
+}
+
+/// Partition a dataset's time axis into logical files.
+///
+/// `bytes_per_step` should be the serialized size of one time step across
+/// all variables (headers are small and amortized; sizes here drive the
+/// transfer workload, not byte-exact accounting).
+pub fn partition_by_time(
+    dataset_name: &str,
+    total_steps: usize,
+    steps_per_file: usize,
+    bytes_per_step: u64,
+) -> Vec<LogicalFile> {
+    assert!(steps_per_file > 0);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < total_steps {
+        let end = (start + steps_per_file).min(total_steps);
+        out.push(LogicalFile {
+            name: format!("{dataset_name}/chunk_{start:05}-{end:05}.esg"),
+            size: bytes_per_step * (end - start) as u64,
+            start_step: start,
+            end_step: end,
+        });
+        start = end;
+    }
+    out
+}
+
+/// The files needed to cover a time-step query range.
+pub fn files_for_range(files: &[LogicalFile], t0: usize, t1: usize) -> Vec<&LogicalFile> {
+    files.iter().filter(|f| f.overlaps(t0, t1)).collect()
+}
+
+/// Materialize a dataset's chunks as real ESG1 files under `dir`.
+/// Returns (logical name, path, bytes) per chunk. Used by the loopback
+/// GridFTP integration tests so transfers move real self-describing data.
+pub fn write_chunks(
+    dir: &std::path::Path,
+    dataset_name: &str,
+    params: SynthParams,
+    steps_per_file: usize,
+) -> std::io::Result<Vec<(String, std::path::PathBuf, u64)>> {
+    std::fs::create_dir_all(dir)?;
+    let full = generate(dataset_name, params);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < params.time_steps {
+        let end = (start + steps_per_file).min(params.time_steps);
+        let chunk = chunk_of(&full, start, end);
+        let logical = format!("{dataset_name}/chunk_{start:05}-{end:05}.esg");
+        let fname = format!(
+            "{}_chunk_{start:05}-{end:05}.esg",
+            dataset_name.replace('/', "_")
+        );
+        let path = dir.join(fname);
+        crate::ncio::save(&path, &chunk)
+            .map_err(|e| std::io::Error::other(format!("{e}")))?;
+        let size = std::fs::metadata(&path)?.len();
+        out.push((logical, path, size));
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Slice a (time, lat, lon) dataset to the step range `[start, end)`.
+pub fn chunk_of(ds: &Dataset, start: usize, end: usize) -> Dataset {
+    let mut out = Dataset::new(format!("{}[{start}..{end}]", ds.name));
+    out.attributes = ds.attributes.clone();
+    for axis in &ds.axes {
+        if axis.name == "time" {
+            out.add_axis(crate::model::Axis::new(
+                "time",
+                axis.units.clone(),
+                axis.values[start..end].to_vec(),
+            ));
+        } else {
+            out.add_axis(axis.clone());
+        }
+    }
+    for var in &ds.variables {
+        let shape = ds.shape_of(var);
+        let per_step = shape[1..].iter().product::<usize>();
+        let data = var.data[start * per_step..end * per_step].to_vec();
+        let axis_names: Vec<&str> = var
+            .dims
+            .iter()
+            .map(|&d| ds.axes[d].name.as_str())
+            .collect();
+        out.add_variable(
+            var.name.clone(),
+            var.units.clone(),
+            var.long_name.clone(),
+            &axis_names,
+            data,
+        )
+        .expect("chunk shapes are consistent by construction");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_counts_and_sizes() {
+        let files = partition_by_time("ds", 100, 8, 1000);
+        assert_eq!(files.len(), 13);
+        assert_eq!(files[0].size, 8000);
+        assert_eq!(files[12].size, 4000); // remainder chunk: 4 steps
+        assert_eq!(files[12].start_step, 96);
+        assert_eq!(files[12].end_step, 100);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let files = partition_by_time("ds", 64, 8, 1);
+        let mut names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), files.len());
+    }
+
+    #[test]
+    fn range_query_selects_overlapping() {
+        let files = partition_by_time("ds", 32, 8, 1);
+        let hits = files_for_range(&files, 6, 18);
+        // Chunks [0,8), [8,16), [16,24).
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].start_step, 0);
+        assert_eq!(hits[2].start_step, 16);
+        assert!(files_for_range(&files, 32, 40).is_empty());
+        // Empty query range.
+        assert!(files_for_range(&files, 8, 8).is_empty());
+    }
+
+    #[test]
+    fn chunk_of_preserves_per_step_data() {
+        let ds = generate(
+            "c",
+            SynthParams {
+                lat_points: 4,
+                lon_points: 8,
+                time_steps: 6,
+                hours_per_step: 6.0,
+                seed: 1,
+            },
+        );
+        let chunk = chunk_of(&ds, 2, 4);
+        let v = chunk.variable("tas").unwrap();
+        assert_eq!(chunk.shape_of(v), vec![2, 4, 8]);
+        let orig = ds.variable("tas").unwrap();
+        assert_eq!(&v.data[..], &orig.data[2 * 32..4 * 32]);
+        // Time axis sliced.
+        assert_eq!(chunk.axes[0].values, ds.axes[0].values[2..4].to_vec());
+    }
+
+    #[test]
+    fn write_chunks_produces_readable_files() {
+        let dir = std::env::temp_dir().join("esg-partition-test");
+        let params = SynthParams {
+            lat_points: 4,
+            lon_points: 8,
+            time_steps: 6,
+            hours_per_step: 6.0,
+            seed: 3,
+        };
+        let chunks = write_chunks(&dir, "pcm/test", params, 4).unwrap();
+        assert_eq!(chunks.len(), 2);
+        for (logical, path, size) in &chunks {
+            assert!(logical.starts_with("pcm/test/chunk_"));
+            assert_eq!(std::fs::metadata(path).unwrap().len(), *size);
+            let ds = crate::ncio::load(path).unwrap();
+            assert_eq!(ds.variables.len(), 3);
+            std::fs::remove_file(path).ok();
+        }
+    }
+}

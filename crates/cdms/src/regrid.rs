@@ -1,0 +1,250 @@
+//! Regridding and model intercomparison.
+//!
+//! The paper's introduction sets the goal: "fundamentally new methodologies
+//! for managing, accessing, recombining, analyzing and **intercomparing**
+//! distributed data". PCMDI — the LLNL group behind CDAT — is the Program
+//! for Climate Model **Diagnosis and Intercomparison**: comparing models
+//! (and models against observations) is the workload. Comparing two models
+//! requires putting them on a common grid first, hence bilinear
+//! regridding.
+
+use crate::analysis::Field2d;
+
+/// Bilinearly regrid a field onto new latitude/longitude axes.
+///
+/// Latitudes clamp at the poles; longitudes wrap around 0/360. Input axes
+/// must be strictly increasing (the convention of [`crate::model::Axis`]
+/// builders).
+pub fn regrid_bilinear(src: &Field2d, new_lat: &[f64], new_lon: &[f64]) -> Field2d {
+    assert!(!src.lat.is_empty() && !src.lon.is_empty(), "empty source");
+    let ny = src.lat.len();
+    let nx = src.lon.len();
+    let mut data = Vec::with_capacity(new_lat.len() * new_lon.len());
+
+    // Fractional index of x in ascending axis vals, clamped to [0, n-1].
+    let locate = |vals: &[f64], x: f64| -> (usize, f64) {
+        if x <= vals[0] {
+            return (0, 0.0);
+        }
+        let n = vals.len();
+        if x >= vals[n - 1] {
+            return (n - 1, 0.0);
+        }
+        let i = vals.partition_point(|&v| v <= x) - 1;
+        let frac = (x - vals[i]) / (vals[i + 1] - vals[i]);
+        (i, frac)
+    };
+
+    for &lat in new_lat {
+        let (j, fy) = locate(&src.lat, lat);
+        let j1 = (j + 1).min(ny - 1);
+        for &lon in new_lon {
+            // Wrap longitude into the source range before locating.
+            let lon_span = 360.0;
+            let mut x = lon;
+            while x < src.lon[0] {
+                x += lon_span;
+            }
+            while x > src.lon[nx - 1] + (lon_span - (src.lon[nx - 1] - src.lon[0])) {
+                x -= lon_span;
+            }
+            let (i, fx, i1) = if x > src.lon[nx - 1] {
+                // Between the last and first cell across the wrap.
+                let gap = lon_span - (src.lon[nx - 1] - src.lon[0]);
+                ((nx - 1), (x - src.lon[nx - 1]) / gap, 0)
+            } else {
+                let (i, fx) = locate(&src.lon, x);
+                (i, fx, (i + 1).min(nx - 1))
+            };
+            let v00 = src.get(j, i) as f64;
+            let v01 = src.get(j, i1) as f64;
+            let v10 = src.get(j1, i) as f64;
+            let v11 = src.get(j1, i1) as f64;
+            let v0 = v00 + (v01 - v00) * fx;
+            let v1 = v10 + (v11 - v10) * fx;
+            data.push((v0 + (v1 - v0) * fy) as f32);
+        }
+    }
+    Field2d {
+        lat: new_lat.to_vec(),
+        lon: new_lon.to_vec(),
+        data,
+    }
+}
+
+/// Result of intercomparing two fields on a common grid.
+#[derive(Debug, Clone)]
+pub struct Intercomparison {
+    /// a − b, on the target grid.
+    pub difference: Field2d,
+    /// Area-weighted (cos latitude) mean bias a − b.
+    pub mean_bias: f64,
+    /// Area-weighted root-mean-square difference.
+    pub rms: f64,
+    /// Pearson pattern correlation between the two fields.
+    pub pattern_correlation: f64,
+}
+
+/// Intercompare two fields: `b` is regridded onto `a`'s grid, then
+/// difference statistics are computed with cos-latitude area weights —
+/// the standard PCMDI-style model-vs-model diagnostic.
+pub fn intercompare(a: &Field2d, b: &Field2d) -> Intercomparison {
+    let b_on_a = regrid_bilinear(b, &a.lat, &a.lon);
+    let nx = a.lon.len();
+    let mut diff = Vec::with_capacity(a.data.len());
+    let mut wsum = 0.0f64;
+    let mut bias = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut sa = 0.0f64;
+    let mut sb = 0.0f64;
+    let mut saa = 0.0f64;
+    let mut sbb = 0.0f64;
+    let mut sab = 0.0f64;
+    for (j, &lat) in a.lat.iter().enumerate() {
+        let w = lat.to_radians().cos().max(0.0);
+        for i in 0..nx {
+            let va = a.get(j, i) as f64;
+            let vb = b_on_a.get(j, i) as f64;
+            let d = va - vb;
+            diff.push(d as f32);
+            wsum += w;
+            bias += w * d;
+            sq += w * d * d;
+            sa += w * va;
+            sb += w * vb;
+            saa += w * va * va;
+            sbb += w * vb * vb;
+            sab += w * va * vb;
+        }
+    }
+    let mean_bias = bias / wsum;
+    let rms = (sq / wsum).sqrt();
+    let ma = sa / wsum;
+    let mb = sb / wsum;
+    let cov = sab / wsum - ma * mb;
+    let var_a = (saa / wsum - ma * ma).max(0.0);
+    let var_b = (sbb / wsum - mb * mb).max(0.0);
+    let denom = (var_a * var_b).sqrt();
+    let pattern_correlation = if denom > 0.0 { cov / denom } else { 0.0 };
+    Intercomparison {
+        difference: Field2d {
+            lat: a.lat.clone(),
+            lon: a.lon.clone(),
+            data: diff,
+        },
+        mean_bias,
+        rms,
+        pattern_correlation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Axis;
+
+    fn gradient_field(ny: usize, nx: usize) -> Field2d {
+        let lat = Axis::latitude(ny).values;
+        let lon = Axis::longitude(nx).values;
+        let mut data = Vec::new();
+        for &la in &lat {
+            for &lo in &lon {
+                // Smooth, separable function of position.
+                data.push((la * 2.0 + lo * 0.1) as f32);
+            }
+        }
+        Field2d { lat, lon, data }
+    }
+
+    #[test]
+    fn identity_regrid_preserves_values() {
+        let f = gradient_field(8, 16);
+        let r = regrid_bilinear(&f, &f.lat.clone(), &f.lon.clone());
+        for (a, b) in f.data.iter().zip(&r.data) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn refinement_interpolates_linearly() {
+        let f = gradient_field(8, 16);
+        let fine_lat = Axis::latitude(16).values;
+        let fine_lon = Axis::longitude(32).values;
+        let r = regrid_bilinear(&f, &fine_lat, &fine_lon);
+        // Values are linear in lat/lon away from the wrap seam, so the
+        // interpolation must reproduce the function (ignore the longitude
+        // cells adjacent to the wrap where the function is discontinuous).
+        for (j, &la) in fine_lat.iter().enumerate() {
+            for (i, &lo) in fine_lon.iter().enumerate() {
+                if !(23.0..335.0).contains(&lo) || la.abs() > 80.0 {
+                    continue;
+                }
+                let expect = (la * 2.0 + lo * 0.1) as f32;
+                let got = r.get(j, i);
+                assert!(
+                    (got - expect).abs() < 0.75,
+                    "({la},{lo}): {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_stays_in_range() {
+        let f = gradient_field(32, 64);
+        let coarse_lat = Axis::latitude(8).values;
+        let coarse_lon = Axis::longitude(12).values;
+        let r = regrid_bilinear(&f, &coarse_lat, &coarse_lon);
+        let (lo, hi) = f.min_max();
+        for &v in &r.data {
+            assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+        }
+        assert_eq!(r.data.len(), 8 * 12);
+    }
+
+    #[test]
+    fn self_intercomparison_is_null() {
+        let f = gradient_field(12, 24);
+        let ic = intercompare(&f, &f);
+        assert!(ic.mean_bias.abs() < 1e-6);
+        assert!(ic.rms < 1e-6);
+        assert!((ic.pattern_correlation - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_offset_shows_as_bias() {
+        let a = gradient_field(12, 24);
+        let mut b = a.clone();
+        for v in &mut b.data {
+            *v += 2.0;
+        }
+        let ic = intercompare(&a, &b);
+        assert!((ic.mean_bias + 2.0).abs() < 1e-4, "{}", ic.mean_bias);
+        assert!((ic.rms - 2.0).abs() < 1e-4);
+        // Same pattern, just offset.
+        assert!(ic.pattern_correlation > 0.999);
+    }
+
+    #[test]
+    fn cross_resolution_intercomparison() {
+        // Same underlying function sampled on different grids should agree
+        // closely after regridding.
+        let a = gradient_field(16, 32);
+        let b = gradient_field(24, 48);
+        let ic = intercompare(&a, &b);
+        assert!(ic.rms < 2.0, "rms {}", ic.rms);
+        assert!(ic.pattern_correlation > 0.99);
+    }
+
+    #[test]
+    fn anticorrelated_fields_detected() {
+        let a = gradient_field(12, 24);
+        let mut b = a.clone();
+        let mean: f32 = b.data.iter().sum::<f32>() / b.data.len() as f32;
+        for v in &mut b.data {
+            *v = 2.0 * mean - *v; // mirror around the mean
+        }
+        let ic = intercompare(&a, &b);
+        assert!(ic.pattern_correlation < -0.9, "{}", ic.pattern_correlation);
+    }
+}

@@ -1,0 +1,157 @@
+//! Visualization: render climate fields like Figure 3.
+//!
+//! VCDAT presents transferred data visually (Figure 3 shows temperature in
+//! colour with clouds and terrain). We render [`Field2d`]s two ways:
+//! an ASCII shade map for terminal output in the examples, and a binary
+//! PPM image with a blue→red colour ramp for files on disk.
+
+use crate::analysis::Field2d;
+
+const ASCII_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a field as ASCII art, `rows` tall; aspect is derived from the
+/// field. North (max latitude) is at the top.
+pub fn ascii_map(field: &Field2d, rows: usize) -> String {
+    let ny = field.lat.len();
+    let nx = field.lon.len();
+    if ny == 0 || nx == 0 || rows == 0 {
+        return String::new();
+    }
+    let cols = (rows * 2 * nx / ny.max(1)).clamp(8, 160);
+    let (lo, hi) = field.min_max();
+    let span = (hi - lo).max(f32::EPSILON);
+    // Latitude axis ascends south→north in the data; render north at top.
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in 0..rows {
+        let j_float = (rows - 1 - r) as f64 / rows as f64 * ny as f64;
+        let j = (j_float as usize).min(ny - 1);
+        for c in 0..cols {
+            let i = (c as f64 / cols as f64 * nx as f64) as usize;
+            let v = field.get(j, i.min(nx - 1));
+            let norm = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = (norm * (ASCII_RAMP.len() - 1) as f32).round() as usize;
+            out.push(ASCII_RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Map a normalized value to a blue→white→red colour.
+fn colour(norm: f32) -> [u8; 3] {
+    let n = norm.clamp(0.0, 1.0);
+    if n < 0.5 {
+        // Blue → white
+        let t = n * 2.0;
+        [
+            (t * 255.0) as u8,
+            (t * 255.0) as u8,
+            255,
+        ]
+    } else {
+        // White → red
+        let t = (n - 0.5) * 2.0;
+        [
+            255,
+            ((1.0 - t) * 255.0) as u8,
+            ((1.0 - t) * 255.0) as u8,
+        ]
+    }
+}
+
+/// Render a field as a binary PPM (P6) image, one pixel per grid cell,
+/// north at the top.
+pub fn ppm(field: &Field2d) -> Vec<u8> {
+    let ny = field.lat.len();
+    let nx = field.lon.len();
+    let (lo, hi) = field.min_max();
+    let span = (hi - lo).max(f32::EPSILON);
+    let mut out = format!("P6\n{nx} {ny}\n255\n").into_bytes();
+    for j in (0..ny).rev() {
+        for i in 0..nx {
+            let norm = (field.get(j, i) - lo) / span;
+            out.extend_from_slice(&colour(norm));
+        }
+    }
+    out
+}
+
+/// Write a PPM rendering to disk.
+pub fn save_ppm(path: &std::path::Path, field: &Field2d) -> std::io::Result<()> {
+    std::fs::write(path, ppm(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Field2d {
+        Field2d {
+            lat: vec![-45.0, 45.0],
+            lon: vec![90.0, 270.0],
+            data: vec![0.0, 1.0, 2.0, 3.0],
+        }
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let art = ascii_map(&field(), 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn ascii_north_up() {
+        // Data row j=1 (lat 45) holds the larger values → denser glyphs at top.
+        let art = ascii_map(&field(), 2);
+        let lines: Vec<&str> = art.lines().collect();
+        let rank = |c: char| ASCII_RAMP.iter().position(|&b| b == c as u8).unwrap();
+        let top: usize = lines[0].chars().map(rank).sum();
+        let bottom: usize = lines[1].chars().map(rank).sum();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn constant_field_is_uniform() {
+        let f = Field2d {
+            lat: vec![0.0, 1.0],
+            lon: vec![0.0, 1.0],
+            data: vec![5.0; 4],
+        };
+        let art = ascii_map(&f, 2);
+        let first = art.chars().next().unwrap();
+        assert!(art.chars().filter(|&c| c != '\n').all(|c| c == first));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = ppm(&field());
+        assert!(img.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(img.len(), 11 + 2 * 2 * 3);
+    }
+
+    #[test]
+    fn ppm_extremes_are_blue_and_red() {
+        let img = ppm(&field());
+        let pixels = &img[11..];
+        // North-up: first pixel = (j=1,i=0) value 2.0 (warm-ish), last = (j=0,i=1) value 1.0.
+        // Strongest value 3.0 is (j=1,i=1) → second pixel: pure red region.
+        let p_max = &pixels[3..6];
+        assert_eq!(p_max, &[255, 0, 0]);
+        // Coldest value 0.0 is (j=0,i=0) → third pixel: pure blue.
+        let p_min = &pixels[6..9];
+        assert_eq!(p_min, &[0, 0, 255]);
+    }
+
+    #[test]
+    fn empty_field_is_empty_art() {
+        let f = Field2d {
+            lat: vec![],
+            lon: vec![],
+            data: vec![],
+        };
+        assert!(ascii_map(&f, 10).is_empty());
+    }
+}

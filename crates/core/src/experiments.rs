@@ -1,0 +1,1330 @@
+//! Experiment runners: one function per table/figure/ablation.
+//!
+//! Each runner builds its testbed, drives the workload on the virtual
+//! clock, and returns the measured statistics. The bench crate's report
+//! binaries print them next to the paper's numbers; integration tests
+//! assert the *shapes* (who wins, where crossovers fall).
+
+use crate::scenario::{fig8_testbed, sc2000_scinet, Sc2000Config};
+use crate::world::{EsgSim, EsgWorld};
+use esg_gridftp::simxfer::{
+    cancel_transfer, start_transfer, transfer_bytes, transfer_stalled, TransferHandle,
+    TransferSpec,
+};
+use esg_netlogger::{to_gbps, to_mbps};
+use esg_simnet::{LinkId, Node, NodeId, Sim, SimDuration, SimTime, Topology};
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Table 1 — the SC'00 striped transfer experiment
+// ---------------------------------------------------------------------------
+
+/// Configuration for the Table 1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Config {
+    pub net: Sc2000Config,
+    /// The file being served: "a 2-gigabyte file partitioned across the
+    /// eight workstations".
+    pub file_bytes: u64,
+    /// TCP buffer: "We chose 1 MB as a reasonable buffer size".
+    pub window: f64,
+    /// "up to four simultaneous TCP streams ... from each server".
+    pub max_concurrent_per_server: usize,
+    /// "a new transfer ... initiated after 25% of the previous transfer
+    /// was complete".
+    pub start_next_frac: f64,
+    /// Measurement length (paper: one hour).
+    pub duration: SimDuration,
+    /// Meter sampling interval (must be ≤ 0.1 s for the 0.1 s peak).
+    pub sample: SimDuration,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            net: Sc2000Config::default(),
+            file_bytes: 2_000_000_000,
+            window: (1u64 << 20) as f64,
+            max_concurrent_per_server: 4,
+            start_next_frac: 0.25,
+            duration: SimDuration::from_hours(1),
+            sample: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// The Table 1 row set.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Results {
+    pub striped_servers_source: usize,
+    pub striped_servers_destination: usize,
+    pub max_streams_per_server: usize,
+    pub max_streams_total: usize,
+    pub peak_0_1s_gbps: f64,
+    pub peak_5s_gbps: f64,
+    pub sustained_mbps: f64,
+    pub total_gbytes: f64,
+    pub transfers_completed: u64,
+}
+
+struct Table1State {
+    completed_bytes: f64,
+    active: HashMap<u64, TransferHandle>,
+    next_key: u64,
+    live_per_server: Vec<usize>,
+    end: SimTime,
+}
+
+/// Run the Table 1 experiment.
+pub fn run_table1(cfg: Table1Config) -> Table1Results {
+    let tb = sc2000_scinet(cfg.net);
+    let mut sim = tb.sim;
+    let servers = tb.servers.clone();
+    let receivers = tb.receivers.clone();
+    let n = servers.len();
+    let partition = cfg.file_bytes / n as u64;
+
+    let state = Rc::new(RefCell::new(Table1State {
+        completed_bytes: 0.0,
+        active: HashMap::new(),
+        next_key: 0,
+        live_per_server: vec![0; n],
+        end: SimTime::ZERO + cfg.duration,
+    }));
+
+    // Exhibition-floor congestion pattern: the shared SC'00 show floor was
+    // bursty. Mostly `base_loss`; every 240 s an 8 s lighter window; every
+    // 600 s a 2 s near-quiet window. Calibrated so SciNet-style peak/
+    // sustained statistics land in the paper's regime (see EXPERIMENTS.md).
+    let wan = tb.wan;
+    let horizon = cfg.duration.as_nanos() / 1_000_000_000;
+    let mut t = 60u64;
+    while t + 8 < horizon {
+        schedule_loss_window(
+            &mut sim,
+            wan,
+            SimTime::from_secs(t),
+            SimDuration::from_secs(8),
+            0.0009,
+            cfg.net.base_loss,
+        );
+        t += 240;
+    }
+    let mut t = 300u64;
+    while t + 2 < horizon {
+        schedule_loss_window(
+            &mut sim,
+            wan,
+            SimTime::from_secs(t),
+            SimDuration::from_secs(2),
+            0.0001,
+            cfg.net.base_loss,
+        );
+        t += 600;
+    }
+
+    // Kick off one transfer per server; each spawns its successor at 25%.
+    for i in 0..n {
+        spawn_table1_transfer(
+            &mut sim,
+            state.clone(),
+            i,
+            servers.clone(),
+            receivers.clone(),
+            partition,
+            cfg,
+        );
+    }
+
+    // Meter sampler.
+    schedule_sampler(&mut sim, state.clone(), cfg.sample, cfg.duration);
+
+    sim.run_until(SimTime::ZERO + cfg.duration);
+
+    let meter = &sim.world.meter;
+    let end = SimTime::ZERO + cfg.duration;
+    Table1Results {
+        striped_servers_source: n,
+        striped_servers_destination: receivers.len(),
+        max_streams_per_server: cfg.max_concurrent_per_server,
+        max_streams_total: cfg.max_concurrent_per_server * n,
+        peak_0_1s_gbps: to_gbps(meter.peak_rate(SimDuration::from_millis(100))),
+        peak_5s_gbps: to_gbps(meter.peak_rate(SimDuration::from_secs(5))),
+        sustained_mbps: to_mbps(meter.mean_rate(SimTime::ZERO, end)),
+        total_gbytes: meter.bytes_between(SimTime::ZERO, end) / 1e9,
+        transfers_completed: sim.world.gridftp.transfers_completed,
+    }
+}
+
+fn schedule_loss_window(
+    sim: &mut EsgSim,
+    wan: LinkId,
+    at: SimTime,
+    dur: SimDuration,
+    quiet_loss: f64,
+    base_loss: f64,
+) {
+    sim.schedule_at(at, move |s| {
+        s.net.set_link_loss(wan, quiet_loss);
+        s.schedule(dur, move |s2| {
+            s2.net.set_link_loss(wan, base_loss);
+        });
+    });
+}
+
+fn spawn_table1_transfer(
+    sim: &mut EsgSim,
+    state: Rc<RefCell<Table1State>>,
+    server: usize,
+    servers: Vec<NodeId>,
+    receivers: Vec<NodeId>,
+    partition: u64,
+    cfg: Table1Config,
+) {
+    {
+        let mut st = state.borrow_mut();
+        if sim.now() >= st.end || st.live_per_server[server] >= cfg.max_concurrent_per_server
+        {
+            return;
+        }
+        st.live_per_server[server] += 1;
+    }
+    // "Each workstation actually had four copies of its file partition" —
+    // each transfer is one TCP stream moving one copy of the partition.
+    let spec = TransferSpec::new(servers[server], receivers[server], partition)
+        .window(cfg.window)
+        .streams(1);
+    let st2 = state.clone();
+    let servers2 = servers.clone();
+    let receivers2 = receivers.clone();
+    let result = start_transfer(sim, spec, move |s, result| {
+        {
+            let mut st = st2.borrow_mut();
+            st.live_per_server[server] = st.live_per_server[server].saturating_sub(1);
+            if let Ok(r) = &result {
+                st.completed_bytes += r.bytes as f64;
+            }
+        }
+        // Keep the pipeline full if the chain died (e.g. very short files).
+        if st2.borrow().live_per_server[server] == 0 {
+            spawn_table1_transfer(s, st2.clone(), server, servers2, receivers2, partition, cfg);
+        }
+    });
+    if let Ok(handle) = result {
+        let key = {
+            let mut st = state.borrow_mut();
+            let key = st.next_key;
+            st.next_key += 1;
+            st.active.insert(key, handle);
+            key
+        };
+        // Watch for the 25% point to start the next copy, then for
+        // completion to retire the handle from the active set.
+        watch_table1_transfer(
+            sim, state, server, servers, receivers, partition, cfg, handle, key, false,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn watch_table1_transfer(
+    sim: &mut EsgSim,
+    state: Rc<RefCell<Table1State>>,
+    server: usize,
+    servers: Vec<NodeId>,
+    receivers: Vec<NodeId>,
+    partition: u64,
+    cfg: Table1Config,
+    handle: TransferHandle,
+    key: u64,
+    spawned_next: bool,
+) {
+    sim.schedule(SimDuration::from_millis(500), move |s| {
+        let bytes = transfer_bytes(s, handle);
+        if bytes >= partition {
+            state.borrow_mut().active.remove(&key);
+            return;
+        }
+        let mut spawned = spawned_next;
+        if !spawned && bytes as f64 >= cfg.start_next_frac * partition as f64 {
+            spawned = true;
+            spawn_table1_transfer(
+                s,
+                state.clone(),
+                server,
+                servers.clone(),
+                receivers.clone(),
+                partition,
+                cfg,
+            );
+        }
+        watch_table1_transfer(
+            s, state, server, servers, receivers, partition, cfg, handle, key, spawned,
+        );
+    });
+}
+
+fn schedule_sampler(
+    sim: &mut EsgSim,
+    state: Rc<RefCell<Table1State>>,
+    sample: SimDuration,
+    duration: SimDuration,
+) {
+    sim.schedule(sample, move |s| {
+        let now = s.now();
+        if now > SimTime::ZERO + duration {
+            return;
+        }
+        let total = {
+            let st = state.borrow();
+            let mut total = st.completed_bytes;
+            let handles: Vec<TransferHandle> = st.active.values().copied().collect();
+            drop(st);
+            for h in handles {
+                total += transfer_bytes(s, h) as f64;
+            }
+            total
+        };
+        s.world.meter.record(now, total);
+        schedule_sampler(s, state, sample, duration);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — the 14-hour reliability run
+// ---------------------------------------------------------------------------
+
+/// A fault event in the Figure 8 schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig8Fault {
+    /// SCinet power failure: the floor link goes down.
+    PowerFailure,
+    /// DNS problems: no new connections.
+    DnsOutage,
+    /// Backbone problems: WAN capacity degraded to 25%.
+    Backbone,
+}
+
+/// Configuration for the Figure 8 run.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Repeatedly transferred file (paper: 2 GB).
+    pub file_bytes: u64,
+    /// Run length (paper: ~14 hours).
+    pub duration: SimDuration,
+    /// Base parallelism, and the raised level used "toward the right side
+    /// of the graph".
+    pub base_streams: u32,
+    pub late_streams: u32,
+    /// When the parallelism increase happens, as a fraction of duration.
+    pub late_frac: f64,
+    /// Use post-SC'00 data-channel caching (the A4 ablation flips this).
+    pub channel_cache: bool,
+    /// Fault schedule: (start fraction of duration, length, kind).
+    pub faults: Vec<(f64, SimDuration, Fig8Fault)>,
+    /// Series bin width for the output.
+    pub bin: SimDuration,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            file_bytes: 2_000_000_000,
+            duration: SimDuration::from_hours(14),
+            base_streams: 4,
+            late_streams: 8,
+            late_frac: 0.80,
+            channel_cache: false,
+            faults: vec![
+                (0.22, SimDuration::from_mins(25), Fig8Fault::PowerFailure),
+                (0.45, SimDuration::from_mins(15), Fig8Fault::DnsOutage),
+                (0.62, SimDuration::from_mins(40), Fig8Fault::Backbone),
+            ],
+            bin: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Results of the Figure 8 run.
+#[derive(Debug, Clone)]
+pub struct Fig8Results {
+    /// (bin start seconds, Mb/s) series — the figure itself.
+    pub series: Vec<(f64, f64)>,
+    pub mean_mbps: f64,
+    pub plateau_mbps: f64,
+    pub total_gbytes: f64,
+    pub transfers_completed: u64,
+    pub restarts: u64,
+    /// Bins during fault windows with ~zero throughput.
+    pub dead_bins: usize,
+}
+
+struct Fig8State {
+    completed_bytes: f64,
+    current: Option<TransferHandle>,
+    /// Bytes of the current file already banked across restarts.
+    file_done: u64,
+    restarts: u64,
+    streams: u32,
+    end: SimTime,
+    channel_cache: bool,
+    file_bytes: u64,
+    stall_since: Option<SimTime>,
+}
+
+/// Run the Figure 8 experiment.
+pub fn run_fig8(cfg: Fig8Config) -> Fig8Results {
+    let tb = fig8_testbed();
+    let mut sim = tb.sim;
+    let (src, dst) = (tb.src, tb.dst);
+
+    // Fault schedule.
+    for &(frac, len, kind) in &cfg.faults {
+        let at = SimTime::from_secs_f64(cfg.duration.as_secs_f64() * frac);
+        let floor = tb.floor;
+        let wan = tb.wan;
+        match kind {
+            Fig8Fault::PowerFailure => esg_simnet::failure::inject(
+                &mut sim,
+                esg_simnet::failure::Fault::new(
+                    at,
+                    len,
+                    esg_simnet::failure::FaultKind::LinkDown(floor),
+                ),
+            ),
+            Fig8Fault::DnsOutage => esg_simnet::failure::inject(
+                &mut sim,
+                esg_simnet::failure::Fault::new(
+                    at,
+                    len,
+                    esg_simnet::failure::FaultKind::NameServiceDown,
+                ),
+            ),
+            Fig8Fault::Backbone => esg_simnet::failure::inject(
+                &mut sim,
+                esg_simnet::failure::Fault::new(
+                    at,
+                    len,
+                    esg_simnet::failure::FaultKind::LinkDegrade(wan, 0.25),
+                ),
+            ),
+        }
+    }
+
+    let state = Rc::new(RefCell::new(Fig8State {
+        completed_bytes: 0.0,
+        current: None,
+        file_done: 0,
+        restarts: 0,
+        streams: cfg.base_streams,
+        end: SimTime::ZERO + cfg.duration,
+        channel_cache: cfg.channel_cache,
+        file_bytes: cfg.file_bytes,
+        stall_since: None,
+    }));
+
+    // Parallelism bump late in the run.
+    {
+        let state = state.clone();
+        let late_streams = cfg.late_streams;
+        sim.schedule_at(
+            SimTime::from_secs_f64(cfg.duration.as_secs_f64() * cfg.late_frac),
+            move |_s| {
+                state.borrow_mut().streams = late_streams;
+            },
+        );
+    }
+
+    fig8_start_next(&mut sim, state.clone(), src, dst);
+    fig8_monitor(&mut sim, state.clone(), src, dst);
+    fig8_sampler(&mut sim, state.clone(), cfg.duration);
+
+    sim.run_until(SimTime::ZERO + cfg.duration);
+
+    let meter = &sim.world.meter;
+    let series: Vec<(f64, f64)> = meter
+        .series(cfg.bin)
+        .into_iter()
+        .map(|(t, rate)| (t.as_secs_f64(), to_mbps(rate)))
+        .collect();
+    let mut rates: Vec<f64> = series.iter().map(|&(_, r)| r).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let plateau = if rates.is_empty() {
+        0.0
+    } else {
+        rates[rates.len() * 9 / 10] // 90th percentile ≈ healthy plateau
+    };
+    let dead_bins = series.iter().filter(|&&(_, r)| r < 1.0).count();
+    let end = SimTime::ZERO + cfg.duration;
+    let restarts = state.borrow().restarts;
+    Fig8Results {
+        mean_mbps: to_mbps(meter.mean_rate(SimTime::ZERO, end)),
+        plateau_mbps: plateau,
+        total_gbytes: meter.bytes_between(SimTime::ZERO, end) / 1e9,
+        transfers_completed: sim.world.gridftp.transfers_completed,
+        restarts,
+        dead_bins,
+        series,
+    }
+}
+
+fn fig8_start_next(sim: &mut EsgSim, state: Rc<RefCell<Fig8State>>, src: NodeId, dst: NodeId) {
+    let (remaining, streams, cached, end) = {
+        let st = state.borrow();
+        (
+            st.file_bytes - st.file_done,
+            st.streams,
+            st.channel_cache,
+            st.end,
+        )
+    };
+    if sim.now() >= end {
+        return;
+    }
+    let mut spec = TransferSpec::new(src, dst, remaining).streams(streams);
+    if cached {
+        spec = spec.cached();
+    }
+    let st2 = state.clone();
+    let result = start_transfer(sim, spec, move |s, result| {
+        match result {
+            Ok(r) => {
+                let mut st = st2.borrow_mut();
+                st.completed_bytes += r.bytes as f64;
+                st.file_done = 0;
+                st.current = None;
+                st.stall_since = None;
+                drop(st);
+                // "transferring a 2 GB file repeatedly": straight to the
+                // next file.
+                fig8_start_next(s, st2, src, dst);
+            }
+            Err(_) => {
+                st2.borrow_mut().current = None;
+                let st3 = st2.clone();
+                s.schedule(SimDuration::from_secs(15), move |s2| {
+                    fig8_start_next(s2, st3, src, dst);
+                });
+            }
+        }
+    });
+    match result {
+        Ok(handle) => {
+            state.borrow_mut().current = Some(handle);
+        }
+        Err(_) => {
+            // DNS outage / network down: retry until it heals ("the
+            // interrupted transfers continued as soon as the network was
+            // restored").
+            let st2 = state.clone();
+            sim.schedule(SimDuration::from_secs(15), move |s| {
+                fig8_start_next(s, st2, src, dst);
+            });
+        }
+    }
+}
+
+/// Stall watchdog: on a long stall, cancel and restart from the marker.
+fn fig8_monitor(sim: &mut EsgSim, state: Rc<RefCell<Fig8State>>, src: NodeId, dst: NodeId) {
+    sim.schedule(SimDuration::from_secs(5), move |s| {
+        if s.now() >= state.borrow().end {
+            return;
+        }
+        let handle = state.borrow().current;
+        if let Some(h) = handle {
+            if transfer_stalled(s, h) {
+                let now = s.now();
+                let since = state.borrow().stall_since;
+                match since {
+                    None => state.borrow_mut().stall_since = Some(now),
+                    Some(t0) if now.since(t0) > SimDuration::from_secs(20) => {
+                        // Restart from the marker.
+                        let banked = cancel_transfer(s, h);
+                        {
+                            let mut st = state.borrow_mut();
+                            st.file_done = (st.file_done + banked).min(st.file_bytes);
+                            st.completed_bytes += banked as f64;
+                            st.current = None;
+                            st.restarts += 1;
+                            st.stall_since = None;
+                        }
+                        fig8_start_next(s, state.clone(), src, dst);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                state.borrow_mut().stall_since = None;
+            }
+        }
+        fig8_monitor(s, state, src, dst);
+    });
+}
+
+fn fig8_sampler(sim: &mut EsgSim, state: Rc<RefCell<Fig8State>>, duration: SimDuration) {
+    sim.schedule(SimDuration::from_secs(1), move |s| {
+        let now = s.now();
+        if now > SimTime::ZERO + duration {
+            return;
+        }
+        let total = {
+            let st = state.borrow();
+            let mut t = st.completed_bytes;
+            if let Some(h) = st.current {
+                drop(st);
+                t += transfer_bytes(s, h) as f64;
+            }
+            t
+        };
+        s.world.meter.record(now, total);
+        fig8_sampler(s, state, duration);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps and ablations
+// ---------------------------------------------------------------------------
+
+/// A single lossy wide-area pair for parameter sweeps: 622 Mb/s path,
+/// configurable RTT/loss, unconstrained endpoints.
+fn sweep_pair(rtt_one_way_ms: u64, loss: f64) -> (EsgSim, NodeId, NodeId) {
+    let mut topo = Topology::new();
+    let a = topo.add_node(Node::host("src"));
+    let b = topo.add_node(Node::host("dst"));
+    let l = topo.add_link(a, b, 622e6 / 8.0, SimDuration::from_millis(rtt_one_way_ms));
+    topo.set_link_loss(l, loss);
+    (Sim::new(topo, EsgWorld::default()), a, b)
+}
+
+/// Measure the mean end-to-end rate of one transfer.
+fn measure_transfer(sim: &mut EsgSim, spec: TransferSpec) -> f64 {
+    let done = Rc::new(RefCell::new(None));
+    let d2 = done.clone();
+    start_transfer(sim, spec, move |_s, r| {
+        *d2.borrow_mut() = Some(r.expect("sweep transfers succeed").mean_rate());
+    })
+    .expect("sweep transfers start");
+    sim.run();
+    let rate = done.borrow().expect("transfer completed");
+    rate
+}
+
+/// A1: aggregate bandwidth vs number of parallel streams (Mb/s).
+pub fn sweep_parallel_streams(streams: &[u32]) -> Vec<(u32, f64)> {
+    streams
+        .iter()
+        .map(|&n| {
+            let (mut sim, a, b) = sweep_pair(12, 0.001);
+            let rate = measure_transfer(
+                &mut sim,
+                TransferSpec::new(a, b, 512_000_000)
+                    .streams(n)
+                    .memory_to_memory(),
+            );
+            (n, to_mbps(rate))
+        })
+        .collect()
+}
+
+/// A2: bandwidth vs TCP buffer size on a loss-free long-fat path (Mb/s).
+/// The crossover sits at the bandwidth-delay product (§7's formula).
+pub fn sweep_buffer_size(windows: &[u64]) -> Vec<(u64, f64)> {
+    windows
+        .iter()
+        .map(|&w| {
+            let (mut sim, a, b) = sweep_pair(15, 0.0);
+            let rate = measure_transfer(
+                &mut sim,
+                TransferSpec::new(a, b, 512_000_000)
+                    .window(w as f64)
+                    .memory_to_memory(),
+            );
+            (w, to_mbps(rate))
+        })
+        .collect()
+}
+
+/// A3: aggregate bandwidth vs stripe width on the SC'00 testbed (Mb/s).
+/// Each added server contributes its own NIC/CPU and streams.
+pub fn sweep_stripes(stripe_counts: &[usize]) -> Vec<(usize, f64)> {
+    stripe_counts
+        .iter()
+        .map(|&k| {
+            let tb = sc2000_scinet(Sc2000Config::default());
+            let mut sim = tb.sim;
+            let sources: Vec<NodeId> = tb.servers.iter().copied().take(k).collect();
+            let rate = measure_transfer(
+                &mut sim,
+                TransferSpec::striped(sources, tb.receivers[0], 2_000_000_000)
+                    .streams(4)
+                    .memory_to_memory(),
+            );
+            (k, to_mbps(rate))
+        })
+        .collect()
+}
+
+/// A4: channel caching ablation — transfer `files` consecutive files and
+/// report (mean seconds/file without caching, with caching).
+pub fn ablation_channel_caching(files: u32, file_bytes: u64) -> (f64, f64) {
+    let run = |cached: bool| -> f64 {
+        let (mut sim, a, b) = sweep_pair(25, 0.0005);
+        let state = Rc::new(RefCell::new((0u32, SimTime::ZERO)));
+        fn next(
+            sim: &mut EsgSim,
+            state: Rc<RefCell<(u32, SimTime)>>,
+            a: NodeId,
+            b: NodeId,
+            files: u32,
+            bytes: u64,
+            cached: bool,
+        ) {
+            if state.borrow().0 >= files {
+                let now = sim.now();
+                state.borrow_mut().1 = now;
+                return;
+            }
+            let mut spec = TransferSpec::new(a, b, bytes).streams(4).memory_to_memory();
+            if cached {
+                spec = spec.cached();
+            }
+            let st = state.clone();
+            start_transfer(sim, spec, move |s, r| {
+                r.expect("ablation transfers succeed");
+                st.borrow_mut().0 += 1;
+                next(s, st, a, b, files, bytes, cached);
+            })
+            .expect("ablation transfers start");
+        }
+        next(&mut sim, state.clone(), a, b, files, file_bytes, cached);
+        sim.run();
+        let end = state.borrow().1;
+        end.as_secs_f64() / files as f64
+    };
+    (run(false), run(true))
+}
+
+/// A5: host CPU model ablation — achievable rate (Mb/s) with interrupt
+/// coalescing off/on and jumbo frames, on an unconstrained 1 Gb/s path.
+pub fn ablation_cpu_model() -> Vec<(&'static str, f64)> {
+    let run = |coalescing: f64, jumbo: bool| -> f64 {
+        let mut topo = Topology::new();
+        // Deliberately interrupt-heavy stack (12 cycles/byte) so the CPU,
+        // not the NIC, is the binding constraint the mitigations relieve.
+        let cpu = esg_simnet::CpuModel {
+            cycles_per_sec: 800e6,
+            cycles_per_byte: 12.0,
+            coalescing_factor: coalescing,
+            jumbo_frames: jumbo,
+        };
+        let a = topo.add_node(Node::host("src").with_nic(1e9 / 8.0).with_cpu(cpu));
+        let b = topo.add_node(Node::host("dst").with_nic(1e9 / 8.0).with_cpu(cpu));
+        topo.add_link(a, b, 1e9 / 8.0, SimDuration::from_millis(5));
+        let mut sim: EsgSim = Sim::new(topo, EsgWorld::default());
+        let mss = if jumbo {
+            esg_simnet::tcp::MSS_JUMBO
+        } else {
+            esg_simnet::tcp::MSS
+        };
+        let rate = measure_transfer(
+            &mut sim,
+            TransferSpec::new(a, b, 1_000_000_000)
+                .streams(4)
+                .window(4e6)
+                .mss(mss)
+                .memory_to_memory(),
+        );
+        to_mbps(rate)
+    };
+    vec![
+        ("no coalescing", run(1.0, false)),
+        ("interrupt coalescing", run(0.8, false)),
+        ("coalescing + jumbo frames", run(0.8, true)),
+    ]
+}
+
+/// B1: related-work baselines on a lossy WAN with a mid-transfer outage.
+/// Returns (system name, completion seconds) for a 2 GB file.
+///
+/// * `ftp-2001`: single stream, 64 KB OS-default buffer, RFC 959 `REST`
+///   resume after a failure — but no parallelism and no buffer tuning.
+/// * `dods-http`: single stream, 64 KB buffer, whole-file refetch on
+///   failure (DODS "relies solely upon HTTP", which had no range-resume in
+///   the deployed servers, "and is not well-suited to ... very large data
+///   movement over high-bandwidth wide-area networks").
+/// * `gridftp`: 4 parallel streams, 1 MB buffers, restart-marker resume.
+pub fn baseline_comparison() -> Vec<(&'static str, f64)> {
+    let file: u64 = 2_000_000_000;
+    // Outage 120 s long, starting 200 s in.
+    let run = |streams: u32, window: f64, resume: bool| -> f64 {
+        let (mut sim, a, b) = sweep_pair(20, 0.0005);
+        esg_simnet::failure::inject(
+            &mut sim,
+            esg_simnet::failure::Fault::new(
+                SimTime::from_secs(200),
+                SimDuration::from_secs(120),
+                esg_simnet::failure::FaultKind::LinkDown(LinkId(0)),
+            ),
+        );
+        let state: Rc<RefCell<(u64, Option<SimTime>)>> = Rc::new(RefCell::new((0, None)));
+        #[allow(clippy::too_many_arguments)]
+        fn attempt(
+            sim: &mut EsgSim,
+            state: Rc<RefCell<(u64, Option<SimTime>)>>,
+            a: NodeId,
+            b: NodeId,
+            file: u64,
+            streams: u32,
+            window: f64,
+            resume: bool,
+        ) {
+            let done = state.borrow().0;
+            let remaining = file - if resume { done } else { 0 };
+            let spec = TransferSpec::new(a, b, remaining)
+                .streams(streams)
+                .window(window)
+                .memory_to_memory();
+            let st = state.clone();
+            let started = start_transfer(sim, spec, move |s, r| match r {
+                Ok(_) => {
+                    let now = s.now();
+                    st.borrow_mut().1 = Some(now);
+                }
+                Err(_) => {
+                    let st2 = st.clone();
+                    s.schedule(SimDuration::from_secs(5), move |s2| {
+                        attempt(s2, st2, a, b, file, streams, window, resume);
+                    });
+                }
+            });
+            match started {
+                Ok(handle) => watchdog(sim, state, a, b, file, streams, window, resume, handle),
+                Err(_) => {
+                    let st2 = state.clone();
+                    sim.schedule(SimDuration::from_secs(5), move |s| {
+                        attempt(s, st2, a, b, file, streams, window, resume);
+                    });
+                }
+            }
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn watchdog(
+            sim: &mut EsgSim,
+            state: Rc<RefCell<(u64, Option<SimTime>)>>,
+            a: NodeId,
+            b: NodeId,
+            file: u64,
+            streams: u32,
+            window: f64,
+            resume: bool,
+            handle: TransferHandle,
+        ) {
+            sim.schedule(SimDuration::from_secs(10), move |s| {
+                if state.borrow().1.is_some() {
+                    return;
+                }
+                if transfer_stalled(s, handle) {
+                    let banked = cancel_transfer(s, handle);
+                    if resume {
+                        let mut st = state.borrow_mut();
+                        st.0 = (st.0 + banked).min(file);
+                    }
+                    attempt(s, state, a, b, file, streams, window, resume);
+                } else {
+                    watchdog(s, state, a, b, file, streams, window, resume, handle);
+                }
+            });
+        }
+        attempt(&mut sim, state.clone(), a, b, file, streams, window, resume);
+        sim.run_until(SimTime::ZERO + SimDuration::from_hours(12));
+        let finished = state.borrow().1.expect("baseline transfer finished");
+        finished.as_secs_f64()
+    };
+    vec![
+        ("ftp-2001 (1 stream, 64KB, REST resume)", run(1, 65_536.0, true)),
+        ("dods-http (1 stream, 64KB, refetch)", run(1, 65_536.0, false)),
+        ("gridftp (4 streams, 1MB, restart)", run(4, (1u64 << 20) as f64, true)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// A6: replica selection policies / A7: HRM staging
+// ---------------------------------------------------------------------------
+
+/// A6: mean request completion time (seconds) per selection policy, over
+/// `requests` sequential single-file requests on the multi-site testbed.
+pub fn replica_policy_comparison(requests: u32) -> Vec<(&'static str, f64)> {
+    use crate::scenario::esg_testbed;
+    use esg_replica::{Policy, ReplicaSelector};
+    use esg_reqman::submit_request;
+
+    let policies: [(&'static str, Policy); 3] = [
+        ("nws-best-bandwidth", Policy::BestBandwidth),
+        ("round-robin", Policy::RoundRobin),
+        ("random", Policy::Random),
+    ];
+    policies
+        .iter()
+        .map(|&(name, policy)| {
+            let mut tb = esg_testbed(17);
+            // Replicas at LLNL (622 Mb/s, close), ISI (155 Mb/s) and
+            // NCAR (155 Mb/s, farther): selection matters.
+            tb.publish_dataset("policy_ds", 8, 8, 12_500_000, &[1, 2, 4]);
+            tb.sim.world.rm.selector = ReplicaSelector::new(policy, 23);
+            tb.start_nws(SimDuration::from_secs(20));
+            tb.sim.run_until(SimTime::from_secs(100));
+            let collection = tb.sim.world.metadata.collection_of("policy_ds").unwrap();
+            let file = tb.sim.world.metadata.all_files("policy_ds").unwrap()[0]
+                .name
+                .clone();
+            let client = tb.client;
+            let mut total = 0.0;
+            for _ in 0..requests {
+                let before = tb.sim.world.outcomes.len();
+                submit_request(
+                    &mut tb.sim,
+                    client,
+                    vec![(collection.clone(), file.clone())],
+                    |s, o| s.world.outcomes.push(o),
+                );
+                // Run until this request lands.
+                let horizon = tb.sim.now() + SimDuration::from_secs(3_600);
+                while tb.sim.world.outcomes.len() == before && tb.sim.now() < horizon {
+                    let next = tb.sim.now() + SimDuration::from_secs(5);
+                    tb.sim.run_until(next);
+                }
+                let o = tb.sim.world.outcomes.last().expect("request completed");
+                total += o.finished.since(o.started).as_secs_f64();
+            }
+            (name, total / requests as f64)
+        })
+        .collect()
+}
+
+/// A7: HRM staging impact — request latency (seconds) for disk-resident
+/// data, a cold tape read, a warm (cached) tape re-read, and a prestaged
+/// read.
+pub fn hrm_staging_comparison() -> Vec<(&'static str, f64)> {
+    use crate::scenario::esg_testbed;
+    use esg_reqman::submit_request;
+
+    let run_request = |tb: &mut crate::scenario::EsgTestbed,
+                       collection: String,
+                       file: String|
+     -> f64 {
+        let client = tb.client;
+        let before = tb.sim.world.outcomes.len();
+        submit_request(&mut tb.sim, client, vec![(collection, file)], |s, o| {
+            s.world.outcomes.push(o)
+        });
+        let horizon = tb.sim.now() + SimDuration::from_secs(7_200);
+        while tb.sim.world.outcomes.len() == before && tb.sim.now() < horizon {
+            let next = tb.sim.now() + SimDuration::from_secs(5);
+            tb.sim.run_until(next);
+        }
+        let o = tb.sim.world.outcomes.last().expect("request completed");
+        o.finished.since(o.started).as_secs_f64()
+    };
+
+    let mut out = Vec::new();
+
+    // Disk-resident at LLNL.
+    {
+        let mut tb = esg_testbed(31);
+        tb.publish_dataset("on_disk", 8, 8, 12_500_000, &[1]);
+        tb.start_nws(SimDuration::from_secs(20));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let c = tb.sim.world.metadata.collection_of("on_disk").unwrap();
+        let f = tb.sim.world.metadata.all_files("on_disk").unwrap()[0]
+            .name
+            .clone();
+        out.push(("disk-resident (LLNL)", run_request(&mut tb, c, f)));
+    }
+
+    // Tape-resident at LBNL HPSS: cold, then warm, then prestaged.
+    {
+        let mut tb = esg_testbed(32);
+        tb.publish_dataset("on_tape", 8, 8, 12_500_000, &[0]);
+        tb.start_nws(SimDuration::from_secs(20));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let c = tb.sim.world.metadata.collection_of("on_tape").unwrap();
+        let f = tb.sim.world.metadata.all_files("on_tape").unwrap()[0]
+            .name
+            .clone();
+        out.push((
+            "tape cold (HRM stage)",
+            run_request(&mut tb, c.clone(), f.clone()),
+        ));
+        out.push(("tape warm (HRM cache hit)", run_request(&mut tb, c, f)));
+    }
+    {
+        let mut tb = esg_testbed(33);
+        tb.publish_dataset("prestaged", 8, 8, 12_500_000, &[0]);
+        tb.start_nws(SimDuration::from_secs(20));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let c = tb.sim.world.metadata.collection_of("prestaged").unwrap();
+        let f = tb.sim.world.metadata.all_files("prestaged").unwrap()[0]
+            .name
+            .clone();
+        // Prestage ahead of the request (the "replicate popular
+        // collections" pattern), then wait out the staging time.
+        let now = tb.sim.now();
+        let size = tb.sim.world.rm.catalog.file_size(&c, &f).unwrap();
+        {
+            let hrm = tb.sim.world.rm.hrms.get_mut("hpss.lbl.gov").unwrap();
+            hrm.catalog.register(&f, size);
+            hrm.prestage(&[&f], now).unwrap();
+        }
+        tb.sim.run_until(SimTime::from_secs(2_000));
+        out.push(("tape prestaged", run_request(&mut tb, c, f)));
+    }
+    out
+}
+
+/// A8 (extension of §4's planning note): total time for an 8-file request
+/// with replicas at three equal sites, with and without the spread
+/// planner. Returns (no-spread seconds, spread seconds).
+pub fn planner_spread_comparison() -> (f64, f64) {
+    use crate::scenario::esg_testbed;
+    use esg_reqman::submit_request;
+
+    let run = |spread: bool| -> f64 {
+        let mut tb = esg_testbed(41);
+        // Three equal-capacity sites: ISI, NCAR, SDSC (all 155 Mb/s).
+        tb.publish_dataset("spread_ds", 64, 8, 12_500_000, &[2, 4, 5]);
+        tb.sim.world.rm.spread_sites = spread;
+        tb.start_nws(SimDuration::from_secs(20));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let collection = tb.sim.world.metadata.collection_of("spread_ds").unwrap();
+        let files: Vec<(String, String)> = tb
+            .sim
+            .world
+            .metadata
+            .all_files("spread_ds")
+            .unwrap()
+            .iter()
+            .map(|f| (collection.clone(), f.name.clone()))
+            .collect();
+        let client = tb.client;
+        submit_request(&mut tb.sim, client, files, |s, o| s.world.outcomes.push(o));
+        tb.sim.run_until(SimTime::from_secs(7_200));
+        let o = tb.sim.world.outcomes.first().expect("request completed");
+        o.finished.since(o.started).as_secs_f64()
+    };
+    (run(false), run(true))
+}
+
+/// A9: NWS forecast quality under bursty cross-traffic. Returns, per
+/// forecasting approach, the mean absolute error (bytes/sec) of predicting
+/// each probe measurement from the previous ones, on a path shared with
+/// seeded on/off background bursts.
+pub fn nws_forecast_accuracy() -> Vec<(&'static str, f64)> {
+    use esg_nws::{
+        AdaptiveForecaster, ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMedian,
+    };
+    use esg_simnet::background::{start_background, BackgroundTraffic};
+    use esg_simnet::Node;
+
+    // A 100 Mb/s path with two competing on/off background sources.
+    let mut topo = Topology::new();
+    let a = topo.add_node(Node::host("probe-src"));
+    let b = topo.add_node(Node::host("probe-dst"));
+    topo.add_link(a, b, 100e6 / 8.0, SimDuration::from_millis(10));
+    let mut sim: EsgSim = Sim::new(topo, EsgWorld::default());
+    for seed in [11u64, 12] {
+        start_background(
+            &mut sim,
+            BackgroundTraffic {
+                src: a,
+                dst: b,
+                mean_on: SimDuration::from_secs(40),
+                mean_off: SimDuration::from_secs(60),
+                burst_rate: 8e6,
+                seed,
+                until: SimTime::from_secs(7000),
+            },
+        );
+    }
+    esg_nws::start_sensor(&mut sim, a, b, SimDuration::from_secs(30), 512.0 * 1024.0);
+    sim.run_until(SimTime::from_secs(7200));
+    let history: Vec<f64> = sim
+        .world
+        .nws
+        .history(a, b)
+        .iter()
+        .map(|&(_, r)| r)
+        .collect();
+    assert!(history.len() > 100, "need a long probe history");
+
+    // Replay the measurement stream through each forecaster and score
+    // one-step-ahead mean absolute error.
+    let mut contenders: Vec<(&'static str, Box<dyn Forecaster>)> = vec![
+        ("last-value", Box::new(LastValue::default())),
+        ("running-mean", Box::new(RunningMean::default())),
+        ("sliding-median-5", Box::new(SlidingMedian::new(5))),
+        ("exp-smoothing-0.50", Box::new(ExpSmoothing::new(0.5))),
+        ("nws-adaptive", Box::new(AdaptiveForecaster::standard())),
+    ];
+    contenders
+        .iter_mut()
+        .map(|(name, f)| {
+            let mut abs_err = 0.0;
+            let mut scored = 0u64;
+            for &x in &history {
+                if let Some(p) = f.predict() {
+                    abs_err += (p - x).abs();
+                    scored += 1;
+                }
+                f.observe(x);
+            }
+            (*name, abs_err / scored.max(1) as f64)
+        })
+        .collect()
+}
+
+/// A10: concurrent-user scaling (the abstract's motivation: datasets used
+/// "by potentially thousands of users"). `user_counts` concurrent clients
+/// each request one file; returns (users, mean request seconds, aggregate
+/// served Mb/s).
+pub fn user_scaling(user_counts: &[usize]) -> Vec<(usize, f64, f64)> {
+    use crate::scenario::esg_testbed;
+    use esg_reqman::submit_request;
+
+    user_counts
+        .iter()
+        .map(|&n| {
+            let mut tb = esg_testbed(61);
+            // Disk-resident replicas at three sites (no tape in this
+            // experiment; A7 covers staging).
+            tb.publish_dataset("popular", 8, 8, 12_500_000, &[1, 3, 4]);
+            tb.start_nws(SimDuration::from_secs(20));
+            tb.sim.run_until(SimTime::from_secs(100));
+            let collection = tb.sim.world.metadata.collection_of("popular").unwrap();
+            let file = tb.sim.world.metadata.all_files("popular").unwrap()[0]
+                .name
+                .clone();
+            let client = tb.client;
+            let started = tb.sim.now();
+            for _ in 0..n {
+                submit_request(
+                    &mut tb.sim,
+                    client,
+                    vec![(collection.clone(), file.clone())],
+                    |s, o| s.world.outcomes.push(o),
+                );
+            }
+            tb.sim.run_until(SimTime::from_secs(36_000));
+            assert_eq!(tb.sim.world.outcomes.len(), n, "all requests served");
+            let mean_secs: f64 = tb
+                .sim
+                .world
+                .outcomes
+                .iter()
+                .map(|o| o.finished.since(o.started).as_secs_f64())
+                .sum::<f64>()
+                / n as f64;
+            let last_done = tb
+                .sim
+                .world
+                .outcomes
+                .iter()
+                .map(|o| o.finished)
+                .max()
+                .unwrap();
+            let total_bytes: u64 =
+                tb.sim.world.outcomes.iter().map(|o| o.total_bytes).sum();
+            let wall = last_done.since(started).as_secs_f64();
+            (n, mean_secs, total_bytes as f64 * 8.0 / wall / 1e6)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_table1() -> Table1Config {
+        Table1Config {
+            duration: SimDuration::from_mins(10),
+            sample: SimDuration::from_millis(50),
+            ..Table1Config::default()
+        }
+    }
+
+    #[test]
+    fn table1_reproduces_paper_shape() {
+        let r = run_table1(short_table1());
+        assert_eq!(r.striped_servers_source, 8);
+        assert_eq!(r.max_streams_total, 32);
+        // Paper: 1.55 / 1.03 / 0.5129 Gb/s. Accept the band, and require
+        // the strict ordering peak0.1 ≥ peak5 ≥ sustained.
+        assert!(
+            r.peak_0_1s_gbps > 1.2 && r.peak_0_1s_gbps <= 1.6,
+            "peak 0.1s {}",
+            r.peak_0_1s_gbps
+        );
+        assert!(
+            r.peak_5s_gbps > 0.7 && r.peak_5s_gbps < 1.3,
+            "peak 5s {}",
+            r.peak_5s_gbps
+        );
+        assert!(
+            r.sustained_mbps > 350.0 && r.sustained_mbps < 750.0,
+            "sustained {}",
+            r.sustained_mbps
+        );
+        assert!(r.peak_0_1s_gbps >= r.peak_5s_gbps);
+        assert!(r.peak_5s_gbps * 1000.0 >= r.sustained_mbps);
+    }
+
+    #[test]
+    fn fig8_shape_faults_and_recovery() {
+        let cfg = Fig8Config {
+            duration: SimDuration::from_hours(2),
+            faults: vec![
+                (0.25, SimDuration::from_mins(10), Fig8Fault::PowerFailure),
+                (0.60, SimDuration::from_mins(8), Fig8Fault::DnsOutage),
+            ],
+            ..Fig8Config::default()
+        };
+        let r = run_fig8(cfg);
+        // Plateau ~80 Mb/s (disk limited).
+        assert!(
+            r.plateau_mbps > 60.0 && r.plateau_mbps < 95.0,
+            "plateau {}",
+            r.plateau_mbps
+        );
+        // The power failure must produce dead bins, and transfers must
+        // resume afterwards (multiple completions).
+        assert!(r.dead_bins >= 5, "dead bins {}", r.dead_bins);
+        assert!(r.restarts >= 1, "restarts {}", r.restarts);
+        assert!(r.transfers_completed >= 10, "completed {}", r.transfers_completed);
+        assert!(r.mean_mbps < r.plateau_mbps);
+    }
+
+    #[test]
+    fn parallel_sweep_monotone_until_cap() {
+        let sweep = sweep_parallel_streams(&[1, 2, 4, 8]);
+        assert!(sweep[1].1 > sweep[0].1 * 1.5, "{sweep:?}");
+        assert!(sweep[2].1 > sweep[1].1 * 1.4, "{sweep:?}");
+        // 8 streams approaches or hits a ceiling — still ≥ 4-stream rate.
+        assert!(sweep[3].1 >= sweep[2].1 * 0.95, "{sweep:?}");
+    }
+
+    #[test]
+    fn buffer_sweep_crosses_at_bdp() {
+        // Path: 622 Mb/s, RTT 30 ms → BDP ≈ 2.3 MB.
+        let sweep = sweep_buffer_size(&[64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20]);
+        // Below BDP rate ≈ window/RTT: 64 KB / 30 ms ≈ 17.5 Mb/s.
+        assert!(sweep[0].1 < 25.0, "{sweep:?}");
+        // Well above BDP the link saturates.
+        assert!(sweep[4].1 > 500.0, "{sweep:?}");
+        // Monotone non-decreasing.
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.99, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn stripes_scale_toward_wan_cap() {
+        let sweep = sweep_stripes(&[1, 2, 4, 8]);
+        assert!(sweep[1].1 > sweep[0].1 * 1.6, "{sweep:?}");
+        assert!(sweep[3].1 > sweep[2].1 * 1.2, "{sweep:?}");
+    }
+
+    #[test]
+    fn channel_caching_saves_per_file_overhead() {
+        // Small files: per-file setup overhead dominates, as with the
+        // consecutive-transfer valleys of Figure 8.
+        let (uncached, cached) = ablation_channel_caching(6, 5_000_000);
+        assert!(
+            cached < uncached * 0.75,
+            "caching should cut per-file time: {uncached:.2}s vs {cached:.2}s"
+        );
+    }
+
+    #[test]
+    fn cpu_ablation_ordering() {
+        let rows = ablation_cpu_model();
+        assert!(rows[1].1 > rows[0].1, "{rows:?}");
+        assert!(rows[2].1 > rows[1].1, "{rows:?}");
+    }
+
+    #[test]
+    fn user_scaling_degrades_gracefully() {
+        let rows = user_scaling(&[1, 8, 32]);
+        let (_, t1, _) = rows[0];
+        let (_, t8, agg8) = rows[1];
+        let (_, t32, agg32) = rows[2];
+        // Latency grows with contention but sub-linearly (replicas at
+        // three sites absorb load), and aggregate throughput grows.
+        assert!(t8 > t1, "contention must cost something: {t1} vs {t8}");
+        assert!(t32 < t1 * 32.0, "far better than serial: {t1} vs {t32}");
+        assert!(agg32 > agg8 * 0.8, "aggregate holds up: {agg8} vs {agg32}");
+    }
+
+    #[test]
+    fn adaptive_forecaster_competitive_under_bursts() {
+        let rows = nws_forecast_accuracy();
+        let adaptive = rows.iter().find(|(n, _)| *n == "nws-adaptive").unwrap().1;
+        let worst = rows.iter().map(|&(_, e)| e).fold(f64::MIN, f64::max);
+        // The meta-forecaster never loses to the worst single method and
+        // tracks within 25% of the best single method — the point of the
+        // mixture: robustness without knowing the regime in advance.
+        let best_single = rows
+            .iter()
+            .filter(|(n, _)| *n != "nws-adaptive")
+            .map(|&(_, e)| e)
+            .fold(f64::MAX, f64::min);
+        assert!(adaptive < worst, "adaptive {adaptive} worst {worst}");
+        assert!(
+            adaptive < best_single * 1.25,
+            "adaptive {adaptive} best single {best_single}"
+        );
+    }
+
+    #[test]
+    fn nws_policy_beats_baselines() {
+        let rows = replica_policy_comparison(3);
+        let nws = rows[0].1;
+        let rr = rows[1].1;
+        let rnd = rows[2].1;
+        assert!(nws < rr, "nws {nws} vs round-robin {rr}");
+        assert!(nws < rnd * 0.8, "nws {nws} vs random {rnd}");
+    }
+
+    #[test]
+    fn hrm_staging_tiers_ordered() {
+        let rows = hrm_staging_comparison();
+        let disk = rows[0].1;
+        let cold = rows[1].1;
+        let warm = rows[2].1;
+        let prestaged = rows[3].1;
+        assert!(cold > disk * 5.0, "cold tape {cold} vs disk {disk}");
+        assert!(warm < cold / 3.0, "warm {warm} vs cold {cold}");
+        assert!(prestaged < cold / 3.0, "prestaged {prestaged} vs cold {cold}");
+    }
+
+    #[test]
+    fn spread_planner_speeds_multi_file_requests() {
+        let (no_spread, spread) = planner_spread_comparison();
+        assert!(
+            spread < no_spread * 0.55,
+            "spreading 8 files over 3 sites should be much faster: \
+             {no_spread:.1}s vs {spread:.1}s"
+        );
+    }
+
+    #[test]
+    fn gridftp_beats_baselines_under_failure() {
+        let rows = baseline_comparison();
+        let ftp = rows[0].1;
+        let gridftp = rows[2].1;
+        assert!(
+            gridftp < ftp * 0.6,
+            "gridftp {gridftp}s should beat ftp {ftp}s comfortably"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Distinguished names.
+//!
+//! The paper's catalogs (the CDMS metadata catalog and the Globus replica
+//! catalog) are both LDAP directories; entries are addressed by
+//! distinguished names like
+//! `lc=CO2 measurements 1998, rc=ESG Replica Catalog, o=Grid`.
+//! A DN is an ordered list of relative DNs (attribute=value pairs), most
+//! specific first.
+
+use std::fmt;
+
+/// One relative distinguished name component: `attribute=value`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rdn {
+    pub attr: String,
+    pub value: String,
+}
+
+impl Rdn {
+    pub fn new(attr: impl Into<String>, value: impl Into<String>) -> Self {
+        Rdn {
+            attr: attr.into().to_ascii_lowercase(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// A distinguished name: RDN sequence, leaf first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dn {
+    pub rdns: Vec<Rdn>,
+}
+
+/// Error parsing a DN string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnParseError(pub String);
+
+impl fmt::Display for DnParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DN: {}", self.0)
+    }
+}
+
+impl std::error::Error for DnParseError {}
+
+impl Dn {
+    /// The empty DN (directory root).
+    pub fn root() -> Self {
+        Dn::default()
+    }
+
+    /// Parse `attr=value, attr=value, ...`. Whitespace around separators is
+    /// trimmed; attribute names are case-normalized; values keep their case.
+    pub fn parse(s: &str) -> Result<Self, DnParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Dn::root());
+        }
+        let mut rdns = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (attr, value) = part
+                .split_once('=')
+                .ok_or_else(|| DnParseError(format!("component `{part}` lacks `=`")))?;
+            let attr = attr.trim();
+            let value = value.trim();
+            if attr.is_empty() || value.is_empty() {
+                return Err(DnParseError(format!("empty attr or value in `{part}`")));
+            }
+            rdns.push(Rdn::new(attr, value));
+        }
+        Ok(Dn { rdns })
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// The leaf (most specific) RDN.
+    pub fn leaf(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// The parent DN (everything but the leaf).
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[1..].to_vec(),
+            })
+        }
+    }
+
+    /// A child of this DN with the given leaf RDN.
+    pub fn child(&self, attr: impl Into<String>, value: impl Into<String>) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(Rdn::new(attr, value));
+        rdns.extend(self.rdns.iter().cloned());
+        Dn { rdns }
+    }
+
+    /// Whether `self` is underneath (or equal to) `ancestor`.
+    pub fn is_under(&self, ancestor: &Dn) -> bool {
+        if ancestor.rdns.len() > self.rdns.len() {
+            return false;
+        }
+        let offset = self.rdns.len() - ancestor.rdns.len();
+        self.rdns[offset..] == ancestor.rdns[..]
+    }
+
+    /// Whether `self` is a *direct* child of `parent`.
+    pub fn is_child_of(&self, parent: &Dn) -> bool {
+        self.rdns.len() == parent.rdns.len() + 1 && self.is_under(parent)
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.rdns.iter().map(|r| r.to_string()).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+impl std::str::FromStr for Dn {
+    type Err = DnParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Dn::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let dn = Dn::parse("lc=CO2 1998, rc=ESG, o=Grid").unwrap();
+        assert_eq!(dn.depth(), 3);
+        assert_eq!(dn.to_string(), "lc=CO2 1998, rc=ESG, o=Grid");
+    }
+
+    #[test]
+    fn attr_case_normalized_value_preserved() {
+        let dn = Dn::parse("CN=Alice Smith").unwrap();
+        assert_eq!(dn.leaf().unwrap().attr, "cn");
+        assert_eq!(dn.leaf().unwrap().value, "Alice Smith");
+    }
+
+    #[test]
+    fn empty_is_root() {
+        assert!(Dn::parse("").unwrap().is_root());
+        assert!(Dn::parse("  ").unwrap().is_root());
+    }
+
+    #[test]
+    fn bad_components_rejected() {
+        assert!(Dn::parse("no-equals").is_err());
+        assert!(Dn::parse("a=").is_err());
+        assert!(Dn::parse("=b").is_err());
+    }
+
+    #[test]
+    fn parent_child_relationships() {
+        let root = Dn::parse("o=Grid").unwrap();
+        let rc = root.child("rc", "ESG");
+        let lc = rc.child("lc", "CO2 1998");
+        assert_eq!(lc.to_string(), "lc=CO2 1998, rc=ESG, o=Grid");
+        assert_eq!(lc.parent().unwrap(), rc);
+        assert!(lc.is_under(&root));
+        assert!(lc.is_under(&rc));
+        assert!(lc.is_under(&lc));
+        assert!(!rc.is_under(&lc));
+        assert!(lc.is_child_of(&rc));
+        assert!(!lc.is_child_of(&root));
+    }
+
+    #[test]
+    fn root_parent_is_none() {
+        assert_eq!(Dn::root().parent(), None);
+    }
+
+    #[test]
+    fn everything_is_under_root() {
+        let dn = Dn::parse("a=b, c=d").unwrap();
+        assert!(dn.is_under(&Dn::root()));
+    }
+
+    #[test]
+    fn from_str_works() {
+        let dn: Dn = "ou=PCMDI, o=LLNL".parse().unwrap();
+        assert_eq!(dn.depth(), 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! LDAP search filters (RFC 2254 subset).
+//!
+//! Supports the forms the ESG catalogs need:
+//! `(attr=value)`, `(attr=*)` presence, `(attr=pre*suf)` substring,
+//! `(attr>=n)` / `(attr<=n)` numeric-or-lexicographic comparison, and the
+//! boolean combinators `(&...)`, `(|...)`, `(!...)`.
+
+use crate::entry::Entry;
+use std::fmt;
+
+/// A parsed search filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    And(Vec<Filter>),
+    Or(Vec<Filter>),
+    Not(Box<Filter>),
+    /// `(attr=value)` exact match (case-insensitive attribute, exact value).
+    Equals(String, String),
+    /// `(attr=*)`.
+    Present(String),
+    /// `(attr=prefix*suffix)`; either side may be empty.
+    Substring {
+        attr: String,
+        prefix: String,
+        suffix: String,
+    },
+    /// `(attr>=value)`.
+    Ge(String, String),
+    /// `(attr<=value)`.
+    Le(String, String),
+}
+
+/// Filter parse error with position info.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, FilterParseError> {
+        Err(FilterParseError {
+            message: msg.into(),
+            position: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), FilterParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn parse_filter(&mut self) -> Result<Filter, FilterParseError> {
+        self.expect(b'(')?;
+        let f = match self.peek() {
+            Some(b'&') => {
+                self.pos += 1;
+                Filter::And(self.parse_list()?)
+            }
+            Some(b'|') => {
+                self.pos += 1;
+                Filter::Or(self.parse_list()?)
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                Filter::Not(Box::new(self.parse_filter()?))
+            }
+            Some(_) => self.parse_simple()?,
+            None => return self.err("unexpected end of filter"),
+        };
+        self.expect(b')')?;
+        Ok(f)
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Filter>, FilterParseError> {
+        let mut items = Vec::new();
+        while self.peek() == Some(b'(') {
+            items.push(self.parse_filter()?);
+        }
+        if items.is_empty() {
+            return self.err("empty filter list");
+        }
+        Ok(items)
+    }
+
+    fn parse_simple(&mut self) -> Result<Filter, FilterParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'=' || c == b'>' || c == b'<' {
+                break;
+            }
+            if c == b'(' || c == b')' {
+                return self.err("unexpected paren in attribute");
+            }
+            self.pos += 1;
+        }
+        let attr = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| FilterParseError {
+                message: "non-utf8 attribute".into(),
+                position: start,
+            })?
+            .trim()
+            .to_ascii_lowercase();
+        if attr.is_empty() {
+            return self.err("empty attribute");
+        }
+        let op = self.peek().ok_or(FilterParseError {
+            message: "missing operator".into(),
+            position: self.pos,
+        })?;
+        let ge_or_le = op == b'>' || op == b'<';
+        self.pos += 1;
+        if ge_or_le {
+            self.expect(b'=')?;
+        }
+        let vstart = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b')' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let value = std::str::from_utf8(&self.input[vstart..self.pos])
+            .map_err(|_| FilterParseError {
+                message: "non-utf8 value".into(),
+                position: vstart,
+            })?
+            .to_string();
+        match op {
+            b'>' => Ok(Filter::Ge(attr, value)),
+            b'<' => Ok(Filter::Le(attr, value)),
+            b'=' => {
+                if value == "*" {
+                    Ok(Filter::Present(attr))
+                } else if let Some(star) = value.find('*') {
+                    let (prefix, rest) = value.split_at(star);
+                    let suffix = &rest[1..];
+                    if suffix.contains('*') {
+                        return self.err("at most one `*` supported");
+                    }
+                    Ok(Filter::Substring {
+                        attr,
+                        prefix: prefix.to_string(),
+                        suffix: suffix.to_string(),
+                    })
+                } else {
+                    Ok(Filter::Equals(attr, value))
+                }
+            }
+            _ => self.err("bad operator"),
+        }
+    }
+}
+
+/// Compare values numerically when both parse as f64, else lexically.
+fn compare(a: &str, b: &str) -> std::cmp::Ordering {
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.cmp(b),
+    }
+}
+
+impl Filter {
+    /// Parse a filter string like `(&(model=PCM)(variable=*))`.
+    pub fn parse(s: &str) -> Result<Filter, FilterParseError> {
+        let mut p = Parser {
+            input: s.trim().as_bytes(),
+            pos: 0,
+        };
+        let f = p.parse_filter()?;
+        if p.pos != p.input.len() {
+            return p.err("trailing input after filter");
+        }
+        Ok(f)
+    }
+
+    /// Shorthand equality filter.
+    pub fn eq(attr: impl Into<String>, value: impl Into<String>) -> Filter {
+        Filter::Equals(attr.into().to_ascii_lowercase(), value.into())
+    }
+
+    /// Whether an entry matches this filter.
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            Filter::Not(f) => !f.matches(entry),
+            Filter::Equals(attr, value) => entry.values(attr).iter().any(|v| v == value),
+            Filter::Present(attr) => !entry.values(attr).is_empty(),
+            Filter::Substring {
+                attr,
+                prefix,
+                suffix,
+            } => entry.values(attr).iter().any(|v| {
+                v.len() >= prefix.len() + suffix.len()
+                    && v.starts_with(prefix.as_str())
+                    && v.ends_with(suffix.as_str())
+            }),
+            Filter::Ge(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| compare(v, value) != std::cmp::Ordering::Less),
+            Filter::Le(attr, value) => entry
+                .values(attr)
+                .iter()
+                .any(|v| compare(v, value) != std::cmp::Ordering::Greater),
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                write!(f, "(&")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Or(fs) => {
+                write!(f, "(|")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Not(x) => write!(f, "(!{x})"),
+            Filter::Equals(a, v) => write!(f, "({a}={v})"),
+            Filter::Present(a) => write!(f, "({a}=*)"),
+            Filter::Substring {
+                attr,
+                prefix,
+                suffix,
+            } => write!(f, "({attr}={prefix}*{suffix})"),
+            Filter::Ge(a, v) => write!(f, "({a}>={v})"),
+            Filter::Le(a, v) => write!(f, "({a}<={v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn entry() -> Entry {
+        let mut e = Entry::new(Dn::parse("cn=test").unwrap());
+        e.add("model", "PCM");
+        e.add("variable", "precipitation");
+        e.add("variable", "temperature");
+        e.add("year", "1998");
+        e
+    }
+
+    #[test]
+    fn equality() {
+        let e = entry();
+        assert!(Filter::parse("(model=PCM)").unwrap().matches(&e));
+        assert!(!Filter::parse("(model=CCSM)").unwrap().matches(&e));
+        // Multi-valued attribute: any value matches.
+        assert!(Filter::parse("(variable=temperature)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn presence() {
+        let e = entry();
+        assert!(Filter::parse("(variable=*)").unwrap().matches(&e));
+        assert!(!Filter::parse("(missing=*)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn substring() {
+        let e = entry();
+        assert!(Filter::parse("(variable=temp*)").unwrap().matches(&e));
+        assert!(Filter::parse("(variable=*ation)").unwrap().matches(&e));
+        assert!(Filter::parse("(variable=prec*tion)").unwrap().matches(&e));
+        assert!(!Filter::parse("(variable=xyz*)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let e = entry();
+        assert!(Filter::parse("(year>=1990)").unwrap().matches(&e));
+        assert!(Filter::parse("(year<=2000)").unwrap().matches(&e));
+        assert!(!Filter::parse("(year>=1999)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = entry();
+        assert!(Filter::parse("(&(model=PCM)(year>=1990))")
+            .unwrap()
+            .matches(&e));
+        assert!(Filter::parse("(|(model=CCSM)(model=PCM))")
+            .unwrap()
+            .matches(&e));
+        assert!(Filter::parse("(!(model=CCSM))").unwrap().matches(&e));
+        assert!(!Filter::parse("(&(model=PCM)(model=CCSM))")
+            .unwrap()
+            .matches(&e));
+    }
+
+    #[test]
+    fn nested_combinators() {
+        let e = entry();
+        let f = Filter::parse("(&(|(model=PCM)(model=CCSM))(!(year<=1997)))").unwrap();
+        assert!(f.matches(&e));
+    }
+
+    #[test]
+    fn attribute_case_insensitive() {
+        let e = entry();
+        assert!(Filter::parse("(MODEL=PCM)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Filter::parse("model=PCM").is_err()); // missing parens
+        assert!(Filter::parse("(=v)").is_err());
+        assert!(Filter::parse("(&)").is_err());
+        assert!(Filter::parse("(a=b)(c=d)").is_err()); // trailing
+        assert!(Filter::parse("(a=x*y*z)").is_err()); // two stars
+        assert!(Filter::parse("(a=b").is_err()); // unclosed
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "(model=PCM)",
+            "(variable=*)",
+            "(variable=temp*)",
+            "(year>=1990)",
+            "(&(a=b)(c=d))",
+            "(|(a=b)(!(c=d)))",
+        ] {
+            let f = Filter::parse(src).unwrap();
+            let printed = f.to_string();
+            assert_eq!(Filter::parse(&printed).unwrap(), f, "{src}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Wire serialization for the GSI handshake over the control channel.
+//!
+//! GridFTP carries GSSAPI tokens in `ADAT` commands, base64-encoded. We
+//! hex-encode our [`esg_gsi::Hello`]/[`esg_gsi::Proof`] tokens instead
+//! (simpler, same role). The encoding is length-prefixed fields, so
+//! certificate chains of any depth survive the trip.
+
+use esg_gsi::cert::{Certificate, Subject};
+use esg_gsi::{Hello, Proof};
+
+/// Encode bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    esg_gsi::hex(data)
+}
+
+/// Decode lowercase/uppercase hex.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = u32::from_be_bytes(self.take(4)?.try_into().ok()?) as usize;
+        if len > 1 << 20 {
+            return None;
+        }
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+}
+
+fn encode_cert(out: &mut Vec<u8>, c: &Certificate) {
+    put_str(out, &c.subject.0);
+    put_str(out, &c.issuer.0);
+    put_str(out, &c.key_fingerprint);
+    out.extend_from_slice(&c.not_before.to_be_bytes());
+    out.extend_from_slice(&c.not_after.to_be_bytes());
+    match c.proxy_depth {
+        None => out.push(0),
+        Some(d) => {
+            out.push(1);
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+    }
+    out.extend_from_slice(&c.signature);
+}
+
+fn decode_cert(c: &mut Cursor<'_>) -> Option<Certificate> {
+    let subject = Subject::new(c.string()?);
+    let issuer = Subject::new(c.string()?);
+    let key_fingerprint = c.string()?;
+    let not_before = c.u64()?;
+    let not_after = c.u64()?;
+    let proxy_depth = match c.u8()? {
+        0 => None,
+        1 => Some(c.u32()?),
+        _ => return None,
+    };
+    let signature: [u8; 32] = c.take(32)?.try_into().ok()?;
+    Some(Certificate {
+        subject,
+        issuer,
+        key_fingerprint,
+        not_before,
+        not_after,
+        proxy_depth,
+        signature,
+    })
+}
+
+/// Serialize a hello token.
+pub fn encode_hello(h: &Hello) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(h.chain.len() as u32).to_be_bytes());
+    for c in &h.chain {
+        encode_cert(&mut out, c);
+    }
+    out.extend_from_slice(&h.dh_public.to_be_bytes());
+    out.extend_from_slice(&h.nonce);
+    out
+}
+
+/// Deserialize a hello token.
+pub fn decode_hello(data: &[u8]) -> Option<Hello> {
+    let mut c = Cursor { data, pos: 0 };
+    let n = c.u32()? as usize;
+    if n > 16 {
+        return None;
+    }
+    let mut chain = Vec::with_capacity(n);
+    for _ in 0..n {
+        chain.push(decode_cert(&mut c)?);
+    }
+    let dh_public = c.u64()?;
+    let nonce: [u8; 32] = c.take(32)?.try_into().ok()?;
+    if c.pos != data.len() {
+        return None;
+    }
+    Some(Hello {
+        chain,
+        dh_public,
+        nonce,
+    })
+}
+
+/// Serialize a proof token.
+pub fn encode_proof(p: &Proof) -> Vec<u8> {
+    p.mac.to_vec()
+}
+
+/// Deserialize a proof token.
+pub fn decode_proof(data: &[u8]) -> Option<Proof> {
+    Some(Proof {
+        mac: data.try_into().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_gsi::{CertificateAuthority, Handshake};
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0u8, 1, 127, 128, 255];
+        let h = hex_encode(&data);
+        assert_eq!(hex_decode(&h).unwrap(), data);
+        assert_eq!(hex_decode("0A0b").unwrap(), vec![0x0a, 0x0b]);
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
+    }
+
+    #[test]
+    fn hello_round_trip_end_entity() {
+        let ca = CertificateAuthority::new("/CN=CA", b"s");
+        let cred = ca.issue("/CN=alice", 0, 3600);
+        let mut hs = Handshake::new(&cred, b"seed");
+        let hello = hs.hello(b"nonce");
+        let bytes = encode_hello(&hello);
+        let back = decode_hello(&bytes).unwrap();
+        assert_eq!(back.chain, hello.chain);
+        assert_eq!(back.dh_public, hello.dh_public);
+        assert_eq!(back.nonce, hello.nonce);
+    }
+
+    #[test]
+    fn hello_round_trip_proxy_chain() {
+        let ca = CertificateAuthority::new("/CN=CA", b"s");
+        let cred = ca.issue("/CN=alice", 0, 3600);
+        let proxy = cred.delegate(0, 600, b"d").unwrap();
+        let mut hs = Handshake::new(&proxy, b"seed");
+        let hello = hs.hello(b"nonce");
+        assert_eq!(hello.chain.len(), 2);
+        let back = decode_hello(&encode_hello(&hello)).unwrap();
+        assert_eq!(back.chain, hello.chain);
+    }
+
+    #[test]
+    fn corrupt_hello_rejected() {
+        let ca = CertificateAuthority::new("/CN=CA", b"s");
+        let cred = ca.issue("/CN=alice", 0, 3600);
+        let mut hs = Handshake::new(&cred, b"seed");
+        let bytes = encode_hello(&hs.hello(b"n"));
+        assert!(decode_hello(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_hello(&extra).is_none());
+    }
+
+    #[test]
+    fn proof_round_trip() {
+        let p = Proof { mac: [7u8; 32] };
+        assert_eq!(decode_proof(&encode_proof(&p)).unwrap().mac, p.mac);
+        assert!(decode_proof(&[1, 2, 3]).is_none());
+    }
+}

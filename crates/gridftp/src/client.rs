@@ -1,0 +1,718 @@
+//! GridFTP client over real TCP.
+//!
+//! Implements the client half of the loopback protocol engine: login
+//! (anonymous or GSI), feature discovery, SIZE/CKSM, and MODE E parallel
+//! GET/PUT with restart. [`ReliableClient`] adds the retry loop the paper's
+//! §7 reliability experiment exercises: on a broken transfer it reconnects
+//! and requests only the missing byte ranges via an extended restart
+//! marker.
+
+use crate::auth_wire;
+use crate::eblock;
+use crate::protocol::{Command, Reply};
+use crate::ranges::RangeSet;
+use crate::server::BLOCK_SIZE;
+
+use esg_gsi::{CertificateAuthority, Credential, Handshake};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, SocketAddrV4, TcpStream};
+use std::time::Duration;
+
+/// Client-side transfer errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// Unexpected or error reply from the server.
+    Protocol { expected: &'static str, got: Reply },
+    /// Authentication failed.
+    Auth(String),
+    /// Transfer ended with data missing (after retries, for ReliableClient).
+    Incomplete { received: u64, expected: u64 },
+    /// Checksum mismatch after transfer.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol { expected, got } => {
+                write!(f, "expected {expected}, got {} {}", got.code, got.text())
+            }
+            ClientError::Auth(s) => write!(f, "authentication failed: {s}"),
+            ClientError::Incomplete { received, expected } => {
+                write!(f, "incomplete transfer: {received}/{expected} bytes")
+            }
+            ClientError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, ClientError>;
+
+/// Transfer options.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferOptions {
+    /// Parallel TCP data streams (GridFTP parallelism).
+    pub parallelism: u32,
+    /// Requested TCP buffer size (SBUF), if any.
+    pub buffer: Option<u64>,
+}
+
+impl Default for TransferOptions {
+    fn default() -> Self {
+        TransferOptions {
+            parallelism: 4,
+            buffer: None,
+        }
+    }
+}
+
+/// A connected, authenticated control channel.
+pub struct GridFtpClient {
+    ctrl: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl GridFtpClient {
+    /// Connect and consume the 220 greeting.
+    pub fn connect(addr: SocketAddr) -> Result<GridFtpClient> {
+        let ctrl = TcpStream::connect(addr)?;
+        ctrl.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(ctrl.try_clone()?);
+        let mut c = GridFtpClient { ctrl, reader };
+        let greeting = c.read_reply()?;
+        if greeting.code != 220 {
+            return Err(ClientError::Protocol {
+                expected: "220",
+                got: greeting,
+            });
+        }
+        Ok(c)
+    }
+
+    fn read_reply(&mut self) -> Result<Reply> {
+        let mut lines: Vec<String> = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "control connection closed",
+                )));
+            }
+            lines.push(line.trim_end().to_string());
+            let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+            if let Some((reply, used)) = Reply::from_wire_lines(&refs) {
+                if used == lines.len() {
+                    return Ok(reply);
+                }
+            }
+        }
+    }
+
+    fn command(&mut self, cmd: &Command) -> Result<Reply> {
+        self.ctrl
+            .write_all(format!("{}\r\n", cmd.to_line()).as_bytes())?;
+        self.read_reply()
+    }
+
+    fn expect(&mut self, cmd: &Command, code: u16, what: &'static str) -> Result<Reply> {
+        let r = self.command(cmd)?;
+        if r.code != code {
+            return Err(ClientError::Protocol {
+                expected: what,
+                got: r,
+            });
+        }
+        Ok(r)
+    }
+
+    /// Anonymous login + binary type + extended block mode.
+    pub fn login_anonymous(&mut self) -> Result<()> {
+        self.expect(&Command::User("anonymous".into()), 331, "331")?;
+        self.expect(&Command::Pass("esg@".into()), 230, "230")?;
+        self.setup_modes()
+    }
+
+    /// GSI login: full handshake over ADAT tokens.
+    pub fn login_gsi(
+        &mut self,
+        cred: &Credential,
+        ca: &CertificateAuthority,
+    ) -> Result<()> {
+        self.expect(&Command::AuthGssapi, 334, "334")?;
+        let mut hs = Handshake::new(cred, b"client-session");
+        let hello = hs.hello(b"client-nonce");
+        let token = auth_wire::hex_encode(&auth_wire::encode_hello(&hello));
+        let reply = self.command(&Command::Adat(token))?;
+        if reply.code != 335 {
+            return Err(ClientError::Auth(reply.text()));
+        }
+        // Reply text: "ADAT=<hex>" containing server hello + proof.
+        let text = reply.text();
+        let hex = text
+            .strip_prefix("ADAT=")
+            .ok_or_else(|| ClientError::Auth("missing ADAT in 335".into()))?;
+        let payload = auth_wire::hex_decode(hex)
+            .ok_or_else(|| ClientError::Auth("bad hex in 335".into()))?;
+        if payload.len() < 4 {
+            return Err(ClientError::Auth("short 335 payload".into()));
+        }
+        let hlen = u32::from_be_bytes(payload[..4].try_into().unwrap()) as usize;
+        if payload.len() < 4 + hlen + 32 {
+            return Err(ClientError::Auth("truncated 335 payload".into()));
+        }
+        let server_hello = auth_wire::decode_hello(&payload[4..4 + hlen])
+            .ok_or_else(|| ClientError::Auth("bad server hello".into()))?;
+        let server_proof = auth_wire::decode_proof(&payload[4 + hlen..4 + hlen + 32])
+            .ok_or_else(|| ClientError::Auth("bad server proof".into()))?;
+        let (_, keys, my_proof) = hs
+            .receive_hello(&server_hello, ca, 0, &|_| None)
+            .map_err(|e| ClientError::Auth(e.to_string()))?;
+        hs.verify_proof(&keys, &server_proof)
+            .map_err(|e| ClientError::Auth(e.to_string()))?;
+        let token = auth_wire::hex_encode(&auth_wire::encode_proof(&my_proof));
+        let final_reply = self.command(&Command::Adat(token))?;
+        if final_reply.code != 235 {
+            return Err(ClientError::Auth(final_reply.text()));
+        }
+        self.setup_modes()
+    }
+
+    fn setup_modes(&mut self) -> Result<()> {
+        self.expect(&Command::Type('I'), 200, "200")?;
+        self.expect(&Command::Mode('E'), 200, "200")?;
+        Ok(())
+    }
+
+    /// FEAT — the extension list.
+    pub fn features(&mut self) -> Result<Vec<String>> {
+        let r = self.command(&Command::Feat)?;
+        Ok(r.lines)
+    }
+
+    /// SIZE of a remote file.
+    pub fn size(&mut self, path: &str) -> Result<u64> {
+        let r = self.expect(&Command::Size(path.into()), 213, "213")?;
+        r.text()
+            .trim()
+            .parse()
+            .map_err(|_| ClientError::Protocol {
+                expected: "numeric 213",
+                got: r,
+            })
+    }
+
+    /// Remote SHA-256 (hex) of a byte range (length 0 = to EOF).
+    pub fn checksum(&mut self, path: &str, offset: u64, length: u64) -> Result<String> {
+        let r = self.expect(
+            &Command::Cksm {
+                offset,
+                length,
+                path: path.into(),
+            },
+            213,
+            "213",
+        )?;
+        Ok(r.text().trim().to_string())
+    }
+
+    fn pasv(&mut self) -> Result<SocketAddrV4> {
+        let r = self.expect(&Command::Pasv, 227, "227")?;
+        parse_pasv(&r.text()).ok_or(ClientError::Protocol {
+            expected: "PASV address",
+            got: r,
+        })
+    }
+
+    /// Download a file (or the holes left in `received`) into `buffer`.
+    ///
+    /// `buffer` must be pre-sized to the full file length; `received`
+    /// tracks which ranges are already present and is updated as blocks
+    /// land. Returns the total bytes received in this attempt.
+    pub fn get_into(
+        &mut self,
+        path: &str,
+        opts: TransferOptions,
+        buffer: &mut [u8],
+        received: &mut RangeSet,
+    ) -> Result<u64> {
+        if let Some(b) = opts.buffer {
+            self.expect(&Command::Sbuf(b), 200, "200")?;
+        }
+        self.expect(
+            &Command::OptsRetrParallelism(opts.parallelism),
+            200,
+            "200",
+        )?;
+        let data_addr = self.pasv()?;
+        if !received.is_empty() {
+            self.expect(&Command::Rest(received.clone()), 350, "350")?;
+        }
+        let r150 = self.command(&Command::Retr(path.into()))?;
+        if r150.code != 150 {
+            return Err(ClientError::Protocol {
+                expected: "150",
+                got: r150,
+            });
+        }
+
+        // Open the parallel data connections and read blocks concurrently.
+        let streams = opts.parallelism as usize;
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Vec<u8>)>();
+        let mut readers = Vec::new();
+        for _ in 0..streams {
+            let conn = TcpStream::connect(data_addr)?;
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let mut conn = conn;
+                loop {
+                    let (header, payload) = eblock::read_block(&mut conn, BLOCK_SIZE * 4)?;
+                    if !payload.is_empty() {
+                        // Errors sending mean the main thread bailed.
+                        if tx.send((header.offset, payload)).is_err() {
+                            return Ok(());
+                        }
+                    }
+                    if header.is_eod() {
+                        return Ok(());
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        let mut got = 0u64;
+        for (offset, payload) in rx {
+            let end = offset as usize + payload.len();
+            if end <= buffer.len() {
+                buffer[offset as usize..end].copy_from_slice(&payload);
+                received.insert(offset, end as u64);
+                got += payload.len() as u64;
+            }
+        }
+        let mut stream_err = None;
+        for h in readers {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => stream_err = Some(ClientError::Io(e)),
+                Err(_) => stream_err = Some(ClientError::Auth("reader panicked".into())),
+            }
+        }
+        // Final reply: 226 on success, 426 when the server aborted.
+        let fin = self.read_reply()?;
+        if let Some(e) = stream_err {
+            return Err(e);
+        }
+        if fin.code != 226 {
+            return Err(ClientError::Protocol {
+                expected: "226",
+                got: fin,
+            });
+        }
+        Ok(got)
+    }
+
+    /// Convenience: download a complete file into a fresh buffer.
+    pub fn get(&mut self, path: &str, opts: TransferOptions) -> Result<Vec<u8>> {
+        let size = self.size(path)?;
+        let mut buffer = vec![0u8; size as usize];
+        let mut received = RangeSet::new();
+        self.get_into(path, opts, &mut buffer, &mut received)?;
+        if !received.is_complete(size) {
+            return Err(ClientError::Incomplete {
+                received: received.total(),
+                expected: size,
+            });
+        }
+        Ok(buffer)
+    }
+
+    /// Partial retrieval via ERET.
+    pub fn get_partial(
+        &mut self,
+        path: &str,
+        offset: u64,
+        length: u64,
+        opts: TransferOptions,
+    ) -> Result<Vec<u8>> {
+        self.expect(
+            &Command::OptsRetrParallelism(opts.parallelism),
+            200,
+            "200",
+        )?;
+        let data_addr = self.pasv()?;
+        let r150 = self.command(&Command::EretPartial {
+            offset,
+            length,
+            path: path.into(),
+        })?;
+        if r150.code != 150 {
+            return Err(ClientError::Protocol {
+                expected: "150",
+                got: r150,
+            });
+        }
+        let streams = opts.parallelism as usize;
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Vec<u8>)>();
+        let mut readers = Vec::new();
+        for _ in 0..streams {
+            let conn = TcpStream::connect(data_addr)?;
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let mut conn = conn;
+                loop {
+                    let (header, payload) = eblock::read_block(&mut conn, BLOCK_SIZE * 4)?;
+                    if !payload.is_empty() && tx.send((header.offset, payload)).is_err() {
+                        return Ok(());
+                    }
+                    if header.is_eod() {
+                        return Ok(());
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let mut out = vec![0u8; length as usize];
+        let mut received = RangeSet::new();
+        for (block_offset, payload) in rx {
+            let rel = block_offset - offset;
+            let end = rel as usize + payload.len();
+            if end <= out.len() {
+                out[rel as usize..end].copy_from_slice(&payload);
+                received.insert(rel, end as u64);
+            }
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        let fin = self.read_reply()?;
+        if fin.code != 226 {
+            return Err(ClientError::Protocol {
+                expected: "226",
+                got: fin,
+            });
+        }
+        out.truncate(received.total() as usize);
+        Ok(out)
+    }
+
+    /// Server-side subsetting via `ERET X`: the server extracts time steps
+    /// `[t0, t1)` of one variable from an ESG1 dataset and transmits only
+    /// the subset — the ESG-II server-side-processing extension.
+    pub fn get_subset(
+        &mut self,
+        path: &str,
+        variable: &str,
+        t0: usize,
+        t1: usize,
+        opts: TransferOptions,
+    ) -> Result<Vec<u8>> {
+        self.expect(
+            &Command::OptsRetrParallelism(opts.parallelism),
+            200,
+            "200",
+        )?;
+        let data_addr = self.pasv()?;
+        let r150 = self.command(&Command::EretSubset {
+            variable: variable.into(),
+            t0,
+            t1,
+            path: path.into(),
+        })?;
+        if r150.code != 150 {
+            return Err(ClientError::Protocol {
+                expected: "150",
+                got: r150,
+            });
+        }
+        let streams = opts.parallelism as usize;
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, Vec<u8>)>();
+        let mut readers = Vec::new();
+        for _ in 0..streams {
+            let conn = TcpStream::connect(data_addr)?;
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let mut conn = conn;
+                loop {
+                    let (header, payload) = eblock::read_block(&mut conn, BLOCK_SIZE * 4)?;
+                    if !payload.is_empty() && tx.send((header.offset, payload)).is_err() {
+                        return Ok(());
+                    }
+                    if header.is_eod() {
+                        return Ok(());
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        // Subset size is dynamic: grow the buffer as blocks land.
+        let mut out: Vec<u8> = Vec::new();
+        for (offset, payload) in rx {
+            let end = offset as usize + payload.len();
+            if out.len() < end {
+                out.resize(end, 0);
+            }
+            out[offset as usize..end].copy_from_slice(&payload);
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        let fin = self.read_reply()?;
+        if fin.code != 226 {
+            return Err(ClientError::Protocol {
+                expected: "226",
+                got: fin,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Upload a byte buffer with parallel streams (STOR / ESTO).
+    pub fn put(
+        &mut self,
+        path: &str,
+        data: &[u8],
+        opts: TransferOptions,
+        base_offset: u64,
+    ) -> Result<()> {
+        self.expect(
+            &Command::OptsRetrParallelism(opts.parallelism),
+            200,
+            "200",
+        )?;
+        let data_addr = self.pasv()?;
+        let cmd = if base_offset == 0 {
+            Command::Stor(path.into())
+        } else {
+            Command::EstoAdjusted {
+                offset: base_offset,
+                path: path.into(),
+            }
+        };
+        let r150 = self.command(&cmd)?;
+        if r150.code != 150 {
+            return Err(ClientError::Protocol {
+                expected: "150",
+                got: r150,
+            });
+        }
+        let streams = opts.parallelism as usize;
+        let assignments =
+            eblock::round_robin_blocks(0, data.len() as u64, BLOCK_SIZE, streams);
+        let mut writers = Vec::new();
+        for blocks in assignments {
+            let conn = TcpStream::connect(data_addr)?;
+            let chunk: Vec<(u64, Vec<u8>)> = blocks
+                .into_iter()
+                .map(|(off, len)| {
+                    (off, data[off as usize..(off + len) as usize].to_vec())
+                })
+                .collect();
+            writers.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let mut conn = conn;
+                for (off, payload) in chunk {
+                    eblock::write_block(&mut conn, off, &payload)?;
+                }
+                eblock::write_trailer(&mut conn, eblock::BlockHeader::eod())?;
+                conn.flush()
+            }));
+        }
+        let mut ok = true;
+        for w in writers {
+            ok &= w.join().map(|r| r.is_ok()).unwrap_or(false);
+        }
+        let fin = self.read_reply()?;
+        if !ok || fin.code != 226 {
+            return Err(ClientError::Protocol {
+                expected: "226",
+                got: fin,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read one reply that the server will send later (e.g. the final 226
+    /// of a third-party transfer, where the data moves between two other
+    /// machines and this control channel only observes).
+    pub fn read_pending_reply(&mut self) -> Result<Reply> {
+        self.read_reply()
+    }
+
+    /// Send a raw command and return its (first) reply.
+    pub fn raw_command(&mut self, cmd: &Command) -> Result<Reply> {
+        self.command(cmd)
+    }
+
+    /// Close politely.
+    pub fn quit(mut self) {
+        let _ = self.command(&Command::Quit);
+    }
+}
+
+/// Third-party transfer: "allows a user or application at one site to
+/// initiate, monitor and control a data transfer operation between two
+/// other sites" (§6.1). The destination opens a passive data port; the
+/// source is told to dial it (PORT) and RETR; the data never touches the
+/// controlling client.
+pub fn third_party_transfer(
+    src: &mut GridFtpClient,
+    dst: &mut GridFtpClient,
+    src_path: &str,
+    dst_path: &str,
+    parallelism: u32,
+) -> Result<()> {
+    // Matching stream counts on both sides: the source dials exactly as
+    // many data connections as the destination will accept.
+    src.expect(&Command::OptsRetrParallelism(parallelism), 200, "200")?;
+    dst.expect(&Command::OptsRetrParallelism(parallelism), 200, "200")?;
+
+    let data_addr = dst.pasv()?;
+    // Destination starts listening (150), then blocks accepting data.
+    let r = dst.command(&Command::Stor(dst_path.into()))?;
+    if r.code != 150 {
+        return Err(ClientError::Protocol {
+            expected: "150",
+            got: r,
+        });
+    }
+    // Source dials the destination's data port and streams the file.
+    src.expect(&Command::Port(data_addr), 200, "200")?;
+    let r = src.command(&Command::Retr(src_path.into()))?;
+    if r.code != 150 {
+        return Err(ClientError::Protocol {
+            expected: "150",
+            got: r,
+        });
+    }
+    // Both sides report completion on their control channels.
+    let src_fin = src.read_pending_reply()?;
+    let dst_fin = dst.read_pending_reply()?;
+    for fin in [src_fin, dst_fin] {
+        if fin.code != 226 {
+            return Err(ClientError::Protocol {
+                expected: "226",
+                got: fin,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn parse_pasv(text: &str) -> Option<SocketAddrV4> {
+    let open = text.find('(')?;
+    let close = text[open..].find(')')? + open;
+    let nums: Vec<u16> = text[open + 1..close]
+        .split(',')
+        .map(|p| p.trim().parse::<u16>())
+        .collect::<std::result::Result<_, _>>()
+        .ok()?;
+    if nums.len() != 6 {
+        return None;
+    }
+    let ip = std::net::Ipv4Addr::new(
+        nums[0] as u8,
+        nums[1] as u8,
+        nums[2] as u8,
+        nums[3] as u8,
+    );
+    Some(SocketAddrV4::new(ip, nums[4] << 8 | nums[5]))
+}
+
+/// The reliability layer: "support for reliable and restartable data
+/// transfer, to handle failures such as transient network and server
+/// outages" (§6.1). Reconnects on failure and fetches only the holes.
+pub struct ReliableClient {
+    pub addr: SocketAddr,
+    pub opts: TransferOptions,
+    pub max_attempts: u32,
+}
+
+/// Outcome of a reliable download.
+#[derive(Debug)]
+pub struct ReliableOutcome {
+    pub data: Vec<u8>,
+    pub attempts: u32,
+    /// Bytes re-fetched in retries (0 when first attempt succeeded).
+    pub retried_bytes: u64,
+}
+
+impl ReliableClient {
+    pub fn new(addr: SocketAddr, opts: TransferOptions) -> Self {
+        ReliableClient {
+            addr,
+            opts,
+            max_attempts: 5,
+        }
+    }
+
+    /// Download with restart across connection failures, verifying the
+    /// result against the server's SHA-256.
+    pub fn download(&self, path: &str) -> Result<ReliableOutcome> {
+        let mut attempts = 0;
+        let mut received = RangeSet::new();
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut size = 0u64;
+        let mut retried_bytes = 0u64;
+        let mut expected_sum = String::new();
+        while attempts < self.max_attempts {
+            attempts += 1;
+            let result = (|| -> Result<bool> {
+                let mut client = GridFtpClient::connect(self.addr)?;
+                client.login_anonymous()?;
+                if buffer.is_empty() {
+                    size = client.size(path)?;
+                    expected_sum = client.checksum(path, 0, 0)?;
+                    buffer = vec![0u8; size as usize];
+                }
+                if attempts > 1 {
+                    retried_bytes += size - received.total();
+                }
+                client.get_into(path, self.opts, &mut buffer, &mut received)?;
+                Ok(received.is_complete(size))
+            })();
+            match result {
+                Ok(true) => {
+                    let actual = esg_gsi::hex(&esg_gsi::sha256(&buffer));
+                    if actual != expected_sum {
+                        return Err(ClientError::ChecksumMismatch);
+                    }
+                    return Ok(ReliableOutcome {
+                        data: buffer,
+                        attempts,
+                        retried_bytes,
+                    });
+                }
+                Ok(false) | Err(_) => continue,
+            }
+        }
+        Err(ClientError::Incomplete {
+            received: received.total(),
+            expected: size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pasv_reply() {
+        let a = parse_pasv("Entering Passive Mode (127,0,0,1,4,1)").unwrap();
+        assert_eq!(a.port(), 1025);
+        assert_eq!(a.ip().octets(), [127, 0, 0, 1]);
+        assert!(parse_pasv("no parens").is_none());
+        assert!(parse_pasv("(1,2,3)").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # esg-gridftp — the GridFTP data transfer protocol
+//!
+//! "The data transfer facilities need to be secure, fast, and reliable"
+//! (§6.1). This crate implements GridFTP's mechanisms twice over, sharing
+//! one protocol layer:
+//!
+//! * **Protocol layer** — [`protocol`] (FTP commands + GridFTP extensions),
+//!   [`eblock`] (extended block mode: 64-bit offsets, out-of-order parallel
+//!   delivery), [`ranges`] (restart markers), [`url`] (`gsiftp://`),
+//!   [`auth_wire`] (GSI tokens in ADAT commands).
+//! * **Real transport** — [`server`] and [`client`]: a threaded TCP
+//!   implementation with GSI login, MODE E parallel streams, ERET partial
+//!   retrieval, restartable GET with hole-filling ([`client::ReliableClient`])
+//!   and SHA-256 end-to-end verification. Driven by loopback integration
+//!   tests and fault injection.
+//! * **Simulated transport** — [`simxfer`]: the same transfer semantics
+//!   expressed over the `esg-simnet` flow simulator (parallel streams,
+//!   striping across hosts, slow-start + handshake costs, data-channel
+//!   caching, stall detection and restart), used for every WAN-scale
+//!   experiment in the paper.
+
+pub mod auth_wire;
+pub mod client;
+pub mod eblock;
+pub mod protocol;
+pub mod ranges;
+pub mod server;
+pub mod simxfer;
+pub mod url;
+
+pub use client::{third_party_transfer, ClientError, GridFtpClient, ReliableClient, ReliableOutcome, TransferOptions};
+pub use protocol::{Command, Reply};
+pub use ranges::RangeSet;
+pub use server::{GridFtpServer, ServerConfig};
+pub use url::GridUrl;
+
+pub use simxfer::{
+    cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled,
+    GridFtpSim, HasGridFtp, TransferError, TransferHandle, TransferResult, TransferSpec,
+};

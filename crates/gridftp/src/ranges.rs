@@ -1,0 +1,276 @@
+//! Byte-range bookkeeping for restartable transfers.
+//!
+//! GridFTP's "support for reliable and restartable data transfer" (§6.1)
+//! rests on restart markers: the receiver tracks which byte ranges have
+//! landed (extended block mode delivers out of order across parallel
+//! streams), and on restart asks only for the holes. [`RangeSet`] is that
+//! bookkeeping: a normalized set of disjoint half-open `[start, end)`
+//! ranges.
+
+use std::fmt;
+
+/// A normalized set of disjoint, sorted, non-adjacent byte ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    ranges: Vec<(u64, u64)>, // half-open [start, end)
+}
+
+impl RangeSet {
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// A set covering `[0, len)`.
+    pub fn full(len: u64) -> Self {
+        let mut s = RangeSet::new();
+        s.insert(0, len);
+        s
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn span_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping/adjacent ranges.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all ranges overlapping or adjacent.
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut remove_from = None;
+        let mut remove_to = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < start {
+                // strictly before (not adjacent)
+                i += 1;
+                continue;
+            }
+            if s > end {
+                break;
+            }
+            // Overlapping or adjacent.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            if remove_from.is_none() {
+                remove_from = Some(i);
+            }
+            remove_to = i + 1;
+            i += 1;
+        }
+        match remove_from {
+            Some(from) => {
+                self.ranges.drain(from..remove_to);
+                self.ranges.insert(from, (new_start, new_end));
+            }
+            None => {
+                let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
+                self.ranges.insert(pos, (new_start, new_end));
+            }
+        }
+    }
+
+    /// Whether `[start, end)` is fully covered.
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        self.ranges
+            .iter()
+            .any(|&(s, e)| s <= start && end <= e)
+    }
+
+    /// Whether the set covers exactly `[0, len)`.
+    pub fn is_complete(&self, len: u64) -> bool {
+        len == 0 || (self.ranges.len() == 1 && self.ranges[0] == (0, len))
+    }
+
+    /// The holes in `[0, len)` not covered by this set.
+    pub fn gaps(&self, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for &(s, e) in &self.ranges {
+            if s >= len {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(len)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < len {
+            out.push((cursor, len));
+        }
+        out
+    }
+
+    /// Iterate the covered ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// GridFTP restart-marker syntax: `0-99,200-299` (inclusive ends on the
+    /// wire, half-open internally).
+    pub fn to_marker(&self) -> String {
+        let parts: Vec<String> = self
+            .ranges
+            .iter()
+            .map(|&(s, e)| format!("{}-{}", s, e - 1))
+            .collect();
+        parts.join(",")
+    }
+
+    /// Parse restart-marker syntax.
+    pub fn from_marker(s: &str) -> Option<RangeSet> {
+        let mut set = RangeSet::new();
+        let s = s.trim();
+        if s.is_empty() {
+            return Some(set);
+        }
+        for part in s.split(',') {
+            let (a, b) = part.trim().split_once('-')?;
+            let start: u64 = a.trim().parse().ok()?;
+            let end_incl: u64 = b.trim().parse().ok()?;
+            if end_incl < start {
+                return None;
+            }
+            set.insert(start, end_incl + 1);
+        }
+        Some(set)
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_disjoint_sorted() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        r.insert(0, 5);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 5), (10, 20), (30, 40)]);
+        assert_eq!(r.total(), 25);
+        assert_eq!(r.span_count(), 3);
+    }
+
+    #[test]
+    fn overlapping_merges() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(5, 15);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 15)]);
+    }
+
+    #[test]
+    fn adjacent_merges() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(10, 20);
+        assert_eq!(r.span_count(), 1);
+        assert!(r.is_complete(20));
+    }
+
+    #[test]
+    fn bridge_merges_three() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 30);
+        r.insert(10, 20);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 30)]);
+    }
+
+    #[test]
+    fn empty_insert_ignored() {
+        let mut r = RangeSet::new();
+        r.insert(5, 5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn contains_and_complete() {
+        let mut r = RangeSet::new();
+        r.insert(0, 100);
+        assert!(r.contains(0, 100));
+        assert!(r.contains(10, 20));
+        assert!(!r.contains(50, 150));
+        assert!(r.is_complete(100));
+        assert!(!r.is_complete(101));
+        assert!(RangeSet::new().is_complete(0));
+    }
+
+    #[test]
+    fn gaps_found() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.gaps(50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(r.gaps(15), vec![(0, 10)]);
+        assert_eq!(RangeSet::full(10).gaps(10), Vec::new());
+        assert_eq!(RangeSet::new().gaps(5), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn marker_round_trip() {
+        let mut r = RangeSet::new();
+        r.insert(0, 100);
+        r.insert(200, 300);
+        let m = r.to_marker();
+        assert_eq!(m, "0-99,200-299");
+        assert_eq!(RangeSet::from_marker(&m).unwrap(), r);
+        assert_eq!(RangeSet::from_marker("").unwrap(), RangeSet::new());
+        assert!(RangeSet::from_marker("5-2").is_none());
+        assert!(RangeSet::from_marker("abc").is_none());
+    }
+
+    #[test]
+    fn out_of_order_blocks_complete() {
+        // Simulate 4 parallel streams delivering interleaved blocks.
+        let mut r = RangeSet::new();
+        let block = 64u64;
+        let total = 64 * 40;
+        for stream in 0..4u64 {
+            for i in 0..10u64 {
+                let start = (i * 4 + stream) * block;
+                r.insert(start, start + block);
+            }
+        }
+        assert!(r.is_complete(total));
+    }
+
+    #[test]
+    fn random_insertion_order_normalizes() {
+        // Deterministic pseudo-shuffle of 100 blocks.
+        let mut order: Vec<u64> = (0..100).collect();
+        for i in 0..order.len() {
+            let j = (i * 37 + 11) % order.len();
+            order.swap(i, j);
+        }
+        let mut r = RangeSet::new();
+        for b in order {
+            r.insert(b * 10, b * 10 + 10);
+        }
+        assert!(r.is_complete(1000));
+        assert_eq!(r.span_count(), 1);
+    }
+}

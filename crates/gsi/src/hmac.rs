@@ -1,0 +1,105 @@
+//! HMAC-SHA-256 (RFC 2104) for message authentication and key derivation.
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA-256 of `data` under `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two MACs.
+pub fn verify_mac(expected: &[u8; 32], actual: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Simple HKDF-like key derivation: expand a shared secret into labelled
+/// session keys (`derive(secret, "data-integrity")`, etc.).
+pub fn derive_key(secret: &[u8], label: &str) -> [u8; 32] {
+    hmac_sha256(secret, label.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b_u8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_long_key() {
+        // Case 6: 131-byte key (forces the key-hashing path).
+        let key = [0xaa_u8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_detects_mismatch() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        b[31] ^= 1;
+        assert!(verify_mac(&a, &a.clone()));
+        assert!(!verify_mac(&a, &b));
+    }
+
+    #[test]
+    fn derived_keys_differ_by_label() {
+        let s = b"shared secret";
+        assert_ne!(derive_key(s, "integrity"), derive_key(s, "confidentiality"));
+        assert_eq!(derive_key(s, "integrity"), derive_key(s, "integrity"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Bandwidth accounting: cumulative byte curves and windowed statistics.
+//!
+//! Table 1 of the paper reports "peak transfer rate over 0.1 seconds",
+//! "peak transfer rate over 5 seconds", "sustained transfer rate over
+//! 1 hour" and "total data transferred in 1 hour" — all derived from one
+//! cumulative bytes-vs-time curve measured by SciNET instrumentation.
+//! [`BandwidthMeter`] records that curve (piecewise linear between samples)
+//! and computes the same statistics exactly.
+
+use esg_simnet::{SimDuration, SimTime};
+
+/// Records a monotone cumulative-bytes curve and answers rate queries.
+#[derive(Debug, Default, Clone)]
+pub struct BandwidthMeter {
+    /// (time, cumulative bytes) samples, strictly increasing in time,
+    /// non-decreasing in bytes.
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl BandwidthMeter {
+    pub fn new() -> Self {
+        BandwidthMeter::default()
+    }
+
+    /// Record the cumulative byte count at `time`. Out-of-order or
+    /// regressing samples are rejected with a panic in debug builds and
+    /// ignored in release builds.
+    pub fn record(&mut self, time: SimTime, cumulative_bytes: f64) {
+        if let Some(&(t, b)) = self.samples.last() {
+            debug_assert!(time >= t, "samples must be time-ordered");
+            debug_assert!(cumulative_bytes + 1e-6 >= b, "cumulative bytes regressed");
+            if time < t || cumulative_bytes < b {
+                return;
+            }
+            if time == t {
+                // Replace: same-instant update.
+                self.samples.last_mut().unwrap().1 = cumulative_bytes;
+                return;
+            }
+        }
+        self.samples.push((time, cumulative_bytes));
+    }
+
+    /// Convenience: add a byte delta at `time`.
+    pub fn add(&mut self, time: SimTime, delta: f64) {
+        let last = self.samples.last().map_or(0.0, |&(_, b)| b);
+        self.record(time, last + delta);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.len() < 2
+    }
+
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// First and last sample times.
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&(a, _)), Some(&(b, _))) if b > a => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Cumulative bytes at `t`, interpolating linearly between samples and
+    /// clamping outside the recorded span.
+    pub fn bytes_at(&self, t: SimTime) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let first = self.samples[0];
+        let last = *self.samples.last().unwrap();
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        // Binary search for the segment containing t.
+        let idx = self.samples.partition_point(|&(st, _)| st <= t);
+        let (t0, b0) = self.samples[idx - 1];
+        let (t1, b1) = self.samples[idx];
+        let frac = t.since(t0).as_secs_f64() / t1.since(t0).as_secs_f64();
+        b0 + (b1 - b0) * frac
+    }
+
+    /// Total bytes moved in `[from, to]`.
+    pub fn bytes_between(&self, from: SimTime, to: SimTime) -> f64 {
+        (self.bytes_at(to) - self.bytes_at(from)).max(0.0)
+    }
+
+    /// Mean rate over `[from, to]` in bytes/sec.
+    pub fn mean_rate(&self, from: SimTime, to: SimTime) -> f64 {
+        let dt = to.since(from).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_between(from, to) / dt
+    }
+
+    /// Peak rate over any window of length `window` within the recorded
+    /// span, in bytes/sec. Evaluates windows anchored at every sample
+    /// boundary, which is exact for a piecewise-linear curve.
+    pub fn peak_rate(&self, window: SimDuration) -> f64 {
+        let Some((start, end)) = self.span() else {
+            return 0.0;
+        };
+        if window.is_zero() || end.since(start) < window {
+            return self.mean_rate(start, end);
+        }
+        let w = window.as_secs_f64();
+        let mut peak: f64 = 0.0;
+        // Candidate window starts: every sample time (clamped) and every
+        // sample time minus the window. For a piecewise-linear cumulative
+        // curve the maximum of B(t+w)-B(t) occurs with t or t+w at a knot.
+        let mut consider = |t: SimTime| {
+            if t < start {
+                return;
+            }
+            let t_end = t + window;
+            if t_end > end {
+                return;
+            }
+            let rate = self.bytes_between(t, t_end) / w;
+            if rate > peak {
+                peak = rate;
+            }
+        };
+        for &(t, _) in &self.samples {
+            consider(t);
+            if t.since(start) >= window {
+                consider(SimTime(t.as_nanos() - window.as_nanos()));
+            }
+        }
+        // Also the very end.
+        consider(SimTime(end.as_nanos().saturating_sub(window.as_nanos())));
+        peak
+    }
+
+    /// Binned rate series: one `(bin_start, mean rate)` point per `bin`
+    /// across the recorded span. This is the Figure 8 series.
+    pub fn series(&self, bin: SimDuration) -> Vec<(SimTime, f64)> {
+        let Some((start, end)) = self.span() else {
+            return Vec::new();
+        };
+        assert!(!bin.is_zero(), "bin must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let t_next = (t + bin).min(end);
+            out.push((t, self.mean_rate(t, t_next)));
+            t += bin;
+        }
+        out
+    }
+
+    /// Export the binned series as CSV: `time_s,rate_mbps`.
+    pub fn series_csv(&self, bin: SimDuration) -> String {
+        let mut s = String::from("time_s,rate_mbps\n");
+        for (t, rate) in self.series(bin) {
+            use std::fmt::Write;
+            writeln!(s, "{:.3},{:.3}", t.as_secs_f64(), rate * 8.0 / 1e6).unwrap();
+        }
+        s
+    }
+}
+
+/// Convert bytes/sec to the paper's Mb/s (megabits, decimal).
+pub fn to_mbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0 / 1e6
+}
+
+/// Convert bytes/sec to Gb/s.
+pub fn to_gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter_linear(rate: f64, secs: u64) -> BandwidthMeter {
+        let mut m = BandwidthMeter::new();
+        for s in 0..=secs {
+            m.record(SimTime::from_secs(s), rate * s as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn mean_rate_of_constant_curve() {
+        let m = meter_linear(100.0, 10);
+        assert!((m.mean_rate(SimTime::ZERO, SimTime::from_secs(10)) - 100.0).abs() < 1e-9);
+        assert!(
+            (m.mean_rate(SimTime::from_secs(2), SimTime::from_secs(7)) - 100.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::ZERO, 0.0);
+        m.record(SimTime::from_secs(10), 1000.0);
+        assert!((m.bytes_at(SimTime::from_secs(5)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_outside_span() {
+        let m = meter_linear(10.0, 5);
+        assert_eq!(m.bytes_at(SimTime::from_secs(100)), 50.0);
+        assert_eq!(m.bytes_at(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn peak_finds_burst() {
+        // 10 s at 10 B/s, then 1 s burst at 1000 B/s, then 10 s at 10 B/s.
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::ZERO, 0.0);
+        m.record(SimTime::from_secs(10), 100.0);
+        m.record(SimTime::from_secs(11), 1100.0);
+        m.record(SimTime::from_secs(21), 1200.0);
+        let peak1 = m.peak_rate(SimDuration::from_secs(1));
+        assert!((peak1 - 1000.0).abs() < 1e-6, "{peak1}");
+        // Over 5 s windows the burst is diluted.
+        let peak5 = m.peak_rate(SimDuration::from_secs(5));
+        assert!(peak5 < 250.0 && peak5 > 200.0, "{peak5}");
+        // Sustained over everything.
+        let sustained = m.mean_rate(SimTime::ZERO, SimTime::from_secs(21));
+        assert!((sustained - 1200.0 / 21.0).abs() < 1e-6);
+        // Peaks over shorter windows never lose to longer windows.
+        assert!(peak1 >= peak5);
+    }
+
+    #[test]
+    fn peak_window_longer_than_span_falls_back_to_mean() {
+        let m = meter_linear(50.0, 2);
+        let p = m.peak_rate(SimDuration::from_secs(100));
+        assert!((p - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_bins() {
+        let m = meter_linear(100.0, 10);
+        let series = m.series(SimDuration::from_secs(2));
+        assert_eq!(series.len(), 5);
+        for (_, rate) in series {
+            assert!((rate - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let m = meter_linear(1e6, 2);
+        let csv = m.series_csv(SimDuration::from_secs(1));
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_s,rate_mbps"));
+        assert_eq!(lines.next(), Some("0.000,8.000"));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = BandwidthMeter::new();
+        m.add(SimTime::ZERO, 0.0);
+        m.add(SimTime::from_secs(1), 500.0);
+        m.add(SimTime::from_secs(2), 500.0);
+        assert_eq!(m.bytes_at(SimTime::from_secs(2)), 1000.0);
+    }
+
+    #[test]
+    fn same_instant_update_replaces() {
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::ZERO, 0.0);
+        m.record(SimTime::from_secs(1), 10.0);
+        m.record(SimTime::from_secs(1), 20.0);
+        assert_eq!(m.bytes_at(SimTime::from_secs(1)), 20.0);
+        assert_eq!(m.sample_count(), 2);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((to_mbps(512.9e6 / 8.0) - 512.9).abs() < 1e-9);
+        assert!((to_gbps(1.55e9 / 8.0) - 1.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_is_harmless() {
+        let m = BandwidthMeter::new();
+        assert_eq!(m.peak_rate(SimDuration::from_secs(1)), 0.0);
+        assert!(m.series(SimDuration::from_secs(1)).is_empty());
+        assert_eq!(m.span(), None);
+    }
+}

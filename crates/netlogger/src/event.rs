@@ -1,0 +1,220 @@
+//! NetLogger-style structured events.
+//!
+//! NetLogger [Gunter et al., 2000] records timestamped key-value events from
+//! every component of a distributed system and correlates them afterwards —
+//! it produced the paper's Figure 8. We reproduce its event model: an event
+//! has a time, a dotted event name (`gridftp.transfer.start`), and a flat
+//! set of string/number fields.
+
+use esg_simnet::SimTime;
+use std::fmt;
+
+/// A field value: NetLogger fields are strings or numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Num(f64),
+    Int(i64),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    pub time: SimTime,
+    pub name: String,
+    pub fields: Vec<(String, Value)>,
+}
+
+impl LogEvent {
+    pub fn new(time: SimTime, name: impl Into<String>) -> Self {
+        LogEvent {
+            time,
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::Num(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// NetLogger ULM text format:
+    /// `DATE=<secs> EVNT=<name> KEY=VALUE ...`
+    pub fn to_ulm(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        write!(s, "DATE={:.6} EVNT={}", self.time.as_secs_f64(), self.name).unwrap();
+        for (k, v) in &self.fields {
+            write!(s, " {}={}", k.to_uppercase(), v).unwrap();
+        }
+        s
+    }
+}
+
+/// An append-only event log with simple queries.
+#[derive(Debug, Default, Clone)]
+pub struct NetLog {
+    events: Vec<LogEvent>,
+}
+
+impl NetLog {
+    pub fn new() -> Self {
+        NetLog::default()
+    }
+
+    pub fn push(&mut self, event: LogEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.time <= event.time),
+            "events must be appended in time order"
+        );
+        self.events.push(event);
+    }
+
+    pub fn log(&mut self, time: SimTime, name: impl Into<String>) -> &mut Self {
+        self.push(LogEvent::new(time, name));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &LogEvent> {
+        self.events.iter()
+    }
+
+    /// Events with the given name.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a LogEvent> + 'a {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Events in the half-open interval `[from, to)`.
+    pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &LogEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.time >= from && e.time < to)
+    }
+
+    /// Export everything in NetLogger's ULM text format.
+    pub fn to_ulm(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_ulm());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_getters() {
+        let e = LogEvent::new(SimTime::from_secs(1), "gridftp.transfer.start")
+            .field("host", "dallas0")
+            .field("bytes", 2_000_000_000u64)
+            .field("rate", 55.5);
+        assert_eq!(e.get("host"), Some(&Value::Str("dallas0".into())));
+        assert_eq!(e.get_num("bytes"), Some(2e9));
+        assert_eq!(e.get_num("rate"), Some(55.5));
+        assert_eq!(e.get_num("host"), None);
+        assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn ulm_format() {
+        let e = LogEvent::new(SimTime::from_secs_f64(1.5), "x.y").field("n", 3u64);
+        assert_eq!(e.to_ulm(), "DATE=1.500000 EVNT=x.y N=3");
+    }
+
+    #[test]
+    fn log_queries() {
+        let mut log = NetLog::new();
+        for i in 0..10u64 {
+            let name = if i % 2 == 0 { "even" } else { "odd" };
+            log.push(LogEvent::new(SimTime::from_secs(i), name).field("i", i));
+        }
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.named("even").count(), 5);
+        assert_eq!(
+            log.between(SimTime::from_secs(2), SimTime::from_secs(5))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn ulm_export_lines() {
+        let mut log = NetLog::new();
+        log.log(SimTime::ZERO, "a");
+        log.log(SimTime::from_secs(1), "b");
+        let text = log.to_ulm();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("DATE=0.000000 EVNT=a"));
+    }
+}

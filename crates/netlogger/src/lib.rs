@@ -1,0 +1,12 @@
+//! # esg-netlogger — instrumentation and bandwidth statistics
+//!
+//! A reproduction of the role NetLogger (ref. \[13\] in the paper) played: structured
+//! timestamped events from every component ([`event`]) and the cumulative
+//! byte curves + windowed rate statistics behind Table 1 and Figure 8
+//! ([`bandwidth`]).
+
+pub mod bandwidth;
+pub mod event;
+
+pub use bandwidth::{to_gbps, to_mbps, BandwidthMeter};
+pub use event::{LogEvent, NetLog, Value};

@@ -1,0 +1,468 @@
+//! The Globus replica catalog.
+//!
+//! "The catalog registers three types of entries: logical collections,
+//! locations, and logical files." (§6.2) Figure 6 shows the layout this
+//! module reproduces over the LDAP substrate:
+//!
+//! ```text
+//! rc=ESG Replica Catalog, o=Grid
+//! ├── lc=CO2 measurements 1998
+//! │   ├── loc=jupiter.isi.edu     (partial collection)
+//! │   ├── loc=sprite.llnl.gov    (complete collection)
+//! │   ├── lf=jan_1998.nc  (size=1.5 GB)
+//! │   └── lf=feb_1998.nc  ...
+//! └── lc=CO2 measurements 1999 ...
+//! ```
+//!
+//! Location entries carry "all information (protocol, hostname, port, path)
+//! required to map from logical names for files to URLs". Logical-file
+//! entries are optional in the real catalog (scalability); here they store
+//! per-file sizes.
+
+use esg_directory::{Directory, Dn, Entry, Filter, Scope};
+use esg_gridftp::GridUrl;
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    NoSuchCollection(String),
+    NoSuchLocation(String),
+    NoSuchFile(String),
+    AlreadyExists(String),
+    Directory(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::NoSuchCollection(c) => write!(f, "no such collection: {c}"),
+            CatalogError::NoSuchLocation(l) => write!(f, "no such location: {l}"),
+            CatalogError::NoSuchFile(x) => write!(f, "no such logical file: {x}"),
+            CatalogError::AlreadyExists(x) => write!(f, "already exists: {x}"),
+            CatalogError::Directory(e) => write!(f, "directory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A physical replica of a logical file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replica {
+    pub collection: String,
+    pub location: String,
+    pub host: String,
+    pub url: GridUrl,
+}
+
+/// The replica catalog, owning its directory subtree.
+#[derive(Debug, Default)]
+pub struct ReplicaCatalog {
+    dir: Directory,
+}
+
+fn rc_base() -> Dn {
+    Dn::parse("rc=ESG Replica Catalog, o=Grid").expect("static DN")
+}
+
+impl ReplicaCatalog {
+    pub fn new() -> Self {
+        let mut dir = Directory::new();
+        dir.add_with_ancestors(
+            Entry::new(rc_base()).with("objectclass", "GlobusReplicaCatalog"),
+        )
+        .expect("fresh directory");
+        ReplicaCatalog { dir }
+    }
+
+    /// Access to the underlying directory (for MDS co-hosting, dumps).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Dump the whole catalog as LDIF (how 2001 LDAP catalogs were
+    /// administered and replicated between sites).
+    pub fn to_ldif(&self) -> String {
+        esg_directory::ldif_dump(&self.dir)
+    }
+
+    /// Rebuild a catalog from an LDIF dump.
+    pub fn from_ldif(text: &str) -> Result<ReplicaCatalog, CatalogError> {
+        let mut dir = Directory::new();
+        esg_directory::ldif_load(&mut dir, text)
+            .map_err(|e| CatalogError::Directory(e.to_string()))?;
+        if dir.get(&rc_base()).is_none() {
+            return Err(CatalogError::Directory(
+                "LDIF does not contain the replica catalog base".into(),
+            ));
+        }
+        Ok(ReplicaCatalog { dir })
+    }
+
+    fn collection_dn(name: &str) -> Dn {
+        rc_base().child("lc", name)
+    }
+
+    fn location_dn(collection: &str, location: &str) -> Dn {
+        Self::collection_dn(collection).child("loc", location)
+    }
+
+    fn file_dn(collection: &str, file: &str) -> Dn {
+        Self::collection_dn(collection).child("lf", file)
+    }
+
+    /// Create a logical collection.
+    pub fn create_collection(&mut self, name: &str) -> Result<(), CatalogError> {
+        self.dir
+            .add(
+                Entry::new(Self::collection_dn(name))
+                    .with("objectclass", "GlobusReplicaLogicalCollection"),
+            )
+            .map_err(|_| CatalogError::AlreadyExists(name.to_string()))
+    }
+
+    /// All logical collection names.
+    pub fn collections(&self) -> Vec<String> {
+        let f = Filter::eq("objectclass", "GlobusReplicaLogicalCollection");
+        self.dir
+            .search(&rc_base(), Scope::OneLevel, &f)
+            .into_iter()
+            .map(|e| e.dn.leaf().unwrap().value.clone())
+            .collect()
+    }
+
+    /// Register a logical file (name + size) in a collection. The file
+    /// name is also appended to the collection's `filename` attribute —
+    /// the catalog's fast membership list.
+    pub fn add_logical_file(
+        &mut self,
+        collection: &str,
+        file: &str,
+        size: u64,
+    ) -> Result<(), CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        if self.dir.get(&cdn).is_none() {
+            return Err(CatalogError::NoSuchCollection(collection.to_string()));
+        }
+        self.dir
+            .add(
+                Entry::new(Self::file_dn(collection, file))
+                    .with("objectclass", "GlobusReplicaLogicalFile")
+                    .with("size", size.to_string()),
+            )
+            .map_err(|_| CatalogError::AlreadyExists(file.to_string()))?;
+        self.dir
+            .modify(&cdn, |e| e.add("filename", file))
+            .map_err(|e| CatalogError::Directory(e.to_string()))
+    }
+
+    /// Logical files in a collection.
+    pub fn logical_files(&self, collection: &str) -> Result<Vec<String>, CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        let entry = self
+            .dir
+            .get(&cdn)
+            .ok_or_else(|| CatalogError::NoSuchCollection(collection.to_string()))?;
+        Ok(entry.values("filename").to_vec())
+    }
+
+    /// Size of a logical file.
+    pub fn file_size(&self, collection: &str, file: &str) -> Result<u64, CatalogError> {
+        let entry = self
+            .dir
+            .get(&Self::file_dn(collection, file))
+            .ok_or_else(|| CatalogError::NoSuchFile(file.to_string()))?;
+        entry
+            .first_u64("size")
+            .ok_or_else(|| CatalogError::Directory("missing size".into()))
+    }
+
+    /// Register a (possibly partial) physical location of a collection.
+    /// `base_url`'s path is the directory prefix on the storage system.
+    pub fn register_location(
+        &mut self,
+        collection: &str,
+        location: &str,
+        base_url: &GridUrl,
+        files: &[&str],
+    ) -> Result<(), CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        if self.dir.get(&cdn).is_none() {
+            return Err(CatalogError::NoSuchCollection(collection.to_string()));
+        }
+        let mut entry = Entry::new(Self::location_dn(collection, location))
+            .with("objectclass", "GlobusReplicaLocation")
+            .with("protocol", base_url.scheme.clone())
+            .with("hostname", base_url.host.clone())
+            .with("port", base_url.port.to_string())
+            .with("path", base_url.path.clone());
+        for f in files {
+            entry.add("filename", *f);
+        }
+        self.dir
+            .add(entry)
+            .map_err(|_| CatalogError::AlreadyExists(location.to_string()))
+    }
+
+    /// Add a file to an existing location (e.g. after replication).
+    pub fn add_file_to_location(
+        &mut self,
+        collection: &str,
+        location: &str,
+        file: &str,
+    ) -> Result<(), CatalogError> {
+        self.dir
+            .modify(&Self::location_dn(collection, location), |e| {
+                e.add("filename", file)
+            })
+            .map_err(|_| CatalogError::NoSuchLocation(location.to_string()))
+    }
+
+    /// Remove a file from a location (partial deletion).
+    pub fn remove_file_from_location(
+        &mut self,
+        collection: &str,
+        location: &str,
+        file: &str,
+    ) -> Result<bool, CatalogError> {
+        let mut removed = false;
+        self.dir
+            .modify(&Self::location_dn(collection, location), |e| {
+                removed = e.remove_value("filename", file);
+            })
+            .map_err(|_| CatalogError::NoSuchLocation(location.to_string()))?;
+        Ok(removed)
+    }
+
+    /// Delete a location entirely.
+    pub fn unregister_location(
+        &mut self,
+        collection: &str,
+        location: &str,
+    ) -> Result<(), CatalogError> {
+        self.dir
+            .delete(&Self::location_dn(collection, location))
+            .map(|_| ())
+            .map_err(|_| CatalogError::NoSuchLocation(location.to_string()))
+    }
+
+    /// Locations (names) registered for a collection.
+    pub fn locations(&self, collection: &str) -> Result<Vec<String>, CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        if self.dir.get(&cdn).is_none() {
+            return Err(CatalogError::NoSuchCollection(collection.to_string()));
+        }
+        let f = Filter::eq("objectclass", "GlobusReplicaLocation");
+        Ok(self
+            .dir
+            .search(&cdn, Scope::OneLevel, &f)
+            .into_iter()
+            .map(|e| e.dn.leaf().unwrap().value.clone())
+            .collect())
+    }
+
+    /// Core query: every replica of a logical file, with its URL.
+    ///
+    /// This is step (1) of the request manager's per-file worker: "it finds
+    /// all replicas for the file from the Replica Catalog using an LDAP
+    /// protocol" (§4).
+    pub fn lookup_replicas(
+        &self,
+        collection: &str,
+        file: &str,
+    ) -> Result<Vec<Replica>, CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        if self.dir.get(&cdn).is_none() {
+            return Err(CatalogError::NoSuchCollection(collection.to_string()));
+        }
+        let f = Filter::And(vec![
+            Filter::eq("objectclass", "GlobusReplicaLocation"),
+            Filter::eq("filename", file),
+        ]);
+        let hits = self.dir.search(&cdn, Scope::OneLevel, &f);
+        Ok(hits
+            .into_iter()
+            .map(|e| {
+                let host = e.first("hostname").unwrap_or("").to_string();
+                let port: u16 = e
+                    .first("port")
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or(esg_gridftp::url::DEFAULT_PORT);
+                let prefix = e.first("path").unwrap_or("");
+                let full_path = if prefix.is_empty() {
+                    file.to_string()
+                } else {
+                    format!("{}/{}", prefix.trim_end_matches('/'), file)
+                };
+                let mut url = GridUrl::new(host.clone(), full_path);
+                url.scheme = e.first("protocol").unwrap_or("gsiftp").to_string();
+                url.port = port;
+                Replica {
+                    collection: collection.to_string(),
+                    location: e.dn.leaf().unwrap().value.clone(),
+                    host,
+                    url,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example of the paper's Figure 6.
+    fn figure6() -> ReplicaCatalog {
+        let mut rc = ReplicaCatalog::new();
+        rc.create_collection("CO2 measurements 1998").unwrap();
+        rc.create_collection("CO2 measurements 1999").unwrap();
+        for month in ["jan_1998.nc", "feb_1998.nc", "mar_1998.nc"] {
+            rc.add_logical_file("CO2 measurements 1998", month, 1_500_000_000)
+                .unwrap();
+        }
+        // Partial collection at ISI, complete at LLNL.
+        rc.register_location(
+            "CO2 measurements 1998",
+            "jupiter",
+            &GridUrl::new("jupiter.isi.edu", "/data/co2/1998"),
+            &["jan_1998.nc", "feb_1998.nc"],
+        )
+        .unwrap();
+        rc.register_location(
+            "CO2 measurements 1998",
+            "sprite",
+            &GridUrl::new("sprite.llnl.gov", "/pcmdi/co2-98"),
+            &["jan_1998.nc", "feb_1998.nc", "mar_1998.nc"],
+        )
+        .unwrap();
+        rc
+    }
+
+    #[test]
+    fn collections_listed() {
+        let rc = figure6();
+        let mut cols = rc.collections();
+        cols.sort();
+        assert_eq!(
+            cols,
+            vec!["CO2 measurements 1998", "CO2 measurements 1999"]
+        );
+    }
+
+    #[test]
+    fn duplicate_collection_rejected() {
+        let mut rc = figure6();
+        assert!(matches!(
+            rc.create_collection("CO2 measurements 1998"),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn logical_files_and_sizes() {
+        let rc = figure6();
+        let files = rc.logical_files("CO2 measurements 1998").unwrap();
+        assert_eq!(files.len(), 3);
+        assert_eq!(
+            rc.file_size("CO2 measurements 1998", "jan_1998.nc").unwrap(),
+            1_500_000_000
+        );
+        assert!(rc.file_size("CO2 measurements 1998", "ghost.nc").is_err());
+        assert!(rc.logical_files("nope").is_err());
+    }
+
+    #[test]
+    fn replica_lookup_both_sites() {
+        let rc = figure6();
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        assert_eq!(reps.len(), 2);
+        let hosts: Vec<&str> = reps.iter().map(|r| r.host.as_str()).collect();
+        assert!(hosts.contains(&"jupiter.isi.edu"));
+        assert!(hosts.contains(&"sprite.llnl.gov"));
+        let jupiter = reps.iter().find(|r| r.host == "jupiter.isi.edu").unwrap();
+        assert_eq!(
+            jupiter.url.to_string(),
+            "gsiftp://jupiter.isi.edu/data/co2/1998/jan_1998.nc"
+        );
+    }
+
+    #[test]
+    fn partial_collection_respected() {
+        let rc = figure6();
+        // mar is only at LLNL (jupiter holds a partial collection).
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "mar_1998.nc")
+            .unwrap();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].host, "sprite.llnl.gov");
+    }
+
+    #[test]
+    fn replication_registers_new_copy() {
+        let mut rc = figure6();
+        rc.add_file_to_location("CO2 measurements 1998", "jupiter", "mar_1998.nc")
+            .unwrap();
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "mar_1998.nc")
+            .unwrap();
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn removal_and_unregister() {
+        let mut rc = figure6();
+        assert!(rc
+            .remove_file_from_location("CO2 measurements 1998", "jupiter", "jan_1998.nc")
+            .unwrap());
+        assert!(!rc
+            .remove_file_from_location("CO2 measurements 1998", "jupiter", "jan_1998.nc")
+            .unwrap());
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        assert_eq!(reps.len(), 1);
+        rc.unregister_location("CO2 measurements 1998", "jupiter")
+            .unwrap();
+        assert_eq!(rc.locations("CO2 measurements 1998").unwrap().len(), 1);
+        assert!(rc
+            .unregister_location("CO2 measurements 1998", "jupiter")
+            .is_err());
+    }
+
+    #[test]
+    fn missing_file_has_no_replicas() {
+        let rc = figure6();
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "ghost.nc")
+            .unwrap();
+        assert!(reps.is_empty());
+    }
+
+    #[test]
+    fn ldif_round_trip_preserves_catalog() {
+        let rc = figure6();
+        let text = rc.to_ldif();
+        assert!(text.contains("GlobusReplicaLogicalCollection"));
+        let rc2 = ReplicaCatalog::from_ldif(&text).unwrap();
+        let reps = rc2
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(
+            rc2.file_size("CO2 measurements 1998", "jan_1998.nc").unwrap(),
+            1_500_000_000
+        );
+        assert!(ReplicaCatalog::from_ldif("dn: o=Nope\n").is_err());
+    }
+
+    #[test]
+    fn locations_listed() {
+        let rc = figure6();
+        let mut locs = rc.locations("CO2 measurements 1998").unwrap();
+        locs.sort();
+        assert_eq!(locs, vec!["jupiter", "sprite"]);
+    }
+}

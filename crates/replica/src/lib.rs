@@ -1,0 +1,19 @@
+//! # esg-replica — replica management
+//!
+//! "In a data grid environment that supports the management of, and
+//! distributed access to, huge data sets by thousands of researchers,
+//! management of replicated data is an important function." (§6.2)
+//!
+//! * [`catalog`] — the Globus replica catalog over the LDAP substrate:
+//!   logical collections, (possibly partial) location entries with
+//!   protocol/host/port/path attributes, optional logical-file entries
+//!   with sizes, and the logical-name → URL mapping.
+//! * [`selection`] — replica selection policies: the paper's
+//!   highest-NWS-bandwidth rule plus random/round-robin/lowest-latency
+//!   comparators for the selection-policy experiment.
+
+pub mod catalog;
+pub mod selection;
+
+pub use catalog::{CatalogError, Replica, ReplicaCatalog};
+pub use selection::{PathEstimate, Policy, ReplicaSelector};

@@ -1,0 +1,25 @@
+//! # esg-reqman — the Request Manager
+//!
+//! The collective-layer broker of the ESG prototype (LBNL): accepts
+//! multi-file requests from the CDAT client over a (simulated) CORBA hop,
+//! runs one worker per file — replica lookup, NWS consultation, replica
+//! selection, HRM tape staging, GridFTP initiation — monitors each transfer
+//! by polling delivered bytes "every few seconds", and applies the §7
+//! reliability plugin (failover to an alternate replica, resuming from the
+//! bytes already delivered).
+//!
+//! * [`manager`] — the RM itself and the per-file worker state machines.
+//! * [`monitor`] — the Figure 4 dynamic transfer monitor rendering.
+
+pub mod manager;
+pub mod monitor;
+pub mod planner;
+pub mod replication;
+
+pub use manager::{
+    submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld,
+    TransferTuning,
+};
+pub use monitor::render_monitor;
+pub use planner::plan_spread;
+pub use replication::{replicate_collection, ReplicationOutcome};

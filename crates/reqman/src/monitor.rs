@@ -1,0 +1,176 @@
+//! The dynamic transfer monitor (Figure 4).
+//!
+//! "Since the transfer of large files can take many minutes, a
+//! transfer-monitoring tool was developed to show the status of the request
+//! transfer dynamically. ... The top part of the screen shows for each file
+//! the amount transferred relative to the total file size. The middle part
+//! of the figure shows which replica locations have been selected ... At
+//! the bottom of the screen, messages about the initiation of replica
+//! selection and file transfer ... are displayed." (§4)
+
+use crate::manager::FileStatus;
+use esg_netlogger::NetLog;
+use esg_simnet::SimTime;
+use std::fmt::Write;
+
+const BAR_WIDTH: usize = 40;
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut x = b as f64;
+    let mut u = 0;
+    while x >= 1000.0 && u < UNITS.len() - 1 {
+        x /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{x:.1} {}", UNITS[u])
+    }
+}
+
+/// Render the three-pane monitor for a request's files.
+pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> String {
+    let mut out = String::new();
+    writeln!(out, "=== ESG Request Manager — transfer monitor (t={now}) ===").unwrap();
+    writeln!(out).unwrap();
+
+    // Top pane: per-file progress bars.
+    for f in files {
+        let frac = f.fraction().clamp(0.0, 1.0);
+        let filled = (frac * BAR_WIDTH as f64).round() as usize;
+        let bar: String = "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled);
+        let state = if f.done {
+            "done".to_string()
+        } else if let Some(t) = f.staging_until {
+            format!("staging (tape, ready {t})")
+        } else {
+            format!("{:3.0}%", frac * 100.0)
+        };
+        writeln!(
+            out,
+            "  {:<28} [{bar}] {:>9} / {:<9} {state}",
+            f.name,
+            human_bytes(f.bytes_done),
+            human_bytes(f.size),
+        )
+        .unwrap();
+    }
+    let total_done: u64 = files.iter().map(|f| f.bytes_done).sum();
+    let total: u64 = files.iter().map(|f| f.size).sum();
+    writeln!(
+        out,
+        "\n  total transferred: {} of {}",
+        human_bytes(total_done),
+        human_bytes(total)
+    )
+    .unwrap();
+
+    // Middle pane: selected replica locations.
+    writeln!(out, "\n--- replica selections ---").unwrap();
+    for f in files {
+        match &f.replica_host {
+            Some(h) => writeln!(
+                out,
+                "  {:<28} <- {h}{}",
+                f.name,
+                if f.attempts > 1 {
+                    format!("  (attempt {})", f.attempts)
+                } else {
+                    String::new()
+                }
+            )
+            .unwrap(),
+            None => writeln!(out, "  {:<28} <- (selecting...)", f.name).unwrap(),
+        }
+    }
+
+    // Bottom pane: recent event messages.
+    writeln!(out, "\n--- messages ---").unwrap();
+    let all: Vec<_> = log.iter().collect();
+    let start = all.len().saturating_sub(8);
+    for e in &all[start..] {
+        writeln!(out, "  [{:9.3}s] {}", e.time.as_secs_f64(), e.to_ulm()).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_netlogger::LogEvent;
+
+    fn file(name: &str, done: u64, size: u64) -> FileStatus {
+        FileStatus {
+            collection: "co2".into(),
+            name: name.into(),
+            size,
+            bytes_done: done,
+            replica_host: Some("sprite.llnl.gov".into()),
+            attempts: 1,
+            done: done >= size,
+            staging_until: None,
+        }
+    }
+
+    #[test]
+    fn renders_all_panes() {
+        let mut log = NetLog::new();
+        log.push(LogEvent::new(SimTime::from_secs(1), "rm.replica.selected").field("file", "a"));
+        let files = vec![file("jan.esg", 500, 1000), file("feb.esg", 1000, 1000)];
+        let text = render_monitor(SimTime::from_secs(2), &files, &log);
+        assert!(text.contains("transfer monitor"));
+        assert!(text.contains("jan.esg"));
+        assert!(text.contains(" 50%"));
+        assert!(text.contains("done"));
+        assert!(text.contains("replica selections"));
+        assert!(text.contains("sprite.llnl.gov"));
+        assert!(text.contains("messages"));
+        assert!(text.contains("rm.replica.selected"));
+    }
+
+    #[test]
+    fn bar_lengths_are_constant() {
+        let files = vec![file("x", 0, 100), file("y", 50, 100), file("z", 100, 100)];
+        let text = render_monitor(SimTime::ZERO, &files, &NetLog::new());
+        for line in text.lines().filter(|l| l.contains('[')) {
+            let open = line.find('[').unwrap();
+            let close = line.find(']').unwrap();
+            assert_eq!(close - open - 1, BAR_WIDTH, "{line}");
+        }
+    }
+
+    #[test]
+    fn staging_files_marked() {
+        let mut f = file("deep.esg", 0, 100);
+        f.staging_until = Some(SimTime::from_secs(60));
+        let text = render_monitor(SimTime::ZERO, &[f], &NetLog::new());
+        assert!(text.contains("staging (tape"));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1_500), "1.5 KB");
+        assert_eq!(human_bytes(2_000_000), "2.0 MB");
+        assert_eq!(human_bytes(230_800_000_000), "230.8 GB");
+    }
+
+    #[test]
+    fn zero_size_file_shows_complete() {
+        let f = FileStatus {
+            collection: "c".into(),
+            name: "empty".into(),
+            size: 0,
+            bytes_done: 0,
+            replica_host: None,
+            attempts: 0,
+            done: false,
+            staging_until: None,
+        };
+        assert_eq!(f.fraction(), 1.0);
+        let text = render_monitor(SimTime::ZERO, &[f], &NetLog::new());
+        assert!(text.contains("selecting"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Multi-site transfer planning.
+//!
+//! "The ability to transfer multiple files from various sites concurrently
+//! can enhance the aggregate transfer rate to a client. ... A RM can then
+//! plan concurrent file transfers to maximize the number of different
+//! sites from which files are obtained." (§4)
+//!
+//! The planner scores each candidate replica by its NWS bandwidth forecast
+//! *discounted by how many of this request's transfers are already pulling
+//! from that site*: with `k` concurrent pulls a site's remaining share is
+//! roughly `bw / (k + 1)`. Maximizing the discounted score spreads a
+//! multi-file request across sites while still respecting measured
+//! bandwidth differences.
+
+use esg_replica::{PathEstimate, Replica};
+use std::collections::HashMap;
+
+/// Score candidates and pick the best index, or `None` if empty.
+///
+/// `host_load[h]` = number of this request's in-flight transfers already
+/// assigned to host `h`. Unknown forecasts rank below all known ones (they
+/// still win if nothing has a forecast — first such candidate).
+pub fn plan_spread(
+    candidates: &[Replica],
+    estimates: &[PathEstimate],
+    host_load: &HashMap<String, usize>,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    assert_eq!(candidates.len(), estimates.len());
+    let mut best: Option<(usize, f64, usize)> = None; // (idx, score, load)
+    let mut best_unknown: Option<(usize, usize)> = None;
+    for (i, (cand, est)) in candidates.iter().zip(estimates).enumerate() {
+        let load = host_load.get(&cand.host).copied().unwrap_or(0);
+        match est.bandwidth {
+            Some(bw) => {
+                let score = bw / (load as f64 + 1.0);
+                if best.is_none_or(|(_, s, _)| score > s) {
+                    best = Some((i, score, load));
+                }
+            }
+            None => {
+                if best_unknown.is_none_or(|(_, l)| load < l) {
+                    best_unknown = Some((i, load));
+                }
+            }
+        }
+    }
+    best.map(|(i, _, _)| i).or(best_unknown.map(|(i, _)| i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_gridftp::GridUrl;
+
+    fn replicas(hosts: &[&str]) -> Vec<Replica> {
+        hosts
+            .iter()
+            .map(|h| Replica {
+                collection: "c".into(),
+                location: h.to_string(),
+                host: h.to_string(),
+                url: GridUrl::new(h.to_string(), "f"),
+            })
+            .collect()
+    }
+
+    fn est(bw: &[Option<f64>]) -> Vec<PathEstimate> {
+        bw.iter()
+            .map(|&b| PathEstimate {
+                bandwidth: b,
+                latency: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unloaded_picks_fastest() {
+        let reps = replicas(&["a", "b", "c"]);
+        let estimates = est(&[Some(10.0), Some(30.0), Some(20.0)]);
+        let load = HashMap::new();
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+    }
+
+    #[test]
+    fn load_discounts_the_fast_site() {
+        let reps = replicas(&["fast", "slow"]);
+        let estimates = est(&[Some(100.0), Some(60.0)]);
+        let mut load = HashMap::new();
+        // One pull already on `fast`: 100/2 = 50 < 60 → pick `slow`.
+        load.insert("fast".to_string(), 1);
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+    }
+
+    #[test]
+    fn equal_sites_spread_round_robin() {
+        let reps = replicas(&["a", "b", "c"]);
+        let estimates = est(&[Some(50.0), Some(50.0), Some(50.0)]);
+        let mut load: HashMap<String, usize> = HashMap::new();
+        let mut picks = Vec::new();
+        for _ in 0..6 {
+            let i = plan_spread(&reps, &estimates, &load).unwrap();
+            picks.push(i);
+            *load.entry(reps[i].host.clone()).or_default() += 1;
+        }
+        // Each site gets exactly two of the six assignments.
+        for host in ["a", "b", "c"] {
+            assert_eq!(load[host], 2, "{picks:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_only_wins_when_nothing_known() {
+        let reps = replicas(&["known", "unknown"]);
+        let estimates = est(&[Some(1.0), None]);
+        let load = HashMap::new();
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(0));
+        let estimates = est(&[None, None]);
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(0));
+    }
+
+    #[test]
+    fn unknowns_spread_by_load() {
+        let reps = replicas(&["a", "b"]);
+        let estimates = est(&[None, None]);
+        let mut load = HashMap::new();
+        load.insert("a".to_string(), 2);
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(plan_spread(&[], &[], &HashMap::new()), None);
+    }
+}

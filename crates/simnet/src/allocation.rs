@@ -1,0 +1,267 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Flow-level network simulation replaces per-packet dynamics with a
+//! bandwidth-sharing model: every active flow crosses a set of *resources*
+//! (link directions, NICs, host CPU budgets, disks), each with a finite
+//! capacity, and may additionally carry its own rate ceiling (TCP window /
+//! loss model). The allocator computes the classic max-min fair allocation:
+//! repeatedly find the most constrained resource, freeze the flows it
+//! bottlenecks at their fair share, subtract, and continue.
+
+/// One flow's view for the allocator: the resource indices it crosses and
+/// its intrinsic rate cap (bytes/sec; `f64::INFINITY` if uncapped).
+#[derive(Debug, Clone)]
+pub struct AllocFlow {
+    pub resources: Vec<usize>,
+    pub cap: f64,
+}
+
+/// Compute max-min fair rates.
+///
+/// `capacities[r]` is the capacity of resource `r` in bytes/sec (may be
+/// `f64::INFINITY`). Returns one rate per flow. Flows with an empty resource
+/// list (e.g. loopback transfers) get exactly their cap.
+pub fn max_min_fair(capacities: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
+    let nf = flows.len();
+    let nr = capacities.len();
+    let mut rate = vec![0.0_f64; nf];
+    let mut fixed = vec![false; nf];
+
+    // Remaining capacity per resource and number of unfixed flows on it.
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    let mut load: Vec<usize> = vec![0; nr];
+    for f in flows {
+        for &r in &f.resources {
+            load[r] += 1;
+        }
+    }
+
+    // Flows that cross no constrained resource are only bound by their cap.
+    for (i, f) in flows.iter().enumerate() {
+        if f.resources.is_empty() {
+            rate[i] = f.cap;
+            fixed[i] = true;
+        }
+    }
+
+    let mut unfixed = fixed.iter().filter(|&&x| !x).count();
+    while unfixed > 0 {
+        // Fair share the tightest resource could give each of its unfixed
+        // flows.
+        let mut bottleneck_share = f64::INFINITY;
+        for r in 0..nr {
+            if load[r] > 0 && remaining[r].is_finite() {
+                let share = (remaining[r] / load[r] as f64).max(0.0);
+                if share < bottleneck_share {
+                    bottleneck_share = share;
+                }
+            }
+        }
+
+        // Any unfixed flow whose own cap is at or below the bottleneck share
+        // is frozen at its cap first: it cannot use its full fair share, so
+        // freezing it releases capacity for others.
+        let mut froze_capped = false;
+        for i in 0..nf {
+            if !fixed[i] && flows[i].cap <= bottleneck_share {
+                freeze(i, flows[i].cap, flows, &mut rate, &mut fixed, &mut remaining, &mut load);
+                unfixed -= 1;
+                froze_capped = true;
+            }
+        }
+        if froze_capped {
+            continue;
+        }
+
+        if !bottleneck_share.is_finite() {
+            // No constrained resource left: everything remaining is bound
+            // only by its (infinite or large) cap.
+            for i in 0..nf {
+                if !fixed[i] {
+                    freeze(i, flows[i].cap, flows, &mut rate, &mut fixed, &mut remaining, &mut load);
+                }
+            }
+            break;
+        }
+
+        // Freeze every unfixed flow crossing a bottleneck resource at the
+        // bottleneck share.
+        let eps = bottleneck_share * 1e-12 + 1e-12;
+        let mut froze_any = false;
+        for r in 0..nr {
+            if load[r] == 0 || !remaining[r].is_finite() {
+                continue;
+            }
+            let share = remaining[r] / load[r] as f64;
+            if share <= bottleneck_share + eps {
+                // This resource is (one of) the bottleneck(s).
+                for i in 0..nf {
+                    if !fixed[i] && flows[i].resources.contains(&r) {
+                        freeze(
+                            i,
+                            bottleneck_share,
+                            flows,
+                            &mut rate,
+                            &mut fixed,
+                            &mut remaining,
+                            &mut load,
+                        );
+                        unfixed -= 1;
+                        froze_any = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling failed to make progress");
+        if !froze_any {
+            break;
+        }
+    }
+
+    rate
+}
+
+fn freeze(
+    i: usize,
+    r_rate: f64,
+    flows: &[AllocFlow],
+    rate: &mut [f64],
+    fixed: &mut [bool],
+    remaining: &mut [f64],
+    load: &mut [usize],
+) {
+    rate[i] = r_rate;
+    fixed[i] = true;
+    for &r in &flows[i].resources {
+        if remaining[r].is_finite() {
+            remaining[r] = (remaining[r] - r_rate).max(0.0);
+        }
+        load[r] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(resources: &[usize], cap: f64) -> AllocFlow {
+        AllocFlow {
+            resources: resources.to_vec(),
+            cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_link() {
+        let rates = max_min_fair(&[100.0], &[flow(&[0], f64::INFINITY)]);
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let rates = max_min_fair(
+            &[100.0],
+            &[flow(&[0], f64::INFINITY), flow(&[0], f64::INFINITY)],
+        );
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity() {
+        let rates = max_min_fair(
+            &[100.0],
+            &[flow(&[0], 10.0), flow(&[0], f64::INFINITY)],
+        );
+        assert_eq!(rates, vec![10.0, 90.0]);
+    }
+
+    #[test]
+    fn cap_equal_to_share_is_honoured() {
+        let rates = max_min_fair(&[100.0], &[flow(&[0], 50.0), flow(&[0], 50.0)]);
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck() {
+        // Flow 0 crosses both links; flow 1 only the second, wider one.
+        // Classic max-min: f0 limited by resource 0 at 30; f1 then gets 70.
+        let rates = max_min_fair(
+            &[30.0, 100.0],
+            &[flow(&[0, 1], f64::INFINITY), flow(&[1], f64::INFINITY)],
+        );
+        assert_eq!(rates, vec![30.0, 70.0]);
+    }
+
+    #[test]
+    fn three_flows_two_resources() {
+        // r0 = 60 shared by f0,f1; r1 = 100 shared by f1,f2.
+        // f0,f1 get 30 each from r0; f2 gets remaining 70 of r1.
+        let rates = max_min_fair(
+            &[60.0, 100.0],
+            &[
+                flow(&[0], f64::INFINITY),
+                flow(&[0, 1], f64::INFINITY),
+                flow(&[1], f64::INFINITY),
+            ],
+        );
+        assert_eq!(rates, vec![30.0, 30.0, 70.0]);
+    }
+
+    #[test]
+    fn no_resources_means_cap() {
+        let rates = max_min_fair(&[], &[flow(&[], 42.0)]);
+        assert_eq!(rates, vec![42.0]);
+    }
+
+    #[test]
+    fn infinite_resource_ignored() {
+        let rates = max_min_fair(
+            &[f64::INFINITY, 80.0],
+            &[flow(&[0, 1], f64::INFINITY), flow(&[0], 5.0)],
+        );
+        assert_eq!(rates, vec![80.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_capacity_resource_stalls_flows() {
+        let rates = max_min_fair(&[0.0], &[flow(&[0], f64::INFINITY)]);
+        assert_eq!(rates, vec![0.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rates = max_min_fair(&[10.0], &[]);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn conservation_never_violated() {
+        // Random-ish deterministic topology: verify sum of rates through any
+        // resource never exceeds its capacity.
+        let caps = [100.0, 55.0, 200.0, 10.0];
+        let flows = [
+            flow(&[0, 1], f64::INFINITY),
+            flow(&[1, 2], 40.0),
+            flow(&[0, 2, 3], f64::INFINITY),
+            flow(&[2], f64::INFINITY),
+            flow(&[3], 3.0),
+        ];
+        let rates = max_min_fair(&caps, &flows);
+        for (r, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&r))
+                .map(|(_, &rate)| rate)
+                .sum();
+            assert!(
+                used <= cap * (1.0 + 1e-9),
+                "resource {r} overcommitted: {used} > {cap}"
+            );
+        }
+        // Caps respected.
+        for (f, &r) in flows.iter().zip(&rates) {
+            assert!(r <= f.cap * (1.0 + 1e-9) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Fault injection for wide-area experiments.
+//!
+//! Figure 8 of the paper shows a 14-hour run punctuated by real incidents —
+//! "a power failure for the SC network (SCiNet), DNS problems, and backbone
+//! problems on the exhibition floor". This module schedules equivalent
+//! synthetic faults on the virtual clock:
+//!
+//! * **Power failure** — a node (or every link at a site) goes down; existing
+//!   transfers stall, new connections fail.
+//! * **Backbone problem** — a link's capacity is degraded for a while.
+//! * **DNS problem** — the control plane is unavailable: *new* connection
+//!   setups fail while established flows keep moving. Modeled as a flag on
+//!   [`crate::flownet::FlowNet`] that connection-establishing protocols
+//!   check.
+
+use crate::kernel::Sim;
+use crate::network::{LinkId, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// What a fault affects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Take a link fully down (fiber cut, switch power loss).
+    LinkDown(LinkId),
+    /// Take a node down (host/router power failure).
+    NodeDown(NodeId),
+    /// Degrade a link to the given fraction of its capacity (congestion or
+    /// a flapping backbone).
+    LinkDegrade(LinkId, f64),
+    /// Name service outage: new connections cannot be established, existing
+    /// flows continue.
+    NameServiceDown,
+}
+
+/// A fault with a start time and duration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    pub at: SimTime,
+    pub duration: SimDuration,
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    pub fn new(at: SimTime, duration: SimDuration, kind: FaultKind) -> Self {
+        Fault { at, duration, kind }
+    }
+
+    pub fn end(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// Schedule a fault (onset and recovery) on the simulator.
+pub fn inject<W: 'static>(sim: &mut Sim<W>, fault: Fault) {
+    match fault.kind {
+        FaultKind::LinkDown(l) => {
+            sim.schedule_at(fault.at, move |s| s.net.set_link_up(l, false));
+            sim.schedule_at(fault.end(), move |s| s.net.set_link_up(l, true));
+        }
+        FaultKind::NodeDown(n) => {
+            sim.schedule_at(fault.at, move |s| s.net.set_node_up(n, false));
+            sim.schedule_at(fault.end(), move |s| s.net.set_node_up(n, true));
+        }
+        FaultKind::LinkDegrade(l, frac) => {
+            sim.schedule_at(fault.at, move |s| {
+                let cap = s.net.topo.link(l).capacity;
+                // Store the original capacity by restoring it at the end
+                // from the closure below, which captured it here.
+                s.net.set_link_capacity(l, cap * frac);
+            });
+            // Recovery must restore the *pre-fault* capacity. Capture it at
+            // onset by scheduling recovery from inside the onset event.
+            sim.schedule_at(fault.at, move |s| {
+                let degraded = s.net.topo.link(l).capacity;
+                let original = degraded / frac;
+                s.schedule_at(fault.end(), move |s2| {
+                    s2.net.set_link_capacity(l, original);
+                });
+            });
+        }
+        FaultKind::NameServiceDown => {
+            sim.schedule_at(fault.at, |s| s.net_set_name_service(false));
+            sim.schedule_at(fault.end(), |s| s.net_set_name_service(true));
+        }
+    }
+}
+
+/// Schedule a whole plan of faults.
+pub fn inject_all<W: 'static>(sim: &mut Sim<W>, faults: &[Fault]) {
+    for &f in faults {
+        inject(sim, f);
+    }
+}
+
+// Name-service availability rides on the kernel so that the fault injector
+// doesn't need to know about the world type.
+impl<W> Sim<W> {
+    pub fn net_set_name_service(&mut self, up: bool) {
+        self.net.name_service_up = up;
+    }
+
+    /// Whether new connections can currently be established (DNS reachable).
+    pub fn name_service_up(&self) -> bool {
+        self.net.name_service_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flownet::{FlowSpec, FlowState};
+    use crate::network::{Node, Topology};
+
+    fn two_hosts() -> (Topology, NodeId, NodeId, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a"));
+        let b = t.add_node(Node::host("b"));
+        let l = t.add_link(a, b, 100e6, SimDuration::ZERO);
+        (t, a, b, l)
+    }
+
+    #[test]
+    fn link_outage_stalls_then_recovers() {
+        let (t, a, b, l) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        let id = sim
+            .start_flow_detached(
+                FlowSpec::new(a, b, f64::INFINITY)
+                    .window(1e12)
+                    .memory_to_memory(),
+            )
+            .unwrap();
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(2),
+                FaultKind::LinkDown(l),
+            ),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.net.flow_state(id), Some(FlowState::Stalled));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.net.flow_state(id), Some(FlowState::Running));
+    }
+
+    #[test]
+    fn degrade_reduces_then_restores_capacity() {
+        let (t, _, _, l) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(1),
+                FaultKind::LinkDegrade(l, 0.25),
+            ),
+        );
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert!((sim.net.topo.link(l).capacity - 25e6).abs() < 1.0);
+        sim.run_until(SimTime::from_secs(3));
+        assert!((sim.net.topo.link(l).capacity - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_outage_round_trip() {
+        let (t, a, b, _) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        let id = sim
+            .start_flow_detached(
+                FlowSpec::new(a, b, f64::INFINITY)
+                    .window(1e12)
+                    .memory_to_memory(),
+            )
+            .unwrap();
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(1),
+                FaultKind::NodeDown(b),
+            ),
+        );
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert_eq!(sim.net.flow_state(id), Some(FlowState::Stalled));
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.net.flow_state(id), Some(FlowState::Running));
+    }
+
+    #[test]
+    fn name_service_outage_sets_flag() {
+        let (t, ..) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        assert!(sim.name_service_up());
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(1),
+                FaultKind::NameServiceDown,
+            ),
+        );
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert!(!sim.name_service_up());
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.name_service_up());
+    }
+
+    #[test]
+    fn inject_all_schedules_everything() {
+        let (t, _, _, l) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        inject_all(
+            &mut sim,
+            &[
+                Fault::new(
+                    SimTime::from_secs(1),
+                    SimDuration::from_secs(1),
+                    FaultKind::LinkDown(l),
+                ),
+                Fault::new(
+                    SimTime::from_secs(5),
+                    SimDuration::from_secs(1),
+                    FaultKind::NameServiceDown,
+                ),
+            ],
+        );
+        assert_eq!(sim.pending_events(), 4);
+    }
+}

@@ -1,0 +1,835 @@
+//! Flow-level network simulation: topology + active TCP flows + max-min
+//! fair bandwidth sharing + progress integration.
+//!
+//! `FlowNet` is the piece the discrete-event kernel advances. Between events
+//! every flow moves bytes at a constant allocated rate; any mutation (flow
+//! added/removed, failure injected, slow-start stage boundary) marks the
+//! allocation dirty and it is recomputed lazily. This gives exact piecewise-
+//! linear progress while simulating hours of WAN activity in milliseconds.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::allocation::{max_min_fair, AllocFlow};
+use crate::network::{Dir, LinkId, NodeId, NodeKind, Topology};
+use crate::tcp::{TcpParams, INITIAL_WINDOW, MSS};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowState {
+    /// Transferring at the allocated rate.
+    Running,
+    /// No route currently exists (failure); rate is zero but the flow is
+    /// kept so the owner can observe the stall and decide to restart.
+    Stalled,
+    /// All bytes delivered.
+    Done,
+}
+
+/// Parameters for starting a flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Total bytes to move; `f64::INFINITY` for an unbounded flow
+    /// (background traffic, probes that are stopped manually).
+    pub size: f64,
+    /// TCP socket buffer in bytes (the SBUF value); caps rate at window/RTT.
+    pub window: f64,
+    /// Segment size (1460 standard, 8960 jumbo).
+    pub mss: f64,
+    /// Whether the source reads from its disk subsystem (false for
+    /// memory-to-memory tests).
+    pub uses_src_disk: bool,
+    /// Whether the destination writes to its disk subsystem.
+    pub uses_dst_disk: bool,
+    /// Model the slow-start ramp. A cached data channel (post-SC'00 GridFTP
+    /// feature) keeps its congestion window, so it skips the ramp.
+    pub slow_start: bool,
+}
+
+impl FlowSpec {
+    pub fn new(src: NodeId, dst: NodeId, size: f64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            size,
+            window: (1u64 << 20) as f64, // paper's 1 MB default
+            mss: MSS,
+            uses_src_disk: true,
+            uses_dst_disk: true,
+            slow_start: true,
+        }
+    }
+
+    pub fn window(mut self, bytes: f64) -> Self {
+        self.window = bytes;
+        self
+    }
+
+    pub fn mss(mut self, mss: f64) -> Self {
+        self.mss = mss;
+        self
+    }
+
+    pub fn memory_to_memory(mut self) -> Self {
+        self.uses_src_disk = false;
+        self.uses_dst_disk = false;
+        self
+    }
+
+    pub fn cached_channel(mut self) -> Self {
+        self.slow_start = false;
+        self
+    }
+}
+
+impl FlowSpec {
+    fn window_f(&self) -> f64 {
+        self.window
+    }
+}
+
+#[derive(Debug)]
+struct FlowRt {
+    spec: FlowSpec,
+    route: Vec<(LinkId, Dir)>,
+    rtt: SimDuration,
+    loss: f64,
+    bytes_done: f64,
+    rate: f64,
+    state: FlowState,
+    started: SimTime,
+    /// Congestion-window ramp stage; cap = INITIAL_WINDOW * 2^stage / rtt
+    /// until it reaches the steady cap. `None` once ramp is finished.
+    ramp_stage: Option<u32>,
+}
+
+impl FlowRt {
+    fn steady_cap(&self) -> f64 {
+        TcpParams {
+            window: self.spec.window_f(),
+            rtt: self.rtt,
+            loss: self.loss,
+            mss: self.spec.mss,
+        }
+        .rate_cap()
+    }
+
+    /// Current per-flow ceiling including the slow-start ramp.
+    fn current_cap(&self) -> f64 {
+        let steady = self.steady_cap();
+        match self.ramp_stage {
+            None => steady,
+            Some(stage) => {
+                let rtt = self.rtt.as_secs_f64();
+                if rtt <= 0.0 {
+                    return steady;
+                }
+                let w = INITIAL_WINDOW * 2f64.powi(stage as i32);
+                (w / rtt).min(steady)
+            }
+        }
+    }
+
+    /// Time of the next ramp-stage boundary, if still ramping.
+    fn next_ramp_boundary(&self, _now: SimTime) -> Option<SimTime> {
+        let stage = self.ramp_stage?;
+        if self.rtt.is_zero() {
+            return None;
+        }
+        Some(self.started + self.rtt * (stage as u64 + 1))
+    }
+
+    fn remaining(&self) -> f64 {
+        if self.spec.size.is_finite() {
+            (self.spec.size - self.bytes_done).max(0.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Error returned when a flow cannot be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// No path between the endpoints (down links/nodes or partitioned).
+    NoRoute,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NoRoute => write!(f, "no route between endpoints"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Resource identity used when assembling the allocation problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ResKey {
+    LinkDir(LinkId, Dir),
+    NicTx(NodeId),
+    NicRx(NodeId),
+    Cpu(NodeId),
+    DiskRead(NodeId),
+    DiskWrite(NodeId),
+}
+
+/// The live network: topology plus active flows.
+#[derive(Debug)]
+pub struct FlowNet {
+    pub topo: Topology,
+    /// Whether the name service (DNS) is reachable; connection-establishing
+    /// protocols check this before opening new channels. See
+    /// [`crate::failure::FaultKind::NameServiceDown`].
+    pub name_service_up: bool,
+    flows: BTreeMap<u64, FlowRt>,
+    next_id: u64,
+    last_advance: SimTime,
+    dirty: bool,
+    completed: Vec<FlowId>,
+}
+
+impl FlowNet {
+    pub fn new(topo: Topology) -> Self {
+        FlowNet {
+            topo,
+            name_service_up: true,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            dirty: false,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Number of non-completed flows currently in the system.
+    pub fn active_flow_count(&self) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.state != FlowState::Done)
+            .count()
+    }
+
+    /// Start a flow at time `now` (callers must have advanced to `now`).
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> Result<FlowId, FlowError> {
+        debug_assert!(now >= self.last_advance);
+        let route = self
+            .topo
+            .route(spec.src, spec.dst)
+            .ok_or(FlowError::NoRoute)?;
+        let rtt = self.topo.route_rtt(&route);
+        let loss = self.topo.route_loss(&route);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let ramp_stage = if spec.slow_start && !rtt.is_zero() {
+            Some(0)
+        } else {
+            None
+        };
+        self.flows.insert(
+            id.0,
+            FlowRt {
+                spec,
+                route,
+                rtt,
+                loss,
+                bytes_done: 0.0,
+                rate: 0.0,
+                state: FlowState::Running,
+                started: now,
+                ramp_stage,
+            },
+        );
+        self.dirty = true;
+        Ok(id)
+    }
+
+    /// Remove a flow (cancellation, or cleanup after completion).
+    pub fn remove_flow(&mut self, id: FlowId) {
+        if self.flows.remove(&id.0).is_some() {
+            self.dirty = true;
+        }
+    }
+
+    pub fn flow_state(&self, id: FlowId) -> Option<FlowState> {
+        self.flows.get(&id.0).map(|f| f.state)
+    }
+
+    /// Bytes delivered so far (as of the last advance).
+    pub fn flow_bytes(&self, id: FlowId) -> f64 {
+        self.flows.get(&id.0).map_or(0.0, |f| f.bytes_done)
+    }
+
+    /// Current allocated rate in bytes/sec.
+    pub fn flow_rate(&mut self, id: FlowId) -> f64 {
+        self.ensure_fresh();
+        self.flows.get(&id.0).map_or(0.0, |f| f.rate)
+    }
+
+    pub fn flow_rtt(&self, id: FlowId) -> Option<SimDuration> {
+        self.flows.get(&id.0).map(|f| f.rtt)
+    }
+
+    /// RTT between two nodes along the current route, if any. Used by NWS
+    /// latency sensors and by protocol engines to price control exchanges.
+    pub fn path_rtt(&self, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        let route = self.topo.route(src, dst)?;
+        Some(self.topo.route_rtt(&route))
+    }
+
+    /// Mark a link up/down; flows are rerouted (or stalled) lazily.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        if self.topo.link(link).up != up {
+            self.topo.link_mut(link).up = up;
+            self.reroute_all();
+        }
+    }
+
+    /// Mark a node up/down.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        if self.topo.node(node).up != up {
+            self.topo.node_mut(node).up = up;
+            self.reroute_all();
+        }
+    }
+
+    /// Change a link's capacity (degradation scenarios).
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity: f64) {
+        self.topo.link_mut(link).capacity = capacity;
+        self.dirty = true;
+    }
+
+    /// Change a link's loss rate (congestion scenarios). Refreshes the
+    /// cached path loss of every live flow so their Mathis caps track the
+    /// new conditions.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        self.topo.set_link_loss(link, loss);
+        for f in self.flows.values_mut() {
+            if f.state == FlowState::Running {
+                f.loss = self.topo.route_loss(&f.route);
+            }
+        }
+        self.dirty = true;
+    }
+
+    fn reroute_all(&mut self) {
+        for f in self.flows.values_mut() {
+            if f.state == FlowState::Done {
+                continue;
+            }
+            match self.topo.route(f.spec.src, f.spec.dst) {
+                Some(route) => {
+                    f.rtt = self.topo.route_rtt(&route);
+                    f.loss = self.topo.route_loss(&route);
+                    f.route = route;
+                    f.state = FlowState::Running;
+                }
+                None => {
+                    f.route.clear();
+                    f.rate = 0.0;
+                    f.state = FlowState::Stalled;
+                }
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// Integrate progress up to `t` using the current allocation. Flows that
+    /// finish are marked `Done` and queued for [`FlowNet::take_completed`].
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.ensure_fresh();
+        if t <= self.last_advance {
+            return;
+        }
+        let dt = t.since(self.last_advance).as_secs_f64();
+        for (&id, f) in self.flows.iter_mut() {
+            if f.state != FlowState::Running || f.rate <= 0.0 {
+                continue;
+            }
+            f.bytes_done += f.rate * dt;
+            if f.spec.size.is_finite() && f.bytes_done + 0.5 >= f.spec.size {
+                f.bytes_done = f.spec.size;
+                f.state = FlowState::Done;
+                f.rate = 0.0;
+                self.completed.push(FlowId(id));
+                self.dirty = true;
+            }
+        }
+        // Ramp stage boundaries we've passed.
+        for f in self.flows.values_mut() {
+            if f.state != FlowState::Running {
+                continue;
+            }
+            while let Some(stage) = f.ramp_stage {
+                let boundary = f.started + f.rtt * (stage as u64 + 1);
+                if boundary > t {
+                    break;
+                }
+                let next = stage + 1;
+                let rtt = f.rtt.as_secs_f64();
+                let w = INITIAL_WINDOW * 2f64.powi(next as i32);
+                if rtt <= 0.0 || w / rtt >= f.steady_cap() {
+                    f.ramp_stage = None; // ramp complete
+                } else {
+                    f.ramp_stage = Some(next);
+                }
+                self.dirty = true;
+            }
+        }
+        self.last_advance = t;
+    }
+
+    /// Drain the set of flows that completed during past advances.
+    pub fn take_completed(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The next time anything discontinuous happens inside the network:
+    /// a flow completion or a slow-start stage boundary. `SimTime::MAX`
+    /// when nothing is pending.
+    pub fn next_event_time(&mut self) -> SimTime {
+        self.ensure_fresh();
+        let mut next = SimTime::MAX;
+        for f in self.flows.values() {
+            if f.state != FlowState::Running {
+                continue;
+            }
+            if let Some(b) = f.next_ramp_boundary(self.last_advance) {
+                if b < next {
+                    next = b;
+                }
+            }
+            let rem = f.remaining();
+            if f.rate > 0.0 && rem.is_finite() {
+                let secs = rem / f.rate;
+                let t = self.last_advance
+                    + SimDuration::from_secs_f64(secs)
+                    + SimDuration::from_nanos(1);
+                if t < next {
+                    next = t;
+                }
+            }
+        }
+        next
+    }
+
+    /// Recompute the max-min fair allocation if anything changed.
+    fn ensure_fresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+
+        // Assemble resources used by at least one running flow.
+        let mut res_index: HashMap<ResKey, usize> = HashMap::new();
+        let mut capacities: Vec<f64> = Vec::new();
+        let mut alloc_flows: Vec<AllocFlow> = Vec::new();
+        let mut flow_ids: Vec<u64> = Vec::new();
+
+        let intern = |key: ResKey,
+                          cap: f64,
+                          res_index: &mut HashMap<ResKey, usize>,
+                          capacities: &mut Vec<f64>|
+         -> Option<usize> {
+            if !cap.is_finite() {
+                return None; // unconstrained resources don't participate
+            }
+            Some(*res_index.entry(key).or_insert_with(|| {
+                capacities.push(cap);
+                capacities.len() - 1
+            }))
+        };
+
+        for (&id, f) in self.flows.iter() {
+            if f.state != FlowState::Running {
+                continue;
+            }
+            let mut resources = Vec::new();
+            for &(lid, dir) in &f.route {
+                let cap = self.topo.link(lid).capacity;
+                if let Some(r) =
+                    intern(ResKey::LinkDir(lid, dir), cap, &mut res_index, &mut capacities)
+                {
+                    resources.push(r);
+                }
+            }
+            let src = f.spec.src;
+            let dst = f.spec.dst;
+            let src_node = self.topo.node(src);
+            let dst_node = self.topo.node(dst);
+            if src_node.kind == NodeKind::Host {
+                if let Some(r) = intern(
+                    ResKey::NicTx(src),
+                    src_node.nic_rate,
+                    &mut res_index,
+                    &mut capacities,
+                ) {
+                    resources.push(r);
+                }
+                if let Some(r) = intern(
+                    ResKey::Cpu(src),
+                    src_node.cpu.max_byte_rate(),
+                    &mut res_index,
+                    &mut capacities,
+                ) {
+                    resources.push(r);
+                }
+                if f.spec.uses_src_disk {
+                    if let Some(r) = intern(
+                        ResKey::DiskRead(src),
+                        src_node.disk_read_rate,
+                        &mut res_index,
+                        &mut capacities,
+                    ) {
+                        resources.push(r);
+                    }
+                }
+            }
+            if dst_node.kind == NodeKind::Host {
+                if let Some(r) = intern(
+                    ResKey::NicRx(dst),
+                    dst_node.nic_rate,
+                    &mut res_index,
+                    &mut capacities,
+                ) {
+                    resources.push(r);
+                }
+                if let Some(r) = intern(
+                    ResKey::Cpu(dst),
+                    dst_node.cpu.max_byte_rate(),
+                    &mut res_index,
+                    &mut capacities,
+                ) {
+                    resources.push(r);
+                }
+                if f.spec.uses_dst_disk {
+                    if let Some(r) = intern(
+                        ResKey::DiskWrite(dst),
+                        dst_node.disk_write_rate,
+                        &mut res_index,
+                        &mut capacities,
+                    ) {
+                        resources.push(r);
+                    }
+                }
+            }
+            resources.sort_unstable();
+            resources.dedup();
+            alloc_flows.push(AllocFlow {
+                resources,
+                cap: f.current_cap(),
+            });
+            flow_ids.push(id);
+        }
+
+        let rates = max_min_fair(&capacities, &alloc_flows);
+        for (id, rate) in flow_ids.into_iter().zip(rates) {
+            self.flows.get_mut(&id).unwrap().rate = rate;
+        }
+    }
+
+    /// Fraction of a host's CPU byte-processing budget currently consumed
+    /// by its flows (0.0 = idle, 1.0 = saturated). This is the "available
+    /// CPU percentage" signal NWS's CPU sensor reports, and what §7 means
+    /// by "the CPU was running at near 100% capacity".
+    pub fn host_cpu_utilization(&mut self, node: NodeId) -> f64 {
+        self.ensure_fresh();
+        let budget = self.topo.node(node).cpu.max_byte_rate();
+        if !budget.is_finite() {
+            return 0.0;
+        }
+        let used: f64 = self
+            .flows
+            .values()
+            .filter(|f| {
+                f.state == FlowState::Running
+                    && (f.spec.src == node || f.spec.dst == node)
+            })
+            .map(|f| f.rate)
+            .sum();
+        (used / budget).min(1.0)
+    }
+
+    /// Force an allocation recompute and return the current rate of every
+    /// running flow (for instrumentation snapshots).
+    pub fn snapshot_rates(&mut self) -> Vec<(FlowId, f64)> {
+        self.ensure_fresh();
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.state == FlowState::Running)
+            .map(|(&id, f)| (FlowId(id), f.rate))
+            .collect()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.last_advance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Node;
+
+    fn dumbbell(capacity: f64, latency_ms: u64) -> (FlowNet, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a"));
+        let b = t.add_node(Node::host("b"));
+        t.add_link(a, b, capacity, SimDuration::from_millis(latency_ms));
+        (FlowNet::new(t), a, b)
+    }
+
+    fn big_window_spec(a: NodeId, b: NodeId, size: f64) -> FlowSpec {
+        FlowSpec::new(a, b, size)
+            .window(1e12)
+            .memory_to_memory()
+    }
+
+    #[test]
+    fn single_flow_completes_at_line_rate() {
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        // Zero latency: no slow-start ramp, rate = link capacity.
+        let id = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, 100e6))
+            .unwrap();
+        let t = net.next_event_time();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{t}");
+        net.advance_to(t);
+        assert_eq!(net.flow_state(id), Some(FlowState::Done));
+        assert_eq!(net.take_completed(), vec![id]);
+    }
+
+    #[test]
+    fn two_flows_halve_throughput() {
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        let f1 = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        assert!((net.flow_rate(f1) - 50e6).abs() < 1.0);
+        assert!((net.flow_rate(f2) - 50e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn window_limits_flow_below_link() {
+        let (mut net, a, b) = dumbbell(1e9, 50); // 100 ms RTT
+        let spec = FlowSpec::new(a, b, f64::INFINITY)
+            .window(1e6)
+            .memory_to_memory()
+            .cached_channel(); // skip ramp: observe steady state directly
+        let id = net.start_flow(SimTime::ZERO, spec).unwrap();
+        // window/RTT = 1 MB / 0.1 s = 10 MB/s.
+        assert!((net.flow_rate(id) - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn slow_start_ramp_caps_early_rate() {
+        let (mut net, a, b) = dumbbell(1e9, 10); // 20 ms RTT
+        let spec = FlowSpec::new(a, b, f64::INFINITY)
+            .window(4e6)
+            .memory_to_memory();
+        let id = net.start_flow(SimTime::ZERO, spec).unwrap();
+        let early = net.flow_rate(id);
+        // Initial cap = 2*MSS / 20 ms = 146 KB/s.
+        assert!(early < 200e3, "early rate {early}");
+        net.advance_to(SimTime::from_secs(2));
+        let late = net.flow_rate(id);
+        assert!(late > 50e6, "steady rate {late}");
+    }
+
+    #[test]
+    fn cached_channel_skips_ramp() {
+        let (mut net, a, b) = dumbbell(1e9, 10);
+        let spec = FlowSpec::new(a, b, f64::INFINITY)
+            .window(4e6)
+            .memory_to_memory()
+            .cached_channel();
+        let id = net.start_flow(SimTime::ZERO, spec).unwrap();
+        assert!(net.flow_rate(id) > 50e6);
+    }
+
+    #[test]
+    fn link_failure_stalls_and_recovery_resumes() {
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        let id = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, 200e6))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(1)); // 100 MB done
+        let done_before = net.flow_bytes(id);
+        assert!((done_before - 100e6).abs() < 1.0);
+
+        net.set_link_up(LinkId(0), false);
+        assert_eq!(net.flow_state(id), Some(FlowState::Stalled));
+        net.advance_to(SimTime::from_secs(5));
+        assert_eq!(net.flow_bytes(id), done_before); // no progress while down
+
+        net.set_link_up(LinkId(0), true);
+        assert_eq!(net.flow_state(id), Some(FlowState::Running));
+        net.advance_to(SimTime::from_secs(6));
+        assert_eq!(net.flow_state(id), Some(FlowState::Done));
+    }
+
+    #[test]
+    fn no_route_is_an_error() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a"));
+        let b = t.add_node(Node::host("b"));
+        // no link
+        let mut net = FlowNet::new(t);
+        assert_eq!(
+            net.start_flow(SimTime::ZERO, FlowSpec::new(a, b, 1.0)),
+            Err(FlowError::NoRoute)
+        );
+    }
+
+    #[test]
+    fn host_nic_caps_aggregate() {
+        // Fat link, slow NIC at the source: 3 flows to 3 sinks share the NIC.
+        let mut t = Topology::new();
+        let src = t.add_node(Node::host("src").with_nic(30e6));
+        let r = t.add_node(Node::router("r"));
+        t.add_link(src, r, 1e9, SimDuration::ZERO);
+        let mut sinks = Vec::new();
+        for i in 0..3 {
+            let s = t.add_node(Node::host(format!("sink{i}")));
+            t.add_link(r, s, 1e9, SimDuration::ZERO);
+            sinks.push(s);
+        }
+        let mut net = FlowNet::new(t);
+        let flows: Vec<_> = sinks
+            .iter()
+            .map(|&s| {
+                net.start_flow(SimTime::ZERO, big_window_spec(src, s, f64::INFINITY))
+                    .unwrap()
+            })
+            .collect();
+        for f in flows {
+            assert!((net.flow_rate(f) - 10e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn disk_constrains_only_disk_flows() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a").with_disk(5e6, f64::INFINITY));
+        let b = t.add_node(Node::host("b"));
+        t.add_link(a, b, 1e9, SimDuration::ZERO);
+        let mut net = FlowNet::new(t);
+        let disk_flow = net
+            .start_flow(
+                SimTime::ZERO,
+                FlowSpec::new(a, b, f64::INFINITY).window(1e12),
+            )
+            .unwrap();
+        let mem_flow = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        assert!((net.flow_rate(disk_flow) - 5e6).abs() < 1.0);
+        assert!(net.flow_rate(mem_flow) > 100e6);
+    }
+
+    #[test]
+    fn remove_flow_releases_bandwidth() {
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        let f1 = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        assert!((net.flow_rate(f1) - 50e6).abs() < 1.0);
+        net.remove_flow(f2);
+        assert!((net.flow_rate(f1) - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn parallel_streams_beat_one_on_lossy_path() {
+        // Loss-limited path: N streams get ~N x the Mathis bound, the
+        // mechanism behind GridFTP's parallel transfers.
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a"));
+        let b = t.add_node(Node::host("b"));
+        let l = t.add_link(a, b, 1e9, SimDuration::from_millis(25));
+        t.set_link_loss(l, 0.001);
+        let mut net = FlowNet::new(t);
+        let spec = FlowSpec::new(a, b, f64::INFINITY)
+            .window(1e9)
+            .memory_to_memory()
+            .cached_channel();
+        let single = net.start_flow(SimTime::ZERO, spec).unwrap();
+        let r1 = net.flow_rate(single);
+        for _ in 0..3 {
+            net.start_flow(SimTime::ZERO, spec).unwrap();
+        }
+        let total: f64 = net.snapshot_rates().iter().map(|(_, r)| r).sum();
+        assert!(
+            total > 3.5 * r1,
+            "4 streams should ~4x a loss-limited stream: {total} vs {r1}"
+        );
+    }
+
+    #[test]
+    fn next_event_reports_ramp_boundaries() {
+        let (mut net, a, b) = dumbbell(1e9, 10);
+        net.start_flow(
+            SimTime::ZERO,
+            FlowSpec::new(a, b, f64::INFINITY).memory_to_memory(),
+        )
+        .unwrap();
+        // First ramp boundary at one RTT (20 ms).
+        let next = net.next_event_time();
+        assert_eq!(next, SimTime::from_secs_f64(0.020));
+    }
+
+    #[test]
+    fn cpu_utilization_tracks_flows() {
+        let mut t = Topology::new();
+        let cpu = crate::network::CpuModel {
+            cycles_per_sec: 800e6,
+            cycles_per_byte: 8.0,
+            coalescing_factor: 1.0,
+            jumbo_frames: false,
+        }; // budget = 100 MB/s
+        let a = t.add_node(Node::host("a").with_cpu(cpu));
+        let b = t.add_node(Node::host("b"));
+        t.add_link(a, b, 50e6, SimDuration::ZERO);
+        let mut net = FlowNet::new(t);
+        assert_eq!(net.host_cpu_utilization(a), 0.0);
+        let id = net
+            .start_flow(
+                SimTime::ZERO,
+                FlowSpec::new(a, b, f64::INFINITY)
+                    .window(1e12)
+                    .memory_to_memory(),
+            )
+            .unwrap();
+        // Link-limited flow at 50 MB/s against a 100 MB/s CPU budget.
+        let u = net.host_cpu_utilization(a);
+        assert!((u - 0.5).abs() < 1e-6, "{u}");
+        // Router/unlimited node reports 0.
+        assert_eq!(net.host_cpu_utilization(b), 0.0);
+        net.remove_flow(id);
+        assert_eq!(net.host_cpu_utilization(a), 0.0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_for_same_time() {
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        let id = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        net.advance_to(SimTime::from_secs(1));
+        let bytes = net.flow_bytes(id);
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(net.flow_bytes(id), bytes);
+    }
+}

@@ -1,0 +1,326 @@
+//! Discrete-event simulation kernel.
+//!
+//! [`Sim<W>`] owns the virtual clock, a priority queue of scheduled closures
+//! and the live network ([`FlowNet`]). Protocol layers (GridFTP engine,
+//! request manager, NWS sensors) keep their state in the user-supplied world
+//! `W` and schedule work as `FnOnce(&mut Sim<W>)` closures, which keeps every
+//! layer non-generic over the others.
+//!
+//! Flow completions are kernel-native: [`Sim::start_flow`] registers an
+//! `on_complete` callback which fires exactly when the network delivers the
+//! last byte, with rate changes from contention, slow start and failures all
+//! accounted for.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::flownet::{FlowError, FlowId, FlowNet, FlowSpec};
+use crate::network::Topology;
+use crate::time::{SimDuration, SimTime};
+
+type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+type FlowCb<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first. Ties broken
+        // by insertion order for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator: virtual clock + event queue + network + world state.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    flow_callbacks: HashMap<FlowId, FlowCb<W>>,
+    /// The simulated wide-area network.
+    pub net: FlowNet,
+    /// User world: protocol state, catalogs, services.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    pub fn new(topo: Topology, world: W) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            flow_callbacks: HashMap::new(),
+            net: FlowNet::new(topo),
+            world,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at an absolute time (clamped to now if in the past).
+    pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Start a network flow; `on_complete` fires when the last byte lands.
+    pub fn start_flow(
+        &mut self,
+        spec: FlowSpec,
+        on_complete: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> Result<FlowId, FlowError> {
+        let id = self.net.start_flow(self.now, spec)?;
+        self.flow_callbacks.insert(id, Box::new(on_complete));
+        Ok(id)
+    }
+
+    /// Start a flow without a completion callback (background traffic,
+    /// probes the owner polls manually).
+    pub fn start_flow_detached(&mut self, spec: FlowSpec) -> Result<FlowId, FlowError> {
+        self.net.start_flow(self.now, spec)
+    }
+
+    /// Cancel a flow; its completion callback (if any) is dropped.
+    pub fn cancel_flow(&mut self, id: FlowId) {
+        self.flow_callbacks.remove(&id);
+        self.net.remove_flow(id);
+    }
+
+    /// Run until the event queue and network are exhausted, or until `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        loop {
+            let queue_next = self.queue.peek().map_or(SimTime::MAX, |s| s.time);
+            let net_next = self.net.next_event_time();
+            let next = queue_next.min(net_next);
+            if next > limit || next == SimTime::MAX {
+                // Advance the network to the horizon so observers see
+                // progress up to `limit`.
+                if limit != SimTime::MAX && limit > self.now {
+                    self.net.advance_to(limit);
+                    self.now = limit;
+                }
+                return;
+            }
+            self.now = next;
+            self.net.advance_to(next);
+
+            // Deliver flow completions first: they logically happen "inside"
+            // the network before user events at the same instant.
+            for fid in self.net.take_completed() {
+                if let Some(cb) = self.flow_callbacks.remove(&fid) {
+                    cb(self);
+                }
+                // Completed flows are removed so they stop occupying
+                // resources in the allocator.
+                self.net.remove_flow(fid);
+            }
+
+            // Fire every queued event scheduled at exactly this time.
+            while let Some(s) = self.queue.peek() {
+                if s.time > self.now {
+                    break;
+                }
+                let s = self.queue.pop().unwrap();
+                (s.f)(self);
+            }
+        }
+    }
+
+    /// Run until nothing remains to simulate.
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Number of pending queued events (not counting network completions).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Node;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn empty_topo() -> Topology {
+        Topology::new()
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<()> = Sim::new(empty_topo(), ());
+        for &d in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule(SimDuration::from_secs(d), move |s| {
+                log.borrow_mut().push(s.now().as_secs_f64() as u64);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<()> = Sim::new(empty_topo(), ());
+        for i in 0..5 {
+            let log = log.clone();
+            sim.schedule(SimDuration::from_secs(1), move |_| {
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let hits = Rc::new(RefCell::new(0));
+        let mut sim: Sim<()> = Sim::new(empty_topo(), ());
+        let h = hits.clone();
+        sim.schedule(SimDuration::from_secs(1), move |s| {
+            let h2 = h.clone();
+            s.schedule(SimDuration::from_secs(1), move |s2| {
+                assert_eq!(s2.now(), SimTime::from_secs(2));
+                *h2.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let hits = Rc::new(RefCell::new(0));
+        let mut sim: Sim<()> = Sim::new(empty_topo(), ());
+        let h = hits.clone();
+        sim.schedule(SimDuration::from_secs(10), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_until(SimTime::from_secs(20));
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn flow_completion_callback_fires_at_right_time() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        topo.add_link(a, b, 100e6, SimDuration::ZERO);
+        let done_at = Rc::new(RefCell::new(None));
+        let mut sim: Sim<()> = Sim::new(topo, ());
+        let d = done_at.clone();
+        sim.start_flow(
+            FlowSpec::new(a, b, 50e6).window(1e12).memory_to_memory(),
+            move |s| {
+                *d.borrow_mut() = Some(s.now().as_secs_f64());
+            },
+        )
+        .unwrap();
+        sim.run();
+        let t = done_at.borrow().unwrap();
+        assert!((t - 0.5).abs() < 1e-6, "completed at {t}");
+    }
+
+    #[test]
+    fn completed_flows_release_bandwidth_for_later_flows() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        topo.add_link(a, b, 100e6, SimDuration::ZERO);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<()> = Sim::new(topo, ());
+        for _ in 0..2 {
+            let t = times.clone();
+            sim.start_flow(
+                FlowSpec::new(a, b, 100e6).window(1e12).memory_to_memory(),
+                move |s| t.borrow_mut().push(s.now().as_secs_f64()),
+            )
+            .unwrap();
+        }
+        sim.run();
+        let ts = times.borrow();
+        // Both share for 2 s: each has 100 MB, rate 50 MB/s → both finish ~2 s.
+        assert!((ts[0] - 2.0).abs() < 1e-6 && (ts[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancel_flow_suppresses_callback() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        topo.add_link(a, b, 100e6, SimDuration::ZERO);
+        let hits = Rc::new(RefCell::new(0));
+        let mut sim: Sim<()> = Sim::new(topo, ());
+        let h = hits.clone();
+        let id = sim
+            .start_flow(
+                FlowSpec::new(a, b, 10e6).window(1e12).memory_to_memory(),
+                move |_| *h.borrow_mut() += 1,
+            )
+            .unwrap();
+        sim.schedule(SimDuration::from_millis(1), move |s| s.cancel_flow(id));
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn world_state_is_mutable_from_events() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(empty_topo(), Vec::new());
+        sim.schedule(SimDuration::from_secs(1), |s| s.world.push(1));
+        sim.schedule(SimDuration::from_secs(2), |s| s.world.push(2));
+        sim.run();
+        assert_eq!(sim.world, vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_at_past_clamps_to_now() {
+        let mut sim: Sim<Vec<f64>> = Sim::new(empty_topo(), Vec::new());
+        sim.schedule(SimDuration::from_secs(5), |s| {
+            s.schedule_at(SimTime::from_secs(1), |s2| {
+                let now = s2.now().as_secs_f64();
+                s2.world.push(now);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world, vec![5.0]);
+    }
+}

@@ -1,0 +1,271 @@
+//! LRU disk cache in front of the mass storage system.
+//!
+//! Every site in the prototype architecture (Figure 1) has a "Disk Cache";
+//! the HRM stages tape files into one before GridFTP serves them. Files
+//! being actively transferred are *pinned* so eviction cannot pull data out
+//! from under a running transfer.
+
+use esg_simnet::SimTime;
+use std::collections::HashMap;
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// File is larger than the whole cache.
+    TooLarge { size: u64, capacity: u64 },
+    /// Not enough unpinned bytes to evict.
+    Thrashing { needed: u64, evictable: u64 },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::TooLarge { size, capacity } => {
+                write!(f, "file of {size} bytes exceeds cache capacity {capacity}")
+            }
+            CacheError::Thrashing { needed, evictable } => write!(
+                f,
+                "need {needed} bytes but only {evictable} are evictable (all else pinned)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    size: u64,
+    last_used: SimTime,
+    pins: u32,
+}
+
+/// An LRU cache keyed by file name.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    capacity: u64,
+    used: u64,
+    slots: HashMap<String, Slot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DiskCache {
+    pub fn new(capacity: u64) -> Self {
+        DiskCache {
+            capacity,
+            used: 0,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.slots.contains_key(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// (hits, misses, evictions) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Touch a file: records a hit/miss and updates recency.
+    pub fn access(&mut self, name: &str, now: SimTime) -> bool {
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.last_used = now;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Insert a file, evicting LRU unpinned files as needed.
+    pub fn insert(&mut self, name: &str, size: u64, now: SimTime) -> Result<(), CacheError> {
+        if size > self.capacity {
+            return Err(CacheError::TooLarge {
+                size,
+                capacity: self.capacity,
+            });
+        }
+        if let Some(slot) = self.slots.get_mut(name) {
+            // Re-insertion refreshes recency; size changes are applied.
+            self.used = self.used - slot.size + size;
+            slot.size = size;
+            slot.last_used = now;
+            return Ok(());
+        }
+        // Evict until it fits.
+        while self.used + size > self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.pins == 0)
+                .min_by_key(|(n, s)| (s.last_used, n.as_str().to_owned()))
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(v) => {
+                    let slot = self.slots.remove(&v).unwrap();
+                    self.used -= slot.size;
+                    self.evictions += 1;
+                }
+                None => {
+                    let evictable: u64 = 0;
+                    return Err(CacheError::Thrashing {
+                        needed: self.used + size - self.capacity,
+                        evictable,
+                    });
+                }
+            }
+        }
+        self.used += size;
+        self.slots.insert(
+            name.to_string(),
+            Slot {
+                size,
+                last_used: now,
+                pins: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pin a file against eviction (a transfer is reading it).
+    pub fn pin(&mut self, name: &str) -> bool {
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.pins += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, name: &str) {
+        if let Some(slot) = self.slots.get_mut(name) {
+            slot.pins = slot.pins.saturating_sub(1);
+        }
+    }
+
+    /// Explicitly remove a file (ignores pins; caller's responsibility).
+    pub fn remove(&mut self, name: &str) -> bool {
+        if let Some(slot) = self.slots.remove(name) {
+            self.used -= slot.size;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 40, t(0)).unwrap();
+        assert!(c.access("a", t(1)));
+        assert!(!c.access("b", t(1)));
+        assert_eq!(c.stats(), (1, 1, 0));
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 40, t(0)).unwrap();
+        c.insert("b", 40, t(1)).unwrap();
+        c.access("a", t(2)); // a is now more recent than b
+        c.insert("c", 40, t(3)).unwrap(); // must evict b
+        assert!(c.contains("a"));
+        assert!(!c.contains("b"));
+        assert!(c.contains("c"));
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn pinned_files_survive() {
+        let mut c = DiskCache::new(100);
+        c.insert("old", 60, t(0)).unwrap();
+        assert!(c.pin("old"));
+        c.insert("new", 60, t(1)).unwrap_err(); // only pinned data to evict
+        assert!(c.contains("old"));
+        c.unpin("old");
+        c.insert("new", 60, t(2)).unwrap();
+        assert!(!c.contains("old"));
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut c = DiskCache::new(100);
+        assert!(matches!(
+            c.insert("big", 200, t(0)),
+            Err(CacheError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_recency() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 40, t(0)).unwrap();
+        c.insert("a", 60, t(5)).unwrap();
+        assert_eq!(c.used(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn multi_eviction_makes_room() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 30, t(0)).unwrap();
+        c.insert("b", 30, t(1)).unwrap();
+        c.insert("c", 30, t(2)).unwrap();
+        c.insert("big", 80, t(3)).unwrap(); // evicts a, b and c (oldest first)
+        assert_eq!(c.len(), 1);
+        assert!(c.contains("big"));
+        assert_eq!(c.used(), 80);
+        assert_eq!(c.stats().2, 3);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 70, t(0)).unwrap();
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.used(), 0);
+        c.insert("b", 100, t(1)).unwrap();
+    }
+
+    #[test]
+    fn pin_missing_is_false() {
+        let mut c = DiskCache::new(10);
+        assert!(!c.pin("ghost"));
+        c.unpin("ghost"); // harmless
+    }
+}

@@ -1,0 +1,88 @@
+//! Climate analysis workflow on real files (no simulator).
+//!
+//! Exercises the CDMS layer the way a CDAT user would: generate model
+//! output, write it as self-describing ESG1 chunk files, read them back,
+//! subset a region, and compute the standard diagnostics — then render
+//! the Figure 3-style map both as ASCII and as a PPM image on disk.
+//!
+//! Run with: `cargo run --release --example climate_analysis`
+
+use esg::cdms;
+use esg::cdms::{Hyperslab, SynthParams};
+
+fn main() {
+    println!("== CDMS climate analysis ==\n");
+
+    // One simulated month of 6-hourly output on a 64x128 grid.
+    let params = SynthParams {
+        lat_points: 64,
+        lon_points: 128,
+        time_steps: 120,
+        hours_per_step: 6.0,
+        seed: 1895, // Arrhenius
+    };
+    let dir = std::env::temp_dir().join("esg-climate-analysis");
+    let chunks = cdms::write_chunks(&dir, "pcm_b06.61", params, 24).expect("write chunks");
+    println!("wrote {} ESG1 chunk files under {}:", chunks.len(), dir.display());
+    for (logical, path, size) in &chunks {
+        println!("  {:<40} {:>10} bytes  {}", logical, size, path.display());
+    }
+
+    // Read one chunk back (self-describing: no schema needed).
+    let ds = cdms::load(&chunks[1].1).expect("read chunk");
+    println!("\nloaded dataset `{}`:", ds.name);
+    for (k, v) in &ds.attributes {
+        println!("  :{k} = {v}");
+    }
+    for var in &ds.variables {
+        println!(
+            "  {}({:?}) [{}] — {}",
+            var.name,
+            ds.shape_of(var),
+            var.units,
+            var.long_name
+        );
+    }
+
+    // Subset: tropical band, all longitudes, all steps of this chunk.
+    let var = ds.variable("tas").expect("tas present");
+    let (lat_start, lat_count) = ds.axes[var.dims[1]].range(-23.5, 23.5);
+    let slab = Hyperslab::all(&ds, var).narrow(1, lat_start, lat_count);
+    let tropics = cdms::extract_dataset(&ds, "tas", &slab).expect("subset");
+    let t_stats = cdms::stats(&tropics, "tas").unwrap();
+    println!(
+        "\ntropical tas: min {:.1} K  max {:.1} K  mean {:.1} K over {} points",
+        t_stats.min, t_stats.max, t_stats.mean, t_stats.count
+    );
+
+    // Diagnostics on the full chunk.
+    let global = cdms::global_mean_series(&ds, "tas").unwrap();
+    println!(
+        "global (area-weighted) mean tas per step: first {:.2} K … last {:.2} K",
+        global.first().unwrap(),
+        global.last().unwrap()
+    );
+    let zonal = cdms::zonal_mean(&ds, "pr").unwrap();
+    let itcz_row = zonal[0]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "wettest latitude at step 0: {:.1}° ({:.1} mm/day zonal mean) — the ITCZ",
+        ds.axes[1].values[itcz_row.0], itcz_row.1
+    );
+
+    // Figure 3: visualize the time-mean temperature.
+    let mean = cdms::time_mean(&ds, "tas").unwrap();
+    println!("\ntime-mean surface temperature:\n");
+    println!("{}", cdms::ascii_map(&mean, 18));
+    let ppm_path = dir.join("tas_mean.ppm");
+    cdms::save_ppm(&ppm_path, &mean).expect("write ppm");
+    println!("wrote colour rendering to {}", ppm_path.display());
+
+    // Tidy the chunk files (keep the image).
+    for (_, path, _) in &chunks {
+        let _ = std::fs::remove_file(path);
+    }
+}

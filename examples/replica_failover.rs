@@ -1,0 +1,83 @@
+//! Replica selection and the reliability plugin under a site outage.
+//!
+//! Publishes a dataset at two sites, lets NWS learn that one is faster,
+//! then kills the fast site mid-transfer. The request manager's monitor
+//! notices the stall, banks the restart marker, and fails over to the
+//! surviving replica — the §7 reliability-plugin behaviour.
+//!
+//! Run with: `cargo run --release --example replica_failover`
+
+use esg::core::esg_testbed;
+use esg::reqman::submit_request;
+use esg::simnet::{SimDuration, SimTime};
+
+fn main() {
+    println!("== replica failover (reliability plugin) ==\n");
+    let mut tb = esg_testbed(11);
+
+    // One 200 MB file replicated at LLNL (fast path) and ISI (slower path).
+    tb.publish_dataset("pcm_big", 8, 8, 25_000_000, &[1, 2]);
+    tb.start_nws(SimDuration::from_secs(20));
+    tb.sim.run_until(SimTime::from_secs(100));
+
+    let llnl = tb.sites[1].clone();
+    let isi = tb.sites[2].clone();
+    println!(
+        "replicas: {} (622 Mb/s access) and {} (155 Mb/s access)",
+        llnl.host, isi.host
+    );
+    let bw_llnl = tb.sim.world.nws.forecast_bandwidth(llnl.node, tb.client);
+    let bw_isi = tb.sim.world.nws.forecast_bandwidth(isi.node, tb.client);
+    println!(
+        "NWS forecasts to client: {} = {:.1} Mb/s, {} = {:.1} Mb/s\n",
+        llnl.host,
+        bw_llnl.unwrap_or(0.0) * 8.0 / 1e6,
+        isi.host,
+        bw_isi.unwrap_or(0.0) * 8.0 / 1e6
+    );
+
+    let collection = tb.sim.world.metadata.collection_of("pcm_big").unwrap();
+    let file = tb.sim.world.metadata.all_files("pcm_big").unwrap()[0]
+        .name
+        .clone();
+    let client = tb.client;
+    submit_request(
+        &mut tb.sim,
+        client,
+        vec![(collection, file)],
+        |s, outcome| s.world.outcomes.push(outcome),
+    );
+
+    // The fast site suffers a power failure 5 s into the transfer, for
+    // 10 minutes (absolute times: t=105 s and t=705 s).
+    let fast_node = llnl.node;
+    tb.sim.schedule_at(SimTime::from_secs(105), move |s| {
+        println!("[{}] *** power failure at the LLNL site ***", s.now());
+        s.net.set_node_up(fast_node, false);
+    });
+    tb.sim.schedule_at(SimTime::from_secs(705), move |s| {
+        println!("[{}] LLNL power restored", s.now());
+        s.net.set_node_up(fast_node, true);
+    });
+
+    tb.sim.run_until(SimTime::from_secs(4000));
+
+    let outcome = tb.sim.world.outcomes.first().expect("request completed");
+    let f = &outcome.files[0];
+    println!(
+        "\nrequest finished at t={:.1}s: {} from {} after {} attempts",
+        outcome.finished.as_secs_f64(),
+        f.name,
+        f.replica_host.as_deref().unwrap_or("?"),
+        f.attempts
+    );
+
+    println!("\nNetLogger event trail (replica selection + failover):");
+    for e in tb.sim.world.rm.log.iter() {
+        if e.name.starts_with("rm.replica") || e.name.starts_with("rm.reliability") {
+            println!("  {}", e.to_ulm());
+        }
+    }
+    assert!(f.done, "file must complete despite the outage");
+    println!("\nthe transfer resumed from its restart marker on the surviving replica.");
+}

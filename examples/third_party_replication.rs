@@ -1,0 +1,89 @@
+//! Third-party transfer and server-side subsetting over real sockets.
+//!
+//! Demonstrates two GridFTP features on the *real* TCP implementation:
+//!
+//! 1. **Third-party control** (§6.1): this process starts two GridFTP
+//!    servers ("LLNL" and "NCAR"), then — acting as a controller that
+//!    never touches the data path — replicates a climate file from one to
+//!    the other, verifying by remote checksum.
+//! 2. **Server-side processing** (§6.1 / ESG-II): asks the server to
+//!    extract a time-range subset of one variable and ship only that,
+//!    comparing bytes moved against a whole-file transfer.
+//!
+//! Run with: `cargo run --release --example third_party_replication`
+
+use esg::cdms::SynthParams;
+use esg::gridftp::server::{GridFtpServer, ServerConfig};
+use esg::gridftp::{third_party_transfer, GridFtpClient, TransferOptions};
+
+fn main() {
+    // Two independent server roots = two "sites".
+    let base = std::env::temp_dir().join(format!("esg-3pt-{}", std::process::id()));
+    let llnl_root = base.join("llnl");
+    let ncar_root = base.join("ncar");
+    std::fs::create_dir_all(&llnl_root).unwrap();
+    std::fs::create_dir_all(&ncar_root).unwrap();
+
+    // Generate one month of model output as a real ESG1 file at "LLNL".
+    let params = SynthParams {
+        lat_points: 48,
+        lon_points: 96,
+        time_steps: 120,
+        hours_per_step: 6.0,
+        seed: 2001,
+    };
+    let chunks = esg::cdms::write_chunks(&llnl_root, "pcm_b06.61", params, 120).unwrap();
+    let (_, path, size) = &chunks[0];
+    let file = path.file_name().unwrap().to_str().unwrap().to_string();
+    println!("published {file} at LLNL ({size} bytes of real ESG1 data)");
+
+    let llnl = GridFtpServer::start(ServerConfig::new(&llnl_root)).unwrap();
+    let ncar = GridFtpServer::start(ServerConfig::new(&ncar_root)).unwrap();
+    println!("servers: llnl={}  ncar={}", llnl.addr(), ncar.addr());
+
+    // --- third-party replication -----------------------------------------
+    let mut src = GridFtpClient::connect(llnl.addr()).unwrap();
+    src.login_anonymous().unwrap();
+    let mut dst = GridFtpClient::connect(ncar.addr()).unwrap();
+    dst.login_anonymous().unwrap();
+
+    let t0 = std::time::Instant::now();
+    third_party_transfer(&mut src, &mut dst, &file, &file, 4).unwrap();
+    let elapsed = t0.elapsed();
+
+    let src_sum = src.checksum(&file, 0, 0).unwrap();
+    let dst_sum = dst.checksum(&file, 0, 0).unwrap();
+    assert_eq!(src_sum, dst_sum, "replica must be byte-identical");
+    println!(
+        "\nthird-party replication: {size} bytes LLNL->NCAR in {elapsed:?} \
+         (4 streams, controller untouched)"
+    );
+    println!("remote checksums agree: {}", &dst_sum[..16]);
+
+    // --- server-side subsetting ------------------------------------------
+    let t0 = std::time::Instant::now();
+    let subset = dst
+        .get_subset(&file, "tas", 40, 68, TransferOptions::default())
+        .unwrap();
+    let sub_elapsed = t0.elapsed();
+    let ds = esg::cdms::from_bytes(&subset).unwrap();
+    let v = ds.variable("tas").unwrap();
+    println!(
+        "\nserver-side subset (tas, steps 40..68): {} bytes in {sub_elapsed:?} \
+         — {:.1}% of the file",
+        subset.len(),
+        subset.len() as f64 / *size as f64 * 100.0
+    );
+    println!("subset shape: {:?}", ds.shape_of(v));
+    let stats = esg::cdms::stats(&ds, "tas").unwrap();
+    println!(
+        "analysis on the subset: min {:.1} K, max {:.1} K, mean {:.1} K",
+        stats.min, stats.max, stats.mean
+    );
+
+    src.quit();
+    dst.quit();
+    std::fs::remove_dir_all(&base).ok();
+    println!("\n(the ESG-II plan — 'extraction and subsetting ... performed local");
+    println!(" to the data before it is transferred' — implemented and measured.)");
+}

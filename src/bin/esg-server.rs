@@ -1,0 +1,59 @@
+//! `esg-server` — run a standalone GridFTP server (the `in.ftpd`-style
+//! daemon of the prototype).
+//!
+//! ```text
+//! esg-server <root-dir> [--port N] [--gsi] [--no-anonymous]
+//! ```
+//!
+//! With `--gsi`, a demo CA and server credential are created and the CA
+//! name is printed; clients in the same process group can authenticate
+//! with credentials from the same seed (for real deployments you would
+//! load credentials from disk — out of scope here).
+
+use esg::gridftp::server::{GridFtpServer, ServerConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: esg-server <root-dir> [--port N] [--gsi] [--no-anonymous]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = None;
+    let mut gsi = false;
+    let mut anonymous = true;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--gsi" => gsi = true,
+            "--no-anonymous" => anonymous = false,
+            "--port" => {
+                // The server binds an ephemeral port; honouring --port would
+                // need a bind address parameter on ServerConfig. Keep the
+                // flag for CLI compatibility and report the actual port.
+                let _ = iter.next();
+            }
+            _ if root.is_none() => root = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(root) = root else { usage() };
+    let mut config = ServerConfig::new(&root);
+    config.allow_anonymous = anonymous;
+    if gsi {
+        let ca = Arc::new(esg::gsi::CertificateAuthority::new(
+            "/O=ESG/CN=Demo CA",
+            b"esg-demo-ca",
+        ));
+        let cred = Arc::new(ca.issue("/O=ESG/CN=esg-server", 0, 365 * 86_400));
+        println!("GSI enabled; trust anchor: /O=ESG/CN=Demo CA (seed esg-demo-ca)");
+        config.gsi = Some((cred, ca));
+    }
+    let server = GridFtpServer::start(config).expect("bind server");
+    println!("esg-server serving {root} on {}", server.addr());
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,137 @@
+//! `esg-url-copy` — the `globus-url-copy` of this reproduction.
+//!
+//! ```text
+//! esg-url-copy [-p N] [-vb] <source-url> <dest-url>
+//!
+//!   gsiftp://host:port/path   remote file on an esg-server
+//!   file:///path              local file
+//! ```
+//!
+//! Supports local→remote (STOR), remote→local (RETR with parallel streams,
+//! restart on failure, SHA-256 verification) and remote→remote
+//! (third-party transfer).
+
+use esg::gridftp::{
+    third_party_transfer, GridFtpClient, GridUrl, ReliableClient, TransferOptions,
+};
+use std::net::{SocketAddr, ToSocketAddrs};
+
+fn usage() -> ! {
+    eprintln!("usage: esg-url-copy [-p N] [-vb] <source-url> <dest-url>");
+    eprintln!("  urls: gsiftp://host:port/path | file:///path");
+    std::process::exit(2);
+}
+
+fn resolve(url: &GridUrl) -> SocketAddr {
+    format!("{}:{}", url.host, url.port)
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| {
+            eprintln!("cannot resolve {}:{}", url.host, url.port);
+            std::process::exit(1);
+        })
+}
+
+fn connect(url: &GridUrl) -> GridFtpClient {
+    let mut c = GridFtpClient::connect(resolve(url)).unwrap_or_else(|e| {
+        eprintln!("connect {}: {e}", url.host);
+        std::process::exit(1);
+    });
+    c.login_anonymous().unwrap_or_else(|e| {
+        eprintln!("login {}: {e}", url.host);
+        std::process::exit(1);
+    });
+    c
+}
+
+fn main() {
+    let mut parallelism = 4u32;
+    let mut verbose = false;
+    let mut urls: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-p" => {
+                parallelism = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-vb" | "-v" => verbose = true,
+            _ => urls.push(a),
+        }
+    }
+    if urls.len() != 2 {
+        usage();
+    }
+    let src = GridUrl::parse(&urls[0]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
+    let dst = GridUrl::parse(&urls[1]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
+    let opts = TransferOptions {
+        parallelism,
+        buffer: Some(1 << 20),
+    };
+    let t0 = std::time::Instant::now();
+    let bytes = match (src.scheme.as_str(), dst.scheme.as_str()) {
+        ("file", "gsiftp") => {
+            let data = std::fs::read(format!("/{}", src.path)).unwrap_or_else(|e| {
+                eprintln!("read {}: {e}", src.path);
+                std::process::exit(1);
+            });
+            let mut c = connect(&dst);
+            c.put(&dst.path, &data, opts, 0).unwrap_or_else(|e| {
+                eprintln!("put: {e}");
+                std::process::exit(1);
+            });
+            c.quit();
+            data.len() as u64
+        }
+        ("gsiftp", "file") => {
+            let reliable = ReliableClient::new(resolve(&src), opts);
+            let outcome = reliable.download(&src.path).unwrap_or_else(|e| {
+                eprintln!("get: {e}");
+                std::process::exit(1);
+            });
+            if verbose && outcome.attempts > 1 {
+                eprintln!(
+                    "restarted {} time(s), {} bytes re-fetched",
+                    outcome.attempts - 1,
+                    outcome.retried_bytes
+                );
+            }
+            let n = outcome.data.len() as u64;
+            std::fs::write(format!("/{}", dst.path), outcome.data).unwrap_or_else(|e| {
+                eprintln!("write {}: {e}", dst.path);
+                std::process::exit(1);
+            });
+            n
+        }
+        ("gsiftp", "gsiftp") => {
+            let mut s = connect(&src);
+            let mut d = connect(&dst);
+            third_party_transfer(&mut s, &mut d, &src.path, &dst.path, parallelism)
+                .unwrap_or_else(|e| {
+                    eprintln!("third-party: {e}");
+                    std::process::exit(1);
+                });
+            let n = d.size(&dst.path).unwrap_or(0);
+            s.quit();
+            d.quit();
+            n
+        }
+        _ => usage(),
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    if verbose {
+        eprintln!(
+            "{bytes} bytes in {dt:.3} s ({:.1} Mb/s), {parallelism} streams",
+            bytes as f64 * 8.0 / dt / 1e6
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # esg — Earth System Grid (ESG-I) reproduction
+//!
+//! A Rust reproduction of *"High-Performance Remote Access to Climate
+//! Simulation Data: A Challenge Problem for Data Grid Technologies"*
+//! (SC2001): the ESG-I prototype that wired together GridFTP, the Globus
+//! replica catalog, the Network Weather Service, LBNL's request manager and
+//! HRM, and the CDAT/CDMS climate analysis stack.
+//!
+//! This facade re-exports every subsystem crate:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`simnet`] | esg-simnet | deterministic flow-level WAN simulator |
+//! | [`gsi`] | esg-gsi | Grid Security Infrastructure (SHA-256/HMAC/ChaCha20, certs, delegation) |
+//! | [`netlogger`] | esg-netlogger | instrumentation + bandwidth statistics |
+//! | [`directory`] | esg-directory | LDAP-like catalog substrate |
+//! | [`storage`] | esg-storage | disks, RAID, tape library, HRM, disk cache |
+//! | [`cdms`] | esg-cdms | climate data model, mini-netCDF, analysis, viz |
+//! | [`nws`] | esg-nws | Network Weather Service sensors + forecasters |
+//! | [`gridftp`] | esg-gridftp | the transfer protocol (real TCP + simulated) |
+//! | [`replica`] | esg-replica | replica catalog + selection policies |
+//! | [`metadata`] | esg-metadata | CDMS metadata catalog |
+//! | [`reqman`] | esg-reqman | the request manager |
+//! | [`core`] | esg-core | the composed prototype, testbeds, experiments |
+//!
+//! Start with `examples/quickstart.rs`, or the experiment runners in
+//! [`core::experiments`].
+
+pub use esg_cdms as cdms;
+pub use esg_core as core;
+pub use esg_directory as directory;
+pub use esg_gridftp as gridftp;
+pub use esg_gsi as gsi;
+pub use esg_metadata as metadata;
+pub use esg_netlogger as netlogger;
+pub use esg_nws as nws;
+pub use esg_replica as replica;
+pub use esg_reqman as reqman;
+pub use esg_simnet as simnet;
+pub use esg_storage as storage;

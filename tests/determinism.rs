@@ -1,0 +1,96 @@
+//! Reproducibility: every experiment is a pure function of its seed and
+//! configuration — the property that makes the benchmark harness's numbers
+//! meaningful.
+
+use esg::core::{run_fig8, run_table1, Fig8Config, Table1Config};
+use esg::simnet::SimDuration;
+
+#[test]
+fn table1_runs_are_bit_identical() {
+    let cfg = Table1Config {
+        duration: SimDuration::from_mins(3),
+        ..Table1Config::default()
+    };
+    let a = run_table1(cfg);
+    let b = run_table1(cfg);
+    assert_eq!(a.peak_0_1s_gbps.to_bits(), b.peak_0_1s_gbps.to_bits());
+    assert_eq!(a.peak_5s_gbps.to_bits(), b.peak_5s_gbps.to_bits());
+    assert_eq!(a.sustained_mbps.to_bits(), b.sustained_mbps.to_bits());
+    assert_eq!(a.total_gbytes.to_bits(), b.total_gbytes.to_bits());
+    assert_eq!(a.transfers_completed, b.transfers_completed);
+}
+
+#[test]
+fn fig8_series_is_bit_identical() {
+    let cfg = Fig8Config {
+        duration: SimDuration::from_mins(45),
+        ..Fig8Config::default()
+    };
+    let a = run_fig8(cfg.clone());
+    let b = run_fig8(cfg);
+    assert_eq!(a.series.len(), b.series.len());
+    for (x, y) in a.series.iter().zip(&b.series) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits());
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.transfers_completed, b.transfers_completed);
+}
+
+#[test]
+fn synthetic_climate_is_seed_stable() {
+    // The generator's output feeds checksums in the loopback tests; it
+    // must never drift across runs.
+    let p = esg::cdms::SynthParams {
+        lat_points: 16,
+        lon_points: 32,
+        time_steps: 4,
+        hours_per_step: 6.0,
+        seed: 424242,
+    };
+    let bytes_a = esg::cdms::to_bytes(&esg::cdms::generate("s", p));
+    let bytes_b = esg::cdms::to_bytes(&esg::cdms::generate("s", p));
+    assert_eq!(
+        esg::gsi::sha256(&bytes_a),
+        esg::gsi::sha256(&bytes_b),
+        "generator must be deterministic"
+    );
+}
+
+#[test]
+fn end_to_end_testbed_outcomes_are_stable() {
+    use esg::core::esg_testbed;
+    use esg::reqman::submit_request;
+    use esg::simnet::SimTime;
+
+    let run = || -> (f64, String) {
+        let mut tb = esg_testbed(5150);
+        tb.publish_dataset("det_ds", 16, 8, 10_000_000, &[1, 2]);
+        tb.start_nws(SimDuration::from_secs(25));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let collection = tb.sim.world.metadata.collection_of("det_ds").unwrap();
+        let files: Vec<(String, String)> = tb
+            .sim
+            .world
+            .metadata
+            .all_files("det_ds")
+            .unwrap()
+            .iter()
+            .map(|f| (collection.clone(), f.name.clone()))
+            .collect();
+        let client = tb.client;
+        submit_request(&mut tb.sim, client, files, |s, o| s.world.outcomes.push(o));
+        tb.sim.run_until(SimTime::from_secs(7200));
+        let o = &tb.sim.world.outcomes[0];
+        let hosts: Vec<String> = o
+            .files
+            .iter()
+            .map(|f| f.replica_host.clone().unwrap_or_default())
+            .collect();
+        (o.finished.since(o.started).as_secs_f64(), hosts.join(","))
+    };
+    let (t1, h1) = run();
+    let (t2, h2) = run();
+    assert_eq!(t1.to_bits(), t2.to_bits());
+    assert_eq!(h1, h2);
+}

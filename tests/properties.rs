@@ -1,0 +1,331 @@
+//! Property-based tests on core data structures and invariants.
+
+use esg::cdms::{Axis, Dataset, Hyperslab};
+use esg::directory::Dn;
+use esg::gridftp::RangeSet;
+use esg::netlogger::BandwidthMeter;
+use esg::simnet::allocation::{max_min_fair, AllocFlow};
+use esg::simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// RangeSet: inserting arbitrary ranges always yields disjoint, sorted,
+    /// non-adjacent spans whose total never exceeds the covered hull, and
+    /// gaps+covered exactly tile [0, len).
+    #[test]
+    fn rangeset_invariants(ranges in prop::collection::vec((0u64..5_000, 1u64..400), 0..40)) {
+        let mut set = RangeSet::new();
+        for &(start, len) in &ranges {
+            set.insert(start, start + len);
+        }
+        let spans: Vec<(u64, u64)> = set.iter().collect();
+        // Disjoint, sorted, non-adjacent.
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "spans {:?} not separated", w);
+        }
+        for &(s, e) in &spans {
+            prop_assert!(s < e);
+        }
+        // Every inserted point is covered.
+        for &(start, len) in &ranges {
+            prop_assert!(set.contains(start, start + len));
+        }
+        // gaps ∪ spans tile [0, len).
+        let len = 6_000;
+        let gaps = set.gaps(len);
+        let mut total = set.iter().map(|(s, e)| e.min(len).saturating_sub(s.min(len))).sum::<u64>();
+        total += gaps.iter().map(|(s, e)| e - s).sum::<u64>();
+        prop_assert_eq!(total, len);
+    }
+
+    /// Restart-marker syntax round-trips.
+    #[test]
+    fn rangeset_marker_round_trip(ranges in prop::collection::vec((0u64..10_000, 1u64..500), 1..20)) {
+        let mut set = RangeSet::new();
+        for &(s, l) in &ranges {
+            set.insert(s, s + l);
+        }
+        let marker = set.to_marker();
+        let back = RangeSet::from_marker(&marker).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    /// Max-min fairness: no resource overcommitted, no flow above its cap,
+    /// and no flow starved while every resource it crosses has slack.
+    #[test]
+    fn allocation_invariants(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..6),
+        flows in prop::collection::vec(
+            (prop::collection::vec(0usize..6, 1..4), 0.5f64..2000.0),
+            1..12,
+        ),
+    ) {
+        let nr = caps.len();
+        let alloc_flows: Vec<AllocFlow> = flows
+            .iter()
+            .map(|(rs, cap)| {
+                let mut resources: Vec<usize> =
+                    rs.iter().map(|&r| r % nr).collect();
+                resources.sort_unstable();
+                resources.dedup();
+                AllocFlow { resources, cap: *cap }
+            })
+            .collect();
+        let rates = max_min_fair(&caps, &alloc_flows);
+        // Resource conservation.
+        for (r, &cap) in caps.iter().enumerate() {
+            let used: f64 = alloc_flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&r))
+                .map(|(_, &x)| x)
+                .sum();
+            prop_assert!(used <= cap * (1.0 + 1e-6), "resource {} over: {} > {}", r, used, cap);
+        }
+        // Cap respected; nothing negative.
+        for (f, &rate) in alloc_flows.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= f.cap * (1.0 + 1e-6));
+        }
+        // Pareto-ish: each flow is either at cap or touches a resource with
+        // less than a full fair share of slack left.
+        for (f, &rate) in alloc_flows.iter().zip(&rates) {
+            if rate < f.cap * (1.0 - 1e-6) {
+                let has_tight = f.resources.iter().any(|&r| {
+                    let used: f64 = alloc_flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(g, _)| g.resources.contains(&r))
+                        .map(|(_, &x)| x)
+                        .sum();
+                    used >= caps[r] * (1.0 - 1e-6)
+                });
+                prop_assert!(has_tight, "flow below cap with slack everywhere");
+            }
+        }
+    }
+
+    /// ESG1 file format: any dataset round-trips bit-exactly.
+    #[test]
+    fn ncio_round_trip(
+        nlat in 1usize..6,
+        nlon in 1usize..6,
+        nt in 1usize..4,
+        seed in prop::collection::vec(-1e6f32..1e6, 1..120),
+        name in "[a-zA-Z0-9_./ -]{0,24}",
+    ) {
+        let mut ds = Dataset::new(name);
+        ds.set_attr("model", "proptest");
+        ds.add_axis(Axis::time(nt, 6.0));
+        ds.add_axis(Axis::latitude(nlat));
+        ds.add_axis(Axis::longitude(nlon));
+        let n = nt * nlat * nlon;
+        let data: Vec<f32> = (0..n).map(|i| seed[i % seed.len()]).collect();
+        ds.add_variable("v", "K", "test", &["time", "latitude", "longitude"], data).unwrap();
+        let bytes = esg::cdms::to_bytes(&ds);
+        let back = esg::cdms::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    /// Hyperslab extraction: element count matches, and every element
+    /// equals direct indexing.
+    #[test]
+    fn hyperslab_extraction_correct(
+        shape in (1usize..5, 1usize..5, 1usize..5),
+        frac in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let (nt, ny, nx) = shape;
+        let mut ds = Dataset::new("h");
+        ds.add_axis(Axis::time(nt, 6.0));
+        ds.add_axis(Axis::latitude(ny));
+        ds.add_axis(Axis::longitude(nx));
+        let data: Vec<f32> = (0..nt * ny * nx).map(|i| i as f32).collect();
+        ds.add_variable("v", "", "", &["time", "latitude", "longitude"], data).unwrap();
+        let var = ds.variable("v").unwrap();
+        let pick = |n: usize, f: f64| -> (usize, usize) {
+            let start = ((n as f64 - 1.0) * f) as usize;
+            (start, n - start)
+        };
+        let (s0, c0) = pick(nt, frac.0);
+        let (s1, c1) = pick(ny, frac.1);
+        let (s2, c2) = pick(nx, frac.2);
+        let slab = Hyperslab { ranges: vec![(s0, c0), (s1, c1), (s2, c2)] };
+        let out = esg::cdms::extract(&ds, var, &slab).unwrap();
+        prop_assert_eq!(out.len(), c0 * c1 * c2);
+        let mut k = 0;
+        for t in s0..s0 + c0 {
+            for j in s1..s1 + c1 {
+                for i in s2..s2 + c2 {
+                    let direct = var.data[(t * ny + j) * nx + i];
+                    prop_assert_eq!(out[k], direct);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// DN parsing: display round-trips; child/parent are inverse.
+    #[test]
+    fn dn_round_trip(parts in prop::collection::vec(("[a-z]{1,6}", "[A-Za-z0-9 ._-]{1,12}"), 1..6)) {
+        let mut dn = Dn::root();
+        for (attr, value) in parts.iter().rev() {
+            // Trimmed values must stay non-empty for valid DNs.
+            let v = value.trim();
+            prop_assume!(!v.is_empty());
+            dn = dn.child(attr.clone(), v.to_string());
+        }
+        let printed = dn.to_string();
+        let parsed = Dn::parse(&printed).unwrap();
+        prop_assert_eq!(&parsed, &dn);
+        // parent(child(x)) == x
+        let child = dn.child("cn", "leaf");
+        prop_assert_eq!(child.parent().unwrap(), dn);
+    }
+
+    /// BandwidthMeter: mean over the whole span equals total/elapsed, and
+    /// any window peak is ≥ the mean.
+    #[test]
+    fn bandwidth_meter_consistency(deltas in prop::collection::vec(0.0f64..1e6, 2..60)) {
+        let mut m = BandwidthMeter::new();
+        for (i, &d) in deltas.iter().enumerate() {
+            m.add(SimTime::from_secs(i as u64), d);
+        }
+        let (start, end) = m.span().unwrap();
+        let elapsed = end.since(start).as_secs_f64();
+        let mean = m.mean_rate(start, end);
+        let total = m.bytes_between(start, end);
+        prop_assert!((mean * elapsed - total).abs() < 1e-6 * total.max(1.0));
+        let peak = m.peak_rate(SimDuration::from_secs(1));
+        prop_assert!(peak >= mean * (1.0 - 1e-9));
+    }
+
+    /// GridFTP command lines round-trip through the parser.
+    #[test]
+    fn command_round_trip(path in "[a-zA-Z0-9/._-]{1,30}", n in 1u32..64, off in 0u64..1_000_000, len in 1u64..1_000_000) {
+        use esg::gridftp::Command;
+        let cmds = vec![
+            Command::Retr(path.clone()),
+            Command::Stor(path.clone()),
+            Command::Size(path.clone()),
+            Command::OptsRetrParallelism(n),
+            Command::EretPartial { offset: off, length: len, path: path.clone() },
+            Command::Sbuf(off),
+        ];
+        for c in cmds {
+            let line = c.to_line();
+            prop_assert_eq!(Command::parse(&line).unwrap(), c, "{}", line);
+        }
+    }
+}
+
+proptest! {
+    /// Protocol robustness: arbitrary input lines never panic the command
+    /// parser; valid commands always reparse from their own rendering.
+    #[test]
+    fn command_parser_never_panics(line in "\\PC{0,80}") {
+        let _ = esg::gridftp::Command::parse(&line);
+    }
+
+    /// Reply wire-format robustness: arbitrary line stacks never panic the
+    /// reply parser.
+    #[test]
+    fn reply_parser_never_panics(lines in prop::collection::vec("\\PC{0,40}", 0..6)) {
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let _ = esg::gridftp::Reply::from_wire_lines(&refs);
+    }
+
+    /// EBLOCK framing: any payload round-trips; truncations error rather
+    /// than panic.
+    #[test]
+    fn eblock_round_trip(payload in prop::collection::vec(any::<u8>(), 0..2000), offset in any::<u64>()) {
+        use esg::gridftp::eblock;
+        let mut buf = Vec::new();
+        eblock::write_block(&mut buf, offset, &payload).unwrap();
+        let mut r = buf.as_slice();
+        let (h, p) = eblock::read_block(&mut r, 1 << 20).unwrap();
+        prop_assert_eq!(h.offset, offset);
+        prop_assert_eq!(p, payload);
+        for cut in [1usize, buf.len().saturating_sub(1)] {
+            if cut < buf.len() {
+                let mut r = &buf[..cut];
+                prop_assert!(eblock::read_block(&mut r, 1 << 20).is_err());
+            }
+        }
+    }
+
+    /// Directory filters: parse(display(f)) == f for synthesized filters.
+    #[test]
+    fn filter_display_round_trip(
+        attr in "[a-z]{1,8}",
+        value in "[a-zA-Z0-9 ._-]{1,12}",
+        op in 0u8..4,
+    ) {
+        use esg::directory::Filter;
+        let f = match op {
+            0 => Filter::eq(attr.clone(), value.trim().to_string()),
+            1 => Filter::Present(attr.clone()),
+            2 => Filter::Ge(attr.clone(), value.trim().to_string()),
+            _ => Filter::Not(Box::new(Filter::eq(attr.clone(), value.trim().to_string()))),
+        };
+        prop_assume!(!value.trim().is_empty());
+        prop_assume!(!value.contains(['(', ')', '*', '=', '<', '>']));
+        let printed = f.to_string();
+        let back = Filter::parse(&printed).unwrap();
+        prop_assert_eq!(back, f, "{}", printed);
+    }
+
+    /// Flow conservation on random dumbbells: total bytes delivered equals
+    /// the sum of flow sizes, and completion times respect capacity.
+    #[test]
+    fn simnet_flows_conserve_bytes(
+        n_flows in 1usize..8,
+        cap_mbps in 10.0f64..500.0,
+        sizes in prop::collection::vec(1_000_000u64..50_000_000, 8),
+    ) {
+        use esg::simnet::prelude::*;
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        let cap = cap_mbps * 1e6 / 8.0;
+        topo.add_link(a, b, cap, SimDuration::ZERO);
+        let mut sim: Sim<u64> = Sim::new(topo, 0);
+        let mut total = 0u64;
+        for &bytes in sizes.iter().take(n_flows) {
+            total += bytes;
+            sim.start_flow(
+                FlowSpec::new(a, b, bytes as f64).window(1e12).memory_to_memory(),
+                move |s| s.world += bytes,
+            )
+            .unwrap();
+        }
+        sim.run();
+        prop_assert_eq!(sim.world, total);
+        // The link can't have moved the bytes faster than capacity allows.
+        let elapsed = sim.now().as_secs_f64();
+        prop_assert!(elapsed >= total as f64 / cap * (1.0 - 1e-6),
+            "finished in {} but capacity allows {}", elapsed, total as f64 / cap);
+    }
+
+    /// GSI seal/open: arbitrary payload sequences round-trip through every
+    /// protection level.
+    #[test]
+    fn secure_channel_round_trips(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..8),
+    ) {
+        for prot in [
+            esg::gsi::Protection::Clear,
+            esg::gsi::Protection::Safe,
+            esg::gsi::Protection::Private,
+        ] {
+            let keys = esg::gsi::SessionKeys {
+                integrity: [3u8; 32],
+                confidentiality: [4u8; 32],
+            };
+            let (mut tx, mut rx) = esg::gsi::channel_pair(&keys, prot);
+            for p in &payloads {
+                let sealed = tx.seal(p);
+                prop_assert_eq!(&rx.open(&sealed).unwrap(), p);
+            }
+        }
+    }
+}
