@@ -31,8 +31,7 @@ fn bench_crypto(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            esg_gsi::mutual_authenticate(&alice, &bob, &ca, 0, &|_| None, &i.to_be_bytes())
-                .unwrap()
+            esg_gsi::mutual_authenticate(&alice, &bob, &ca, 0, &|_| None, &i.to_be_bytes()).unwrap()
         })
     });
 }
@@ -123,7 +122,9 @@ fn bench_ncio(c: &mut Criterion) {
     let bytes = esg_cdms::to_bytes(&ds);
     let mut g = c.benchmark_group("ncio");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("serialize", |b| b.iter(|| esg_cdms::to_bytes(black_box(&ds))));
+    g.bench_function("serialize", |b| {
+        b.iter(|| esg_cdms::to_bytes(black_box(&ds)))
+    });
     g.bench_function("deserialize", |b| {
         b.iter(|| esg_cdms::from_bytes(black_box(&bytes)).unwrap())
     });

@@ -24,7 +24,10 @@ fn main() {
 
     println!("== E1: move-the-question-not-the-data (real loopback server) ==\n");
     println!("dataset: 240 six-hourly steps x 3 variables = {size} bytes\n");
-    println!("{:<34} {:>12} {:>10}", "request", "bytes moved", "% of file");
+    println!(
+        "{:<34} {:>12} {:>10}",
+        "request", "bytes moved", "% of file"
+    );
     println!("{:-<60}", "");
     let t0 = std::time::Instant::now();
     let full = c.get(&file, TransferOptions::default()).unwrap();

@@ -45,11 +45,17 @@ fn main() {
     println!("{}", sparkline(&coarse));
     println!("0h{:>76}", format!("{hours}h"));
 
-    println!("\nplateau (90th pct):   {:>8.1} Mb/s   (paper: ~80 Mb/s)", r.plateau_mbps);
+    println!(
+        "\nplateau (90th pct):   {:>8.1} Mb/s   (paper: ~80 Mb/s)",
+        r.plateau_mbps
+    );
     println!("mean over the run:    {:>8.1} Mb/s", r.mean_mbps);
     println!("total transferred:    {:>8.1} GB", r.total_gbytes);
     println!("files completed:      {:>8}", r.transfers_completed);
-    println!("restarts (markers):   {:>8}   (paper: transfers 'continued as", r.restarts);
+    println!(
+        "restarts (markers):   {:>8}   (paper: transfers 'continued as",
+        r.restarts
+    );
     println!("                                soon as the network was restored')");
     println!("dead 60 s bins:       {:>8}   (fault windows)", r.dead_bins);
     println!("\nseries written to {csv_path}");

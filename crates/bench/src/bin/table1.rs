@@ -73,7 +73,10 @@ fn main() {
             ),
         ],
     );
-    println!("\n{} partition-copy transfers completed.", r.transfers_completed);
+    println!(
+        "\n{} partition-copy transfers completed.",
+        r.transfers_completed
+    );
     println!("Shape checks: peak(0.1s) >= peak(5s) >= sustained; striping x");
     println!("parallel streams lift aggregate far above one stream's Mathis cap.");
 }

@@ -5,7 +5,10 @@ use esg_core::user_scaling;
 
 fn main() {
     println!("== A10: N concurrent single-file requests (100 MB, 3 replica sites) ==\n");
-    println!("{:>8} {:>18} {:>20}", "users", "mean request (s)", "aggregate (Mb/s)");
+    println!(
+        "{:>8} {:>18} {:>20}",
+        "users", "mean request (s)", "aggregate (Mb/s)"
+    );
     for (n, mean, agg) in user_scaling(&[1, 4, 8, 16, 32, 64]) {
         println!("{n:>8} {mean:>18.2} {agg:>20.1}");
     }

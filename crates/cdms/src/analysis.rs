@@ -92,10 +92,7 @@ pub fn global_mean_series(ds: &Dataset, var_name: &str) -> Result<Vec<f64>, Mode
         let mut acc = 0.0f64;
         for (j, &w) in weights.iter().enumerate() {
             let base = (t * ny + j) * nx;
-            let row_sum: f64 = var.data[base..base + nx]
-                .iter()
-                .map(|&v| v as f64)
-                .sum();
+            let row_sum: f64 = var.data[base..base + nx].iter().map(|&v| v as f64).sum();
             acc += w * row_sum;
         }
         out.push(acc / wsum);
@@ -215,8 +212,14 @@ mod tests {
         d.add_axis(Axis::time(1, 6.0));
         d.add_axis(Axis::new("latitude", "deg", vec![0.0, 80.0]));
         d.add_axis(Axis::longitude(1));
-        d.add_variable("v", "", "", &["time", "latitude", "longitude"], vec![10.0, 0.0])
-            .unwrap();
+        d.add_variable(
+            "v",
+            "",
+            "",
+            &["time", "latitude", "longitude"],
+            vec![10.0, 0.0],
+        )
+        .unwrap();
         let g = global_mean_series(&d, "v").unwrap();
         // cos(0)=1, cos(80°)≈0.17 → mean strongly pulled toward 10.
         assert!(g[0] > 8.0, "{}", g[0]);

@@ -51,11 +51,7 @@ impl Hyperslab {
 }
 
 /// Extract a hyperslab from a variable into a new contiguous buffer.
-pub fn extract(
-    ds: &Dataset,
-    var: &Variable,
-    slab: &Hyperslab,
-) -> Result<Vec<f32>, ModelError> {
+pub fn extract(ds: &Dataset, var: &Variable, slab: &Hyperslab) -> Result<Vec<f32>, ModelError> {
     let shape = ds.shape_of(var);
     slab.validate(&shape)?;
     let rank = shape.len();

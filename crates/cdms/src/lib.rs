@@ -30,7 +30,9 @@ pub mod regrid;
 pub mod synth;
 pub mod viz;
 
-pub use analysis::{anomaly, global_mean_series, stats, time_mean, time_slice, zonal_mean, Field2d, Stats};
+pub use analysis::{
+    anomaly, global_mean_series, stats, time_mean, time_slice, zonal_mean, Field2d, Stats,
+};
 pub use climatology::{cycle_amplitude, deseasonalized_global_mean, phase_composite};
 pub use hyperslab::{extract, extract_dataset, Hyperslab};
 pub use model::{flat_index, Axis, Dataset, ModelError, Variable};

@@ -281,7 +281,13 @@ mod tests {
         let err = ds
             .add_variable("v", "K", "", &["latitude"], vec![1.0, 2.0])
             .unwrap_err();
-        assert!(matches!(err, ModelError::ShapeMismatch { expected: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            ModelError::ShapeMismatch {
+                expected: 3,
+                got: 2
+            }
+        ));
     }
 
     #[test]

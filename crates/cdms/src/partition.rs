@@ -82,8 +82,7 @@ pub fn write_chunks(
             dataset_name.replace('/', "_")
         );
         let path = dir.join(fname);
-        crate::ncio::save(&path, &chunk)
-            .map_err(|e| std::io::Error::other(format!("{e}")))?;
+        crate::ncio::save(&path, &chunk).map_err(|e| std::io::Error::other(format!("{e}")))?;
         let size = std::fs::metadata(&path)?.len();
         out.push((logical, path, size));
         start = end;
@@ -110,11 +109,7 @@ pub fn chunk_of(ds: &Dataset, start: usize, end: usize) -> Dataset {
         let shape = ds.shape_of(var);
         let per_step = shape[1..].iter().product::<usize>();
         let data = var.data[start * per_step..end * per_step].to_vec();
-        let axis_names: Vec<&str> = var
-            .dims
-            .iter()
-            .map(|&d| ds.axes[d].name.as_str())
-            .collect();
+        let axis_names: Vec<&str> = var.dims.iter().map(|&d| ds.axes[d].name.as_str()).collect();
         out.add_variable(
             var.name.clone(),
             var.units.clone(),

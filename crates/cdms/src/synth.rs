@@ -136,13 +136,7 @@ mod tests {
     #[test]
     fn different_seed_differs() {
         let a = generate("a", small());
-        let b = generate(
-            "a",
-            SynthParams {
-                seed: 8,
-                ..small()
-            },
-        );
+        let b = generate("a", SynthParams { seed: 8, ..small() });
         assert_ne!(a, b);
     }
 

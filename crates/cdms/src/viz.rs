@@ -43,19 +43,11 @@ fn colour(norm: f32) -> [u8; 3] {
     if n < 0.5 {
         // Blue → white
         let t = n * 2.0;
-        [
-            (t * 255.0) as u8,
-            (t * 255.0) as u8,
-            255,
-        ]
+        [(t * 255.0) as u8, (t * 255.0) as u8, 255]
     } else {
         // White → red
         let t = (n - 0.5) * 2.0;
-        [
-            255,
-            ((1.0 - t) * 255.0) as u8,
-            ((1.0 - t) * 255.0) as u8,
-        ]
+        [255, ((1.0 - t) * 255.0) as u8, ((1.0 - t) * 255.0) as u8]
     }
 }
 

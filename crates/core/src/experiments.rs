@@ -8,8 +8,7 @@
 use crate::scenario::{fig8_testbed, sc2000_scinet, Sc2000Config};
 use crate::world::{EsgSim, EsgWorld};
 use esg_gridftp::simxfer::{
-    cancel_transfer, start_transfer, transfer_bytes, transfer_stalled, TransferHandle,
-    TransferSpec,
+    cancel_transfer, start_transfer, transfer_bytes, transfer_stalled, TransferHandle, TransferSpec,
 };
 use esg_netlogger::{to_gbps, to_mbps};
 use esg_simnet::{LinkId, Node, NodeId, Sim, SimDuration, SimTime, Topology};
@@ -186,8 +185,7 @@ fn spawn_table1_transfer(
 ) {
     {
         let mut st = state.borrow_mut();
-        if sim.now() >= st.end || st.live_per_server[server] >= cfg.max_concurrent_per_server
-        {
+        if sim.now() >= st.end || st.live_per_server[server] >= cfg.max_concurrent_per_server {
             return;
         }
         st.live_per_server[server] += 1;
@@ -843,9 +841,18 @@ pub fn baseline_comparison() -> Vec<(&'static str, f64)> {
         finished.as_secs_f64()
     };
     vec![
-        ("ftp-2001 (1 stream, 64KB, REST resume)", run(1, 65_536.0, true)),
-        ("dods-http (1 stream, 64KB, refetch)", run(1, 65_536.0, false)),
-        ("gridftp (4 streams, 1MB, restart)", run(4, (1u64 << 20) as f64, true)),
+        (
+            "ftp-2001 (1 stream, 64KB, REST resume)",
+            run(1, 65_536.0, true),
+        ),
+        (
+            "dods-http (1 stream, 64KB, refetch)",
+            run(1, 65_536.0, false),
+        ),
+        (
+            "gridftp (4 streams, 1MB, restart)",
+            run(4, (1u64 << 20) as f64, true),
+        ),
     ]
 }
 
@@ -910,23 +917,21 @@ pub fn hrm_staging_comparison() -> Vec<(&'static str, f64)> {
     use crate::scenario::esg_testbed;
     use esg_reqman::submit_request;
 
-    let run_request = |tb: &mut crate::scenario::EsgTestbed,
-                       collection: String,
-                       file: String|
-     -> f64 {
-        let client = tb.client;
-        let before = tb.sim.world.outcomes.len();
-        submit_request(&mut tb.sim, client, vec![(collection, file)], |s, o| {
-            s.world.outcomes.push(o)
-        });
-        let horizon = tb.sim.now() + SimDuration::from_secs(7_200);
-        while tb.sim.world.outcomes.len() == before && tb.sim.now() < horizon {
-            let next = tb.sim.now() + SimDuration::from_secs(5);
-            tb.sim.run_until(next);
-        }
-        let o = tb.sim.world.outcomes.last().expect("request completed");
-        o.finished.since(o.started).as_secs_f64()
-    };
+    let run_request =
+        |tb: &mut crate::scenario::EsgTestbed, collection: String, file: String| -> f64 {
+            let client = tb.client;
+            let before = tb.sim.world.outcomes.len();
+            submit_request(&mut tb.sim, client, vec![(collection, file)], |s, o| {
+                s.world.outcomes.push(o)
+            });
+            let horizon = tb.sim.now() + SimDuration::from_secs(7_200);
+            while tb.sim.world.outcomes.len() == before && tb.sim.now() < horizon {
+                let next = tb.sim.now() + SimDuration::from_secs(5);
+                tb.sim.run_until(next);
+            }
+            let o = tb.sim.world.outcomes.last().expect("request completed");
+            o.finished.since(o.started).as_secs_f64()
+        };
 
     let mut out = Vec::new();
 
@@ -1133,8 +1138,7 @@ pub fn user_scaling(user_counts: &[usize]) -> Vec<(usize, f64, f64)> {
                 .map(|o| o.finished)
                 .max()
                 .unwrap();
-            let total_bytes: u64 =
-                tb.sim.world.outcomes.iter().map(|o| o.total_bytes).sum();
+            let total_bytes: u64 = tb.sim.world.outcomes.iter().map(|o| o.total_bytes).sum();
             let wall = last_done.since(started).as_secs_f64();
             (n, mean_secs, total_bytes as f64 * 8.0 / wall / 1e6)
         })
@@ -1200,7 +1204,11 @@ mod tests {
         // resume afterwards (multiple completions).
         assert!(r.dead_bins >= 5, "dead bins {}", r.dead_bins);
         assert!(r.restarts >= 1, "restarts {}", r.restarts);
-        assert!(r.transfers_completed >= 10, "completed {}", r.transfers_completed);
+        assert!(
+            r.transfers_completed >= 10,
+            "completed {}",
+            r.transfers_completed
+        );
         assert!(r.mean_mbps < r.plateau_mbps);
     }
 
@@ -1304,7 +1312,10 @@ mod tests {
         let prestaged = rows[3].1;
         assert!(cold > disk * 5.0, "cold tape {cold} vs disk {disk}");
         assert!(warm < cold / 3.0, "warm {warm} vs cold {cold}");
-        assert!(prestaged < cold / 3.0, "prestaged {prestaged} vs cold {cold}");
+        assert!(
+            prestaged < cold / 3.0,
+            "prestaged {prestaged} vs cold {cold}"
+        );
     }
 
     #[test]

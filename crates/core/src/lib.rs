@@ -9,16 +9,15 @@ pub mod experiments;
 pub mod scenario;
 pub mod world;
 
-pub use scenario::{
-    esg_testbed, fig8_testbed, sc2000_scinet, standard_synth, EsgTestbed, Fig8Testbed,
-    Sc2000Config, Sc2000Testbed, Site,
-};
 pub use client::{fetch_and_analyze, selection_screen, AnalysisProduct};
 pub use experiments::{
     ablation_channel_caching, ablation_cpu_model, baseline_comparison, hrm_staging_comparison,
     nws_forecast_accuracy, planner_spread_comparison, replica_policy_comparison, run_fig8,
-    user_scaling,
-    run_table1, sweep_buffer_size, sweep_parallel_streams,
-    sweep_stripes, Fig8Config, Fig8Fault, Fig8Results, Table1Config, Table1Results,
+    run_table1, sweep_buffer_size, sweep_parallel_streams, sweep_stripes, user_scaling, Fig8Config,
+    Fig8Fault, Fig8Results, Table1Config, Table1Results,
+};
+pub use scenario::{
+    esg_testbed, fig8_testbed, sc2000_scinet, standard_synth, EsgTestbed, Fig8Testbed,
+    Sc2000Config, Sc2000Testbed, Site,
 };
 pub use world::{EsgSim, EsgWorld};

@@ -89,10 +89,7 @@ pub fn esg_testbed(seed: u64) -> EsgTestbed {
     }
 
     let mut world = EsgWorld::default();
-    world.rm.selector = esg_replica::ReplicaSelector::new(
-        esg_replica::Policy::BestBandwidth,
-        seed,
-    );
+    world.rm.selector = esg_replica::ReplicaSelector::new(esg_replica::Policy::BestBandwidth, seed);
     for site in &sites {
         world.rm.add_host(site.host.clone(), site.node);
         if site.tape_backed {
@@ -137,13 +134,7 @@ impl EsgTestbed {
         self.sim.world.metadata.register(&desc).unwrap();
         let rm = &mut self.sim.world.rm;
         rm.catalog.create_collection(&collection).unwrap();
-        let files: Vec<_> = self
-            .sim
-            .world
-            .metadata
-            .all_files(name)
-            .unwrap()
-            .to_vec();
+        let files: Vec<_> = self.sim.world.metadata.all_files(name).unwrap().to_vec();
         for f in &files {
             self.sim
                 .world
@@ -335,7 +326,12 @@ mod tests {
     fn publish_dataset_wires_catalogs() {
         let mut tb = esg_testbed(1);
         tb.publish_dataset("pcm_b06.61", 64, 8, 10_000_000, &[0, 1, 3]);
-        let files = tb.sim.world.metadata.resolve("pcm_b06.61", "tas", (0, 16)).unwrap();
+        let files = tb
+            .sim
+            .world
+            .metadata
+            .resolve("pcm_b06.61", "tas", (0, 16))
+            .unwrap();
         assert_eq!(files.len(), 2);
         let collection = tb.sim.world.metadata.collection_of("pcm_b06.61").unwrap();
         let reps = tb

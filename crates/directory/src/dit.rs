@@ -127,11 +127,7 @@ impl Directory {
     }
 
     /// Apply a modification closure to an entry.
-    pub fn modify(
-        &mut self,
-        dn: &Dn,
-        f: impl FnOnce(&mut Entry),
-    ) -> Result<(), DirError> {
+    pub fn modify(&mut self, dn: &Dn, f: impl FnOnce(&mut Entry)) -> Result<(), DirError> {
         match self.entries.get_mut(&key(dn)) {
             Some(e) => {
                 f(e);
@@ -191,10 +187,7 @@ impl Directory {
                 .into_iter()
                 .filter(|e| filter.matches(e))
                 .collect(),
-            Scope::OneLevel => self
-                .children(base)
-                .filter(|e| filter.matches(e))
-                .collect(),
+            Scope::OneLevel => self.children(base).filter(|e| filter.matches(e)).collect(),
             Scope::Subtree => self
                 .subtree_iter(base)
                 .filter(|e| filter.matches(e))
@@ -245,14 +238,18 @@ mod tests {
     #[test]
     fn add_get_round_trip() {
         let d = grid();
-        let e = d.get(&Dn::parse("lc=CO2 1998, rc=ESG, o=Grid").unwrap()).unwrap();
+        let e = d
+            .get(&Dn::parse("lc=CO2 1998, rc=ESG, o=Grid").unwrap())
+            .unwrap();
         assert_eq!(e.values("filename").len(), 2);
     }
 
     #[test]
     fn dn_lookup_is_case_insensitive_in_attrs() {
         let d = grid();
-        assert!(d.get(&Dn::parse("LC=CO2 1998, RC=ESG, O=Grid").unwrap()).is_some());
+        assert!(d
+            .get(&Dn::parse("LC=CO2 1998, RC=ESG, O=Grid").unwrap())
+            .is_some());
     }
 
     #[test]

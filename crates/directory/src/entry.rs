@@ -107,7 +107,10 @@ mod tests {
         e.add("fileName", "a.nc");
         e.add("fileName", "b.nc");
         assert_eq!(e.values("filename").len(), 2);
-        assert_eq!(e.first("objectclass"), Some("GlobusReplicaLogicalCollection"));
+        assert_eq!(
+            e.first("objectclass"),
+            Some("GlobusReplicaLogicalCollection")
+        );
         assert_eq!(e.first("missing"), None);
     }
 

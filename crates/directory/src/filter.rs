@@ -39,7 +39,11 @@ pub struct FilterParseError {
 
 impl fmt::Display for FilterParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "filter parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "filter parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 

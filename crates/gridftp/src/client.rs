@@ -24,11 +24,17 @@ use std::time::Duration;
 pub enum ClientError {
     Io(std::io::Error),
     /// Unexpected or error reply from the server.
-    Protocol { expected: &'static str, got: Reply },
+    Protocol {
+        expected: &'static str,
+        got: Reply,
+    },
     /// Authentication failed.
     Auth(String),
     /// Transfer ended with data missing (after retries, for ReliableClient).
-    Incomplete { received: u64, expected: u64 },
+    Incomplete {
+        received: u64,
+        expected: u64,
+    },
     /// Checksum mismatch after transfer.
     ChecksumMismatch,
 }
@@ -145,11 +151,7 @@ impl GridFtpClient {
     }
 
     /// GSI login: full handshake over ADAT tokens.
-    pub fn login_gsi(
-        &mut self,
-        cred: &Credential,
-        ca: &CertificateAuthority,
-    ) -> Result<()> {
+    pub fn login_gsi(&mut self, cred: &Credential, ca: &CertificateAuthority) -> Result<()> {
         self.expect(&Command::AuthGssapi, 334, "334")?;
         let mut hs = Handshake::new(cred, b"client-session");
         let hello = hs.hello(b"client-nonce");
@@ -163,8 +165,8 @@ impl GridFtpClient {
         let hex = text
             .strip_prefix("ADAT=")
             .ok_or_else(|| ClientError::Auth("missing ADAT in 335".into()))?;
-        let payload = auth_wire::hex_decode(hex)
-            .ok_or_else(|| ClientError::Auth("bad hex in 335".into()))?;
+        let payload =
+            auth_wire::hex_decode(hex).ok_or_else(|| ClientError::Auth("bad hex in 335".into()))?;
         if payload.len() < 4 {
             return Err(ClientError::Auth("short 335 payload".into()));
         }
@@ -204,13 +206,10 @@ impl GridFtpClient {
     /// SIZE of a remote file.
     pub fn size(&mut self, path: &str) -> Result<u64> {
         let r = self.expect(&Command::Size(path.into()), 213, "213")?;
-        r.text()
-            .trim()
-            .parse()
-            .map_err(|_| ClientError::Protocol {
-                expected: "numeric 213",
-                got: r,
-            })
+        r.text().trim().parse().map_err(|_| ClientError::Protocol {
+            expected: "numeric 213",
+            got: r,
+        })
     }
 
     /// Remote SHA-256 (hex) of a byte range (length 0 = to EOF).
@@ -250,11 +249,7 @@ impl GridFtpClient {
         if let Some(b) = opts.buffer {
             self.expect(&Command::Sbuf(b), 200, "200")?;
         }
-        self.expect(
-            &Command::OptsRetrParallelism(opts.parallelism),
-            200,
-            "200",
-        )?;
+        self.expect(&Command::OptsRetrParallelism(opts.parallelism), 200, "200")?;
         let data_addr = self.pasv()?;
         if !received.is_empty() {
             self.expect(&Command::Rest(received.clone()), 350, "350")?;
@@ -346,11 +341,7 @@ impl GridFtpClient {
         length: u64,
         opts: TransferOptions,
     ) -> Result<Vec<u8>> {
-        self.expect(
-            &Command::OptsRetrParallelism(opts.parallelism),
-            200,
-            "200",
-        )?;
+        self.expect(&Command::OptsRetrParallelism(opts.parallelism), 200, "200")?;
         let data_addr = self.pasv()?;
         let r150 = self.command(&Command::EretPartial {
             offset,
@@ -418,11 +409,7 @@ impl GridFtpClient {
         t1: usize,
         opts: TransferOptions,
     ) -> Result<Vec<u8>> {
-        self.expect(
-            &Command::OptsRetrParallelism(opts.parallelism),
-            200,
-            "200",
-        )?;
+        self.expect(&Command::OptsRetrParallelism(opts.parallelism), 200, "200")?;
         let data_addr = self.pasv()?;
         let r150 = self.command(&Command::EretSubset {
             variable: variable.into(),
@@ -486,11 +473,7 @@ impl GridFtpClient {
         opts: TransferOptions,
         base_offset: u64,
     ) -> Result<()> {
-        self.expect(
-            &Command::OptsRetrParallelism(opts.parallelism),
-            200,
-            "200",
-        )?;
+        self.expect(&Command::OptsRetrParallelism(opts.parallelism), 200, "200")?;
         let data_addr = self.pasv()?;
         let cmd = if base_offset == 0 {
             Command::Stor(path.into())
@@ -508,16 +491,13 @@ impl GridFtpClient {
             });
         }
         let streams = opts.parallelism as usize;
-        let assignments =
-            eblock::round_robin_blocks(0, data.len() as u64, BLOCK_SIZE, streams);
+        let assignments = eblock::round_robin_blocks(0, data.len() as u64, BLOCK_SIZE, streams);
         let mut writers = Vec::new();
         for blocks in assignments {
             let conn = TcpStream::connect(data_addr)?;
             let chunk: Vec<(u64, Vec<u8>)> = blocks
                 .into_iter()
-                .map(|(off, len)| {
-                    (off, data[off as usize..(off + len) as usize].to_vec())
-                })
+                .map(|(off, len)| (off, data[off as usize..(off + len) as usize].to_vec()))
                 .collect();
             writers.push(std::thread::spawn(move || -> std::io::Result<()> {
                 let mut conn = conn;
@@ -620,12 +600,7 @@ fn parse_pasv(text: &str) -> Option<SocketAddrV4> {
     if nums.len() != 6 {
         return None;
     }
-    let ip = std::net::Ipv4Addr::new(
-        nums[0] as u8,
-        nums[1] as u8,
-        nums[2] as u8,
-        nums[3] as u8,
-    );
+    let ip = std::net::Ipv4Addr::new(nums[0] as u8, nums[1] as u8, nums[2] as u8, nums[3] as u8);
     Some(SocketAddrV4::new(ip, nums[4] << 8 | nums[5]))
 }
 

@@ -28,13 +28,16 @@ pub mod server;
 pub mod simxfer;
 pub mod url;
 
-pub use client::{third_party_transfer, ClientError, GridFtpClient, ReliableClient, ReliableOutcome, TransferOptions};
+pub use client::{
+    third_party_transfer, ClientError, GridFtpClient, ReliableClient, ReliableOutcome,
+    TransferOptions,
+};
 pub use protocol::{Command, Reply};
 pub use ranges::RangeSet;
 pub use server::{GridFtpServer, ServerConfig};
 pub use url::GridUrl;
 
 pub use simxfer::{
-    cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled,
-    GridFtpSim, HasGridFtp, TransferError, TransferHandle, TransferResult, TransferSpec,
+    cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, GridFtpSim,
+    HasGridFtp, TransferError, TransferHandle, TransferResult, TransferSpec,
 };

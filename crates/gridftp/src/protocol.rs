@@ -61,7 +61,10 @@ pub enum Command {
         path: String,
     },
     /// `ESTO A <offset> <path>` — store with adjusted offset.
-    EstoAdjusted { offset: u64, path: String },
+    EstoAdjusted {
+        offset: u64,
+        path: String,
+    },
     Size(String),
     /// `CKSM SHA256 <offset> <length> <path>` (length 0 = to EOF).
     Cksm {
@@ -100,8 +103,7 @@ fn parse_rest(arg: &str) -> Result<RangeSet, ParseError> {
         r.insert(0, n);
         return Ok(r);
     }
-    RangeSet::from_marker(arg)
-        .ok_or_else(|| ParseError::BadArguments(format!("REST {arg}")))
+    RangeSet::from_marker(arg).ok_or_else(|| ParseError::BadArguments(format!("REST {arg}")))
 }
 
 impl Command {
@@ -151,9 +153,7 @@ impl Command {
                 let rest = rest.trim().trim_end_matches(';');
                 let (k, v) = rest.split_once('=').ok_or_else(bad)?;
                 if k.eq_ignore_ascii_case("parallelism") {
-                    Ok(Command::OptsRetrParallelism(
-                        v.parse().map_err(|_| bad())?,
-                    ))
+                    Ok(Command::OptsRetrParallelism(v.parse().map_err(|_| bad())?))
                 } else {
                     Err(bad())
                 }
@@ -439,13 +439,19 @@ mod tests {
 
     #[test]
     fn parse_simple_commands() {
-        assert_eq!(Command::parse("USER esg").unwrap(), Command::User("esg".into()));
+        assert_eq!(
+            Command::parse("USER esg").unwrap(),
+            Command::User("esg".into())
+        );
         assert_eq!(Command::parse("TYPE I").unwrap(), Command::Type('I'));
         assert_eq!(Command::parse("MODE E").unwrap(), Command::Mode('E'));
         assert_eq!(Command::parse("PASV").unwrap(), Command::Pasv);
         assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
         assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
-        assert_eq!(Command::parse("SBUF 1048576").unwrap(), Command::Sbuf(1048576));
+        assert_eq!(
+            Command::parse("SBUF 1048576").unwrap(),
+            Command::Sbuf(1048576)
+        );
     }
 
     #[test]

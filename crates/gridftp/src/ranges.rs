@@ -88,9 +88,7 @@ impl RangeSet {
         if start >= end {
             return true;
         }
-        self.ranges
-            .iter()
-            .any(|&(s, e)| s <= start && end <= e)
+        self.ranges.iter().any(|&(s, e)| s <= start && end <= e)
     }
 
     /// Whether the set covers exactly `[0, len)`.
@@ -169,7 +167,10 @@ mod tests {
         r.insert(10, 20);
         r.insert(30, 40);
         r.insert(0, 5);
-        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 5), (10, 20), (30, 40)]);
+        assert_eq!(
+            r.iter().collect::<Vec<_>>(),
+            vec![(0, 5), (10, 20), (30, 40)]
+        );
         assert_eq!(r.total(), 25);
         assert_eq!(r.span_count(), 3);
     }

@@ -141,7 +141,9 @@ impl SharedState {
         if !self.fault_armed.load(Ordering::SeqCst) {
             return false;
         }
-        let prev = self.fault_budget.fetch_sub(bytes.min(1 << 40), Ordering::SeqCst);
+        let prev = self
+            .fault_budget
+            .fetch_sub(bytes.min(1 << 40), Ordering::SeqCst);
         if prev <= bytes || prev > (1 << 60) {
             // Budget exhausted (or wrapped): fire once, then disarm so the
             // retry succeeds.
@@ -273,7 +275,10 @@ impl Session {
             }
             Command::OptsRetrParallelism(n) => {
                 self.parallelism = n.clamp(1, 64);
-                self.send(Reply::new(200, format!("Parallelism set to {}", self.parallelism)))?;
+                self.send(Reply::new(
+                    200,
+                    format!("Parallelism set to {}", self.parallelism),
+                ))?;
             }
             Command::Rest(marker) => {
                 self.restart = Some(marker);
@@ -302,7 +307,11 @@ impl Session {
                 } else {
                     Reply::new(
                         227,
-                        format!("Entering Passive Mode (127,0,0,1,{},{})", port >> 8, port & 0xff),
+                        format!(
+                            "Entering Passive Mode (127,0,0,1,{},{})",
+                            port >> 8,
+                            port & 0xff
+                        ),
                     )
                 };
                 self.send(reply)?;
@@ -647,12 +656,8 @@ impl Session {
             Ok(c) => c,
             Err(_) => return self.send(Reply::new(425, "Can't open data connection")),
         };
-        let assignments = crate::eblock::round_robin_blocks(
-            0,
-            subset_bytes.len() as u64,
-            BLOCK_SIZE,
-            streams,
-        );
+        let assignments =
+            crate::eblock::round_robin_blocks(0, subset_bytes.len() as u64, BLOCK_SIZE, streams);
         let payload = Arc::new(subset_bytes);
         let mut handles = Vec::new();
         for (conn, blocks) in conns.into_iter().zip(assignments) {

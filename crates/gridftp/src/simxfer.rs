@@ -286,8 +286,7 @@ pub fn start_transfer<W: HasGridFtp + 'static>(
     sim.world.gridftp().transfers.insert(id, state.clone());
 
     // One completion closure shared across all flows.
-    let on_done: Rc<RefCell<Option<DoneCb<W>>>> =
-        Rc::new(RefCell::new(Some(Box::new(on_done))));
+    let on_done: Rc<RefCell<Option<DoneCb<W>>>> = Rc::new(RefCell::new(Some(Box::new(on_done))));
 
     // After the setup delay, launch the flows.
     let launch_state = state;
@@ -307,8 +306,7 @@ pub fn start_transfer<W: HasGridFtp + 'static>(
         let mut flow_specs = Vec::new();
         for &src in &spec.sources {
             let skip_ss = spec.channel_cache
-                && s.world.gridftp().cached_channels(src, spec.dst)
-                    >= spec.streams_per_source;
+                && s.world.gridftp().cached_channels(src, spec.dst) >= spec.streams_per_source;
             for _ in 0..streams {
                 let mut fs = FlowSpec::new(src, spec.dst, per_stream)
                     .window(spec.window)
@@ -359,10 +357,8 @@ pub fn start_transfer<W: HasGridFtp + 'static>(
                             let g = s3.world.gridftp();
                             for &src in &stb.spec.sources {
                                 if stb.spec.channel_cache {
-                                    g.cache.insert(
-                                        (src, stb.spec.dst),
-                                        stb.spec.streams_per_source,
-                                    );
+                                    g.cache
+                                        .insert((src, stb.spec.dst), stb.spec.streams_per_source);
                                 } else {
                                     g.cache.remove(&(src, stb.spec.dst));
                                 }
@@ -492,8 +488,7 @@ mod tests {
         (Sim::new(topo, world()), a, b)
     }
 
-    fn record(
-    ) -> impl FnOnce(&mut Sim<World>, Result<TransferResult, TransferError>) + 'static {
+    fn record() -> impl FnOnce(&mut Sim<World>, Result<TransferResult, TransferError>) + 'static {
         |s, r| s.world.results.push(r)
     }
 
@@ -596,7 +591,9 @@ mod tests {
     #[test]
     fn channel_cache_skips_handshake_on_second_transfer() {
         let (mut sim, a, b) = two_hosts(100e6, 20);
-        let spec = TransferSpec::new(a, b, 1_000_000).memory_to_memory().cached();
+        let spec = TransferSpec::new(a, b, 1_000_000)
+            .memory_to_memory()
+            .cached();
         let spec2 = spec.clone();
         start_transfer(&mut sim, spec, move |s, r| {
             s.world.results.push(r);
@@ -651,7 +648,9 @@ mod tests {
         // DNS down: existing (cached) channels keep working — the Figure 8
         // behaviour where established flows continued through DNS problems.
         let (mut sim, a, b) = two_hosts(100e6, 5);
-        let spec = TransferSpec::new(a, b, 1_000_000).memory_to_memory().cached();
+        let spec = TransferSpec::new(a, b, 1_000_000)
+            .memory_to_memory()
+            .cached();
         let spec2 = spec.clone();
         start_transfer(&mut sim, spec, move |s, r| {
             s.world.results.push(r);

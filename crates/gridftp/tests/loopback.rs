@@ -20,7 +20,9 @@ fn write_test_file(root: &Path, name: &str, len: usize) -> Vec<u8> {
     let mut data = vec![0u8; len];
     let mut state = 0x1234_5678_u64;
     for b in data.iter_mut() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (state >> 33) as u8;
     }
     std::fs::write(root.join(name), &data).unwrap();
@@ -148,11 +150,27 @@ fn esto_adjusted_store() {
     c.login_anonymous().unwrap();
     // Write the second half first at offset 100, then the first 100 bytes.
     let part = vec![7u8; 50];
-    c.put("adj.bin", &part, TransferOptions { parallelism: 1, buffer: None }, 100)
-        .unwrap();
+    c.put(
+        "adj.bin",
+        &part,
+        TransferOptions {
+            parallelism: 1,
+            buffer: None,
+        },
+        100,
+    )
+    .unwrap();
     let head = vec![9u8; 100];
-    c.put("adj.bin", &head, TransferOptions { parallelism: 1, buffer: None }, 0)
-        .unwrap();
+    c.put(
+        "adj.bin",
+        &head,
+        TransferOptions {
+            parallelism: 1,
+            buffer: None,
+        },
+        0,
+    )
+    .unwrap();
     let got = c.get("adj.bin", TransferOptions::default()).unwrap();
     assert_eq!(&got[..100], &head[..]);
     assert_eq!(&got[100..150], &part[..]);
@@ -172,7 +190,12 @@ fn restart_marker_resumes_manually() {
     let mut received = RangeSet::new();
     received.insert(0, 150_000);
     let got = c
-        .get_into("r.bin", TransferOptions::default(), &mut buffer, &mut received)
+        .get_into(
+            "r.bin",
+            TransferOptions::default(),
+            &mut buffer,
+            &mut received,
+        )
         .unwrap();
     assert_eq!(got, 50_000, "server must send only the hole");
     assert!(received.is_complete(200_000));
@@ -307,8 +330,14 @@ fn third_party_transfer_between_two_servers() {
     let mut dst = GridFtpClient::connect(dst_server.addr()).unwrap();
     dst.login_anonymous().unwrap();
 
-    third_party_transfer(&mut src, &mut dst, "model_output.bin", "replica/copy.bin", 2)
-        .unwrap();
+    third_party_transfer(
+        &mut src,
+        &mut dst,
+        "model_output.bin",
+        "replica/copy.bin",
+        2,
+    )
+    .unwrap();
 
     // Verify via the destination server's own checksum.
     let sum_dst = dst.checksum("replica/copy.bin", 0, 0).unwrap();
@@ -329,8 +358,7 @@ fn third_party_missing_source_file_fails_cleanly() {
     src.login_anonymous().unwrap();
     let mut dst = GridFtpClient::connect(dst_server.addr()).unwrap();
     dst.login_anonymous().unwrap();
-    let err =
-        third_party_transfer(&mut src, &mut dst, "ghost.bin", "copy.bin", 1).unwrap_err();
+    let err = third_party_transfer(&mut src, &mut dst, "ghost.bin", "copy.bin", 1).unwrap_err();
     assert!(matches!(err, ClientError::Protocol { .. }));
 }
 
@@ -465,7 +493,13 @@ fn gsi_plus_subsetting_compose() {
         seed: 5,
     };
     let chunks = esg_cdms::write_chunks(&root, "secure_ds", params, 12).unwrap();
-    let name = chunks[0].1.file_name().unwrap().to_str().unwrap().to_string();
+    let name = chunks[0]
+        .1
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .to_string();
 
     let ca = Arc::new(CertificateAuthority::new("/O=Grid/CN=ESG CA", b"ca2"));
     let server_cred: Arc<Credential> = Arc::new(ca.issue("/O=Grid/CN=server", 0, 3600));

@@ -181,12 +181,7 @@ impl CertificateAuthority {
     }
 
     /// Issue an end-entity credential for `subject`.
-    pub fn issue(
-        &self,
-        subject: impl Into<String>,
-        now: SecEpoch,
-        lifetime: u64,
-    ) -> Credential {
+    pub fn issue(&self, subject: impl Into<String>, now: SecEpoch, lifetime: u64) -> Credential {
         let subject = Subject::new(subject);
         let secret = hmac_sha256(&self.secret, subject.0.as_bytes());
         let mut cert = Certificate {
@@ -245,8 +240,8 @@ impl CertificateAuthority {
                 if cert.issuer != issuer_cert.subject {
                     return Err(GsiError::BrokenChain);
                 }
-                let issuer_secret = peer_secrets(&issuer_cert.subject)
-                    .ok_or(GsiError::BrokenChain)?;
+                let issuer_secret =
+                    peer_secrets(&issuer_cert.subject).ok_or(GsiError::BrokenChain)?;
                 let expect = hmac_sha256(&issuer_secret, &cert.tbs());
                 if expect != cert.signature {
                     return Err(GsiError::BadSignature {

@@ -28,12 +28,7 @@ impl ChaCha20 {
     pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
         let mut k = [0u32; 8];
         for i in 0..8 {
-            k[i] = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            k[i] = u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         let mut n = [0u32; 3];
         for i in 0..3 {
@@ -120,10 +115,7 @@ mod tests {
         let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let c = ChaCha20::new(&key, &nonce, 1);
         let block = c.block(1);
-        assert_eq!(
-            hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         assert_eq!(hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 
@@ -134,10 +126,7 @@ mod tests {
         let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         chacha20_xor(&key, &nonce, 1, &mut data);
-        assert_eq!(
-            hex(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
     }
 
     #[test]

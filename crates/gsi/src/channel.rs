@@ -83,8 +83,7 @@ impl SecureChannel {
             Protection::Safe | Protection::Private => {
                 let mut body = payload.to_vec();
                 if self.protection == Protection::Private {
-                    let mut c =
-                        ChaCha20::new(&self.keys.confidentiality, &Self::nonce_for(seq), 0);
+                    let mut c = ChaCha20::new(&self.keys.confidentiality, &Self::nonce_for(seq), 0);
                     c.apply(&mut body);
                 }
                 let mut out = Vec::with_capacity(SEQ_LEN + body.len() + MAC_LEN);
@@ -124,8 +123,7 @@ impl SecureChannel {
                 self.recv_seq += 1;
                 let mut body = framed[SEQ_LEN..].to_vec();
                 if self.protection == Protection::Private {
-                    let mut c =
-                        ChaCha20::new(&self.keys.confidentiality, &Self::nonce_for(seq), 0);
+                    let mut c = ChaCha20::new(&self.keys.confidentiality, &Self::nonce_for(seq), 0);
                     c.apply(&mut body);
                 }
                 Ok(body)

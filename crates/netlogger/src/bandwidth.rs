@@ -192,9 +192,7 @@ mod tests {
     fn mean_rate_of_constant_curve() {
         let m = meter_linear(100.0, 10);
         assert!((m.mean_rate(SimTime::ZERO, SimTime::from_secs(10)) - 100.0).abs() < 1e-9);
-        assert!(
-            (m.mean_rate(SimTime::from_secs(2), SimTime::from_secs(7)) - 100.0).abs() < 1e-9
-        );
+        assert!((m.mean_rate(SimTime::from_secs(2), SimTime::from_secs(7)) - 100.0).abs() < 1e-9);
     }
 
     #[test]

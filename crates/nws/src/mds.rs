@@ -34,10 +34,7 @@ pub fn publish(
             continue;
         };
         let lat = registry.forecast_latency(src, dst).unwrap_or(0.0);
-        let dn = base.child(
-            "pair",
-            format!("{}->{}", node_name(src), node_name(dst)),
-        );
+        let dn = base.child("pair", format!("{}->{}", node_name(src), node_name(dst)));
         let mut entry = Entry::new(dn.clone())
             .with("objectclass", "MdsNwsPath")
             .with("srchost", node_name(src))
@@ -59,10 +56,7 @@ pub fn lookup_bandwidth(dir: &Directory, src_host: &str, dst_host: &str) -> Opti
         Filter::eq("dsthost", dst_host),
     ]);
     let hits = dir.search(&nws_base(), Scope::OneLevel, &filter);
-    hits.first()?
-        .first("bandwidthbytespersec")?
-        .parse()
-        .ok()
+    hits.first()?.first("bandwidthbytespersec")?.parse().ok()
 }
 
 /// Read a published latency forecast (seconds).

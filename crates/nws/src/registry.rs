@@ -19,7 +19,6 @@ pub struct PathStats {
     history: Vec<(SimTime, f64)>,
 }
 
-
 /// The measurement store the MDS publishes and the RM queries.
 #[derive(Default)]
 pub struct NwsRegistry {
@@ -102,11 +101,7 @@ pub const DEFAULT_PROBE_BYTES: f64 = 512.0 * 1024.0;
 /// Schedule a periodic CPU sensor on `host`: each period it reads the
 /// host's network-processing CPU utilization from the simulator and
 /// records the available fraction.
-pub fn start_cpu_sensor<W: HasNws + 'static>(
-    sim: &mut Sim<W>,
-    host: NodeId,
-    period: SimDuration,
-) {
+pub fn start_cpu_sensor<W: HasNws + 'static>(sim: &mut Sim<W>, host: NodeId, period: SimDuration) {
     sim.schedule(period, move |s| {
         let used = s.net.host_cpu_utilization(host);
         s.world.nws().observe_cpu(host, 1.0 - used);
@@ -259,7 +254,13 @@ mod tests {
     #[test]
     fn sensor_measures_real_path() {
         let (mut sim, a, b) = sim(100e6, 5);
-        start_sensor(&mut sim, a, b, SimDuration::from_secs(30), DEFAULT_PROBE_BYTES);
+        start_sensor(
+            &mut sim,
+            a,
+            b,
+            SimDuration::from_secs(30),
+            DEFAULT_PROBE_BYTES,
+        );
         sim.run_until(SimTime::from_secs(300));
         let bw = sim.world.nws.forecast_bandwidth(a, b).unwrap();
         // Small probes pay slow start, so they underestimate the 100 MB/s
@@ -273,7 +274,13 @@ mod tests {
     #[test]
     fn sensor_tracks_contention() {
         let (mut sim, a, b) = sim(100e6, 0);
-        start_sensor(&mut sim, a, b, SimDuration::from_secs(10), DEFAULT_PROBE_BYTES);
+        start_sensor(
+            &mut sim,
+            a,
+            b,
+            SimDuration::from_secs(10),
+            DEFAULT_PROBE_BYTES,
+        );
         // Quiet period.
         sim.run_until(SimTime::from_secs(100));
         let quiet = sim.world.nws.forecast_bandwidth(a, b).unwrap();
@@ -295,7 +302,13 @@ mod tests {
     #[test]
     fn sensor_survives_outage() {
         let (mut sim, a, b) = sim(100e6, 0);
-        start_sensor(&mut sim, a, b, SimDuration::from_secs(10), DEFAULT_PROBE_BYTES);
+        start_sensor(
+            &mut sim,
+            a,
+            b,
+            SimDuration::from_secs(10),
+            DEFAULT_PROBE_BYTES,
+        );
         sim.run_until(SimTime::from_secs(35));
         let before = sim.world.nws.history(a, b).len();
         sim.schedule(SimDuration::ZERO, |s| {

@@ -68,10 +68,8 @@ fn rc_base() -> Dn {
 impl ReplicaCatalog {
     pub fn new() -> Self {
         let mut dir = Directory::new();
-        dir.add_with_ancestors(
-            Entry::new(rc_base()).with("objectclass", "GlobusReplicaCatalog"),
-        )
-        .expect("fresh directory");
+        dir.add_with_ancestors(Entry::new(rc_base()).with("objectclass", "GlobusReplicaCatalog"))
+            .expect("fresh directory");
         ReplicaCatalog { dir }
     }
 
@@ -344,10 +342,7 @@ mod tests {
         let rc = figure6();
         let mut cols = rc.collections();
         cols.sort();
-        assert_eq!(
-            cols,
-            vec!["CO2 measurements 1998", "CO2 measurements 1999"]
-        );
+        assert_eq!(cols, vec!["CO2 measurements 1998", "CO2 measurements 1999"]);
     }
 
     #[test]
@@ -365,7 +360,8 @@ mod tests {
         let files = rc.logical_files("CO2 measurements 1998").unwrap();
         assert_eq!(files.len(), 3);
         assert_eq!(
-            rc.file_size("CO2 measurements 1998", "jan_1998.nc").unwrap(),
+            rc.file_size("CO2 measurements 1998", "jan_1998.nc")
+                .unwrap(),
             1_500_000_000
         );
         assert!(rc.file_size("CO2 measurements 1998", "ghost.nc").is_err());
@@ -452,7 +448,8 @@ mod tests {
             .unwrap();
         assert_eq!(reps.len(), 2);
         assert_eq!(
-            rc2.file_size("CO2 measurements 1998", "jan_1998.nc").unwrap(),
+            rc2.file_size("CO2 measurements 1998", "jan_1998.nc")
+                .unwrap(),
             1_500_000_000
         );
         assert!(ReplicaCatalog::from_ldif("dn: o=Nope\n").is_err());

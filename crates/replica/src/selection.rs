@@ -63,11 +63,7 @@ impl ReplicaSelector {
 
     /// Pick an index into `candidates`. `estimates` must be parallel to
     /// `candidates`. Returns `None` when there are no candidates.
-    pub fn select(
-        &mut self,
-        candidates: &[Replica],
-        estimates: &[PathEstimate],
-    ) -> Option<usize> {
+    pub fn select(&mut self, candidates: &[Replica], estimates: &[PathEstimate]) -> Option<usize> {
         if candidates.is_empty() {
             return None;
         }
@@ -80,9 +76,7 @@ impl ReplicaSelector {
                 i
             }
             Policy::BestBandwidth => best_by(estimates, |e| e.bandwidth),
-            Policy::LowestLatency => {
-                best_by(estimates, |e| e.latency.map(|l| -l))
-            }
+            Policy::LowestLatency => best_by(estimates, |e| e.latency.map(|l| -l)),
         })
     }
 }
@@ -160,9 +154,18 @@ mod tests {
         let mut s = ReplicaSelector::new(Policy::LowestLatency, 1);
         let reps = replicas(3);
         let estimates = vec![
-            PathEstimate { bandwidth: None, latency: Some(0.050) },
-            PathEstimate { bandwidth: None, latency: Some(0.005) },
-            PathEstimate { bandwidth: None, latency: Some(0.020) },
+            PathEstimate {
+                bandwidth: None,
+                latency: Some(0.050),
+            },
+            PathEstimate {
+                bandwidth: None,
+                latency: Some(0.005),
+            },
+            PathEstimate {
+                bandwidth: None,
+                latency: Some(0.020),
+            },
         ];
         assert_eq!(s.select(&reps, &estimates), Some(1));
     }
@@ -184,7 +187,9 @@ mod tests {
         let estimates = est(&[None, None, None, None]);
         let run = |seed: u64| -> Vec<usize> {
             let mut s = ReplicaSelector::new(Policy::Random, seed);
-            (0..50).map(|_| s.select(&reps, &estimates).unwrap()).collect()
+            (0..50)
+                .map(|_| s.select(&reps, &estimates).unwrap())
+                .collect()
         };
         assert_eq!(run(7), run(7));
         let picks = run(7);

@@ -10,16 +10,18 @@
 //!
 //! * [`manager`] — the RM itself and the per-file worker state machines.
 //! * [`monitor`] — the Figure 4 dynamic transfer monitor rendering.
+//! * [`reliability`] — retry/backoff policy and per-host circuit breakers.
 
 pub mod manager;
 pub mod monitor;
 pub mod planner;
+pub mod reliability;
 pub mod replication;
 
 pub use manager::{
-    submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld,
-    TransferTuning,
+    submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld, TransferTuning,
 };
 pub use monitor::render_monitor;
 pub use planner::plan_spread;
+pub use reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
 pub use replication::{replicate_collection, ReplicationOutcome};

@@ -13,13 +13,22 @@
 //!    transferred at the local site every few seconds".
 //!
 //! The reliability plugin of §7 is implemented on top of the monitor: when
-//! a transfer stalls or its rate drops below a configurable threshold, the
-//! worker cancels it, remembers the bytes already delivered (restart
-//! marker) and switches to an alternate replica.
+//! a transfer stalls, exceeds its attempt timeout, or its rate drops below
+//! a configurable threshold, the worker cancels it, banks the bytes
+//! already delivered (restart marker) and switches to an alternate
+//! replica. Failures feed per-host [`CircuitBreaker`]s — a host that keeps
+//! failing is taken out of selection until a cooldown passes and a probe
+//! transfer readmits it — and every requeue is scheduled through the
+//! manager's [`RetryPolicy`] (exponential backoff with seeded jitter)
+//! rather than a fixed delay. When every replica of a file is excluded or
+//! breaker-blocked the file is not failed: it re-enters the queue with
+//! backoff and waits for the network to heal. Only an exhausted
+//! `max_attempts` cap marks a file failed.
 
+use crate::reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
 use esg_gridftp::simxfer::{
-    cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled,
-    HasGridFtp, TransferHandle, TransferSpec,
+    cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, HasGridFtp,
+    TransferError, TransferHandle, TransferSpec,
 };
 use esg_netlogger::{LogEvent, NetLog};
 use esg_nws::HasNws;
@@ -27,6 +36,8 @@ use esg_replica::{PathEstimate, Policy, Replica, ReplicaCatalog, ReplicaSelector
 use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
 use esg_storage::{Hrm, StageOutcome};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -71,6 +82,8 @@ pub struct FileStatus {
     pub replica_host: Option<String>,
     pub attempts: u32,
     pub done: bool,
+    /// Gave up: the retry policy's `max_attempts` cap was reached.
+    pub failed: bool,
     /// Waiting on HRM tape staging until this time.
     pub staging_until: Option<SimTime>,
 }
@@ -102,7 +115,12 @@ struct FileWork {
     /// `status.bytes_done` at the start of the current attempt; the live
     /// transfer's progress is added on top of this base.
     attempt_base: u64,
+    /// Hosts already tried and failed in the current selection round.
+    /// Cleared whenever the round runs dry — long-term memory of host
+    /// health lives in the manager's circuit breakers instead.
     excluded_hosts: Vec<String>,
+    /// The catalog knows this logical file (size lookup succeeded).
+    known: bool,
 }
 
 struct RequestState {
@@ -134,6 +152,12 @@ pub struct RequestManager {
     pub min_rate: f64,
     /// Grace period before the rate check applies (slow start).
     pub grace: SimDuration,
+    /// Backoff schedule, attempt cap and per-attempt timeout for requeues.
+    pub retry: RetryPolicy,
+    /// Consecutive failures that trip a host's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker blocks its host before a probe.
+    pub breaker_cooldown: SimDuration,
     /// CORBA call latency between client and RM.
     pub rpc_latency: SimDuration,
     /// Plan multi-file requests to spread pulls across sites (§4:
@@ -142,6 +166,8 @@ pub struct RequestManager {
     pub spread_sites: bool,
     /// Structured event log (NetLogger).
     pub log: NetLog,
+    breakers: HashMap<String, CircuitBreaker>,
+    rng: StdRng,
     requests: HashMap<u64, SharedRequest>,
     next_id: u64,
 }
@@ -163,9 +189,16 @@ impl RequestManager {
             poll: SimDuration::from_secs(3),
             min_rate: 0.0,
             grace: SimDuration::from_secs(10),
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(60),
             rpc_latency: SimDuration::from_millis(2),
             spread_sites: false,
             log: NetLog::new(),
+            breakers: HashMap::new(),
+            // Decorrelate the jitter stream from the selector's RNG while
+            // staying a pure function of the caller's seed.
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)),
             requests: HashMap::new(),
             next_id: 0,
         }
@@ -185,7 +218,14 @@ impl RequestManager {
     /// monitor).
     pub fn status(&self, request: u64) -> Option<Vec<FileStatus>> {
         let state = self.requests.get(&request)?;
-        Some(state.borrow().files.iter().map(|f| f.status.clone()).collect())
+        Some(
+            state
+                .borrow()
+                .files
+                .iter()
+                .map(|f| f.status.clone())
+                .collect(),
+        )
     }
 
     /// All live request ids.
@@ -193,6 +233,62 @@ impl RequestManager {
         let mut v: Vec<u64> = self.requests.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Current breaker state for a host, if one has been created.
+    pub fn breaker_state(&self, host: &str) -> Option<BreakerState> {
+        self.breakers.get(host).map(|b| b.state())
+    }
+
+    fn breaker_entry(&mut self, host: &str) -> &mut CircuitBreaker {
+        let (threshold, cooldown) = (self.breaker_threshold, self.breaker_cooldown);
+        self.breakers
+            .entry(host.to_string())
+            .or_insert_with(|| CircuitBreaker::new(threshold, cooldown))
+    }
+
+    /// Non-committal check used when filtering replica candidates.
+    fn breaker_would_admit(&self, host: &str, now: SimTime) -> bool {
+        self.breakers.get(host).is_none_or(|b| b.would_admit(now))
+    }
+
+    /// Commit an admission for `host` (may consume the half-open probe
+    /// slot). Logs the open → half-open transition.
+    fn breaker_admit(&mut self, host: &str, now: SimTime) {
+        let tr = self.breaker_entry(host).admits(now).1;
+        self.log_breaker(host, tr, now);
+    }
+
+    fn breaker_failure(&mut self, host: &str, now: SimTime) {
+        let tr = self.breaker_entry(host).record_failure(now);
+        self.log_breaker(host, tr, now);
+    }
+
+    fn breaker_success(&mut self, host: &str, now: SimTime) {
+        let tr = self.breaker_entry(host).record_success();
+        self.log_breaker(host, tr, now);
+    }
+
+    /// Free an admitted probe without judging the host (global outages).
+    fn breaker_release(&mut self, host: &str) {
+        if let Some(b) = self.breakers.get_mut(host) {
+            b.release();
+        }
+    }
+
+    fn log_breaker(&mut self, host: &str, tr: Option<BreakerTransition>, now: SimTime) {
+        let name = match tr {
+            Some(BreakerTransition::Opened) => "rm.breaker.open",
+            Some(BreakerTransition::HalfOpened) => "rm.breaker.half_open",
+            Some(BreakerTransition::Closed) => "rm.breaker.close",
+            None => return,
+        };
+        self.log
+            .push(LogEvent::new(now, name).field("host", host.to_string()));
+    }
+
+    fn next_backoff(&mut self, attempt: u32) -> SimDuration {
+        self.retry.backoff(attempt, &mut self.rng)
     }
 }
 
@@ -210,22 +306,24 @@ pub fn submit_request<W: RmWorld>(
 
     let mut work = Vec::new();
     for (collection, name) in files {
-        let size = rm.catalog.file_size(&collection, &name).unwrap_or(0);
+        let size = rm.catalog.file_size(&collection, &name).ok();
         work.push(FileWork {
             status: FileStatus {
                 collection,
                 name,
-                size,
+                size: size.unwrap_or(0),
                 bytes_done: 0,
                 replica_host: None,
                 attempts: 0,
                 done: false,
+                failed: false,
                 staging_until: None,
             },
             current: None,
             transfer_started: SimTime::ZERO,
             attempt_base: 0,
             excluded_hosts: Vec::new(),
+            known: size.is_some(),
         });
     }
     let remaining = work.len();
@@ -290,7 +388,95 @@ fn finish_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
     }
 }
 
-/// Steps 1–3 of the worker: replicas → NWS estimates → selection.
+/// Mark one file delivered and finish the request when it was the last.
+/// Idempotent: completing an already-settled file is a no-op, so a race
+/// between the monitor and the transfer's own completion path is harmless.
+fn complete_file<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    cb: &DoneCell<W>,
+    idx: usize,
+) {
+    let finished_all = {
+        let mut st = state.borrow_mut();
+        let fw = &mut st.files[idx];
+        if fw.status.done || fw.status.failed {
+            return;
+        }
+        fw.status.bytes_done = fw.status.size;
+        fw.status.done = true;
+        fw.current = None;
+        st.remaining -= 1;
+        st.remaining == 0
+    };
+    let now = sim.now();
+    let fname = state.borrow().files[idx].status.name.clone();
+    sim.world
+        .reqman()
+        .log
+        .push(LogEvent::new(now, "rm.file.complete").field("file", fname));
+    if finished_all {
+        finish_request(sim, state, cb);
+    }
+}
+
+/// Give up on a file: the retry policy's attempt cap is exhausted.
+fn fail_file<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>, idx: usize) {
+    let (finished_all, fname, attempts) = {
+        let mut st = state.borrow_mut();
+        let (name, attempts) = {
+            let fw = &mut st.files[idx];
+            if fw.status.done || fw.status.failed {
+                return;
+            }
+            fw.status.failed = true;
+            fw.current = None;
+            (fw.status.name.clone(), fw.status.attempts)
+        };
+        st.remaining -= 1;
+        (st.remaining == 0, name, attempts)
+    };
+    let now = sim.now();
+    sim.world.reqman().log.push(
+        LogEvent::new(now, "rm.file.failed")
+            .field("file", fname)
+            .field("attempts", attempts as u64),
+    );
+    if finished_all {
+        finish_request(sim, state, cb);
+    }
+}
+
+/// Requeue a file worker after a policy-determined backoff.
+fn requeue_with_backoff<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: SharedRequest,
+    cb: DoneCell<W>,
+    idx: usize,
+) {
+    let (attempts, fname, req_id) = {
+        let st = state.borrow();
+        let fw = &st.files[idx];
+        (fw.status.attempts, fw.status.name.clone(), st.id)
+    };
+    let delay = sim.world.reqman().next_backoff(attempts);
+    let now = sim.now();
+    sim.world.reqman().log.push(
+        LogEvent::new(now, "rm.retry.backoff")
+            .field("request", req_id)
+            .field("file", fname)
+            .field("attempt", attempts as u64)
+            .field("delay_s", delay.as_secs_f64()),
+    );
+    sim.schedule(delay, move |s| {
+        start_file_worker(s, state, cb, idx);
+    });
+}
+
+/// Steps 1–3 of the worker: replicas → NWS estimates → selection. Returns
+/// the choice plus the number of catalog replicas before exclusion/breaker
+/// filtering, so the caller can tell "nothing registered" (unsatisfiable)
+/// from "everything currently unavailable" (requeue and wait).
 /// `host_load` counts this request's in-flight pulls per host, for the
 /// spread planner.
 fn select_replica<W: RmWorld>(
@@ -300,19 +486,22 @@ fn select_replica<W: RmWorld>(
     file: &str,
     excluded: &[String],
     host_load: &HashMap<String, usize>,
-) -> Option<(Replica, NodeId)> {
+) -> (Option<(Replica, NodeId)>, usize) {
     // Gather candidates and estimates first (immutable catalog reads),
     // then run the stateful selector.
+    let now = sim.now();
     let rm = sim.world.reqman();
-    let replicas: Vec<Replica> = rm
+    let registered = rm
         .catalog
         .lookup_replicas(collection, file)
-        .unwrap_or_default()
+        .unwrap_or_default();
+    let candidates = registered.len();
+    let replicas: Vec<Replica> = registered
         .into_iter()
-        .filter(|r| !excluded.contains(&r.host))
+        .filter(|r| !excluded.contains(&r.host) && rm.breaker_would_admit(&r.host, now))
         .collect();
     if replicas.is_empty() {
-        return None;
+        return (None, candidates);
     }
     let nodes: Vec<Option<NodeId>> = replicas
         .iter()
@@ -334,12 +523,12 @@ fn select_replica<W: RmWorld>(
     }
     let rm = sim.world.reqman();
     let idx = if rm.spread_sites {
-        crate::planner::plan_spread(&replicas, &estimates, host_load)?
+        crate::planner::plan_spread(&replicas, &estimates, host_load)
     } else {
-        rm.selector.select(&replicas, &estimates)?
+        rm.selector.select(&replicas, &estimates)
     };
-    let node = nodes[idx]?;
-    Some((replicas[idx].clone(), node))
+    let choice = idx.and_then(|i| nodes[i].map(|n| (replicas[i].clone(), n)));
+    (choice, candidates)
 }
 
 /// Launch (or relaunch) the worker for one file of a request.
@@ -349,7 +538,7 @@ fn start_file_worker<W: RmWorld>(
     cb: DoneCell<W>,
     idx: usize,
 ) {
-    let (client, collection, file, remaining_bytes, excluded, req_id, host_load) = {
+    let (client, collection, file, excluded, req_id, host_load, attempts, settled, delivered) = {
         let st = state.borrow();
         let fw = &st.files[idx];
         // In-flight pulls per host for the spread planner.
@@ -368,34 +557,50 @@ fn start_file_worker<W: RmWorld>(
             st.client,
             fw.status.collection.clone(),
             fw.status.name.clone(),
-            fw.status.size - fw.status.bytes_done,
             fw.excluded_hosts.clone(),
             st.id,
             host_load,
+            fw.status.attempts,
+            fw.status.done || fw.status.failed,
+            fw.known && fw.status.bytes_done >= fw.status.size,
         )
     };
+    if settled {
+        return;
+    }
+    // Zero-size files (and files whose bytes all arrived before a restart)
+    // have nothing left to transfer: complete without opening a channel.
+    if delivered {
+        complete_file(sim, &state, &cb, idx);
+        return;
+    }
+    let retry = sim.world.reqman().retry;
+    if retry.exhausted(attempts) {
+        fail_file(sim, &state, &cb, idx);
+        return;
+    }
 
-    let Some((replica, src_node)) =
-        select_replica(sim, client, &collection, &file, &excluded, &host_load)
-    else {
-        // No replicas left to try: retry from scratch (clear exclusions)
-        // after a backoff — the network may heal.
-        let had_exclusions = !excluded.is_empty();
-        state.borrow_mut().files[idx].excluded_hosts.clear();
-        if had_exclusions {
-            let st2 = state.clone();
-            let cb2 = cb.clone();
-            sim.schedule(SimDuration::from_secs(30), move |s| {
-                start_file_worker(s, st2, cb2, idx);
-            });
+    let (choice, candidates) =
+        select_replica(sim, client, &collection, &file, &excluded, &host_load);
+    let Some((replica, src_node)) = choice else {
+        if candidates == 0 && excluded.is_empty() {
+            // Nothing registered anywhere: the file is unsatisfiable;
+            // leave it pending forever (caller sees no completion),
+            // mirroring a catalog misconfiguration.
+            return;
         }
-        // With no exclusions and still no replica, the file is
-        // unsatisfiable; leave it pending forever (caller sees no
-        // completion), mirroring a catalog misconfiguration.
+        // Replicas exist but every one is excluded or breaker-blocked:
+        // graceful degradation. Clear the round's exclusions and requeue
+        // with backoff — breakers keep the long-term memory, and their
+        // cooldowns decide when a downed host gets probed again.
+        state.borrow_mut().files[idx].excluded_hosts.clear();
+        requeue_with_backoff(sim, state, cb, idx);
         return;
     };
 
     let now = sim.now();
+    // Commit the admission (may consume a half-open probe slot).
+    sim.world.reqman().breaker_admit(&replica.host, now);
     {
         let mut st = state.borrow_mut();
         let fw = &mut st.files[idx];
@@ -438,15 +643,30 @@ fn start_file_worker<W: RmWorld>(
     }
 
     let tuning = sim.world.reqman().tuning;
+    let host = replica.host.clone();
     let st2 = state.clone();
     let cb2 = cb.clone();
     sim.schedule(stage_delay, move |s| {
-        {
+        // Read the resume point at the moment the transfer actually
+        // starts, so the restart marker and the requested byte range are
+        // computed from the same snapshot.
+        let (remaining_bytes, base) = {
             let mut st = st2.borrow_mut();
-            if st.files[idx].status.done {
+            let fw = &mut st.files[idx];
+            if fw.status.done || fw.status.failed {
                 return;
             }
-            st.files[idx].status.staging_until = None;
+            fw.status.staging_until = None;
+            (fw.status.size - fw.status.bytes_done, fw.status.bytes_done)
+        };
+        if base > 0 {
+            let now = s.now();
+            let fname = st2.borrow().files[idx].status.name.clone();
+            s.world.reqman().log.push(
+                LogEvent::new(now, "rm.failover.restart_marker")
+                    .field("file", fname)
+                    .field("offset", base),
+            );
         }
         let mut spec = TransferSpec::new(src_node, client, remaining_bytes)
             .streams(tuning.streams)
@@ -456,43 +676,34 @@ fn start_file_worker<W: RmWorld>(
         }
         let st3 = st2.clone();
         let cb3 = cb2.clone();
+        let done_host = host.clone();
         let result = start_transfer(s, spec, move |s2, result| {
             match result {
                 Ok(_) => {
-                    let finished_all = {
-                        let mut st = st3.borrow_mut();
-                        let fw = &mut st.files[idx];
-                        fw.status.bytes_done = fw.status.size;
-                        fw.status.done = true;
-                        fw.current = None;
-                        st.remaining -= 1;
-                        st.remaining == 0
-                    };
                     let now = s2.now();
-                    let fname = st3.borrow().files[idx].status.name.clone();
-                    s2.world
-                        .reqman()
-                        .log
-                        .push(LogEvent::new(now, "rm.file.complete").field("file", fname));
-                    if finished_all {
-                        finish_request(s2, &st3, &cb3);
-                    }
+                    s2.world.reqman().breaker_success(&done_host, now);
+                    complete_file(s2, &st3, &cb3, idx);
+                }
+                Err(TransferError::Cancelled) => {
+                    // The monitor cancelled this attempt and already
+                    // requeued the worker; nothing to do here.
                 }
                 Err(e) => {
-                    // Transfer failed outright. An unreachable source is
-                    // excluded so selection moves on; a name-service outage
-                    // is global, so just retry.
-                    if matches!(e, esg_gridftp::simxfer::TransferError::NoRoute { .. }) {
-                        let mut st = st3.borrow_mut();
-                        if let Some(h) = st.files[idx].status.replica_host.clone() {
-                            st.files[idx].excluded_hosts.push(h);
+                    // Transfer failed outright. An unreachable source
+                    // counts against its breaker and is excluded so this
+                    // round's selection moves on; a name-service outage is
+                    // global, so no host is blamed.
+                    let now = s2.now();
+                    if matches!(e, TransferError::NoRoute { .. }) {
+                        {
+                            let mut st = st3.borrow_mut();
+                            st.files[idx].excluded_hosts.push(done_host.clone());
                         }
+                        s2.world.reqman().breaker_failure(&done_host, now);
+                    } else {
+                        s2.world.reqman().breaker_release(&done_host);
                     }
-                    let st4 = st3.clone();
-                    let cb4 = cb3.clone();
-                    s2.schedule(SimDuration::from_secs(5), move |s3| {
-                        start_file_worker(s3, st4, cb4, idx);
-                    });
+                    requeue_with_backoff(s2, st3, cb3, idx);
                 }
             }
         });
@@ -503,26 +714,26 @@ fn start_file_worker<W: RmWorld>(
                     let fw = &mut st.files[idx];
                     fw.current = Some(handle);
                     fw.transfer_started = s.now();
-                    fw.attempt_base = fw.status.bytes_done;
+                    fw.attempt_base = base;
                 }
                 // Start the monitor loop for this attempt.
                 let poll = s.world.reqman().poll;
                 schedule_monitor(s, st2, cb2, idx, handle, poll);
             }
             Err(e) => {
-                // Could not start. Exclude unreachable sources; retry with
-                // backoff either way (DNS outages are global and heal).
-                if matches!(e, esg_gridftp::simxfer::TransferError::NoRoute { .. }) {
-                    let mut st = st2.borrow_mut();
-                    if let Some(h) = st.files[idx].status.replica_host.clone() {
-                        st.files[idx].excluded_hosts.push(h);
+                // Could not start. Unreachable sources feed their breaker;
+                // DNS outages are global and heal, so requeue blamelessly.
+                let now = s.now();
+                if matches!(e, TransferError::NoRoute { .. }) {
+                    {
+                        let mut st = st2.borrow_mut();
+                        st.files[idx].excluded_hosts.push(host.clone());
                     }
+                    s.world.reqman().breaker_failure(&host, now);
+                } else {
+                    s.world.reqman().breaker_release(&host);
                 }
-                let st4 = st2.clone();
-                let cb4 = cb2.clone();
-                s.schedule(SimDuration::from_secs(10), move |s2| {
-                    start_file_worker(s2, st4, cb4, idx);
-                });
+                requeue_with_backoff(s, st2, cb2, idx);
             }
         }
     });
@@ -543,7 +754,7 @@ fn schedule_monitor<W: RmWorld>(
         {
             let st = state.borrow();
             let fw = &st.files[idx];
-            if fw.status.done || fw.current != Some(handle) {
+            if fw.status.done || fw.status.failed || fw.current != Some(handle) {
                 return;
             }
         }
@@ -561,12 +772,13 @@ fn schedule_monitor<W: RmWorld>(
             let live = (fw.attempt_base + bytes).min(fw.status.size);
             fw.status.bytes_done = fw.status.bytes_done.max(live);
         }
-        let (min_rate, grace) = {
+        let (min_rate, grace, attempt_timeout) = {
             let rm = s.world.reqman();
-            (rm.min_rate, rm.grace)
+            (rm.min_rate, rm.grace, rm.retry.attempt_timeout)
         };
         let too_slow = min_rate > 0.0 && age > grace && rate < min_rate;
-        if stalled || too_slow {
+        let timed_out = !attempt_timeout.is_zero() && age > attempt_timeout;
+        if stalled || too_slow || timed_out {
             // Reliability plugin: abandon this replica, bank the restart
             // marker, try an alternate.
             let marker = cancel_transfer(s, handle);
@@ -582,11 +794,13 @@ fn schedule_monitor<W: RmWorld>(
             };
             let now = s.now();
             let fname = state.borrow().files[idx].status.name.clone();
+            s.world.reqman().breaker_failure(&host, now);
             s.world.reqman().log.push(
                 LogEvent::new(now, "rm.reliability.failover")
                     .field("file", fname)
                     .field("from", host)
                     .field("stalled", if stalled { 1u64 } else { 0u64 })
+                    .field("timeout", if timed_out { 1u64 } else { 0u64 })
                     .field("rate", rate),
             );
             start_file_worker(s, state, cb, idx);
@@ -911,6 +1125,15 @@ mod tests {
         // far below the slow site's full 10 s... (50 MB at 0.625 MB/s).
         let dt = o.finished.since(o.started).as_secs_f64();
         assert!(dt < 60.0, "{dt}");
+        // The resumed attempt must have announced its restart offset.
+        let marker = sim
+            .world
+            .rm
+            .log
+            .named("rm.failover.restart_marker")
+            .next()
+            .expect("restart marker event");
+        assert!(marker.get_num("offset").unwrap() > 0.0);
     }
 
     #[test]
@@ -941,5 +1164,199 @@ mod tests {
         sim.run();
         assert_eq!(sim.world.outcomes.len(), 1);
         assert_eq!(sim.world.outcomes[0].total_bytes, 0);
+    }
+
+    #[test]
+    fn zero_size_file_completes() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        {
+            let rm = &mut sim.world.rm;
+            rm.catalog.add_logical_file("co2", "empty.esg", 0).unwrap();
+            rm.catalog
+                .add_file_to_location("co2", "llnl", "empty.esg")
+                .unwrap();
+        }
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "empty.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1, "zero-size file must finish");
+        let f = &sim.world.outcomes[0].files[0];
+        assert!(f.done);
+        assert!(!f.failed);
+        assert_eq!(f.bytes_done, 0);
+        assert_eq!(f.fraction(), 1.0);
+    }
+
+    #[test]
+    fn unknown_file_stays_pending() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "no-such.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        // A file the catalog has never heard of must not be "completed"
+        // just because its unknown size reads as zero.
+        assert!(sim.world.outcomes.is_empty());
+    }
+
+    #[test]
+    fn breaker_opens_and_blocks_host() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.breaker_threshold = 1;
+        sim.world.rm.breaker_cooldown = SimDuration::from_secs(1000);
+        // Fast site is dead before anything starts: the first attempt
+        // fails to route, trips the breaker, and the file finishes from
+        // the slow site.
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        sim.net.set_node_up(fast, false);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done);
+        assert_eq!(o.files[0].replica_host.as_deref(), Some("slow.isi.edu"));
+        assert!(matches!(
+            sim.world.rm.breaker_state("fast.llnl.gov"),
+            Some(BreakerState::Open { .. })
+        ));
+        let open_time = sim
+            .world
+            .rm
+            .log
+            .named("rm.breaker.open")
+            .next()
+            .expect("breaker must have opened")
+            .time;
+        // While the breaker is open, no selection touches the dead host.
+        let picked_fast_after_open = sim
+            .world
+            .rm
+            .log
+            .named("rm.replica.selected")
+            .filter(|e| e.time > open_time)
+            .any(|e| e.get("host").map(|v| v.to_string()) == Some("fast.llnl.gov".into()));
+        assert!(!picked_fast_after_open, "open breaker must block the host");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_readmits_recovered_host() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.breaker_threshold = 1;
+        sim.world.rm.breaker_cooldown = SimDuration::from_secs(30);
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        sim.net.set_node_up(fast, false);
+        // First request trips the breaker and completes from slow.
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(sim.world.outcomes.len(), 1);
+        // Host recovers; after the cooldown a new request probes it.
+        sim.net.set_node_up(fast, true);
+        sim.schedule(SimDuration::from_secs(60), move |s| {
+            submit_request(
+                s,
+                client,
+                vec![("co2".into(), "jan.esg".into())],
+                |s2, o| s2.world.outcomes.push(o),
+            );
+        });
+        sim.run_until(SimTime::from_secs(400));
+        assert_eq!(sim.world.outcomes.len(), 2);
+        let o = &sim.world.outcomes[1];
+        assert!(o.files[0].done);
+        assert_eq!(
+            o.files[0].replica_host.as_deref(),
+            Some("fast.llnl.gov"),
+            "recovered host must be readmitted via the half-open probe"
+        );
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("rm.breaker.half_open")
+            .next()
+            .is_some());
+        assert!(sim.world.rm.log.named("rm.breaker.close").next().is_some());
+        assert_eq!(
+            sim.world.rm.breaker_state("fast.llnl.gov"),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_requeues_with_backoff_until_heal() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.breaker_threshold = 1;
+        sim.world.rm.breaker_cooldown = SimDuration::from_secs(20);
+        // Both replicas dead at submit time: the file must wait, not fail.
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        let slow = sim.world.rm.hosts["slow.isi.edu"];
+        sim.net.set_node_up(fast, false);
+        sim.net.set_node_up(slow, false);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        // Heal the fast site well after both breakers have tripped.
+        sim.schedule(SimDuration::from_secs(90), move |s| {
+            s.net.set_node_up(fast, true);
+        });
+        sim.run_until(SimTime::from_secs(1200));
+        assert_eq!(
+            sim.world.outcomes.len(),
+            1,
+            "request must complete after heal"
+        );
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done);
+        assert!(!o.files[0].failed);
+        assert_eq!(o.files[0].bytes_done, o.files[0].size);
+        assert!(
+            sim.world.rm.log.named("rm.retry.backoff").next().is_some(),
+            "degraded file must requeue through the retry policy"
+        );
+    }
+
+    #[test]
+    fn attempt_cap_fails_file() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.retry.max_attempts = 3;
+        sim.world.rm.retry.base = SimDuration::from_secs(1);
+        sim.world.rm.retry.max_backoff = SimDuration::from_secs(4);
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        let slow = sim.world.rm.hosts["slow.isi.edu"];
+        sim.net.set_node_up(fast, false);
+        sim.net.set_node_up(slow, false);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(sim.world.outcomes.len(), 1, "capped request must settle");
+        let f = &sim.world.outcomes[0].files[0];
+        assert!(f.failed);
+        assert!(!f.done);
+        assert_eq!(f.attempts, 3);
+        assert!(sim.world.rm.log.named("rm.file.failed").next().is_some());
     }
 }

@@ -33,7 +33,11 @@ fn human_bytes(b: u64) -> String {
 /// Render the three-pane monitor for a request's files.
 pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> String {
     let mut out = String::new();
-    writeln!(out, "=== ESG Request Manager — transfer monitor (t={now}) ===").unwrap();
+    writeln!(
+        out,
+        "=== ESG Request Manager — transfer monitor (t={now}) ==="
+    )
+    .unwrap();
     writeln!(out).unwrap();
 
     // Top pane: per-file progress bars.
@@ -43,6 +47,8 @@ pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> Strin
         let bar: String = "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled);
         let state = if f.done {
             "done".to_string()
+        } else if f.failed {
+            "FAILED".to_string()
         } else if let Some(t) = f.staging_until {
             format!("staging (tape, ready {t})")
         } else {
@@ -110,6 +116,7 @@ mod tests {
             replica_host: Some("sprite.llnl.gov".into()),
             attempts: 1,
             done: done >= size,
+            failed: false,
             staging_until: None,
         }
     }
@@ -167,6 +174,7 @@ mod tests {
             replica_host: None,
             attempts: 0,
             done: false,
+            failed: false,
             staging_until: None,
         };
         assert_eq!(f.fraction(), 1.0);

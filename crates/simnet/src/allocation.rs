@@ -64,7 +64,15 @@ pub fn max_min_fair(capacities: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
         let mut froze_capped = false;
         for i in 0..nf {
             if !fixed[i] && flows[i].cap <= bottleneck_share {
-                freeze(i, flows[i].cap, flows, &mut rate, &mut fixed, &mut remaining, &mut load);
+                freeze(
+                    i,
+                    flows[i].cap,
+                    flows,
+                    &mut rate,
+                    &mut fixed,
+                    &mut remaining,
+                    &mut load,
+                );
                 unfixed -= 1;
                 froze_capped = true;
             }
@@ -78,7 +86,15 @@ pub fn max_min_fair(capacities: &[f64], flows: &[AllocFlow]) -> Vec<f64> {
             // only by its (infinite or large) cap.
             for i in 0..nf {
                 if !fixed[i] {
-                    freeze(i, flows[i].cap, flows, &mut rate, &mut fixed, &mut remaining, &mut load);
+                    freeze(
+                        i,
+                        flows[i].cap,
+                        flows,
+                        &mut rate,
+                        &mut fixed,
+                        &mut remaining,
+                        &mut load,
+                    );
                 }
             }
             break;
@@ -168,10 +184,7 @@ mod tests {
 
     #[test]
     fn capped_flow_releases_capacity() {
-        let rates = max_min_fair(
-            &[100.0],
-            &[flow(&[0], 10.0), flow(&[0], f64::INFINITY)],
-        );
+        let rates = max_min_fair(&[100.0], &[flow(&[0], 10.0), flow(&[0], f64::INFINITY)]);
         assert_eq!(rates, vec![10.0, 90.0]);
     }
 

@@ -127,7 +127,10 @@ mod tests {
         sim.run_until(SimTime::from_secs(400));
         sim.run();
         assert_eq!(sim.net.active_flow_count(), 0);
-        assert!(sim.now() <= SimTime::from_secs(500), "generator must wind down");
+        assert!(
+            sim.now() <= SimTime::from_secs(500),
+            "generator must wind down"
+        );
     }
 
     #[test]
@@ -168,13 +171,18 @@ mod tests {
                 ..cfg(a, b, 3)
             },
         );
-        // Find a moment when the burst is active.
+        // Find a moment when the burst is active. Sampling right at the
+        // second boundary can catch the burst mid slow-start (cap still a
+        // few MSS/RTT), so give it half a second to finish ramping first.
         let mut contended = alone;
         for t in 3..120 {
             sim.run_until(SimTime::from_secs(t));
             if sim.net.active_flow_count() > 1 {
-                contended = sim.net.flow_rate(fg);
-                break;
+                sim.run_until(sim.now() + SimDuration::from_millis(500));
+                if sim.net.active_flow_count() > 1 {
+                    contended = sim.net.flow_rate(fg);
+                    break;
+                }
             }
         }
         assert!(

@@ -189,6 +189,8 @@ pub struct FlowNet {
     /// protocols check this before opening new channels. See
     /// [`crate::failure::FaultKind::NameServiceDown`].
     pub name_service_up: bool,
+    /// Bookkeeping for overlapping injected faults (see [`crate::failure`]).
+    pub(crate) fault_ledger: crate::failure::FaultLedger,
     flows: BTreeMap<u64, FlowRt>,
     next_id: u64,
     last_advance: SimTime,
@@ -201,6 +203,7 @@ impl FlowNet {
         FlowNet {
             topo,
             name_service_up: true,
+            fault_ledger: crate::failure::FaultLedger::default(),
             flows: BTreeMap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
@@ -329,6 +332,19 @@ impl FlowNet {
                     f.rtt = self.topo.route_rtt(&route);
                     f.loss = self.topo.route_loss(&route);
                     f.route = route;
+                    if f.state == FlowState::Stalled {
+                        // A flow resuming after an outage re-enters slow
+                        // start. This also discards ramp boundaries frozen
+                        // in the past while the flow was stalled, which
+                        // would otherwise wedge the kernel's next-event
+                        // computation at that past instant.
+                        f.started = self.last_advance;
+                        f.ramp_stage = if f.spec.slow_start && !f.rtt.is_zero() {
+                            Some(0)
+                        } else {
+                            None
+                        };
+                    }
                     f.state = FlowState::Running;
                 }
                 None => {
@@ -402,6 +418,10 @@ impl FlowNet {
                 continue;
             }
             if let Some(b) = f.next_ramp_boundary(self.last_advance) {
+                // Never report an event at or before the present: a stale
+                // boundary must still move the clock forward so the ramp
+                // catch-up in `advance_to` gets a chance to run.
+                let b = b.max(self.last_advance + SimDuration::from_nanos(1));
                 if b < next {
                     next = b;
                 }
@@ -434,9 +454,9 @@ impl FlowNet {
         let mut flow_ids: Vec<u64> = Vec::new();
 
         let intern = |key: ResKey,
-                          cap: f64,
-                          res_index: &mut HashMap<ResKey, usize>,
-                          capacities: &mut Vec<f64>|
+                      cap: f64,
+                      res_index: &mut HashMap<ResKey, usize>,
+                      capacities: &mut Vec<f64>|
          -> Option<usize> {
             if !cap.is_finite() {
                 return None; // unconstrained resources don't participate
@@ -454,9 +474,12 @@ impl FlowNet {
             let mut resources = Vec::new();
             for &(lid, dir) in &f.route {
                 let cap = self.topo.link(lid).capacity;
-                if let Some(r) =
-                    intern(ResKey::LinkDir(lid, dir), cap, &mut res_index, &mut capacities)
-                {
+                if let Some(r) = intern(
+                    ResKey::LinkDir(lid, dir),
+                    cap,
+                    &mut res_index,
+                    &mut capacities,
+                ) {
                     resources.push(r);
                 }
             }
@@ -548,10 +571,7 @@ impl FlowNet {
         let used: f64 = self
             .flows
             .values()
-            .filter(|f| {
-                f.state == FlowState::Running
-                    && (f.spec.src == node || f.spec.dst == node)
-            })
+            .filter(|f| f.state == FlowState::Running && (f.spec.src == node || f.spec.dst == node))
             .map(|f| f.rate)
             .sum();
         (used / budget).min(1.0)
@@ -587,9 +607,7 @@ mod tests {
     }
 
     fn big_window_spec(a: NodeId, b: NodeId, size: f64) -> FlowSpec {
-        FlowSpec::new(a, b, size)
-            .window(1e12)
-            .memory_to_memory()
+        FlowSpec::new(a, b, size).window(1e12).memory_to_memory()
     }
 
     #[test]

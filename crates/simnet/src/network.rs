@@ -253,10 +253,7 @@ impl Topology {
 
     /// Find a node by name. Names are expected to be unique per topology.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// BFS shortest path (by hop count) from `src` to `dst`, traversing only

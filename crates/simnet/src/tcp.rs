@@ -198,7 +198,10 @@ mod tests {
         let t = p.effective_transfer_time(1e9, rate).as_secs_f64();
         let ideal = 1e9 / rate;
         assert!(t >= ideal);
-        assert!(t < ideal * 1.01, "slow start should be <1% of a 1 GB transfer");
+        assert!(
+            t < ideal * 1.01,
+            "slow start should be <1% of a 1 GB transfer"
+        );
     }
 
     #[test]

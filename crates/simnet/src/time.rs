@@ -205,10 +205,7 @@ mod tests {
         let t = SimTime::MAX;
         assert_eq!(t + SimDuration::from_secs(1), SimTime::MAX);
         assert_eq!(t.checked_add(SimDuration::from_secs(1)), None);
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(2),
-            SimDuration::MAX,
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX,);
     }
 
     #[test]

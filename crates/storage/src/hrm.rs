@@ -19,7 +19,10 @@ pub enum StageOutcome {
     /// The file is already in the disk cache; usable immediately.
     CacheHit,
     /// Staging scheduled; the file will be on disk at `ready`.
-    Staged { ready: SimTime, queued_behind: SimDuration },
+    Staged {
+        ready: SimTime,
+        queued_behind: SimDuration,
+    },
     /// The cache cannot hold the file.
     Failed(CacheError),
 }
@@ -172,7 +175,10 @@ mod tests {
     fn cold_request_stages_from_tape() {
         let mut h = hrm();
         match h.request_file("jan.nc", SimTime::ZERO).unwrap() {
-            StageOutcome::Staged { ready, queued_behind } => {
+            StageOutcome::Staged {
+                ready,
+                queued_behind,
+            } => {
                 assert_eq!(ready, SimTime::from_secs(40 + 20 + 60));
                 assert_eq!(queued_behind, SimDuration::ZERO);
             }

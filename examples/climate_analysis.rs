@@ -23,7 +23,11 @@ fn main() {
     };
     let dir = std::env::temp_dir().join("esg-climate-analysis");
     let chunks = cdms::write_chunks(&dir, "pcm_b06.61", params, 24).expect("write chunks");
-    println!("wrote {} ESG1 chunk files under {}:", chunks.len(), dir.display());
+    println!(
+        "wrote {} ESG1 chunk files under {}:",
+        chunks.len(),
+        dir.display()
+    );
     for (logical, path, size) in &chunks {
         println!("  {:<40} {:>10} bytes  {}", logical, size, path.display());
     }

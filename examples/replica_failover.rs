@@ -1,7 +1,8 @@
 //! Replica selection and the reliability plugin under a site outage.
 //!
 //! Publishes a dataset at two sites, lets NWS learn that one is faster,
-//! then kills the fast site mid-transfer. The request manager's monitor
+//! then kills the fast site mid-transfer (1 s in, well before the ~3.5 s
+//! completion). The request manager's monitor
 //! notices the stall, banks the restart marker, and fails over to the
 //! surviving replica — the §7 reliability-plugin behaviour.
 //!
@@ -48,14 +49,15 @@ fn main() {
         |s, outcome| s.world.outcomes.push(outcome),
     );
 
-    // The fast site suffers a power failure 5 s into the transfer, for
-    // 10 minutes (absolute times: t=105 s and t=705 s).
+    // The fast site suffers a power failure 1 s into the transfer, for
+    // 10 minutes (absolute times: t=101 s and t=701 s). The 200 MB file
+    // takes ~3.5 s on the fast path, so the outage lands mid-transfer.
     let fast_node = llnl.node;
-    tb.sim.schedule_at(SimTime::from_secs(105), move |s| {
+    tb.sim.schedule_at(SimTime::from_secs(101), move |s| {
         println!("[{}] *** power failure at the LLNL site ***", s.now());
         s.net.set_node_up(fast_node, false);
     });
-    tb.sim.schedule_at(SimTime::from_secs(705), move |s| {
+    tb.sim.schedule_at(SimTime::from_secs(701), move |s| {
         println!("[{}] LLNL power restored", s.now());
         s.net.set_node_up(fast_node, true);
     });

@@ -60,9 +60,7 @@ fn main() {
     );
     println!(
         "{:<44} {:>9.1} GB {:>9}",
-        "Total data transferred (10 min here, 1 h paper)",
-        r.total_gbytes,
-        "230.8 GB"
+        "Total data transferred (10 min here, 1 h paper)", r.total_gbytes, "230.8 GB"
     );
     println!(
         "\n{} partition transfers completed; every transfer paid full\n\

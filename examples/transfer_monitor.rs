@@ -40,9 +40,7 @@ fn main() {
         .unwrap();
 
     let client = tb.client;
-    let id = submit_request(&mut tb.sim, client, files, |s, o| {
-        s.world.outcomes.push(o)
-    });
+    let id = submit_request(&mut tb.sim, client, files, |s, o| s.world.outcomes.push(o));
 
     // Snapshot the monitor at a few instants, like a refreshing screen.
     for secs in [82.0, 95.0, 130.0, 220.0] {

@@ -11,9 +11,7 @@
 //! restart on failure, SHA-256 verification) and remote→remote
 //! (third-party transfer).
 
-use esg::gridftp::{
-    third_party_transfer, GridFtpClient, GridUrl, ReliableClient, TransferOptions,
-};
+use esg::gridftp::{third_party_transfer, GridFtpClient, GridUrl, ReliableClient, TransferOptions};
 use std::net::{SocketAddr, ToSocketAddrs};
 
 fn usage() -> ! {
@@ -115,11 +113,12 @@ fn main() {
         ("gsiftp", "gsiftp") => {
             let mut s = connect(&src);
             let mut d = connect(&dst);
-            third_party_transfer(&mut s, &mut d, &src.path, &dst.path, parallelism)
-                .unwrap_or_else(|e| {
+            third_party_transfer(&mut s, &mut d, &src.path, &dst.path, parallelism).unwrap_or_else(
+                |e| {
                     eprintln!("third-party: {e}");
                     std::process::exit(1);
-                });
+                },
+            );
             let n = d.size(&dst.path).unwrap_or(0);
             s.quit();
             d.quit();

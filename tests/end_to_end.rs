@@ -90,8 +90,7 @@ fn policy_choice_changes_selection_behaviour() {
     // With BestBandwidth, the faster (622 Mb/s access) LLNL site should
     // win over the 155 Mb/s ISI site for nearly all requests.
     let (mut tb, _) = published(4);
-    tb.sim.world.rm.selector =
-        esg::replica::ReplicaSelector::new(Policy::BestBandwidth, 9);
+    tb.sim.world.rm.selector = esg::replica::ReplicaSelector::new(Policy::BestBandwidth, 9);
     let collection = tb.sim.world.metadata.collection_of("pcm_b06.61").unwrap();
     let files: Vec<(String, String)> = tb
         .sim
@@ -208,8 +207,7 @@ fn gsi_secured_end_to_end_identity_flow() {
     assert_eq!(client_id.0, "/O=ESG/CN=climate-scientist");
     assert_eq!(server_id.0, "/O=ESG/CN=gridftp.llnl.gov");
     // And the session keys protect a data channel.
-    let (mut tx, mut rx) =
-        esg::gsi::channel_pair(&keys, esg::gsi::Protection::Private);
+    let (mut tx, mut rx) = esg::gsi::channel_pair(&keys, esg::gsi::Protection::Private);
     let sealed = tx.seal(b"climate bytes");
     assert_eq!(rx.open(&sealed).unwrap(), b"climate bytes");
 }

@@ -329,3 +329,16 @@ proptest! {
         }
     }
 }
+
+/// Pinned from `tests/properties.proptest-regressions`: the shrunken case
+/// `lines = [" ꥟"]` — a reply line whose byte 2 sits inside a multi-byte
+/// character. The vendored proptest stub does not replay regression files,
+/// so the historic failure is pinned here as a plain test.
+#[test]
+fn reply_parser_survives_multibyte_chars_in_code_position() {
+    use esg::gridftp::Reply;
+    let _ = Reply::from_wire_lines(&[" ꥟"]);
+    let _ = Reply::from_wire_lines(&["꥟꥟꥟ hello"]);
+    let _ = Reply::from_wire_lines(&["22꥟ truncated code"]);
+    let _ = Reply::from_wire_lines(&["226꥟transfer complete"]);
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The GridFTP client only needs an unbounded MPSC channel whose senders
+//! clone across reader threads and whose receiver iterates until every
+//! sender drops. `std::sync::mpsc` provides exactly those semantics, so
+//! this shim re-exports it under the `crossbeam::channel` names.
+
+pub mod channel {
+    pub use std::sync::mpsc::{IntoIter, Iter, Receiver, RecvError, SendError, Sender, TryIter};
+
+    /// Create an unbounded channel (`crossbeam::channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_then_drain() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(t * 10 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 40);
+    }
+}

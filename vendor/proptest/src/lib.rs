@@ -1,0 +1,557 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container builds without registry access, so this crate vendors the
+//! slice of proptest the workspace's property tests use: the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, numeric-range and
+//! tuple strategies, `prop::collection::vec`, `any::<T>()`, and string
+//! strategies written as regex-like literals (`"[a-z]{1,6}"`, `"\\PC{0,40}"`).
+//!
+//! Differences from upstream: no shrinking (failures report the raw inputs),
+//! and each test runs a fixed, deterministic case count seeded from the test
+//! name (override with `PROPTEST_CASES`). That keeps runs reproducible,
+//! which matters more here than shrink quality.
+
+use std::fmt::Debug;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values for one property-test input.
+pub trait Strategy {
+    type Value: Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add((rng.next_u64() as u128) % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as u128).wrapping_sub(s as u128).wrapping_add(1);
+                (s as u128).wrapping_add((rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        (self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $T:ident),+))*) => {$(
+        impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+            type Value = ($($T::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-like literals
+// ---------------------------------------------------------------------------
+
+/// Pool of printable chars used for `\PC`, deliberately mixing ASCII with
+/// multi-byte codepoints (combining-adjacent letters, CJK, symbols) so
+/// robustness properties see non-trivial Unicode, like upstream proptest's
+/// regex strategies do.
+const PRINTABLE_EXOTIC: &[char] = &[
+    'é', 'ß', 'Ω', 'λ', '中', '文', 'あ', '√', '€', '♦', '꥟', 'Ḽ', 'ё', '٭', 'ᚠ', '𝔊',
+];
+
+fn gen_printable(rng: &mut TestRng) -> char {
+    // 3/4 ASCII printable, 1/4 exotic.
+    if !rng.next_u64().is_multiple_of(4) {
+        char::from(rng.below(0x20, 0x7e) as u8)
+    } else {
+        PRINTABLE_EXOTIC[rng.below(0, PRINTABLE_EXOTIC.len() - 1)]
+    }
+}
+
+/// Parsed form of the supported pattern subset:
+/// one atom — a `[...]` class or `\PC` — followed by `{m,n}` / `{n}`.
+enum Atom {
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+struct PatternStrategy {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> PatternStrategy {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i;
+    let atom = if chars.first() == Some(&'\\')
+        && chars.get(1) == Some(&'P')
+        && chars.get(2) == Some(&'C')
+    {
+        i = 3;
+        Atom::Printable
+    } else if chars.first() == Some(&'[') {
+        let mut ranges = Vec::new();
+        i = 1;
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            // `a-z` range when '-' sits between two class members.
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((c, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        assert!(
+            chars.get(i) == Some(&']'),
+            "unterminated char class in `{pat}`"
+        );
+        i += 1;
+        assert!(!ranges.is_empty(), "empty char class in `{pat}`");
+        Atom::Class(ranges)
+    } else {
+        panic!("unsupported pattern strategy `{pat}`: expected `[class]{{m,n}}` or `\\PC{{m,n}}`");
+    };
+
+    // Repetition: `{m,n}` or `{n}`; bare atom means exactly one.
+    let rest: String = chars[i..].iter().collect();
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition `{rest}` in `{pat}`"));
+        match inner.split_once(',') {
+            Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+            None => {
+                let n: usize = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        }
+    };
+    PatternStrategy { atom, min, max }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(self.min, self.max);
+        (0..len)
+            .map(|_| match &self.atom {
+                Atom::Printable => gen_printable(rng),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(0, ranges.len() - 1)];
+                    char::from_u32(rng.below(lo as usize, hi as usize) as u32)
+                        .expect("class range produced invalid char")
+                }
+            })
+            .collect()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a full-domain default strategy (`proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// collection strategies
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count bounds for collection strategies (inclusive min,
+    /// exclusive max — matching proptest's `SizeRange` from `Range<usize>`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below(self.size.min, self.size.max_excl - 1);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this case out.
+    Reject,
+    /// `prop_assert!`-family failure with rendered message.
+    Fail(String),
+}
+
+pub enum CaseResult {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn default_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Drive `f` over `default_cases()` generated cases, deterministically
+/// seeded from the test name. Panics (failing the enclosing `#[test]`) on
+/// the first failing case, reporting the case number for reproduction.
+pub fn run_cases<F: FnMut(&mut TestRng) -> CaseResult>(name: &str, mut f: F) {
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    let mut rng = TestRng::seed_from_u64(seed);
+    let target = default_cases();
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    let mut case_no = 0usize;
+    while passed < target {
+        case_no += 1;
+        match f(&mut rng) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected < target * 20,
+                    "proptest `{name}`: too many rejected cases ({rejected}); \
+                     loosen prop_assume! conditions"
+                );
+            }
+            CaseResult::Fail(msg) => {
+                panic!("proptest `{name}` failed at case #{case_no} (seed {seed:#x}):\n{msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                $crate::run_cases(stringify!($name), |rng| {
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategies, rng);
+                    // Render inputs up front: the body may consume them.
+                    let inputs = format!(concat!("(", $(stringify!($arg), " = {:?}, ",)+ ")"), $(&$arg),+);
+                    let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => $crate::CaseResult::Pass,
+                        Err($crate::TestCaseError::Reject) => $crate::CaseResult::Reject,
+                        Err($crate::TestCaseError::Fail(msg)) => $crate::CaseResult::Fail(
+                            format!("{}\ninputs: {}", msg, inputs),
+                        ),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), lhs, rhs,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($a), stringify!($b), lhs, rhs, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0u64..100, 1u64..10), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for &(a, b) in &v {
+                prop_assert!(a < 100 && (1..10).contains(&b));
+            }
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(any::<u8>(), 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn class_pattern_strategy(s in "[a-cX_.-]{2,6}") {
+            prop_assert!((2..=6).contains(&s.chars().count()), "{:?}", s);
+            for c in s.chars() {
+                prop_assert!("abcX_.-".contains(c), "unexpected {:?}", c);
+            }
+        }
+
+        #[test]
+        fn printable_pattern_strategy(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            for c in s.chars() {
+                prop_assert!(!c.is_control());
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n.is_multiple_of(2));
+            prop_assert!(n.is_multiple_of(2));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut rng = crate::TestRng::seed_from_u64(99);
+            let strat = crate::collection::vec(0u64..1000, 1..10);
+            (0..5).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        crate::run_cases("always_fails", |_rng| {
+            crate::CaseResult::Fail("boom".into())
+        });
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container builds with no registry access, so the workspace vendors
+//! the thin slice of the `rand` 0.8 API it actually uses: a seedable,
+//! cloneable [`rngs::StdRng`] plus [`Rng::gen_range`] / [`Rng::gen`] over
+//! the primitive types. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic per seed, which is all the simulator needs
+//! (no cryptographic claims, exactly like upstream `StdRng`'s contract of
+//! "unspecified stream").
+
+/// Seedable RNG constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the slice of `rand::Rng` in use.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open `a..b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64(), self.next_u64())
+    }
+
+    /// Sample a value of type `T` from its full/unit distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+/// Types producible from a raw 64-bit draw (`rand`'s `Standard` distribution).
+pub trait Standard {
+    fn from_u64(x: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(x: u64) -> Self {
+                x as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(x: u64) -> Self {
+        x & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(x: u64) -> Self {
+        // 53 mantissa bits -> [0, 1).
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(x: u64) -> Self {
+        (x >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can produce a uniform sample (mirror of `rand`'s
+/// `SampleRange`). Two raw draws are supplied so integer sampling can
+/// widen without bias concerns mattering for simulation purposes.
+pub trait SampleRange<T> {
+    fn sample(self, a: u64, b: u64) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, a: u64, _b: u64) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add((a as u128) % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, a: u64, _b: u64) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range in gen_range");
+                let span = (e as u128).wrapping_sub(s as u128).wrapping_add(1);
+                (s as u128).wrapping_add((a as u128) % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, a: u64, _b: u64) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = f64::from_u64(a);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, a: u64, _b: u64) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = f32::from_u64(a);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Convenience prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n: usize = r.gen_range(0..7);
+            assert!(n < 7);
+            let m: u64 = r.gen_range(5..=5);
+            assert_eq!(m, 5);
+        }
+    }
+
+    #[test]
+    fn gen_unit_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Loose mean check: uniform over [0,1) should average near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+}
