@@ -1,17 +1,117 @@
 //! A10: concurrent-user scaling — the abstract's "potentially thousands of
-//! users" motivation, at testbed scale.
+//! users" motivation, at flow-network scale.
+//!
+//! `cargo run --release -p esg-bench --bin user_scaling [N] [REGIONS] [SEED] [--full-recompute|--incremental]`
+//!
+//! Pushes N concurrent striped-transfer-shaped flows through a WAN of
+//! independent regions, under the incremental component-scoped allocator
+//! and under the `--full-recompute` ablation (the pre-incremental
+//! behaviour: every event re-solves the entire network). With no mode flag
+//! it runs BOTH, asserts they are observably identical (per-flow completion
+//! times and NetLogger traces, bit for bit), reports the wall-clock
+//! speedup, and writes `BENCH_user_scaling.json`.
+//!
+//! Exits non-zero if the equivalence assertions trip.
 
-use esg_core::user_scaling;
+use esg_bench::scaling::{assert_equivalent, run_variant, trace_sha256_hex, VariantResult};
+use std::fmt::Write as _;
+
+fn report(v: &VariantResult) {
+    println!(
+        "  {:<16} wall {:>9.1?}  recompute passes {:>8}  components {:>9}  flow-solves {:>10}  route-cache {}/{} hit/miss",
+        v.mode,
+        v.wall,
+        v.stats.recompute_passes,
+        v.stats.components_solved,
+        v.stats.flow_solves,
+        v.stats.route_cache_hits,
+        v.stats.route_cache_misses,
+    );
+}
+
+fn json_variant(v: &VariantResult) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        concat!(
+            "{{\"mode\": \"{}\", \"wall_ms\": {:.3}, \"recompute_passes\": {}, ",
+            "\"components_solved\": {}, \"flow_solves\": {}, ",
+            "\"route_cache_hits\": {}, \"route_cache_misses\": {}, ",
+            "\"peak_concurrent_flows\": {}}}"
+        ),
+        v.mode,
+        v.wall.as_secs_f64() * 1e3,
+        v.stats.recompute_passes,
+        v.stats.components_solved,
+        v.stats.flow_solves,
+        v.stats.route_cache_hits,
+        v.stats.route_cache_misses,
+        v.peak_concurrent,
+    )
+    .unwrap();
+    s
+}
 
 fn main() {
-    println!("== A10: N concurrent single-file requests (100 MB, 3 replica sites) ==\n");
-    println!(
-        "{:>8} {:>18} {:>20}",
-        "users", "mean request (s)", "aggregate (Mb/s)"
-    );
-    for (n, mean, agg) in user_scaling(&[1, 4, 8, 16, 32, 64]) {
-        println!("{n:>8} {mean:>18.2} {agg:>20.1}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<bool> = None; // Some(true) = full-recompute only
+    let mut nums: Vec<u64> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full-recompute" => mode = Some(true),
+            "--incremental" => mode = Some(false),
+            other => match other.parse() {
+                Ok(v) => nums.push(v),
+                Err(_) => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            },
+        }
     }
-    println!("\nshape: replicated collections + NWS selection absorb load —");
-    println!("latency grows sub-linearly while aggregate throughput holds.");
+    let n = nums.first().copied().unwrap_or(1200) as usize;
+    let regions = nums.get(1).copied().unwrap_or(32) as usize;
+    let seed = nums.get(2).copied().unwrap_or(17);
+
+    println!("== A10: {n} concurrent flows over {regions} regions (seed {seed}) ==\n");
+
+    if let Some(full) = mode {
+        let v = run_variant(n, regions, seed, full);
+        report(&v);
+        println!("\n  peak concurrent flows: {}", v.peak_concurrent);
+        println!("  trace sha256: {}", trace_sha256_hex(&v));
+        return;
+    }
+
+    // Both variants, equivalence-checked.
+    let inc = run_variant(n, regions, seed, false);
+    report(&inc);
+    let full = run_variant(n, regions, seed, true);
+    report(&full);
+    assert_equivalent(&inc, &full);
+    let speedup = full.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
+    println!("\n  peak concurrent flows: {}", inc.peak_concurrent);
+    println!(
+        "  traces + completion times: IDENTICAL (sha256 {})",
+        &trace_sha256_hex(&inc)[..16]
+    );
+    println!("  wall-clock speedup (full-recompute / incremental): {speedup:.1}x");
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"user_scaling\",\n  \"n_flows\": {},\n  \"regions\": {},\n",
+            "  \"seed\": {},\n  \"variants\": [\n    {},\n    {}\n  ],\n",
+            "  \"speedup_wall_clock\": {:.2},\n  \"equivalent\": true,\n",
+            "  \"trace_sha256\": \"{}\"\n}}\n"
+        ),
+        n,
+        regions,
+        seed,
+        json_variant(&inc),
+        json_variant(&full),
+        speedup,
+        trace_sha256_hex(&inc),
+    );
+    std::fs::write("BENCH_user_scaling.json", &json).expect("write BENCH_user_scaling.json");
+    println!("  wrote BENCH_user_scaling.json");
 }

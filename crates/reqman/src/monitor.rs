@@ -157,6 +157,55 @@ mod tests {
     }
 
     #[test]
+    fn failed_files_marked() {
+        let mut f = file("gone.esg", 10, 100);
+        f.failed = true;
+        let text = render_monitor(SimTime::ZERO, &[f], &NetLog::new());
+        assert!(text.contains("FAILED"));
+    }
+
+    #[test]
+    fn message_pane_keeps_only_last_eight() {
+        let mut log = NetLog::new();
+        for i in 0..12 {
+            log.push(LogEvent::new(SimTime::from_secs(i), format!("rm.msg{i}")));
+        }
+        let text = render_monitor(SimTime::from_secs(20), &[], &log);
+        for i in 0..4 {
+            assert!(!text.contains(&format!("rm.msg{i} ")), "old msg {i} shown");
+        }
+        for i in 4..12 {
+            assert!(
+                text.contains(&format!("rm.msg{i}")),
+                "recent msg {i} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn overdelivered_bytes_clamp_to_full_bar() {
+        // Protection overhead can report wire bytes past the payload size
+        // before the clamp upstream lands; the bar must not underflow.
+        let f = FileStatus {
+            collection: "c".into(),
+            name: "over.esg".into(),
+            size: 100,
+            bytes_done: 150,
+            replica_host: Some("h".into()),
+            attempts: 1,
+            done: false,
+            failed: false,
+            staging_until: None,
+        };
+        let text = render_monitor(SimTime::ZERO, &[f], &NetLog::new());
+        let line = text.lines().find(|l| l.contains("over.esg")).unwrap();
+        let open = line.find('[').unwrap();
+        let close = line.find(']').unwrap();
+        assert_eq!(close - open - 1, BAR_WIDTH);
+        assert!(line.contains(&"#".repeat(BAR_WIDTH)));
+    }
+
+    #[test]
     fn human_bytes_units() {
         assert_eq!(human_bytes(512), "512 B");
         assert_eq!(human_bytes(1_500), "1.5 KB");

@@ -134,4 +134,37 @@ mod tests {
     fn empty_is_none() {
         assert_eq!(plan_spread(&[], &[], &HashMap::new()), None);
     }
+
+    #[test]
+    fn zero_replicas_with_stale_load_map_is_none() {
+        // Load entries for hosts that no longer replicate the file must not
+        // conjure a pick out of nothing.
+        let mut load = HashMap::new();
+        load.insert("ghost".to_string(), 3);
+        assert_eq!(plan_spread(&[], &[], &load), None);
+    }
+
+    #[test]
+    fn single_host_candidates_pick_best_forecast() {
+        // All replicas on one host: the shared load discounts every
+        // candidate equally, so the raw forecast order decides.
+        let reps = replicas(&["only", "only", "only"]);
+        let estimates = est(&[Some(10.0), Some(30.0), Some(20.0)]);
+        let mut load = HashMap::new();
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        load.insert("only".to_string(), 5);
+        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+    }
+
+    #[test]
+    fn all_equal_forecasts_pick_first_deterministically() {
+        // Strictly-greater comparison keeps the earliest candidate on ties,
+        // so equal forecasts with equal load always yield index 0 — the
+        // determinism the trace guards rely on.
+        let reps = replicas(&["a", "b", "c"]);
+        let estimates = est(&[Some(42.0), Some(42.0), Some(42.0)]);
+        for _ in 0..4 {
+            assert_eq!(plan_spread(&reps, &estimates, &HashMap::new()), Some(0));
+        }
+    }
 }

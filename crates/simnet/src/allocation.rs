@@ -7,6 +7,17 @@
 //! loss model). The allocator computes the classic max-min fair allocation:
 //! repeatedly find the most constrained resource, freeze the flows it
 //! bottlenecks at their fair share, subtract, and continue.
+//!
+//! `max_min_fair` is a pure function of its inputs, and the result for a
+//! connected component of the flow/resource graph does not depend on flows
+//! outside that component (they share no finite resource, so they can never
+//! bottleneck each other). `FlowNet` leans on both properties for its
+//! incremental, component-scoped recompute: as long as a component's
+//! problem is assembled canonically — flows ascending by id, resources
+//! interned in first-encounter order — solving it in isolation is bitwise
+//! identical to solving it as part of the whole network. Keep this function
+//! deterministic (no iteration over unordered maps) or the differential
+//! suite in `tests/alloc_differential.rs` will catch the drift.
 
 /// One flow's view for the allocator: the resource indices it crosses and
 /// its intrinsic rate cap (bytes/sec; `f64::INFINITY` if uncapped).

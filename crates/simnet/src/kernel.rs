@@ -136,24 +136,36 @@ impl<W> Sim<W> {
             self.now = next;
             self.net.advance_to(next);
 
-            // Deliver flow completions first: they logically happen "inside"
-            // the network before user events at the same instant.
-            for fid in self.net.take_completed() {
-                if let Some(cb) = self.flow_callbacks.remove(&fid) {
-                    cb(self);
+            // Drain everything due at this instant as ONE batch: flow
+            // completions first (they logically happen "inside" the network
+            // before user events), then every queued event at this time,
+            // repeating until the instant is quiescent — an event callback
+            // may schedule more same-instant work or cancel flows. All the
+            // dirty marks accumulated by the batch (N arrivals, departures,
+            // fault flips) coalesce into a single allocation recompute at
+            // the `next_event_time` call on the following loop iteration.
+            loop {
+                let mut fired = false;
+                for fid in self.net.take_completed() {
+                    fired = true;
+                    if let Some(cb) = self.flow_callbacks.remove(&fid) {
+                        cb(self);
+                    }
+                    // Completed flows are removed so they stop occupying
+                    // resources in the allocator.
+                    self.net.remove_flow(fid);
                 }
-                // Completed flows are removed so they stop occupying
-                // resources in the allocator.
-                self.net.remove_flow(fid);
-            }
-
-            // Fire every queued event scheduled at exactly this time.
-            while let Some(s) = self.queue.peek() {
-                if s.time > self.now {
+                while let Some(s) = self.queue.peek() {
+                    if s.time > self.now {
+                        break;
+                    }
+                    let s = self.queue.pop().unwrap();
+                    (s.f)(self);
+                    fired = true;
+                }
+                if !fired {
                     break;
                 }
-                let s = self.queue.pop().unwrap();
-                (s.f)(self);
             }
         }
     }
@@ -309,6 +321,68 @@ mod tests {
         sim.schedule(SimDuration::from_secs(2), |s| s.world.push(2));
         sim.run();
         assert_eq!(sim.world, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_instant_flow_burst_coalesces_to_one_recompute() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        topo.add_link(a, b, 100e6, SimDuration::ZERO);
+        let mut sim: Sim<()> = Sim::new(topo, ());
+        // 16 arrivals at exactly t=1 s, scheduled as independent events.
+        for _ in 0..16 {
+            sim.schedule(SimDuration::from_secs(1), move |s| {
+                s.start_flow_detached(FlowSpec::new(a, b, 1e6).window(1e12).memory_to_memory())
+                    .unwrap();
+            });
+        }
+        // Step past the batch instant: the whole burst must be absorbed by
+        // a single recompute pass over a single component (nothing was
+        // dirty before t=1, so this is the run's only pass).
+        sim.run_until(SimTime::from_secs_f64(1.01));
+        let after = sim.net.alloc_stats();
+        assert_eq!(after.recompute_passes, 1);
+        assert_eq!(after.components_solved, 1);
+        assert_eq!(sim.net.active_flow_count(), 16);
+    }
+
+    #[test]
+    fn completion_and_arrival_at_same_instant_batch_cleanly() {
+        // A flow finishing at t=1 and a new arrival scheduled at its exact
+        // completion instant must both be processed in one batch, with the
+        // completed flow's capacity released before the survivor's rate is
+        // next observed.
+        let mut topo = Topology::new();
+        let a = topo.add_node(Node::host("a"));
+        let b = topo.add_node(Node::host("b"));
+        topo.add_link(a, b, 100e6, SimDuration::ZERO);
+        let done = Rc::new(RefCell::new(false));
+        let mut sim: Sim<()> = Sim::new(topo, ());
+        let d = done.clone();
+        sim.start_flow(
+            FlowSpec::new(a, b, 100e6).window(1e12).memory_to_memory(),
+            move |_| *d.borrow_mut() = true,
+        )
+        .unwrap();
+        let next = sim.net.next_event_time();
+        let late = Rc::new(RefCell::new(None));
+        let l = late.clone();
+        sim.schedule_at(next, move |s| {
+            let id = s
+                .start_flow_detached(
+                    FlowSpec::new(a, b, f64::INFINITY)
+                        .window(1e12)
+                        .memory_to_memory(),
+                )
+                .unwrap();
+            *l.borrow_mut() = Some(s.net.flow_rate(id));
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert!(*done.borrow());
+        // The first flow had completed and been removed, so the newcomer
+        // saw the full link.
+        assert!((late.borrow().unwrap() - 100e6).abs() < 1.0);
     }
 
     #[test]

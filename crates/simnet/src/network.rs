@@ -259,6 +259,12 @@ impl Topology {
     /// BFS shortest path (by hop count) from `src` to `dst`, traversing only
     /// up links and up intermediate nodes. Returns the sequence of directed
     /// link hops, or `None` if unreachable.
+    ///
+    /// O(nodes + links) per call; `FlowNet` memoizes results (including the
+    /// `None` case) per endpoint pair and drops the cache whenever link/node
+    /// up-state changes, the only mutations that can alter a hop-count
+    /// shortest path. Callers on hot paths should go through
+    /// `FlowNet::cached_route` rather than calling this directly.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<(LinkId, Dir)>> {
         if src == dst {
             return Some(Vec::new());

@@ -1,0 +1,270 @@
+//! Differential tests for the incremental max-min fair allocator.
+//!
+//! The incremental path (persistent flow↔resource index, dirty-set scoped
+//! component recomputes) must be indistinguishable from a from-scratch
+//! solve. Every property here drives a randomized topology through a
+//! randomized mutation script (flow add/remove, capacity and loss changes,
+//! link outages, time advances) and checks the live allocator against
+//! [`FlowNet::oracle_rates`], which rebuilds the whole allocation problem
+//! from routes and topology, ignoring the persistent index entirely.
+//! Equality is *bitwise* — both sides use the same canonical component
+//! decomposition, so there is no tolerance to hide bookkeeping bugs behind.
+
+use esg_simnet::prelude::*;
+use proptest::prelude::*;
+
+/// A deterministic mini-WAN: `n_hosts` hosts, plus the link list given as
+/// (host-index, host-index, capacity, latency-ms) tuples. Self-loops are
+/// dropped; duplicate pairs just add parallel links.
+fn build_net(
+    n_hosts: usize,
+    links: &[(usize, usize, f64, u64)],
+) -> (FlowNet, Vec<NodeId>, Vec<LinkId>) {
+    let mut t = Topology::new();
+    let hosts: Vec<NodeId> = (0..n_hosts)
+        .map(|i| t.add_node(Node::host(format!("h{i}"))))
+        .collect();
+    let mut lids = Vec::new();
+    for &(a, b, cap, lat) in links {
+        let (a, b) = (hosts[a % n_hosts], hosts[b % n_hosts]);
+        if a == b {
+            continue;
+        }
+        lids.push(t.add_link(a, b, cap, SimDuration::from_millis(lat)));
+    }
+    (FlowNet::new(t), hosts, lids)
+}
+
+/// One scripted mutation, decoded from a generic tuple so proptest drives
+/// the whole space from plain integer/float strategies.
+type Op = (u8, usize, usize, f64);
+
+type TopoSpec = (usize, Vec<(usize, usize, f64, u64)>);
+
+fn topo_strategy() -> impl Strategy<Value = TopoSpec> {
+    (
+        2usize..7,
+        prop::collection::vec((0usize..7, 0usize..7, 5e6f64..500e6, 0u64..40), 1..10),
+    )
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..6, 0usize..1 << 16, 0usize..1 << 16, 0.0f64..1.0),
+        0..max_len,
+    )
+}
+
+struct Script {
+    now: SimTime,
+    flows: Vec<FlowId>,
+}
+
+impl Script {
+    fn new() -> Self {
+        Script {
+            now: SimTime::ZERO,
+            flows: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, net: &mut FlowNet, hosts: &[NodeId], links: &[LinkId], op: &Op) {
+        let &(kind, x, y, v) = op;
+        match kind % 6 {
+            // Flow arrival (mix of finite/infinite, windowed, disk/memory).
+            0 => {
+                let src = hosts[x % hosts.len()];
+                let dst = hosts[y % hosts.len()];
+                if src == dst {
+                    return;
+                }
+                let size = if x % 3 == 0 {
+                    f64::INFINITY
+                } else {
+                    1e6 + v * 1e8
+                };
+                let mut spec = FlowSpec::new(src, dst, size).window(1e5 + v * 1e7);
+                if y % 2 == 0 {
+                    spec = spec.memory_to_memory();
+                }
+                if x % 4 == 0 {
+                    spec = spec.cached_channel();
+                }
+                if let Ok(id) = net.start_flow(self.now, spec) {
+                    self.flows.push(id);
+                }
+            }
+            // Flow departure (cancellation).
+            1 => {
+                if !self.flows.is_empty() {
+                    let id = self.flows.remove(x % self.flows.len());
+                    net.remove_flow(id);
+                }
+            }
+            // Link capacity change.
+            2 => {
+                if !links.is_empty() {
+                    net.set_link_capacity(links[x % links.len()], 1e6 + v * 2e8);
+                }
+            }
+            // Link outage / recovery toggle.
+            3 => {
+                if !links.is_empty() {
+                    let l = links[x % links.len()];
+                    let up = net.topo.link(l).up;
+                    net.set_link_up(l, !up);
+                }
+            }
+            // Loss-rate change (shifts Mathis caps of crossing flows).
+            4 => {
+                if !links.is_empty() {
+                    net.set_link_loss(links[x % links.len()], v * 0.02);
+                }
+            }
+            // Time advance (integrates progress, crosses ramp boundaries,
+            // completes flows).
+            _ => {
+                self.now += SimDuration::from_millis(1 + (x % 400) as u64);
+                net.advance_to(self.now);
+            }
+        }
+    }
+}
+
+/// Assert the live incremental state matches the from-scratch oracle,
+/// bit for bit, flow for flow.
+fn assert_matches_oracle(net: &mut FlowNet) {
+    let live = net.snapshot_rates();
+    let oracle = net.oracle_rates();
+    assert_eq!(live.len(), oracle.len(), "running-flow sets differ");
+    for ((fl, rl), (fo, ro)) in live.iter().zip(&oracle) {
+        assert_eq!(fl, fo, "flow order diverged");
+        assert_eq!(
+            rl.to_bits(),
+            ro.to_bits(),
+            "flow {fl:?}: incremental {rl} vs oracle {ro}"
+        );
+    }
+}
+
+proptest! {
+    /// Property 1 — rate equivalence. After *every* scripted mutation the
+    /// incremental allocation is bitwise identical to the oracle's.
+    #[test]
+    fn incremental_rates_match_oracle(
+        topo in topo_strategy(),
+        ops in ops_strategy(40),
+    ) {
+        let (n_hosts, links) = topo;
+        let (mut net, hosts, lids) = build_net(n_hosts, &links);
+        let mut script = Script::new();
+        for op in &ops {
+            script.apply(&mut net, &hosts, &lids, op);
+            assert_matches_oracle(&mut net);
+        }
+    }
+
+    /// Property 2 — stale-rate absence. Scoped read-only queries
+    /// (`flow_rate`, `host_cpu_utilization`) interleaved with mutations
+    /// never leave a stale rate behind: every per-flow answer matches the
+    /// oracle at query time, and the final full snapshot still matches.
+    #[test]
+    fn scoped_queries_leave_no_stale_rates(
+        topo in topo_strategy(),
+        ops in ops_strategy(30),
+        probe in prop::collection::vec((0usize..1 << 16, 0usize..1 << 16), 1..8),
+    ) {
+        let (n_hosts, links) = topo;
+        let (mut net, hosts, lids) = build_net(n_hosts, &links);
+        let mut script = Script::new();
+        for (op, &(pf, ph)) in ops.iter().zip(probe.iter().cycle()) {
+            script.apply(&mut net, &hosts, &lids, op);
+            // Probe a pseudo-random flow and host through the scoped path.
+            if !script.flows.is_empty() {
+                let id = script.flows[pf % script.flows.len()];
+                let scoped = net.flow_rate(id);
+                let want = net
+                    .oracle_rates()
+                    .iter()
+                    .find(|(f, _)| *f == id)
+                    .map_or(0.0, |&(_, r)| r);
+                prop_assert_eq!(
+                    scoped.to_bits(),
+                    want.to_bits(),
+                    "scoped flow_rate {} vs oracle {}", scoped, want
+                );
+            }
+            net.host_cpu_utilization(hosts[ph % hosts.len()]);
+        }
+        // The scoped solves above must not have corrupted or consumed the
+        // dirty bookkeeping: the final full recompute still agrees.
+        assert_matches_oracle(&mut net);
+    }
+
+    /// Property 3 — coalescing correctness. A same-instant burst of
+    /// arrivals/departures/re-caps triggers at most ONE recompute pass at
+    /// the next full query, and that pass lands exactly on the oracle.
+    #[test]
+    fn same_instant_burst_coalesces_and_matches(
+        topo in topo_strategy(),
+        warmup in ops_strategy(10),
+        burst in prop::collection::vec((0u8..3, 0usize..1 << 16, 0usize..1 << 16, 0.0f64..1.0), 1..20),
+    ) {
+        let (n_hosts, links) = topo;
+        let (mut net, hosts, lids) = build_net(n_hosts, &links);
+        let mut script = Script::new();
+        for op in &warmup {
+            script.apply(&mut net, &hosts, &lids, op);
+        }
+        net.snapshot_rates(); // settle
+        let before = net.alloc_stats();
+        // Burst: only adds/removes/re-caps (kinds 0..3) — no time passes.
+        for op in &burst {
+            script.apply(&mut net, &hosts, &lids, op);
+        }
+        assert_matches_oracle(&mut net); // snapshot inside forces the pass
+        let after = net.alloc_stats();
+        prop_assert!(
+            after.recompute_passes <= before.recompute_passes + 1,
+            "burst of {} mutations took {} recompute passes",
+            burst.len(),
+            after.recompute_passes - before.recompute_passes
+        );
+    }
+
+    /// Property 4 — the `--full-recompute` ablation is bitwise identical:
+    /// same script, same rates, same delivered bytes, in either mode.
+    #[test]
+    fn full_recompute_ablation_is_bitwise_identical(
+        topo in topo_strategy(),
+        ops in ops_strategy(30),
+    ) {
+        let (n_hosts, links) = topo;
+        let run = |full: bool| {
+            let (mut net, hosts, lids) = build_net(n_hosts, &links);
+            net.set_full_recompute(full);
+            let mut script = Script::new();
+            for op in &ops {
+                script.apply(&mut net, &hosts, &lids, op);
+            }
+            let rates = net.snapshot_rates();
+            let bytes: Vec<(FlowId, f64)> = script
+                .flows
+                .iter()
+                .map(|&f| (f, net.flow_bytes(f)))
+                .collect();
+            (rates, bytes)
+        };
+        let (ri, bi) = run(false);
+        let (rf, bf) = run(true);
+        prop_assert_eq!(ri.len(), rf.len());
+        for ((fi, a), (ff, b)) in ri.iter().zip(&rf) {
+            prop_assert_eq!(fi, ff);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "rate diverged: {} vs {}", a, b);
+        }
+        for ((fi, a), (ff, b)) in bi.iter().zip(&bf) {
+            prop_assert_eq!(fi, ff);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "bytes diverged: {} vs {}", a, b);
+        }
+    }
+}

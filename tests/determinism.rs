@@ -94,3 +94,112 @@ fn end_to_end_testbed_outcomes_are_stable() {
     assert_eq!(t1.to_bits(), t2.to_bits());
     assert_eq!(h1, h2);
 }
+
+fn sha_hex(s: &str) -> String {
+    esg::gsi::sha256(s.as_bytes())
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+/// Golden trace hash for `user_scaling_trace_survives_incremental_allocator`
+/// (N=64, regions=8, seed=17). If an intentional change to the workload,
+/// topology or logging shifts the trace, regenerate with:
+/// `cargo test user_scaling_trace -- --nocapture` and update.
+const USER_SCALING_GOLDEN: &str =
+    "a5f9774ab8dbdb564c1dea124e130fc017ee02496c30173184cd908fd247478d";
+
+#[test]
+fn user_scaling_trace_survives_incremental_allocator() {
+    use esg_bench::scaling::run_variant;
+    // "Before" (full recompute — the pre-incremental allocator) and
+    // "after" (incremental) must emit byte-identical NetLogger traces.
+    let inc = run_variant(64, 8, 17, false);
+    let full = run_variant(64, 8, 17, true);
+    assert_eq!(
+        inc.trace_ulm, full.trace_ulm,
+        "user_scaling trace changed under the incremental allocator"
+    );
+    assert_eq!(inc.completions, full.completions);
+    let hex = sha_hex(&inc.trace_ulm);
+    println!("user_scaling trace sha256: {hex}");
+    assert_eq!(
+        hex, USER_SCALING_GOLDEN,
+        "pinned user_scaling trace drifted"
+    );
+}
+
+/// Golden trace hash for `soak_trace_survives_incremental_allocator`
+/// (seed 11). Regenerate with
+/// `cargo test soak_trace -- --nocapture` after intentional changes.
+const SOAK_GOLDEN: &str = "5d645808bbcefdc6623b49242dc9939aefa7f8ddfab43717b88060d1a9c221ce";
+
+#[test]
+fn soak_trace_survives_incremental_allocator() {
+    use esg::core::esg_testbed;
+    use esg::reqman::submit_request;
+    use esg::simnet::prelude::{inject_all, Fault, FaultKind};
+    use esg::simnet::SimTime;
+
+    // A miniature soak_faults run: seeded faults + seeded request schedule,
+    // identical under both allocator modes.
+    let run = |full_recompute: bool| -> String {
+        let mut tb = esg_testbed(11);
+        tb.sim.net.set_full_recompute(full_recompute);
+        tb.publish_dataset("pcm_det.b06", 8, 4, 2_000_000, &[1, 2, 3]);
+        let collection = tb.sim.world.metadata.collection_of("pcm_det.b06").unwrap();
+        tb.start_nws(SimDuration::from_secs(25));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let site2 = tb.sites[2].node;
+        let site3 = tb.sites[3].node;
+        inject_all(
+            &mut tb.sim,
+            &[
+                Fault::new(
+                    SimTime::from_secs(140),
+                    SimDuration::from_secs(30),
+                    FaultKind::NodeDown(site2),
+                ),
+                Fault::new(
+                    SimTime::from_secs(200),
+                    SimDuration::from_secs(20),
+                    FaultKind::NameServiceDown,
+                ),
+                Fault::new(
+                    SimTime::from_secs(260),
+                    SimDuration::from_secs(45),
+                    FaultKind::NodeDown(site3),
+                ),
+            ],
+        );
+        let names: Vec<(String, String)> = tb
+            .sim
+            .world
+            .metadata
+            .all_files("pcm_det.b06")
+            .unwrap()
+            .iter()
+            .map(|f| (collection.clone(), f.name.clone()))
+            .collect();
+        let client = tb.client;
+        for (k, at) in [(0usize, 110u64), (1, 150), (0, 210), (1, 270)] {
+            let files = vec![names[k].clone()];
+            tb.sim.schedule_at(SimTime::from_secs(at), move |sim| {
+                submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
+            });
+        }
+        tb.sim.run_until(SimTime::from_secs(1800));
+        assert_eq!(tb.sim.world.outcomes.len(), 4, "soak scenario must finish");
+        tb.sim.world.rm.log.to_ulm()
+    };
+
+    let inc = run(false);
+    let full = run(true);
+    assert_eq!(
+        inc, full,
+        "faulted request-manager trace changed under the incremental allocator"
+    );
+    let hex = sha_hex(&inc);
+    println!("soak trace sha256: {hex}");
+    assert_eq!(hex, SOAK_GOLDEN, "pinned soak trace drifted");
+}

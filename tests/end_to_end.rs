@@ -211,3 +211,47 @@ fn gsi_secured_end_to_end_identity_flow() {
     let sealed = tx.seal(b"climate bytes");
     assert_eq!(rx.open(&sealed).unwrap(), b"climate bytes");
 }
+
+#[test]
+fn monitor_polls_do_not_force_recomputes() {
+    // Regression: the RM monitor loop polls progress every few seconds via
+    // transfer_bytes/transfer_rate/transfer_stalled. Those are read-only
+    // queries — during a steady transfer (ramps finished, nothing dirty)
+    // they must not trigger any allocation recomputes. Before the
+    // incremental allocator, every poll forced a full solve.
+    let mut tb = esg_testbed(9);
+    // One 20 GB file on a disk site: long enough to straddle the window.
+    tb.publish_dataset("steady.b06", 8, 8, 2_500_000_000, &[1]);
+    let collection = tb.sim.world.metadata.collection_of("steady.b06").unwrap();
+    let file = tb.sim.world.metadata.all_files("steady.b06").unwrap()[0]
+        .name
+        .clone();
+    let client = tb.client;
+    tb.sim.run_until(SimTime::from_secs(50));
+    submit_request(&mut tb.sim, client, vec![(collection, file)], |s, o| {
+        s.world.outcomes.push(o)
+    });
+    // Let connection setup and the slow-start ramp finish.
+    tb.sim.run_until(SimTime::from_secs(120));
+    assert!(
+        tb.sim.world.outcomes.is_empty(),
+        "transfer finished before the steady window; grow the file"
+    );
+    let before = tb.sim.net.alloc_stats();
+    // ~20 poll intervals of steady transfer.
+    tb.sim.run_until(SimTime::from_secs(180));
+    assert!(
+        tb.sim.world.outcomes.is_empty(),
+        "transfer finished inside the steady window; grow the file"
+    );
+    let after = tb.sim.net.alloc_stats();
+    assert_eq!(
+        after.recompute_passes, before.recompute_passes,
+        "monitor polls forced allocation recomputes during a steady transfer"
+    );
+    assert_eq!(after.components_solved, before.components_solved);
+    // Sanity: the transfer is actually moving.
+    tb.sim.run_until(SimTime::from_secs(7200));
+    assert_eq!(tb.sim.world.outcomes.len(), 1);
+    assert!(tb.sim.world.outcomes[0].files.iter().all(|f| f.done));
+}

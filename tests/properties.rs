@@ -330,6 +330,101 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Component decomposition soundness — the principle behind the simnet
+    /// incremental allocator: partitioning a max-min fair problem into the
+    /// connected components of its flow↔resource graph and solving each
+    /// independently yields the same rates as one global solve (up to
+    /// progressive-filling rounding; components share no capacity, so the
+    /// fixpoint is identical).
+    #[test]
+    fn allocation_component_decomposition_matches_global(
+        caps in prop::collection::vec(1.0f64..1000.0, 1..8),
+        flows in prop::collection::vec(
+            (prop::collection::vec(0usize..8, 1..4), 0.5f64..2000.0),
+            1..16,
+        ),
+    ) {
+        let nr = caps.len();
+        let alloc_flows: Vec<AllocFlow> = flows
+            .iter()
+            .map(|(rs, cap)| {
+                let mut resources: Vec<usize> = rs.iter().map(|&r| r % nr).collect();
+                resources.sort_unstable();
+                resources.dedup();
+                AllocFlow { resources, cap: *cap }
+            })
+            .collect();
+        let global = max_min_fair(&caps, &alloc_flows);
+
+        // Union-find over flows joined by shared resources.
+        let n = alloc_flows.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
+        for r in 0..nr {
+            let members: Vec<usize> = (0..n)
+                .filter(|&f| alloc_flows[f].resources.contains(&r))
+                .collect();
+            for w in members.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+
+        // Solve each component as its own subproblem and splice.
+        let mut spliced = vec![0.0f64; n];
+        let roots: std::collections::BTreeSet<usize> =
+            (0..n).map(|i| find(&mut parent, i)).collect();
+        for root in roots {
+            let members: Vec<usize> = (0..n)
+                .filter(|&i| find(&mut parent, i) == root)
+                .collect();
+            // Re-intern the component's resources in encounter order.
+            let mut local: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            let mut sub_caps: Vec<f64> = Vec::new();
+            let sub_flows: Vec<AllocFlow> = members
+                .iter()
+                .map(|&i| {
+                    let mut rs: Vec<usize> = alloc_flows[i]
+                        .resources
+                        .iter()
+                        .map(|&r| {
+                            let next = local.len();
+                            *local.entry(r).or_insert_with(|| {
+                                sub_caps.push(caps[r]);
+                                next
+                            })
+                        })
+                        .collect();
+                    rs.sort_unstable();
+                    AllocFlow { resources: rs, cap: alloc_flows[i].cap }
+                })
+                .collect();
+            let sub = max_min_fair(&sub_caps, &sub_flows);
+            for (&i, r) in members.iter().zip(sub) {
+                spliced[i] = r;
+            }
+        }
+
+        for (i, (&g, &s)) in global.iter().zip(&spliced).enumerate() {
+            let scale = g.abs().max(s.abs()).max(1.0);
+            prop_assert!(
+                (g - s).abs() <= 1e-6 * scale,
+                "flow {}: global {} vs per-component {}", i, g, s
+            );
+        }
+    }
+}
+
 /// Pinned from `tests/properties.proptest-regressions`: the shrunken case
 /// `lines = [" ꥟"]` — a reply line whose byte 2 sits inside a multi-byte
 /// character. The vendored proptest stub does not replay regression files,
