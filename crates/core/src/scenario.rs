@@ -20,7 +20,7 @@ use esg_gridftp::GridUrl;
 use esg_metadata::synthetic_description;
 use esg_nws::registry::DEFAULT_PROBE_BYTES;
 use esg_simnet::{CpuModel, LinkId, Node, NodeId, Sim, SimDuration, Topology};
-use esg_storage::{DiskModel, Hrm, RaidArray, RaidLevel, TapeParams};
+use esg_storage::{file_digest_hex, DiskModel, Hrm, RaidArray, RaidLevel, TapeParams};
 
 /// One storage site in the ESG testbed.
 #[derive(Debug, Clone)]
@@ -141,6 +141,15 @@ impl EsgTestbed {
                 .rm
                 .catalog
                 .add_logical_file(&collection, &f.name, f.size)
+                .unwrap();
+            // Pin the expected content digest so every delivery is verified
+            // end-to-end (block checksums + ERET repair on mismatch).
+            let key = format!("{collection}/{}", f.name);
+            self.sim
+                .world
+                .rm
+                .catalog
+                .set_file_digest(&collection, &f.name, &file_digest_hex(&key, f.size))
                 .unwrap();
         }
         let file_names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();

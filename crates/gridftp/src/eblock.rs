@@ -114,6 +114,17 @@ pub fn read_block(r: &mut impl Read, max_block: u64) -> io::Result<(BlockHeader,
     Ok((h, payload))
 }
 
+/// Flip one bit of an EBLOCK payload in flight — the silent wire
+/// corruption a `WireCorrupt` fault injects. The framing stays intact
+/// (header untouched), so nothing below the checksum layer notices.
+pub fn flip_bit(payload: &mut [u8], bit: usize) {
+    if payload.is_empty() {
+        return;
+    }
+    let bit = bit % (payload.len() * 8);
+    payload[bit / 8] ^= 1 << (bit % 8);
+}
+
 /// Split a byte range `[start, end)` into round-robin block assignments for
 /// `streams` connections: the work distribution a striped/parallel sender
 /// uses. Returns per-stream lists of (offset, len).
@@ -238,5 +249,41 @@ mod tests {
     fn round_robin_empty_range() {
         let a = round_robin_blocks(10, 10, 64, 3);
         assert!(a.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn flipped_bit_survives_framing_but_fails_checksum() {
+        // In-flight corruption: the block frames and reads back cleanly —
+        // only a digest comparison catches it.
+        let payload = b"climate data block".to_vec();
+        let clean_digest = esg_gsi::sha256(&payload);
+
+        let mut corrupted = payload.clone();
+        flip_bit(&mut corrupted, 42);
+        assert_ne!(payload, corrupted);
+
+        let mut buf = Vec::new();
+        write_block(&mut buf, 0, &corrupted).unwrap();
+        let mut r = buf.as_slice();
+        let (h, received) = read_block(&mut r, 1 << 20).unwrap();
+        assert_eq!(h.count as usize, received.len(), "framing intact");
+        assert_ne!(
+            esg_gsi::sha256(&received),
+            clean_digest,
+            "checksum must expose the flip"
+        );
+        // Flipping the same bit again restores the original content.
+        let mut restored = received;
+        flip_bit(&mut restored, 42);
+        assert_eq!(esg_gsi::sha256(&restored), clean_digest);
+    }
+
+    #[test]
+    fn flip_bit_wraps_and_tolerates_empty() {
+        let mut empty: Vec<u8> = Vec::new();
+        flip_bit(&mut empty, 5); // no panic
+        let mut one = vec![0u8];
+        flip_bit(&mut one, 8); // wraps to bit 0
+        assert_eq!(one, vec![1]);
     }
 }

@@ -27,6 +27,7 @@ pub mod ranges;
 pub mod server;
 pub mod simxfer;
 pub mod url;
+pub mod verify;
 
 pub use client::{
     third_party_transfer, ClientError, GridFtpClient, ReliableClient, ReliableOutcome,
@@ -36,6 +37,7 @@ pub use protocol::{Command, Reply};
 pub use ranges::RangeSet;
 pub use server::{GridFtpServer, ServerConfig};
 pub use url::GridUrl;
+pub use verify::{mismatched_blocks, repair_ranges};
 
 pub use simxfer::{
     cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, GridFtpSim,

@@ -259,6 +259,69 @@ mod tests {
         assert!(r.is_complete(total));
     }
 
+    // --- ERET repair-coalescing edge cases ---------------------------
+    // The integrity layer turns corrupt block indices into repair ranges
+    // through this set; these pin the exact coalescing semantics it
+    // depends on.
+
+    #[test]
+    fn eret_adjacent_blocks_coalesce() {
+        const BS: u64 = 1 << 20;
+        let mut r = RangeSet::new();
+        // Corrupt blocks 3, 4, 5 of a large file — inserted out of order.
+        for b in [4u64, 3, 5] {
+            r.insert(b * BS, (b + 1) * BS);
+        }
+        assert_eq!(r.span_count(), 1, "adjacent blocks must merge");
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(3 * BS, 6 * BS)]);
+        assert_eq!(r.to_marker(), format!("{}-{}", 3 * BS, 6 * BS - 1));
+    }
+
+    #[test]
+    fn eret_overlapping_reinsertion_is_idempotent() {
+        const BS: u64 = 1 << 20;
+        let mut r = RangeSet::new();
+        r.insert(2 * BS, 3 * BS);
+        // The same block reported corrupt twice (two verify rounds), plus
+        // a half-block overlap from a clipped segment.
+        r.insert(2 * BS, 3 * BS);
+        r.insert(2 * BS + BS / 2, 3 * BS);
+        assert_eq!(r.total(), BS);
+        assert_eq!(r.span_count(), 1);
+    }
+
+    #[test]
+    fn eret_zero_length_ranges_are_dropped() {
+        let mut r = RangeSet::new();
+        r.insert(100, 100);
+        r.insert(0, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.to_marker(), "");
+        assert_eq!(RangeSet::from_marker("").unwrap(), r);
+        // A zero-length insert between two spans must not bridge them.
+        r.insert(0, 10);
+        r.insert(20, 30);
+        r.insert(15, 15);
+        assert_eq!(r.span_count(), 2);
+    }
+
+    #[test]
+    fn eret_end_of_file_partial_block() {
+        const BS: u64 = 1 << 20;
+        // 3.5-block file: the final block's repair range is clipped to EOF.
+        let size = 3 * BS + BS / 2;
+        let mut r = RangeSet::new();
+        r.insert(3 * BS, (4 * BS).min(size));
+        assert_eq!(r.total(), BS / 2);
+        // Together with the penultimate block it still coalesces cleanly
+        // up to EOF and completes the tail of the file.
+        r.insert(2 * BS, 3 * BS);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(2 * BS, size)]);
+        assert!(!r.is_complete(size));
+        r.insert(0, 2 * BS);
+        assert!(r.is_complete(size));
+    }
+
     #[test]
     fn random_insertion_order_normalizes() {
         // Deterministic pseudo-shuffle of 100 blocks.

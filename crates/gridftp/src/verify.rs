@@ -1,0 +1,100 @@
+//! Client-side block verification for received data.
+//!
+//! GridFTP's reliability story (§6.1) covers *delivery* — restart markers
+//! guarantee every byte arrives. This module covers *correctness*: the
+//! receiving client compares the per-block digests of what landed against
+//! the expected digests, and turns any mismatches into the minimal set of
+//! ERET byte ranges to re-fetch. Digest computation itself lives with the
+//! storage layer (`esg-storage::integrity`); here we only compare digest
+//! sequences and plan repairs, so the protocol crate stays independent of
+//! storage models.
+
+use crate::ranges::RangeSet;
+
+/// Indices of blocks whose received digest differs from the expected one.
+/// The two slices must be parallel (same block count).
+pub fn mismatched_blocks(expected: &[[u8; 32]], received: &[[u8; 32]]) -> Vec<u64> {
+    assert_eq!(
+        expected.len(),
+        received.len(),
+        "digest sequences must cover the same blocks"
+    );
+    expected
+        .iter()
+        .zip(received)
+        .enumerate()
+        .filter(|(_, (e, r))| e != r)
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Coalesce corrupt block indices into the ERET byte ranges that re-fetch
+/// them: adjacent blocks merge into one range, and the final block's range
+/// is clipped to the file size (end-of-file partial block).
+pub fn repair_ranges(blocks: &[u64], size: u64, block_size: u64) -> RangeSet {
+    assert!(block_size >= 1);
+    let mut set = RangeSet::new();
+    for &b in blocks {
+        let start = b * block_size;
+        if start >= size {
+            continue; // beyond EOF: nothing to fetch
+        }
+        set.insert(start, (start + block_size).min(size));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: u64 = 1 << 20;
+
+    #[test]
+    fn mismatches_found_by_index() {
+        let e = [[0u8; 32], [1u8; 32], [2u8; 32]];
+        let mut r = e;
+        assert!(mismatched_blocks(&e, &r).is_empty());
+        r[1][0] ^= 0x80;
+        assert_eq!(mismatched_blocks(&e, &r), vec![1]);
+        r[2][31] ^= 1;
+        assert_eq!(mismatched_blocks(&e, &r), vec![1, 2]);
+    }
+
+    #[test]
+    fn adjacent_blocks_coalesce_into_one_eret_range() {
+        let set = repair_ranges(&[2, 3, 4], 10 * BS, BS);
+        assert_eq!(set.span_count(), 1);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![(2 * BS, 5 * BS)]);
+    }
+
+    #[test]
+    fn disjoint_blocks_stay_separate_ranges() {
+        let set = repair_ranges(&[0, 2, 7], 10 * BS, BS);
+        assert_eq!(set.span_count(), 3);
+        assert_eq!(set.total(), 3 * BS);
+    }
+
+    #[test]
+    fn eof_partial_block_is_clipped() {
+        // 3.5-block file: repairing the last block fetches only half a block.
+        let size = 3 * BS + BS / 2;
+        let set = repair_ranges(&[3], size, BS);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![(3 * BS, size)]);
+        assert_eq!(set.total(), BS / 2);
+    }
+
+    #[test]
+    fn beyond_eof_and_empty_are_harmless() {
+        assert!(repair_ranges(&[], 10 * BS, BS).is_empty());
+        assert!(repair_ranges(&[10, 99], 10 * BS, BS).is_empty());
+        assert!(repair_ranges(&[0], 0, BS).is_empty());
+    }
+
+    #[test]
+    fn duplicate_blocks_do_not_double_count() {
+        let set = repair_ranges(&[1, 1, 2], 10 * BS, BS);
+        assert_eq!(set.total(), 2 * BS);
+        assert_eq!(set.span_count(), 1);
+    }
+}

@@ -53,6 +53,9 @@ pub struct Replica {
     pub location: String,
     pub host: String,
     pub url: GridUrl,
+    /// Quarantined for repeatedly serving corrupt blocks; selection demotes
+    /// suspect replicas until background re-verification clears them.
+    pub suspect: bool,
 }
 
 /// The replica catalog, owning its directory subtree.
@@ -173,6 +176,66 @@ impl ReplicaCatalog {
         entry
             .first_u64("size")
             .ok_or_else(|| CatalogError::Directory("missing size".into()))
+    }
+
+    /// Record the expected whole-file content digest (hex SHA-256 over the
+    /// per-block digest sequence) on a logical-file entry. Clients verify
+    /// delivered data against this before declaring a request complete.
+    pub fn set_file_digest(
+        &mut self,
+        collection: &str,
+        file: &str,
+        digest_hex: &str,
+    ) -> Result<(), CatalogError> {
+        self.dir
+            .modify(&Self::file_dn(collection, file), |e| {
+                e.set("digest", vec![digest_hex.to_string()])
+            })
+            .map_err(|_| CatalogError::NoSuchFile(file.to_string()))
+    }
+
+    /// Expected content digest of a logical file, if registered.
+    pub fn file_digest(&self, collection: &str, file: &str) -> Option<String> {
+        self.dir
+            .get(&Self::file_dn(collection, file))
+            .and_then(|e| e.first("digest"))
+            .map(str::to_string)
+    }
+
+    /// Mark (or clear) every location of `collection` hosted on `host` as
+    /// integrity-suspect. Returns how many location entries changed.
+    pub fn set_host_suspect(
+        &mut self,
+        collection: &str,
+        host: &str,
+        suspect: bool,
+    ) -> Result<usize, CatalogError> {
+        let cdn = Self::collection_dn(collection);
+        if self.dir.get(&cdn).is_none() {
+            return Err(CatalogError::NoSuchCollection(collection.to_string()));
+        }
+        let f = Filter::And(vec![
+            Filter::eq("objectclass", "GlobusReplicaLocation"),
+            Filter::eq("hostname", host),
+        ]);
+        let dns: Vec<Dn> = self
+            .dir
+            .search(&cdn, Scope::OneLevel, &f)
+            .into_iter()
+            .map(|e| e.dn.clone())
+            .collect();
+        for dn in &dns {
+            self.dir
+                .modify(dn, |e| {
+                    if suspect {
+                        e.set("suspect", vec!["true".to_string()]);
+                    } else {
+                        e.set("suspect", Vec::new());
+                    }
+                })
+                .map_err(|e| CatalogError::Directory(e.to_string()))?;
+        }
+        Ok(dns.len())
     }
 
     /// Register a (possibly partial) physical location of a collection.
@@ -300,6 +363,7 @@ impl ReplicaCatalog {
                     location: e.dn.leaf().unwrap().value.clone(),
                     host,
                     url,
+                    suspect: e.first("suspect") == Some("true"),
                 }
             })
             .collect())
@@ -453,6 +517,76 @@ mod tests {
             1_500_000_000
         );
         assert!(ReplicaCatalog::from_ldif("dn: o=Nope\n").is_err());
+    }
+
+    #[test]
+    fn file_digest_round_trip() {
+        let mut rc = figure6();
+        assert_eq!(rc.file_digest("CO2 measurements 1998", "jan_1998.nc"), None);
+        rc.set_file_digest("CO2 measurements 1998", "jan_1998.nc", "abc123")
+            .unwrap();
+        assert_eq!(
+            rc.file_digest("CO2 measurements 1998", "jan_1998.nc")
+                .as_deref(),
+            Some("abc123")
+        );
+        // Re-registering overwrites rather than accumulating values.
+        rc.set_file_digest("CO2 measurements 1998", "jan_1998.nc", "def456")
+            .unwrap();
+        assert_eq!(
+            rc.file_digest("CO2 measurements 1998", "jan_1998.nc")
+                .as_deref(),
+            Some("def456")
+        );
+        assert!(rc
+            .set_file_digest("CO2 measurements 1998", "ghost.nc", "x")
+            .is_err());
+        // The digest survives an LDIF dump/reload cycle.
+        let rc2 = ReplicaCatalog::from_ldif(&rc.to_ldif()).unwrap();
+        assert_eq!(
+            rc2.file_digest("CO2 measurements 1998", "jan_1998.nc")
+                .as_deref(),
+            Some("def456")
+        );
+    }
+
+    #[test]
+    fn suspect_marking_flows_through_lookup() {
+        let mut rc = figure6();
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        assert!(reps.iter().all(|r| !r.suspect));
+
+        let n = rc
+            .set_host_suspect("CO2 measurements 1998", "jupiter.isi.edu", true)
+            .unwrap();
+        assert_eq!(n, 1);
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        let jupiter = reps.iter().find(|r| r.host == "jupiter.isi.edu").unwrap();
+        let sprite = reps.iter().find(|r| r.host == "sprite.llnl.gov").unwrap();
+        assert!(jupiter.suspect);
+        assert!(!sprite.suspect);
+
+        // Rehabilitation clears the mark.
+        rc.set_host_suspect("CO2 measurements 1998", "jupiter.isi.edu", false)
+            .unwrap();
+        let reps = rc
+            .lookup_replicas("CO2 measurements 1998", "jan_1998.nc")
+            .unwrap();
+        assert!(reps.iter().all(|r| !r.suspect));
+
+        // Unknown host matches nothing; unknown collection errors.
+        assert_eq!(
+            rc.set_host_suspect("CO2 measurements 1998", "nowhere", true)
+                .unwrap(),
+            0
+        );
+        assert!(rc
+            .set_host_suspect("nope", "jupiter.isi.edu", true)
+            .is_err());
     }
 
     #[test]

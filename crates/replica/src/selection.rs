@@ -63,21 +63,39 @@ impl ReplicaSelector {
 
     /// Pick an index into `candidates`. `estimates` must be parallel to
     /// `candidates`. Returns `None` when there are no candidates.
+    ///
+    /// Integrity demotion: quarantined ([`Replica::suspect`]) candidates are
+    /// excluded whatever the policy — unlike a circuit breaker this is not
+    /// about reachability but about data quality. Only when *every* replica
+    /// is suspect does selection fall back to the full set (a possibly
+    /// corrupt copy the verify layer will repair beats no copy at all).
     pub fn select(&mut self, candidates: &[Replica], estimates: &[PathEstimate]) -> Option<usize> {
         if candidates.is_empty() {
             return None;
         }
         assert_eq!(candidates.len(), estimates.len());
-        Some(match self.policy {
-            Policy::Random => self.rng.gen_range(0..candidates.len()),
+        let trusted: Vec<usize> = (0..candidates.len())
+            .filter(|&i| !candidates[i].suspect)
+            .collect();
+        if trusted.is_empty() || trusted.len() == candidates.len() {
+            return Some(self.select_unfiltered(candidates.len(), estimates));
+        }
+        let sub_est: Vec<PathEstimate> = trusted.iter().map(|&i| estimates[i]).collect();
+        let picked = self.select_unfiltered(trusted.len(), &sub_est);
+        Some(trusted[picked])
+    }
+
+    fn select_unfiltered(&mut self, n: usize, estimates: &[PathEstimate]) -> usize {
+        match self.policy {
+            Policy::Random => self.rng.gen_range(0..n),
             Policy::RoundRobin => {
-                let i = self.rr % candidates.len();
+                let i = self.rr % n;
                 self.rr += 1;
                 i
             }
             Policy::BestBandwidth => best_by(estimates, |e| e.bandwidth),
             Policy::LowestLatency => best_by(estimates, |e| e.latency.map(|l| -l)),
-        })
+        }
     }
 }
 
@@ -112,6 +130,7 @@ mod tests {
                 location: format!("loc{i}"),
                 host: format!("host{i}"),
                 url: GridUrl::new(format!("host{i}"), "f"),
+                suspect: false,
             })
             .collect()
     }
@@ -202,5 +221,38 @@ mod tests {
     fn empty_candidates_is_none() {
         let mut s = ReplicaSelector::new(Policy::BestBandwidth, 1);
         assert_eq!(s.select(&[], &[]), None);
+    }
+
+    #[test]
+    fn suspect_replica_demoted_even_when_fastest() {
+        let mut s = ReplicaSelector::new(Policy::BestBandwidth, 1);
+        let mut reps = replicas(3);
+        reps[1].suspect = true;
+        // host1 has by far the best forecast, but it's quarantined.
+        let estimates = est(&[Some(10e6), Some(90e6), Some(40e6)]);
+        assert_eq!(s.select(&reps, &estimates), Some(2));
+    }
+
+    #[test]
+    fn all_suspect_falls_back_to_full_set() {
+        let mut s = ReplicaSelector::new(Policy::BestBandwidth, 1);
+        let mut reps = replicas(3);
+        for r in &mut reps {
+            r.suspect = true;
+        }
+        let estimates = est(&[Some(10e6), Some(90e6), Some(40e6)]);
+        assert_eq!(s.select(&reps, &estimates), Some(1));
+    }
+
+    #[test]
+    fn round_robin_cycles_over_trusted_subset() {
+        let mut s = ReplicaSelector::new(Policy::RoundRobin, 1);
+        let mut reps = replicas(3);
+        reps[0].suspect = true;
+        let estimates = est(&[None, None, None]);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| s.select(&reps, &estimates).unwrap())
+            .collect();
+        assert_eq!(picks, vec![1, 2, 1, 2]);
     }
 }

@@ -11,13 +11,17 @@
 //! * [`manager`] — the RM itself and the per-file worker state machines.
 //! * [`monitor`] — the Figure 4 dynamic transfer monitor rendering.
 //! * [`reliability`] — retry/backoff policy and per-host circuit breakers.
+//! * [`integrity`] — post-delivery block digest verification, ERET block
+//!   repair planning and replica quarantine.
 
+pub mod integrity;
 pub mod manager;
 pub mod monitor;
 pub mod planner;
 pub mod reliability;
 pub mod replication;
 
+pub use integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView, VerifyReport};
 pub use manager::{
     submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld, TransferTuning,
 };

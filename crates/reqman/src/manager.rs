@@ -25,7 +25,9 @@
 //! backoff and waits for the network to heal. Only an exhausted
 //! `max_attempts` cap marks a file failed.
 
+use crate::integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView};
 use crate::reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
+use esg_gridftp::repair_ranges;
 use esg_gridftp::simxfer::{
     cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, HasGridFtp,
     TransferError, TransferHandle, TransferSpec,
@@ -34,7 +36,7 @@ use esg_netlogger::{LogEvent, NetLog};
 use esg_nws::HasNws;
 use esg_replica::{PathEstimate, Policy, Replica, ReplicaCatalog, ReplicaSelector};
 use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
-use esg_storage::{Hrm, StageOutcome};
+use esg_storage::{blocks_overlapping, Hrm, StageOutcome, BLOCK_SIZE};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +123,21 @@ struct FileWork {
     excluded_hosts: Vec<String>,
     /// The catalog knows this logical file (size lookup succeeded).
     known: bool,
+    /// Provenance of every banked byte range, for post-delivery digest
+    /// verification. Cleared when a repair escalates to a full re-fetch.
+    segments: Vec<SegRecord>,
+    /// Block-granular repair rounds consumed since the last full fetch.
+    repair_rounds: u32,
+    /// Total bytes re-fetched by ERET repairs (reporting; never reset).
+    repair_bytes: u64,
+    /// Sequence number of the live transfer — the wire-corruption
+    /// sampling key.
+    current_seq: u64,
+    /// Source node of the live transfer.
+    current_src: Option<NodeId>,
+    /// The live transfer is a block repair, not a normal attempt; repairs
+    /// never bank restart markers as delivered ranges.
+    repairing: bool,
 }
 
 struct RequestState {
@@ -166,10 +183,13 @@ pub struct RequestManager {
     pub spread_sites: bool,
     /// Structured event log (NetLogger).
     pub log: NetLog,
+    /// Integrity policy, per-site corruption stores and quarantine state.
+    pub integrity: IntegrityManager,
     breakers: HashMap<String, CircuitBreaker>,
     rng: StdRng,
     requests: HashMap<u64, SharedRequest>,
     next_id: u64,
+    xfer_seq: u64,
 }
 
 impl Default for RequestManager {
@@ -195,12 +215,14 @@ impl RequestManager {
             rpc_latency: SimDuration::from_millis(2),
             spread_sites: false,
             log: NetLog::new(),
+            integrity: IntegrityManager::default(),
             breakers: HashMap::new(),
             // Decorrelate the jitter stream from the selector's RNG while
             // staying a pure function of the caller's seed.
             rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)),
             requests: HashMap::new(),
             next_id: 0,
+            xfer_seq: 0,
         }
     }
 
@@ -290,6 +312,40 @@ impl RequestManager {
     fn next_backoff(&mut self, attempt: u32) -> SimDuration {
         self.retry.backoff(attempt, &mut self.rng)
     }
+
+    fn next_xfer_seq(&mut self) -> u64 {
+        self.xfer_seq += 1;
+        self.xfer_seq
+    }
+
+    /// At-rest corruption visible at `host` for file `name` by time `by`:
+    /// tape sites record flips in their HRM's object store, plain disk
+    /// sites in the integrity manager's per-host store.
+    pub fn at_rest_flips(&self, host: &str, name: &str, by: SimTime) -> Vec<(u64, u64)> {
+        if let Some(hrm) = self.hrms.get(host) {
+            return hrm.store.flips_at(name, by);
+        }
+        self.integrity
+            .stores
+            .get(host)
+            .map(|s| s.flips_at(name, by))
+            .unwrap_or_default()
+    }
+
+    /// Inject at-rest corruption of one block of `name` at `host` (fault
+    /// hook for soak tests): routed to the HRM's store for tape-backed
+    /// sites, else the per-host integrity store.
+    pub fn corrupt_at_rest(&mut self, host: &str, name: &str, block: u64, nonce: u64, at: SimTime) {
+        if let Some(hrm) = self.hrms.get_mut(host) {
+            hrm.store.flip(name, block, nonce, at);
+        } else {
+            self.integrity
+                .stores
+                .entry(host.to_string())
+                .or_default()
+                .flip(name, block, nonce, at);
+        }
+    }
 }
 
 /// Submit a request: the CDAT client hands the RM a list of logical files
@@ -324,6 +380,12 @@ pub fn submit_request<W: RmWorld>(
             attempt_base: 0,
             excluded_hosts: Vec::new(),
             known: size.is_some(),
+            segments: Vec::new(),
+            repair_rounds: 0,
+            repair_bytes: 0,
+            current_seq: 0,
+            current_src: None,
+            repairing: false,
         });
     }
     let remaining = work.len();
@@ -496,10 +558,16 @@ fn select_replica<W: RmWorld>(
         .lookup_replicas(collection, file)
         .unwrap_or_default();
     let candidates = registered.len();
-    let replicas: Vec<Replica> = registered
+    let mut replicas: Vec<Replica> = registered
         .into_iter()
         .filter(|r| !excluded.contains(&r.host) && rm.breaker_would_admit(&r.host, now))
         .collect();
+    // Quarantine demotion: while any trusted candidate remains, suspect
+    // replicas drop out of the round entirely. (The selector demotes too,
+    // but the spread planner bypasses it, so filter here as well.)
+    if replicas.iter().any(|r| !r.suspect) {
+        replicas.retain(|r| !r.suspect);
+    }
     if replicas.is_empty() {
         return (None, candidates);
     }
@@ -569,9 +637,13 @@ fn start_file_worker<W: RmWorld>(
         return;
     }
     // Zero-size files (and files whose bytes all arrived before a restart)
-    // have nothing left to transfer: complete without opening a channel.
+    // have nothing left to transfer — but "all bytes present" is not "all
+    // bytes correct": route through digest verification, which completes
+    // the file only when the received blocks match the catalog's
+    // expectation (and plans repairs otherwise). Banked restart-marker
+    // ranges therefore never complete a file unverified.
     if delivered {
-        complete_file(sim, &state, &cb, idx);
+        verify_and_finish(sim, &state, &cb, idx);
         return;
     }
     let retry = sim.world.reqman().retry;
@@ -677,12 +749,36 @@ fn start_file_worker<W: RmWorld>(
         let st3 = st2.clone();
         let cb3 = cb2.clone();
         let done_host = host.clone();
+        let seq = s.world.reqman().next_xfer_seq();
+        let t0 = s.now();
         let result = start_transfer(s, spec, move |s2, result| {
             match result {
                 Ok(_) => {
                     let now = s2.now();
                     s2.world.reqman().breaker_success(&done_host, now);
-                    complete_file(s2, &st3, &cb3, idx);
+                    {
+                        let mut st = st3.borrow_mut();
+                        let fw = &mut st.files[idx];
+                        if fw.status.done || fw.status.failed {
+                            return;
+                        }
+                        // Bank the delivered range with its provenance so
+                        // verification can reconstruct what was received.
+                        if fw.status.size > base {
+                            fw.segments.push(SegRecord {
+                                host: done_host.clone(),
+                                node: src_node,
+                                start: base,
+                                end: fw.status.size,
+                                t0,
+                                t1: now,
+                                seq,
+                            });
+                        }
+                        fw.status.bytes_done = fw.status.size;
+                        fw.current = None;
+                    }
+                    verify_and_finish(s2, &st3, &cb3, idx);
                 }
                 Err(TransferError::Cancelled) => {
                     // The monitor cancelled this attempt and already
@@ -715,6 +811,9 @@ fn start_file_worker<W: RmWorld>(
                     fw.current = Some(handle);
                     fw.transfer_started = s.now();
                     fw.attempt_base = base;
+                    fw.current_seq = seq;
+                    fw.current_src = Some(src_node);
+                    fw.repairing = false;
                 }
                 // Start the monitor loop for this attempt.
                 let poll = s.world.reqman().poll;
@@ -782,17 +881,35 @@ fn schedule_monitor<W: RmWorld>(
             // Reliability plugin: abandon this replica, bank the restart
             // marker, try an alternate.
             let marker = cancel_transfer(s, handle);
+            let now = s.now();
             let host = {
                 let mut st = state.borrow_mut();
                 let fw = &mut st.files[idx];
                 let banked = (fw.attempt_base + marker).min(fw.status.size);
+                // Bank the partial range with its provenance — it still
+                // gets digest-verified before the file can complete.
+                // Repair attempts never bank (their marker is synthetic).
+                if !fw.repairing && banked > fw.attempt_base {
+                    if let (Some(h), Some(node)) = (fw.status.replica_host.clone(), fw.current_src)
+                    {
+                        fw.segments.push(SegRecord {
+                            host: h,
+                            node,
+                            start: fw.attempt_base,
+                            end: banked,
+                            t0: fw.transfer_started,
+                            t1: now,
+                            seq: fw.current_seq,
+                        });
+                    }
+                }
                 fw.status.bytes_done = fw.status.bytes_done.max(banked);
                 fw.current = None;
+                fw.repairing = false;
                 let host = fw.status.replica_host.clone().unwrap_or_default();
                 fw.excluded_hosts.push(host.clone());
                 host
             };
-            let now = s.now();
             let fname = state.borrow().files[idx].status.name.clone();
             s.world.reqman().breaker_failure(&host, now);
             s.world.reqman().log.push(
@@ -808,6 +925,321 @@ fn schedule_monitor<W: RmWorld>(
         }
         schedule_monitor(s, state, cb, idx, handle, poll);
     });
+}
+
+/// All bytes of a file have landed: verify the received blocks against the
+/// catalog's expected digest before declaring it complete. Mismatches go
+/// to block-granular ERET repair (bounded rounds), then escalate to a full
+/// re-fetch; repeatedly-blamed replicas are quarantined. Files without a
+/// registered digest complete under legacy (trusting) semantics.
+fn verify_and_finish<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    cb: &DoneCell<W>,
+    idx: usize,
+) {
+    let (collection, name, size, segments, repair_rounds, repair_bytes, client) = {
+        let st = state.borrow();
+        let fw = &st.files[idx];
+        if fw.status.done || fw.status.failed {
+            return;
+        }
+        (
+            fw.status.collection.clone(),
+            fw.status.name.clone(),
+            fw.status.size,
+            fw.segments.clone(),
+            fw.repair_rounds,
+            fw.repair_bytes,
+            st.client,
+        )
+    };
+    let Some(expected_hex) = sim.world.reqman().catalog.file_digest(&collection, &name) else {
+        complete_file(sim, state, cb, idx);
+        return;
+    };
+    let key = format!("{collection}/{name}");
+    // Resolve each segment's integrity context: wire-fault overlap from
+    // the simulator, then at-rest flips from the serving site's store.
+    let wire: Vec<bool> = segments
+        .iter()
+        .map(|sg| sim.wire_corrupt_during(sg.node, sg.t0, sg.t1))
+        .collect();
+    let rm = sim.world.reqman();
+    let denom = rm.integrity.wire_rate_denom;
+    let views: Vec<SegmentView> = segments
+        .iter()
+        .zip(&wire)
+        .map(|(sg, &wire_active)| {
+            let span = blocks_overlapping(sg.start, sg.end.min(size));
+            SegmentView {
+                host: sg.host.clone(),
+                start: sg.start,
+                end: sg.end,
+                seq: sg.seq,
+                wire_active,
+                at_rest: rm
+                    .at_rest_flips(&sg.host, &name, sg.t1)
+                    .into_iter()
+                    .filter(|(b, _)| span.contains(b))
+                    .collect(),
+            }
+        })
+        .collect();
+    let report = verify_blocks(&key, size, denom, &views);
+    let now = sim.now();
+    if report.is_clean() && report.received_hex == expected_hex {
+        sim.world.reqman().log.push(
+            LogEvent::new(now, "integrity.file.verified")
+                .field("file", name)
+                .field("digest", report.received_hex)
+                .field("repair_rounds", repair_rounds as u64)
+                .field("repair_bytes", repair_bytes),
+        );
+        complete_file(sim, state, cb, idx);
+        return;
+    }
+
+    let blocks = report.corrupt_blocks();
+    let blamed = report.blamed_hosts();
+    {
+        let rm = sim.world.reqman();
+        for (b, h) in &report.corrupt {
+            rm.log.push(
+                LogEvent::new(now, "integrity.block.mismatch")
+                    .field("file", name.clone())
+                    .field("block", *b)
+                    .field("host", h.clone()),
+            );
+        }
+    }
+    // Incident accounting and quarantine — once per blamed host per verify
+    // round, in sorted host order for deterministic logs.
+    for host in &blamed {
+        if host.is_empty() {
+            continue;
+        }
+        let rm = sim.world.reqman();
+        let count = rm.integrity.record_incident(&collection, host);
+        if rm.integrity.quarantine_if_due(&collection, host) {
+            let _ = rm.catalog.set_host_suspect(&collection, host, true);
+            rm.log.push(
+                LogEvent::new(now, "integrity.replica.quarantine")
+                    .field("collection", collection.clone())
+                    .field("host", host.clone())
+                    .field("incidents", count as u64),
+            );
+            let delay = rm.integrity.reverify_after;
+            let (c2, h2) = (collection.clone(), host.clone());
+            sim.schedule(delay, move |s| rehabilitate_replica(s, c2, h2));
+        }
+    }
+    let max_rounds = sim.world.reqman().integrity.max_repair_rounds;
+    if repair_rounds >= max_rounds || blocks.is_empty() {
+        // Repair budget exhausted (or an unattributable whole-file
+        // mismatch): escalate to a full re-fetch, preferring hosts that
+        // were not blamed. The retry policy's attempt cap still bounds the
+        // file — it fails loudly rather than completing corrupt.
+        {
+            let mut st = state.borrow_mut();
+            let fw = &mut st.files[idx];
+            fw.status.bytes_done = 0;
+            fw.attempt_base = 0;
+            fw.segments.clear();
+            fw.repair_rounds = 0;
+            fw.repairing = false;
+            fw.current = None;
+            fw.excluded_hosts = blamed.clone();
+        }
+        sim.world.reqman().log.push(
+            LogEvent::new(now, "integrity.repair.escalate")
+                .field("file", name)
+                .field("blocks", blocks.len() as u64),
+        );
+        requeue_with_backoff(sim, state.clone(), cb.clone(), idx);
+        return;
+    }
+    launch_repair(
+        sim,
+        state,
+        cb,
+        idx,
+        client,
+        &collection,
+        &name,
+        size,
+        &blocks,
+        &blamed,
+    );
+}
+
+/// Start a block-granular repair: re-fetch only the corrupt byte ranges
+/// via ERET, preferring a replica that was not blamed for the corruption.
+#[allow(clippy::too_many_arguments)]
+fn launch_repair<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    cb: &DoneCell<W>,
+    idx: usize,
+    client: NodeId,
+    collection: &str,
+    name: &str,
+    size: u64,
+    blocks: &[u64],
+    blamed: &[String],
+) {
+    let ranges = repair_ranges(blocks, size, BLOCK_SIZE);
+    let bytes = ranges.total();
+    let no_load = HashMap::new();
+    // Prefer an alternate over any blamed host; fall back to the full
+    // candidate set when no alternate exists (a bad copy the verifier can
+    // catch again beats no copy).
+    let (mut choice, _) = select_replica(sim, client, collection, name, blamed, &no_load);
+    if choice.is_none() {
+        choice = select_replica(sim, client, collection, name, &[], &no_load).0;
+    }
+    let Some((replica, src_node)) = choice else {
+        // No source reachable right now: back off; the worker re-verifies
+        // and re-plans the repair when it wakes.
+        requeue_with_backoff(sim, state.clone(), cb.clone(), idx);
+        return;
+    };
+    let now = sim.now();
+    sim.world.reqman().breaker_admit(&replica.host, now);
+    let round = {
+        let mut st = state.borrow_mut();
+        let fw = &mut st.files[idx];
+        fw.repair_rounds += 1;
+        fw.repair_bytes += bytes;
+        fw.repairing = true;
+        fw.status.replica_host = Some(replica.host.clone());
+        fw.repair_rounds
+    };
+    sim.world.reqman().log.push(
+        LogEvent::new(now, "integrity.repair.eret")
+            .field("file", name.to_string())
+            .field("host", replica.host.clone())
+            .field("bytes", bytes)
+            .field("spans", ranges.span_count() as u64)
+            .field("round", round as u64),
+    );
+    let tuning = sim.world.reqman().tuning;
+    let seq = sim.world.reqman().next_xfer_seq();
+    let mut spec = TransferSpec::new(src_node, client, bytes)
+        .streams(tuning.streams)
+        .window(tuning.window);
+    if tuning.channel_cache {
+        spec = spec.cached();
+    }
+    let host = replica.host.clone();
+    let st2 = state.clone();
+    let cb2 = cb.clone();
+    let t0 = now;
+    let result = start_transfer(sim, spec, move |s2, result| match result {
+        Ok(_) => {
+            let done = s2.now();
+            s2.world.reqman().breaker_success(&host, done);
+            {
+                let mut st = st2.borrow_mut();
+                let fw = &mut st.files[idx];
+                if fw.status.done || fw.status.failed {
+                    return;
+                }
+                // The repaired ranges are the newest writes to the file:
+                // bank them as segments so re-verification sees them
+                // overwrite the corrupt ones.
+                for (rs, re) in ranges.iter() {
+                    fw.segments.push(SegRecord {
+                        host: host.clone(),
+                        node: src_node,
+                        start: rs,
+                        end: re,
+                        t0,
+                        t1: done,
+                        seq,
+                    });
+                }
+                fw.repairing = false;
+                fw.current = None;
+            }
+            verify_and_finish(s2, &st2, &cb2, idx);
+        }
+        Err(TransferError::Cancelled) => {
+            // The monitor cancelled the repair and already requeued the
+            // worker (which will re-verify and re-plan).
+        }
+        Err(e) => {
+            let done = s2.now();
+            {
+                let mut st = st2.borrow_mut();
+                let fw = &mut st.files[idx];
+                fw.repairing = false;
+                fw.current = None;
+            }
+            if matches!(e, TransferError::NoRoute { .. }) {
+                s2.world.reqman().breaker_failure(&host, done);
+            } else {
+                s2.world.reqman().breaker_release(&host);
+            }
+            requeue_with_backoff(s2, st2.clone(), cb2.clone(), idx);
+        }
+    });
+    match result {
+        Ok(handle) => {
+            {
+                let mut st = state.borrow_mut();
+                let fw = &mut st.files[idx];
+                fw.current = Some(handle);
+                fw.transfer_started = now;
+                // Banking is a no-op for repairs: bytes_done already
+                // equals size, and the monitor must not count repair
+                // progress as new delivery.
+                fw.attempt_base = fw.status.size;
+                fw.current_seq = seq;
+                fw.current_src = Some(src_node);
+            }
+            let poll = sim.world.reqman().poll;
+            schedule_monitor(sim, state.clone(), cb.clone(), idx, handle, poll);
+        }
+        Err(e) => {
+            {
+                let mut st = state.borrow_mut();
+                let fw = &mut st.files[idx];
+                fw.repairing = false;
+                fw.current = None;
+            }
+            let h = replica.host.clone();
+            if matches!(e, TransferError::NoRoute { .. }) {
+                sim.world.reqman().breaker_failure(&h, now);
+            } else {
+                sim.world.reqman().breaker_release(&h);
+            }
+            requeue_with_backoff(sim, state.clone(), cb.clone(), idx);
+        }
+    }
+}
+
+/// Background re-verification of a quarantined replica: the site restores
+/// its copies from an authoritative source, the catalog mark is cleared,
+/// and selection readmits the host.
+fn rehabilitate_replica<W: RmWorld>(sim: &mut Sim<W>, collection: String, host: String) {
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    if !rm.integrity.rehabilitate(&collection, &host) {
+        return;
+    }
+    if let Some(hrm) = rm.hrms.get_mut(&host) {
+        hrm.store.scrub();
+    }
+    if let Some(store) = rm.integrity.stores.get_mut(&host) {
+        store.scrub();
+    }
+    let _ = rm.catalog.set_host_suspect(&collection, &host, false);
+    rm.log.push(
+        LogEvent::new(now, "integrity.replica.rehabilitated")
+            .field("collection", collection)
+            .field("host", host),
+    );
 }
 
 #[cfg(test)]
@@ -1333,6 +1765,289 @@ mod tests {
             sim.world.rm.log.named("rm.retry.backoff").next().is_some(),
             "degraded file must requeue through the retry policy"
         );
+    }
+
+    fn register_digest(rm: &mut RequestManager, collection: &str, name: &str, size: u64) {
+        let key = format!("{collection}/{name}");
+        let hex = esg_storage::file_digest_hex(&key, size);
+        rm.catalog.set_file_digest(collection, name, &hex).unwrap();
+    }
+
+    #[test]
+    fn clean_transfer_verifies_and_completes() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        register_digest(&mut sim.world.rm, "co2", "jan.esg", 50_000_000);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done && !o.files[0].failed);
+        let v = sim
+            .world
+            .rm
+            .log
+            .named("integrity.file.verified")
+            .next()
+            .expect("clean delivery must log verification");
+        assert_eq!(v.get_num("repair_bytes"), Some(0.0));
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("integrity.block.mismatch")
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn corrupt_block_is_repaired_from_alternate_replica() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        register_digest(&mut sim.world.rm, "co2", "jan.esg", 50_000_000);
+        // Block 3 is silently corrupt at the fast (preferred) site.
+        sim.world
+            .rm
+            .corrupt_at_rest("fast.llnl.gov", "jan.esg", 3, 99, SimTime::ZERO);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done && !o.files[0].failed);
+        let m = sim
+            .world
+            .rm
+            .log
+            .named("integrity.block.mismatch")
+            .next()
+            .expect("mismatch must be logged");
+        assert_eq!(m.get_num("block"), Some(3.0));
+        assert_eq!(
+            m.get("host").map(|v| v.to_string()).unwrap(),
+            "fast.llnl.gov"
+        );
+        let r = sim
+            .world
+            .rm
+            .log
+            .named("integrity.repair.eret")
+            .next()
+            .expect("repair must be logged");
+        // Repair fetched one block, from the replica that was NOT blamed.
+        assert_eq!(r.get_num("bytes"), Some(BLOCK_SIZE as f64));
+        assert_eq!(
+            r.get("host").map(|v| v.to_string()).unwrap(),
+            "slow.isi.edu"
+        );
+        let v = sim
+            .world
+            .rm
+            .log
+            .named("integrity.file.verified")
+            .next()
+            .expect("file must end verified");
+        assert_eq!(v.get_num("repair_bytes"), Some(BLOCK_SIZE as f64));
+        assert_eq!(o.files[0].attempts, 1, "repairs are not new attempts");
+    }
+
+    /// Regression (restart-marker banking): bytes banked by a failover
+    /// restart marker must not complete a file without digest
+    /// verification. The preferred site serves a corrupt prefix and then
+    /// dies; the banked prefix is only trusted after verification catches
+    /// and repairs the corrupt block.
+    #[test]
+    fn failover_banked_prefix_is_verified_not_trusted() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        register_digest(&mut sim.world.rm, "co2", "jan.esg", 50_000_000);
+        sim.world
+            .rm
+            .corrupt_at_rest("fast.llnl.gov", "jan.esg", 0, 7, SimTime::ZERO);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        // Fast site dies mid-transfer: the monitor banks the (corrupt)
+        // prefix via the restart marker and fails over to the slow site.
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        sim.schedule(SimDuration::from_millis(1200), move |s| {
+            s.net.set_node_up(fast, false);
+        });
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done && !o.files[0].failed);
+        assert!(o.files[0].attempts >= 2, "failover must have happened");
+        // The corrupt banked block was caught and repaired (from the
+        // surviving replica — the dead one cannot serve the repair).
+        let m = sim
+            .world
+            .rm
+            .log
+            .named("integrity.block.mismatch")
+            .next()
+            .expect("banked corrupt prefix must be detected");
+        assert_eq!(m.get_num("block"), Some(0.0));
+        let r = sim
+            .world
+            .rm
+            .log
+            .named("integrity.repair.eret")
+            .next()
+            .expect("repair must run");
+        assert_eq!(
+            r.get("host").map(|v| v.to_string()).unwrap(),
+            "slow.isi.edu"
+        );
+        // Completion strictly follows detection: never complete-then-check.
+        let done_t = sim
+            .world
+            .rm
+            .log
+            .named("rm.file.complete")
+            .next()
+            .unwrap()
+            .time;
+        assert!(m.time <= done_t, "verification must precede completion");
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("integrity.file.verified")
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn repeated_corruption_quarantines_then_rehabilitates_replica() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.integrity.quarantine_threshold = 1;
+        sim.world.rm.integrity.reverify_after = SimDuration::from_secs(200);
+        register_digest(&mut sim.world.rm, "co2", "jan.esg", 50_000_000);
+        sim.world
+            .rm
+            .corrupt_at_rest("fast.llnl.gov", "jan.esg", 5, 11, SimTime::ZERO);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.world.outcomes.len(), 1, "first request repaired");
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("integrity.replica.quarantine")
+            .next()
+            .is_some());
+        assert!(sim
+            .world
+            .rm
+            .integrity
+            .is_quarantined("co2", "fast.llnl.gov"));
+        // While quarantined, selection avoids the (faster) suspect host.
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(sim.world.outcomes.len(), 2);
+        assert_eq!(
+            sim.world.outcomes[1].files[0].replica_host.as_deref(),
+            Some("slow.isi.edu"),
+            "suspect replica must be demoted"
+        );
+        // Background re-verification rehabilitates the host and scrubs its
+        // store; afterwards it is selected (and serves clean data) again.
+        sim.run();
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("integrity.replica.rehabilitated")
+            .next()
+            .is_some());
+        assert!(!sim
+            .world
+            .rm
+            .integrity
+            .is_quarantined("co2", "fast.llnl.gov"));
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 3);
+        let f = &sim.world.outcomes[2].files[0];
+        assert!(f.done);
+        assert_eq!(f.replica_host.as_deref(), Some("fast.llnl.gov"));
+        // Third delivery needed no repairs: the rehab scrubbed the store.
+        let repairs: Vec<_> = sim.world.rm.log.named("integrity.repair.eret").collect();
+        assert_eq!(repairs.len(), 1, "only the first delivery needed repair");
+    }
+
+    #[test]
+    fn wire_corruption_is_detected_and_repaired() {
+        use esg_simnet::prelude::{inject, Fault, FaultKind};
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        sim.world.rm.integrity.wire_rate_denom = 4;
+        register_digest(&mut sim.world.rm, "co2", "jan.esg", 50_000_000);
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::ZERO,
+                SimDuration::from_secs(60),
+                FaultKind::WireCorrupt(fast),
+            ),
+        );
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert!(o.files[0].done && !o.files[0].failed);
+        let mismatches: Vec<_> = sim.world.rm.log.named("integrity.block.mismatch").collect();
+        assert!(
+            !mismatches.is_empty() && mismatches.len() < 48,
+            "1/4 sampling over 48 blocks should corrupt some, not all: {}",
+            mismatches.len()
+        );
+        let repaired: f64 = sim
+            .world
+            .rm
+            .log
+            .named("integrity.repair.eret")
+            .filter_map(|e| e.get_num("bytes"))
+            .sum();
+        assert!(
+            repaired > 0.0 && repaired < 50_000_000.0,
+            "repair traffic must be partial: {repaired}"
+        );
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("integrity.file.verified")
+            .next()
+            .is_some());
     }
 
     #[test]

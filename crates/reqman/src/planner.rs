@@ -63,6 +63,7 @@ mod tests {
                 location: h.to_string(),
                 host: h.to_string(),
                 url: GridUrl::new(h.to_string(), "f"),
+                suspect: false,
             })
             .collect()
     }

@@ -30,6 +30,13 @@ pub struct FaultLedger {
     /// Per link: capacity before the first active degrade, and the
     /// multiset of active degrade fractions.
     degrade: HashMap<LinkId, (f64, Vec<f64>)>,
+    /// Per node: depth of active wire-corruption faults, and when the
+    /// current corruption episode (depth 0 → 1) began.
+    wire_corrupt: HashMap<NodeId, (u32, SimTime)>,
+    /// Closed wire-corruption episodes, `(node, start, end)`, kept so
+    /// data-integrity checks can ask "was this sender corrupting during
+    /// that transfer?" after the fault has lifted.
+    wire_history: Vec<(NodeId, SimTime, SimTime)>,
 }
 
 /// What a fault affects.
@@ -45,6 +52,10 @@ pub enum FaultKind {
     /// Name service outage: new connections cannot be established, existing
     /// flows continue.
     NameServiceDown,
+    /// Silent data corruption on the wire: EBLOCK payloads *served by* this
+    /// node may arrive bit-flipped while the fault is active. Flows keep
+    /// moving at full rate — only checksums can tell.
+    WireCorrupt(NodeId),
 }
 
 /// A fault with a start time and duration.
@@ -85,6 +96,10 @@ pub fn inject<W: 'static>(sim: &mut Sim<W>, fault: Fault) {
         FaultKind::NameServiceDown => {
             sim.schedule_at(fault.at, |s| s.fault_name_service_down());
             sim.schedule_at(fault.end(), |s| s.fault_name_service_restore());
+        }
+        FaultKind::WireCorrupt(n) => {
+            sim.schedule_at(fault.at, move |s| s.fault_wire_corrupt_start(n));
+            sim.schedule_at(fault.end(), move |s| s.fault_wire_corrupt_end(n));
         }
     }
 }
@@ -168,6 +183,57 @@ impl<W> Sim<W> {
                 self.net_set_name_service(true);
             }
         }
+    }
+
+    fn fault_wire_corrupt_start(&mut self, n: NodeId) {
+        let now = self.now();
+        let entry = self
+            .net
+            .fault_ledger
+            .wire_corrupt
+            .entry(n)
+            .or_insert((0, now));
+        if entry.0 == 0 {
+            entry.1 = now;
+        }
+        entry.0 += 1;
+    }
+
+    fn fault_wire_corrupt_end(&mut self, n: NodeId) {
+        let now = self.now();
+        if let Some(entry) = self.net.fault_ledger.wire_corrupt.get_mut(&n) {
+            entry.0 -= 1;
+            if entry.0 == 0 {
+                let started = entry.1;
+                self.net.fault_ledger.wire_corrupt.remove(&n);
+                self.net.fault_ledger.wire_history.push((n, started, now));
+            }
+        }
+    }
+
+    /// Whether blocks served by `n` are being corrupted right now.
+    pub fn wire_corrupt_active(&self, n: NodeId) -> bool {
+        self.net
+            .fault_ledger
+            .wire_corrupt
+            .get(&n)
+            .is_some_and(|&(depth, _)| depth > 0)
+    }
+
+    /// Whether a wire-corruption episode at `n` overlapped the closed
+    /// interval `[from, to]` — the question an integrity verifier asks
+    /// about a transfer that served data during that window.
+    pub fn wire_corrupt_during(&self, n: NodeId, from: SimTime, to: SimTime) -> bool {
+        if let Some(&(depth, started)) = self.net.fault_ledger.wire_corrupt.get(&n) {
+            if depth > 0 && started <= to {
+                return true;
+            }
+        }
+        self.net
+            .fault_ledger
+            .wire_history
+            .iter()
+            .any(|&(node, s, e)| node == n && s <= to && e >= from)
     }
 }
 
@@ -505,5 +571,61 @@ mod tests {
             ],
         );
         assert_eq!(sim.pending_events(), 4);
+    }
+
+    #[test]
+    fn wire_corruption_tracks_active_window_and_history() {
+        let (t, a, ..) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        inject(
+            &mut sim,
+            Fault::new(
+                SimTime::from_secs(2),
+                SimDuration::from_secs(3),
+                FaultKind::WireCorrupt(a),
+            ),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!sim.wire_corrupt_active(a));
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.wire_corrupt_active(a));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(!sim.wire_corrupt_active(a));
+        // History answers overlap queries after the episode closed.
+        assert!(sim.wire_corrupt_during(a, SimTime::from_secs(4), SimTime::from_secs(6)));
+        assert!(sim.wire_corrupt_during(a, SimTime::from_secs(1), SimTime::from_secs(2)));
+        assert!(!sim.wire_corrupt_during(a, SimTime::from_secs(6), SimTime::from_secs(8)));
+        assert!(!sim.wire_corrupt_during(a, SimTime::ZERO, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn overlapping_wire_corruption_merges_into_one_episode() {
+        let (t, _, b, _) = two_hosts();
+        let mut sim: Sim<()> = Sim::new(t, ());
+        inject_all(
+            &mut sim,
+            &[
+                Fault::new(
+                    SimTime::from_secs(1),
+                    SimDuration::from_secs(2),
+                    FaultKind::WireCorrupt(b),
+                ),
+                Fault::new(
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(3),
+                    FaultKind::WireCorrupt(b),
+                ),
+            ],
+        );
+        sim.run_until(SimTime::from_secs(4));
+        assert!(
+            sim.wire_corrupt_active(b),
+            "first recovery must not end the merged episode"
+        );
+        sim.run_until(SimTime::from_secs(6));
+        assert!(!sim.wire_corrupt_active(b));
+        // The merged episode spans [1, 5]; a probe inside the first
+        // fault's tail still hits it.
+        assert!(sim.wire_corrupt_during(b, SimTime::from_secs_f64(4.5), SimTime::from_secs(5)));
     }
 }

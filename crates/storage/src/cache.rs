@@ -46,6 +46,11 @@ pub struct DiskCache {
     capacity: u64,
     used: u64,
     slots: HashMap<String, Slot>,
+    /// Digest sidecars: file → whole-file digest (hex), recorded when the
+    /// file's bytes landed. A sidecar's lifetime is bound to its slot:
+    /// eviction, removal and re-insertion (fresh bytes) all drop it, so a
+    /// re-fetched file must always be re-verified from scratch.
+    digests: HashMap<String, String>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -57,10 +62,27 @@ impl DiskCache {
             capacity,
             used: 0,
             slots: HashMap::new(),
+            digests: HashMap::new(),
             hits: 0,
             misses: 0,
             evictions: 0,
         }
+    }
+
+    /// Attach a digest sidecar to a cached file. Ignored for files not in
+    /// the cache (no slot, nothing to describe).
+    pub fn set_digest(&mut self, name: &str, digest_hex: impl Into<String>) -> bool {
+        if self.slots.contains_key(name) {
+            self.digests.insert(name.to_string(), digest_hex.into());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The digest sidecar for a cached file, if one was recorded.
+    pub fn digest(&self, name: &str) -> Option<&str> {
+        self.digests.get(name).map(String::as_str)
     }
 
     pub fn capacity(&self) -> u64 {
@@ -110,9 +132,11 @@ impl DiskCache {
         }
         if let Some(slot) = self.slots.get_mut(name) {
             // Re-insertion refreshes recency; size changes are applied.
+            // Fresh bytes invalidate any recorded digest sidecar.
             self.used = self.used - slot.size + size;
             slot.size = size;
             slot.last_used = now;
+            self.digests.remove(name);
             return Ok(());
         }
         // Evict until it fits.
@@ -127,6 +151,7 @@ impl DiskCache {
                 Some(v) => {
                     let slot = self.slots.remove(&v).unwrap();
                     self.used -= slot.size;
+                    self.digests.remove(&v);
                     self.evictions += 1;
                 }
                 None => {
@@ -171,6 +196,7 @@ impl DiskCache {
     pub fn remove(&mut self, name: &str) -> bool {
         if let Some(slot) = self.slots.remove(name) {
             self.used -= slot.size;
+            self.digests.remove(name);
             true
         } else {
             false
@@ -267,5 +293,54 @@ mod tests {
         let mut c = DiskCache::new(10);
         assert!(!c.pin("ghost"));
         c.unpin("ghost"); // harmless
+    }
+
+    #[test]
+    fn digest_sidecar_set_and_read() {
+        let mut c = DiskCache::new(100);
+        assert!(!c.set_digest("ghost", "aa"), "no slot, no sidecar");
+        c.insert("a", 40, t(0)).unwrap();
+        assert!(c.set_digest("a", "deadbeef"));
+        assert_eq!(c.digest("a"), Some("deadbeef"));
+        assert_eq!(c.digest("ghost"), None);
+    }
+
+    #[test]
+    fn eviction_drops_digest_sidecar() {
+        let mut c = DiskCache::new(100);
+        c.insert("old", 60, t(0)).unwrap();
+        c.set_digest("old", "d1");
+        c.insert("new", 60, t(1)).unwrap(); // evicts "old"
+        assert!(!c.contains("old"));
+        assert_eq!(
+            c.digest("old"),
+            None,
+            "evicting a file must drop its digest sidecar"
+        );
+        // A later re-fetch of "old" starts with no sidecar: verification
+        // must happen from scratch.
+        c.insert("old", 30, t(2)).unwrap();
+        assert_eq!(c.digest("old"), None);
+    }
+
+    #[test]
+    fn reinsert_invalidates_digest_sidecar() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 40, t(0)).unwrap();
+        c.set_digest("a", "d1");
+        // Fresh bytes for the same name: the old digest no longer
+        // describes the slot's content.
+        c.insert("a", 40, t(1)).unwrap();
+        assert_eq!(c.digest("a"), None);
+    }
+
+    #[test]
+    fn remove_drops_digest_sidecar() {
+        let mut c = DiskCache::new(100);
+        c.insert("a", 40, t(0)).unwrap();
+        c.set_digest("a", "d1");
+        assert!(c.remove("a"));
+        c.insert("a", 40, t(1)).unwrap();
+        assert_eq!(c.digest("a"), None);
     }
 }

@@ -10,7 +10,8 @@
 //! tape stage. The request manager overlaps staging with other transfers.
 
 use crate::cache::{CacheError, DiskCache};
-use crate::tape::{TapeLibrary, TapeParams};
+use crate::integrity::{block_count, file_digest_hex, ObjectStore};
+use crate::tape::{stage_corruption, TapeLibrary, TapeParams};
 use esg_simnet::{SimDuration, SimTime};
 
 /// Outcome of asking the HRM for a file.
@@ -61,10 +62,20 @@ pub struct Hrm {
     pub tape: TapeLibrary,
     pub cache: DiskCache,
     pub catalog: TapeCatalog,
+    /// Integrity record of this site's on-disk copies: which blocks are
+    /// silently corrupt (tape read errors land here).
+    pub store: ObjectStore,
     /// Stages in flight: file → time it lands on disk. Concurrent
     /// requests for the same file join the in-flight stage instead of
     /// seeing a premature cache hit.
     staging: std::collections::HashMap<String, SimTime>,
+    /// Roughly one in `tape_error_denom` cold stages suffers a silent
+    /// read error that corrupts one block of the staged file. 0 disables.
+    tape_error_denom: u64,
+    /// Seed for the deterministic tape-error sampler.
+    tape_error_seed: u64,
+    /// Monotone count of cold stages performed (the sampler's sequence).
+    stage_seq: u64,
 }
 
 /// Error from an HRM request.
@@ -89,8 +100,25 @@ impl Hrm {
             tape: TapeLibrary::new(tape_params),
             cache: DiskCache::new(cache_capacity),
             catalog: TapeCatalog::new(),
+            store: ObjectStore::new(),
             staging: std::collections::HashMap::new(),
+            tape_error_denom: 0,
+            tape_error_seed: 0,
+            stage_seq: 0,
         }
+    }
+
+    /// Enable deterministic silent tape read errors: roughly one in
+    /// `denom` cold stages corrupts one block of the staged file.
+    pub fn with_tape_errors(mut self, denom: u64, seed: u64) -> Self {
+        self.enable_tape_errors(denom, seed);
+        self
+    }
+
+    /// See [`Hrm::with_tape_errors`].
+    pub fn enable_tape_errors(&mut self, denom: u64, seed: u64) {
+        self.tape_error_denom = denom;
+        self.tape_error_seed = seed;
     }
 
     /// Ask for `name` to be available on the disk cache.
@@ -120,6 +148,23 @@ impl Hrm {
             return Ok(StageOutcome::Failed(e));
         }
         let job = self.tape.stage(now, size as f64);
+        // A cold stage reads fresh bytes off tape: any corruption recorded
+        // against the previous disk copy no longer applies...
+        self.store.scrub_file(name);
+        // ...but the read itself can silently corrupt one block. The stage
+        // still reports success — only checksum verification can tell.
+        self.stage_seq += 1;
+        if size > 0 {
+            if let Some(nonce) =
+                stage_corruption(self.tape_error_seed, self.stage_seq, self.tape_error_denom)
+            {
+                let block = nonce % block_count(size);
+                self.store.flip(name, block, nonce, job.ready);
+            }
+        }
+        // Record the expected-content sidecar for the landed copy (what an
+        // fsck-style scan would compare against).
+        self.cache.set_digest(name, file_digest_hex(name, size));
         self.staging.insert(name.to_string(), job.ready);
         Ok(StageOutcome::Staged {
             ready: job.ready,
@@ -261,5 +306,46 @@ mod tests {
         h.request_file("jan.nc", SimTime::ZERO).unwrap();
         assert!(h.pin("jan.nc"));
         h.unpin("jan.nc");
+    }
+
+    #[test]
+    fn tape_errors_silently_corrupt_one_block_per_bad_stage() {
+        // denom=1: every cold stage suffers a read error.
+        let mut h = hrm().with_tape_errors(1, 99);
+        let out = h.request_file("jan.nc", SimTime::ZERO).unwrap();
+        let StageOutcome::Staged { ready, .. } = out else {
+            panic!("expected stage");
+        };
+        let bad = h.store.corrupt_blocks("jan.nc");
+        assert_eq!(bad.len(), 1, "exactly one block corrupted per bad stage");
+        // The corruption is not visible before the stage lands.
+        assert_eq!(h.store.flip_at("jan.nc", bad[0], SimTime::ZERO), None);
+        assert!(h.store.flip_at("jan.nc", bad[0], ready).is_some());
+        // A warm hit does not touch the store.
+        h.request_file("jan.nc", SimTime::from_secs(500)).unwrap();
+        assert_eq!(h.store.corrupt_blocks("jan.nc"), bad);
+        // The landed copy carries an expected-content sidecar.
+        assert!(h.cache.digest("jan.nc").is_some());
+    }
+
+    #[test]
+    fn restage_scrubs_previous_corruption() {
+        let mut h = hrm().with_tape_errors(1, 99);
+        h.request_file("jan.nc", SimTime::ZERO).unwrap();
+        assert!(!h.store.is_clean());
+        // Evict the bad copy and disable errors: the fresh stage reads
+        // clean bytes and must not inherit the old flip records.
+        h.cache.remove("jan.nc");
+        h.enable_tape_errors(0, 99);
+        h.request_file("jan.nc", SimTime::from_secs(1000)).unwrap();
+        assert!(h.store.is_clean(), "cold re-stage must scrub old flips");
+    }
+
+    #[test]
+    fn clean_stages_leave_store_clean() {
+        let mut h = hrm(); // tape errors disabled by default
+        h.request_file("jan.nc", SimTime::ZERO).unwrap();
+        h.request_file("feb.nc", SimTime::ZERO).unwrap();
+        assert!(h.store.is_clean());
     }
 }

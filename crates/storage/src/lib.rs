@@ -10,6 +10,9 @@
 //! * [`cache`] — per-site LRU disk cache with pinning for active transfers.
 //! * [`hrm`] — the HRM: stages catalogued tape files into the cache and
 //!   reports when they will be ready ("ready at T" vs "cache hit").
+//! * [`integrity`] — per-block SHA-256 content digests, whole-file
+//!   digests, and the per-site [`ObjectStore`] recording silently
+//!   corrupted blocks (tape read errors, injected bit-flips).
 //!
 //! Substitution note (DESIGN.md): the paper used a real HPSS installation;
 //! the RM ↔ HRM interaction depends only on staging latency, queueing and
@@ -18,9 +21,14 @@
 pub mod cache;
 pub mod disk;
 pub mod hrm;
+pub mod integrity;
 pub mod tape;
 
 pub use cache::{CacheError, DiskCache};
 pub use disk::{DiskModel, RaidArray, RaidLevel};
 pub use hrm::{Hrm, HrmError, StageOutcome, TapeCatalog};
-pub use tape::{StageJob, TapeLibrary, TapeParams};
+pub use integrity::{
+    block_count, block_span, blocks_overlapping, corrupt_block_digest, file_digest_hex,
+    file_digest_hex_of, pristine_block_digest, stable_hash, ObjectStore, BLOCK_SIZE,
+};
+pub use tape::{stage_corruption, StageJob, TapeLibrary, TapeParams};

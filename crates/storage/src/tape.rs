@@ -106,6 +106,19 @@ impl TapeLibrary {
     }
 }
 
+/// Deterministic tape-error sampler: does the `seq`-th cold stage of a
+/// library seeded with `seed` suffer a silent read error? Roughly one in
+/// `denom` stages does (0 disables). Returns the corruption nonce so the
+/// flipped block's content is attributable. Tape heads degrade silently —
+/// the stage itself still reports success, which is the point.
+pub fn stage_corruption(seed: u64, seq: u64, denom: u64) -> Option<u64> {
+    if denom == 0 {
+        return None;
+    }
+    let h = crate::integrity::stable_hash("tape-stage", seed, seq);
+    h.is_multiple_of(denom).then_some(h | 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +178,23 @@ mod tests {
         l.stage(SimTime::ZERO, 100e6);
         assert_eq!(l.idle_drives(SimTime::ZERO), 0);
         assert!(l.queue_delay(SimTime::ZERO) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stage_corruption_is_seeded_sparse_and_disableable() {
+        assert_eq!(stage_corruption(7, 3, 0), None, "denom 0 disables");
+        let hits: Vec<u64> = (0..1000)
+            .filter(|&s| stage_corruption(7, s, 10).is_some())
+            .collect();
+        // Deterministic per seed, roughly 1-in-10, and never empty.
+        assert_eq!(
+            hits,
+            (0..1000)
+                .filter(|&s| stage_corruption(7, s, 10).is_some())
+                .collect::<Vec<u64>>()
+        );
+        assert!(hits.len() > 50 && hits.len() < 200, "{}", hits.len());
+        // Nonces are nonzero (zero is reserved for "no corruption").
+        assert!(stage_corruption(7, hits[0], 10).unwrap() != 0);
     }
 }

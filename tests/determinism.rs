@@ -132,7 +132,7 @@ fn user_scaling_trace_survives_incremental_allocator() {
 /// Golden trace hash for `soak_trace_survives_incremental_allocator`
 /// (seed 11). Regenerate with
 /// `cargo test soak_trace -- --nocapture` after intentional changes.
-const SOAK_GOLDEN: &str = "5d645808bbcefdc6623b49242dc9939aefa7f8ddfab43717b88060d1a9c221ce";
+const SOAK_GOLDEN: &str = "057a8d531d43aab28427b2285d261b077f47c2e17611f603155cc2c043b78884";
 
 #[test]
 fn soak_trace_survives_incremental_allocator() {
