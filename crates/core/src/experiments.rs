@@ -1000,6 +1000,10 @@ pub fn planner_spread_comparison() -> (f64, f64) {
         // Three equal-capacity sites: ISI, NCAR, SDSC (all 155 Mb/s).
         tb.publish_dataset("spread_ds", 64, 8, 12_500_000, &[2, 4, 5]);
         tb.sim.world.rm.spread_sites = spread;
+        // Lift the admission cap to the request size: this experiment
+        // isolates the spread planner's effect, and the cap would
+        // otherwise soften the no-spread arm's self-contention.
+        tb.sim.world.rm.scheduler.max_active_per_request = 8;
         tb.start_nws(SimDuration::from_secs(20));
         tb.sim.run_until(SimTime::from_secs(100));
         let collection = tb.sim.world.metadata.collection_of("spread_ds").unwrap();

@@ -9,6 +9,8 @@
 //! bytes already delivered).
 //!
 //! * [`manager`] — the RM itself and the per-file worker state machines.
+//! * [`scheduler`] — pipelined transfer scheduling: admission control,
+//!   BDP auto-tuning, stage-ahead prefetch and the cross-request ledger.
 //! * [`monitor`] — the Figure 4 dynamic transfer monitor rendering.
 //! * [`reliability`] — retry/backoff policy and per-host circuit breakers.
 //! * [`integrity`] — post-delivery block digest verification, ERET block
@@ -20,6 +22,7 @@ pub mod monitor;
 pub mod planner;
 pub mod reliability;
 pub mod replication;
+pub mod scheduler;
 
 pub use integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView, VerifyReport};
 pub use manager::{
@@ -29,3 +32,6 @@ pub use monitor::render_monitor;
 pub use planner::plan_spread;
 pub use reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
 pub use replication::{replicate_collection, ReplicationOutcome};
+pub use scheduler::{
+    bdp_tuning, order_queue, AdmissionPolicy, HostLedger, SchedStats, SchedulerConfig,
+};

@@ -27,6 +27,7 @@
 
 use crate::integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView};
 use crate::reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
+use crate::scheduler::{bdp_tuning, order_queue, HostLedger, SchedStats, SchedulerConfig};
 use esg_gridftp::repair_ranges;
 use esg_gridftp::simxfer::{
     cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, HasGridFtp,
@@ -41,7 +42,7 @@ use esg_storage::{blocks_overlapping, Hrm, StageOutcome, BLOCK_SIZE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// World bound shared by all request-manager operations.
@@ -138,6 +139,11 @@ struct FileWork {
     /// The live transfer is a block repair, not a normal attempt; repairs
     /// never bank restart markers as delivered ranges.
     repairing: bool,
+    /// Manager-wide ledger entry owned by the current pull:
+    /// `(host, is_attempt)`. Held from selection commit to attempt end.
+    ledger_host: Option<(String, bool)>,
+    /// The file holds one of its request's admission slots.
+    admitted: bool,
 }
 
 struct RequestState {
@@ -146,6 +152,12 @@ struct RequestState {
     files: Vec<FileWork>,
     remaining: usize,
     started: SimTime,
+    /// Ready queue of file indices awaiting admission (scheduler mode).
+    queue: VecDeque<usize>,
+    /// Files currently holding an admission slot.
+    active: usize,
+    /// A per-request monitor tick is scheduled.
+    monitor_active: bool,
 }
 
 type SharedRequest = Rc<RefCell<RequestState>>;
@@ -185,6 +197,16 @@ pub struct RequestManager {
     pub log: NetLog,
     /// Integrity policy, per-site corruption stores and quarantine state.
     pub integrity: IntegrityManager,
+    /// Pipelined transfer scheduler: admission caps, release policy, BDP
+    /// auto-tuning and prestage pipelining.
+    pub scheduler: SchedulerConfig,
+    /// Scheduler observability counters.
+    pub sched_stats: SchedStats,
+    /// Per-request monitor ticks executed (perf regression gauge: one per
+    /// poll interval per live request, not one per file).
+    pub monitor_ticks: u64,
+    /// Manager-wide in-flight pulls per source host (all requests).
+    inflight: HostLedger,
     breakers: HashMap<String, CircuitBreaker>,
     rng: StdRng,
     requests: HashMap<u64, SharedRequest>,
@@ -216,6 +238,10 @@ impl RequestManager {
             spread_sites: false,
             log: NetLog::new(),
             integrity: IntegrityManager::default(),
+            scheduler: SchedulerConfig::default(),
+            sched_stats: SchedStats::default(),
+            monitor_ticks: 0,
+            inflight: HostLedger::default(),
             breakers: HashMap::new(),
             // Decorrelate the jitter stream from the selector's RNG while
             // staying a pure function of the caller's seed.
@@ -260,6 +286,11 @@ impl RequestManager {
     /// Current breaker state for a host, if one has been created.
     pub fn breaker_state(&self, host: &str) -> Option<BreakerState> {
         self.breakers.get(host).map(|b| b.state())
+    }
+
+    /// The manager-wide in-flight pull ledger (read-only view).
+    pub fn inflight(&self) -> &HostLedger {
+        &self.inflight
     }
 
     fn breaker_entry(&mut self, host: &str) -> &mut CircuitBreaker {
@@ -386,6 +417,8 @@ pub fn submit_request<W: RmWorld>(
             current_seq: 0,
             current_src: None,
             repairing: false,
+            ledger_host: None,
+            admitted: false,
         });
     }
     let remaining = work.len();
@@ -395,6 +428,9 @@ pub fn submit_request<W: RmWorld>(
         files: work,
         remaining,
         started: sim.now(),
+        queue: VecDeque::new(),
+        active: 0,
+        monitor_active: false,
     }));
     sim.world.reqman().requests.insert(id, state.clone());
     let now = sim.now();
@@ -407,21 +443,150 @@ pub fn submit_request<W: RmWorld>(
     // Wrap the typed callback so every file worker can share it.
     let cb_cell: DoneCell<W> = Rc::new(RefCell::new(Some(Box::new(on_complete))));
 
-    // The CORBA hop, then start every file worker concurrently ("for each
-    // file of each request, the multi-threaded RM opens a separate program
-    // thread").
+    // The CORBA hop, then hand the files to the scheduler: prestage cold
+    // tape files, order the ready queue by admission policy, and release
+    // workers under the per-request cap. With the scheduler disabled every
+    // worker starts at once ("for each file of each request, the
+    // multi-threaded RM opens a separate program thread").
     let rpc = sim.world.reqman().rpc_latency;
     let n_files = state.borrow().files.len();
+    let sched_on = sim.world.reqman().scheduler.enabled;
     sim.schedule(rpc, move |s| {
         if n_files == 0 {
             finish_request(s, &state, &cb_cell);
             return;
         }
-        for idx in 0..n_files {
-            start_file_worker(s, state.clone(), cb_cell.clone(), idx);
+        if sched_on {
+            if s.world.reqman().scheduler.prestage {
+                prestage_cold_files(s, &state);
+            }
+            let policy = s.world.reqman().scheduler.policy;
+            let sizes: Vec<u64> = {
+                let st = state.borrow();
+                st.files.iter().map(|f| f.status.size).collect()
+            };
+            state.borrow_mut().queue = VecDeque::from(order_queue(policy, &sizes));
+            pump_request(s, &state, &cb_cell);
+        } else {
+            for idx in 0..n_files {
+                start_file_worker(s, state.clone(), cb_cell.clone(), idx);
+            }
         }
     });
     id
+}
+
+/// Release queued files into workers while the request has free admission
+/// slots. A file holds its slot from admission until it settles (done or
+/// failed), across retries, so a request never has more than the cap's
+/// worth of files competing for the client NIC at once.
+fn pump_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>) {
+    let cap = sim.world.reqman().scheduler.max_active_per_request.max(1);
+    loop {
+        let idx = {
+            let mut st = state.borrow_mut();
+            if st.active >= cap {
+                return;
+            }
+            let Some(i) = st.queue.pop_front() else {
+                return;
+            };
+            st.active += 1;
+            st.files[i].admitted = true;
+            i
+        };
+        let active = state.borrow().active;
+        {
+            let stats = &mut sim.world.reqman().sched_stats;
+            stats.admitted += 1;
+            stats.peak_active_per_request = stats.peak_active_per_request.max(active);
+        }
+        start_file_worker(sim, state.clone(), cb.clone(), idx);
+    }
+}
+
+/// Stage-ahead prefetch: ask each tape-backed site to start pulling the
+/// request's cold files off tape now, so mount/seek/stream latency overlaps
+/// the WAN transfers of files ahead of them in the queue instead of
+/// serializing behind admission. Only files with no disk replica are
+/// prefetched — staging a tape copy selection will never prefer wastes
+/// tape drive time.
+fn prestage_cold_files<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest) {
+    let now = sim.now();
+    let files: Vec<(String, String, u64)> = state
+        .borrow()
+        .files
+        .iter()
+        .map(|f| {
+            (
+                f.status.collection.clone(),
+                f.status.name.clone(),
+                f.status.size,
+            )
+        })
+        .collect();
+    let mut plan: HashMap<String, Vec<String>> = HashMap::new();
+    for (collection, name, size) in &files {
+        let rm = sim.world.reqman();
+        let replicas = rm
+            .catalog
+            .lookup_replicas(collection, name)
+            .unwrap_or_default();
+        if replicas.is_empty() || replicas.iter().any(|r| !rm.hrms.contains_key(&r.host)) {
+            continue;
+        }
+        for r in &replicas {
+            let Some(hrm) = rm.hrms.get_mut(&r.host) else {
+                continue;
+            };
+            if hrm.catalog.size_of(name).is_none() {
+                hrm.catalog.register(name, *size);
+            }
+            if !hrm.resident(name, now) {
+                plan.entry(r.host.clone()).or_default().push(name.clone());
+            }
+        }
+    }
+    let mut by_host: Vec<(String, Vec<String>)> = plan.into_iter().collect();
+    by_host.sort();
+    for (host, names) in by_host {
+        let rm = sim.world.reqman();
+        let Some(hrm) = rm.hrms.get_mut(&host) else {
+            continue;
+        };
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let _ = hrm.prestage(&refs, now);
+        rm.sched_stats.prestaged += names.len() as u64;
+        rm.log.push(
+            LogEvent::new(now, "rm.prestage")
+                .field("host", host)
+                .field("files", names.len() as u64),
+        );
+    }
+}
+
+/// Commit a manager-wide in-flight ledger entry for `idx`'s new pull.
+fn ledger_acquire<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    idx: usize,
+    host: &str,
+    is_attempt: bool,
+) {
+    // A stale entry here would double-count; release defensively first.
+    ledger_release(sim, state, idx);
+    state.borrow_mut().files[idx].ledger_host = Some((host.to_string(), is_attempt));
+    sim.world.reqman().inflight.acquire(host, is_attempt);
+}
+
+/// Release `idx`'s ledger entry if it still owns one. Idempotent, so the
+/// several paths on which an attempt can end (completion, cancellation,
+/// failure, settling) may each call it safely.
+fn ledger_release<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, idx: usize) {
+    let entry = state.borrow_mut().files[idx].ledger_host.take();
+    if let Some((host, is_attempt)) = entry {
+        sim.world.reqman().inflight.release(&host, is_attempt);
+    }
 }
 
 type DoneCell<W> = Rc<RefCell<Option<Box<dyn FnOnce(&mut Sim<W>, RequestOutcome)>>>>;
@@ -459,7 +624,7 @@ fn complete_file<W: RmWorld>(
     cb: &DoneCell<W>,
     idx: usize,
 ) {
-    let finished_all = {
+    let (finished_all, was_admitted) = {
         let mut st = state.borrow_mut();
         let fw = &mut st.files[idx];
         if fw.status.done || fw.status.failed {
@@ -468,9 +633,15 @@ fn complete_file<W: RmWorld>(
         fw.status.bytes_done = fw.status.size;
         fw.status.done = true;
         fw.current = None;
+        let was_admitted = fw.admitted;
+        fw.admitted = false;
+        if was_admitted {
+            st.active -= 1;
+        }
         st.remaining -= 1;
-        st.remaining == 0
+        (st.remaining == 0, was_admitted)
     };
+    ledger_release(sim, state, idx);
     let now = sim.now();
     let fname = state.borrow().files[idx].status.name.clone();
     sim.world
@@ -479,25 +650,33 @@ fn complete_file<W: RmWorld>(
         .push(LogEvent::new(now, "rm.file.complete").field("file", fname));
     if finished_all {
         finish_request(sim, state, cb);
+    } else if was_admitted {
+        pump_request(sim, state, cb);
     }
 }
 
 /// Give up on a file: the retry policy's attempt cap is exhausted.
 fn fail_file<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>, idx: usize) {
-    let (finished_all, fname, attempts) = {
+    let (finished_all, fname, attempts, was_admitted) = {
         let mut st = state.borrow_mut();
-        let (name, attempts) = {
+        let (name, attempts, was_admitted) = {
             let fw = &mut st.files[idx];
             if fw.status.done || fw.status.failed {
                 return;
             }
             fw.status.failed = true;
             fw.current = None;
-            (fw.status.name.clone(), fw.status.attempts)
+            let was_admitted = fw.admitted;
+            fw.admitted = false;
+            (fw.status.name.clone(), fw.status.attempts, was_admitted)
         };
+        if was_admitted {
+            st.active -= 1;
+        }
         st.remaining -= 1;
-        (st.remaining == 0, name, attempts)
+        (st.remaining == 0, name, attempts, was_admitted)
     };
+    ledger_release(sim, state, idx);
     let now = sim.now();
     sim.world.reqman().log.push(
         LogEvent::new(now, "rm.file.failed")
@@ -506,6 +685,8 @@ fn fail_file<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<
     );
     if finished_all {
         finish_request(sim, state, cb);
+    } else if was_admitted {
+        pump_request(sim, state, cb);
     }
 }
 
@@ -536,11 +717,14 @@ fn requeue_with_backoff<W: RmWorld>(
 }
 
 /// Steps 1–3 of the worker: replicas → NWS estimates → selection. Returns
-/// the choice plus the number of catalog replicas before exclusion/breaker
-/// filtering, so the caller can tell "nothing registered" (unsatisfiable)
-/// from "everything currently unavailable" (requeue and wait).
-/// `host_load` counts this request's in-flight pulls per host, for the
-/// spread planner.
+/// the choice, the number of catalog replicas before exclusion/breaker
+/// filtering (so the caller can tell "nothing registered" / unsatisfiable
+/// from "everything currently unavailable" / requeue and wait), and a
+/// `deferred` flag set when healthy candidates exist but every one is at
+/// the per-host in-flight cap — a capacity wait, not a failure.
+/// `host_load` is the manager-wide in-flight ledger snapshot, consulted by
+/// both the spread planner's load discount and the cap filter
+/// (`host_cap == 0` disables the cap — repairs bypass it).
 fn select_replica<W: RmWorld>(
     sim: &mut Sim<W>,
     client: NodeId,
@@ -548,7 +732,8 @@ fn select_replica<W: RmWorld>(
     file: &str,
     excluded: &[String],
     host_load: &HashMap<String, usize>,
-) -> (Option<(Replica, NodeId)>, usize) {
+    host_cap: usize,
+) -> (Option<(Replica, NodeId)>, usize, bool) {
     // Gather candidates and estimates first (immutable catalog reads),
     // then run the stateful selector.
     let now = sim.now();
@@ -569,7 +754,16 @@ fn select_replica<W: RmWorld>(
         replicas.retain(|r| !r.suspect);
     }
     if replicas.is_empty() {
-        return (None, candidates);
+        return (None, candidates, false);
+    }
+    // Admission: drop hosts already serving `host_cap` pulls. If that
+    // empties a non-empty healthy set, the caller should wait for
+    // capacity rather than burn an attempt.
+    if host_cap > 0 {
+        replicas.retain(|r| host_load.get(&r.host).copied().unwrap_or(0) < host_cap);
+        if replicas.is_empty() {
+            return (None, candidates, true);
+        }
     }
     let nodes: Vec<Option<NodeId>> = replicas
         .iter()
@@ -596,7 +790,52 @@ fn select_replica<W: RmWorld>(
         rm.selector.select(&replicas, &estimates)
     };
     let choice = idx.and_then(|i| nodes[i].map(|n| (replicas[i].clone(), n)));
-    (choice, candidates)
+    (choice, candidates, false)
+}
+
+/// Resolve the transfer tuning for one attempt on `src → client` and log
+/// the decision (`rm.tune.path`) so parameter sweeps stay explainable.
+/// With auto-tuning on, streams and window come from the NWS BDP forecast
+/// via [`bdp_tuning`]; otherwise (or on a cold NWS path) the manager's
+/// fixed defaults apply.
+fn resolve_tuning<W: RmWorld>(
+    sim: &mut Sim<W>,
+    client: NodeId,
+    src_node: NodeId,
+    host: &str,
+    file: &str,
+    req_id: u64,
+) -> TransferTuning {
+    let (bw, rtt) = {
+        let nws = sim.world.nws();
+        (
+            nws.forecast_bandwidth(src_node, client),
+            nws.forecast_latency(src_node, client),
+        )
+    };
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    let base = rm.tuning;
+    let (tuning, tuned) = if rm.scheduler.enabled && rm.scheduler.auto_tune {
+        bdp_tuning(&rm.scheduler, base, bw, rtt)
+    } else {
+        (base, false)
+    };
+    if tuned {
+        rm.sched_stats.tuned += 1;
+    }
+    rm.log.push(
+        LogEvent::new(now, "rm.tune.path")
+            .field("request", req_id)
+            .field("file", file.to_string())
+            .field("host", host.to_string())
+            .field("streams", tuning.streams as u64)
+            .field("window", tuning.window)
+            .field("fc_bw", bw.unwrap_or(-1.0))
+            .field("fc_rtt_s", rtt.unwrap_or(-1.0))
+            .field("source", if tuned { "bdp" } else { "default" }.to_string()),
+    );
+    tuning
 }
 
 /// Launch (or relaunch) the worker for one file of a request.
@@ -606,28 +845,15 @@ fn start_file_worker<W: RmWorld>(
     cb: DoneCell<W>,
     idx: usize,
 ) {
-    let (client, collection, file, excluded, req_id, host_load, attempts, settled, delivered) = {
+    let (client, collection, file, excluded, req_id, attempts, settled, delivered) = {
         let st = state.borrow();
         let fw = &st.files[idx];
-        // In-flight pulls per host for the spread planner.
-        let mut host_load: HashMap<String, usize> = HashMap::new();
-        for (j, other) in st.files.iter().enumerate() {
-            // Count selections already made (workers run sequentially, so
-            // earlier files in this request have replica_host set even
-            // before their transfers begin).
-            if j != idx && !other.status.done {
-                if let Some(h) = &other.status.replica_host {
-                    *host_load.entry(h.clone()).or_default() += 1;
-                }
-            }
-        }
         (
             st.client,
             fw.status.collection.clone(),
             fw.status.name.clone(),
             fw.excluded_hosts.clone(),
             st.id,
-            host_load,
             fw.status.attempts,
             fw.status.done || fw.status.failed,
             fw.known && fw.status.bytes_done >= fw.status.size,
@@ -652,9 +878,44 @@ fn start_file_worker<W: RmWorld>(
         return;
     }
 
-    let (choice, candidates) =
-        select_replica(sim, client, &collection, &file, &excluded, &host_load);
+    // In-flight pulls per host: the manager-wide ledger, so the spread
+    // planner sees what every request (not just this one) is doing.
+    let (host_load, host_cap) = {
+        let rm = sim.world.reqman();
+        let cap = if rm.scheduler.enabled {
+            rm.scheduler.max_inflight_per_host
+        } else {
+            0
+        };
+        (rm.inflight.snapshot(), cap)
+    };
+    let (choice, candidates, deferred) = select_replica(
+        sim,
+        client,
+        &collection,
+        &file,
+        &excluded,
+        &host_load,
+        host_cap,
+    );
     let Some((replica, src_node)) = choice else {
+        if deferred {
+            // Every healthy candidate is at its in-flight cap: wait for
+            // capacity. Not a failure — no attempt is consumed, no backoff
+            // growth, and the file keeps its admission slot.
+            let delay = sim.world.reqman().scheduler.defer_retry;
+            let now = sim.now();
+            let rm = sim.world.reqman();
+            rm.sched_stats.deferred += 1;
+            rm.log.push(
+                LogEvent::new(now, "rm.sched.defer")
+                    .field("request", req_id)
+                    .field("file", file.clone())
+                    .field("delay_s", delay.as_secs_f64()),
+            );
+            sim.schedule(delay, move |s| start_file_worker(s, state, cb, idx));
+            return;
+        }
         if candidates == 0 && excluded.is_empty() {
             // Nothing registered anywhere: the file is unsatisfiable;
             // leave it pending forever (caller sees no completion),
@@ -679,6 +940,9 @@ fn start_file_worker<W: RmWorld>(
         fw.status.replica_host = Some(replica.host.clone());
         fw.status.attempts += 1;
     }
+    // The pull occupies the source host from this commit until the attempt
+    // ends; every other selection round sees it via the ledger.
+    ledger_acquire(sim, &state, idx, &replica.host, true);
     sim.world.reqman().log.push(
         LogEvent::new(now, "rm.replica.selected")
             .field("request", req_id)
@@ -714,7 +978,7 @@ fn start_file_worker<W: RmWorld>(
         );
     }
 
-    let tuning = sim.world.reqman().tuning;
+    let tuning = resolve_tuning(sim, client, src_node, &replica.host, &file, req_id);
     let host = replica.host.clone();
     let st2 = state.clone();
     let cb2 = cb.clone();
@@ -722,12 +986,18 @@ fn start_file_worker<W: RmWorld>(
         // Read the resume point at the moment the transfer actually
         // starts, so the restart marker and the requested byte range are
         // computed from the same snapshot.
+        let settled = {
+            let st = st2.borrow();
+            let fw = &st.files[idx];
+            fw.status.done || fw.status.failed
+        };
+        if settled {
+            ledger_release(s, &st2, idx);
+            return;
+        }
         let (remaining_bytes, base) = {
             let mut st = st2.borrow_mut();
             let fw = &mut st.files[idx];
-            if fw.status.done || fw.status.failed {
-                return;
-            }
             fw.status.staging_until = None;
             (fw.status.size - fw.status.bytes_done, fw.status.bytes_done)
         };
@@ -756,6 +1026,7 @@ fn start_file_worker<W: RmWorld>(
                 Ok(_) => {
                     let now = s2.now();
                     s2.world.reqman().breaker_success(&done_host, now);
+                    ledger_release(s2, &st3, idx);
                     {
                         let mut st = st3.borrow_mut();
                         let fw = &mut st.files[idx];
@@ -790,6 +1061,7 @@ fn start_file_worker<W: RmWorld>(
                     // round's selection moves on; a name-service outage is
                     // global, so no host is blamed.
                     let now = s2.now();
+                    ledger_release(s2, &st3, idx);
                     if matches!(e, TransferError::NoRoute { .. }) {
                         {
                             let mut st = st3.borrow_mut();
@@ -815,14 +1087,14 @@ fn start_file_worker<W: RmWorld>(
                     fw.current_src = Some(src_node);
                     fw.repairing = false;
                 }
-                // Start the monitor loop for this attempt.
-                let poll = s.world.reqman().poll;
-                schedule_monitor(s, st2, cb2, idx, handle, poll);
+                // Make sure the request's monitor tick is running.
+                ensure_monitor(s, &st2, &cb2);
             }
             Err(e) => {
                 // Could not start. Unreachable sources feed their breaker;
                 // DNS outages are global and heal, so requeue blamelessly.
                 let now = s.now();
+                ledger_release(s, &st2, idx);
                 if matches!(e, TransferError::NoRoute { .. }) {
                     {
                         let mut st = st2.borrow_mut();
@@ -838,93 +1110,135 @@ fn start_file_worker<W: RmWorld>(
     });
 }
 
-/// The monitor loop: poll progress, feed the status snapshot, and apply
-/// the reliability plugin.
-fn schedule_monitor<W: RmWorld>(
-    sim: &mut Sim<W>,
-    state: SharedRequest,
-    cb: DoneCell<W>,
-    idx: usize,
-    handle: TransferHandle,
-    poll: SimDuration,
-) {
-    sim.schedule(poll, move |s| {
-        // The attempt may have completed or been replaced already.
-        {
-            let st = state.borrow();
-            let fw = &st.files[idx];
-            if fw.status.done || fw.status.failed || fw.current != Some(handle) {
-                return;
-            }
-        }
-        let bytes = transfer_bytes(s, handle);
-        let stalled = transfer_stalled(s, handle);
-        let rate = transfer_rate(s, handle);
-        let age = {
-            let st = state.borrow();
-            s.now().since(st.files[idx].transfer_started)
-        };
-        // Update the visible progress (the "file size at the local site").
-        {
-            let mut st = state.borrow_mut();
-            let fw = &mut st.files[idx];
-            let live = (fw.attempt_base + bytes).min(fw.status.size);
-            fw.status.bytes_done = fw.status.bytes_done.max(live);
-        }
-        let (min_rate, grace, attempt_timeout) = {
-            let rm = s.world.reqman();
-            (rm.min_rate, rm.grace, rm.retry.attempt_timeout)
-        };
-        let too_slow = min_rate > 0.0 && age > grace && rate < min_rate;
-        let timed_out = !attempt_timeout.is_zero() && age > attempt_timeout;
-        if stalled || too_slow || timed_out {
-            // Reliability plugin: abandon this replica, bank the restart
-            // marker, try an alternate.
-            let marker = cancel_transfer(s, handle);
-            let now = s.now();
-            let host = {
-                let mut st = state.borrow_mut();
-                let fw = &mut st.files[idx];
-                let banked = (fw.attempt_base + marker).min(fw.status.size);
-                // Bank the partial range with its provenance — it still
-                // gets digest-verified before the file can complete.
-                // Repair attempts never bank (their marker is synthetic).
-                if !fw.repairing && banked > fw.attempt_base {
-                    if let (Some(h), Some(node)) = (fw.status.replica_host.clone(), fw.current_src)
-                    {
-                        fw.segments.push(SegRecord {
-                            host: h,
-                            node,
-                            start: fw.attempt_base,
-                            end: banked,
-                            t0: fw.transfer_started,
-                            t1: now,
-                            seq: fw.current_seq,
-                        });
-                    }
-                }
-                fw.status.bytes_done = fw.status.bytes_done.max(banked);
-                fw.current = None;
-                fw.repairing = false;
-                let host = fw.status.replica_host.clone().unwrap_or_default();
-                fw.excluded_hosts.push(host.clone());
-                host
-            };
-            let fname = state.borrow().files[idx].status.name.clone();
-            s.world.reqman().breaker_failure(&host, now);
-            s.world.reqman().log.push(
-                LogEvent::new(now, "rm.reliability.failover")
-                    .field("file", fname)
-                    .field("from", host)
-                    .field("stalled", if stalled { 1u64 } else { 0u64 })
-                    .field("timeout", if timed_out { 1u64 } else { 0u64 })
-                    .field("rate", rate),
-            );
-            start_file_worker(s, state, cb, idx);
+/// Ensure the request's monitor tick is scheduled. One tick per poll
+/// interval snapshots every live transfer of the request — O(files) work
+/// once per interval instead of one timer per file — and the tick retires
+/// itself when the request has nothing in flight, so an idle or
+/// forever-pending request costs no events.
+fn ensure_monitor<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>) {
+    {
+        let mut st = state.borrow_mut();
+        if st.monitor_active {
             return;
         }
-        schedule_monitor(s, state, cb, idx, handle, poll);
-    });
+        st.monitor_active = true;
+    }
+    let poll = sim.world.reqman().poll;
+    let state = state.clone();
+    let cb = cb.clone();
+    sim.schedule(poll, move |s| monitor_tick(s, state, cb));
+}
+
+/// The per-request monitor: poll every live transfer "every few seconds",
+/// update the visible progress snapshot, and apply the reliability plugin
+/// to each one.
+fn monitor_tick<W: RmWorld>(sim: &mut Sim<W>, state: SharedRequest, cb: DoneCell<W>) {
+    sim.world.reqman().monitor_ticks += 1;
+    let live: Vec<(usize, TransferHandle)> = {
+        let st = state.borrow();
+        st.files
+            .iter()
+            .enumerate()
+            .filter(|(_, fw)| !fw.status.done && !fw.status.failed)
+            .filter_map(|(i, fw)| fw.current.map(|h| (i, h)))
+            .collect()
+    };
+    if live.is_empty() {
+        // Nothing in flight: retire. The next transfer start re-arms us.
+        state.borrow_mut().monitor_active = false;
+        return;
+    }
+    for (idx, handle) in live {
+        poll_file(sim, &state, &cb, idx, handle);
+    }
+    let poll = sim.world.reqman().poll;
+    let st2 = state.clone();
+    let cb2 = cb.clone();
+    sim.schedule(poll, move |s| monitor_tick(s, st2, cb2));
+}
+
+/// One file's share of the monitor tick: progress update plus the
+/// reliability plugin (stall / minimum-rate / attempt-timeout failover).
+fn poll_file<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    cb: &DoneCell<W>,
+    idx: usize,
+    handle: TransferHandle,
+) {
+    // The attempt may have completed or been replaced earlier this tick.
+    {
+        let st = state.borrow();
+        let fw = &st.files[idx];
+        if fw.status.done || fw.status.failed || fw.current != Some(handle) {
+            return;
+        }
+    }
+    let bytes = transfer_bytes(sim, handle);
+    let stalled = transfer_stalled(sim, handle);
+    let rate = transfer_rate(sim, handle);
+    let age = {
+        let st = state.borrow();
+        sim.now().since(st.files[idx].transfer_started)
+    };
+    // Update the visible progress (the "file size at the local site").
+    {
+        let mut st = state.borrow_mut();
+        let fw = &mut st.files[idx];
+        let live = (fw.attempt_base + bytes).min(fw.status.size);
+        fw.status.bytes_done = fw.status.bytes_done.max(live);
+    }
+    let (min_rate, grace, attempt_timeout) = {
+        let rm = sim.world.reqman();
+        (rm.min_rate, rm.grace, rm.retry.attempt_timeout)
+    };
+    let too_slow = min_rate > 0.0 && age > grace && rate < min_rate;
+    let timed_out = !attempt_timeout.is_zero() && age > attempt_timeout;
+    if stalled || too_slow || timed_out {
+        // Reliability plugin: abandon this replica, bank the restart
+        // marker, try an alternate.
+        let marker = cancel_transfer(sim, handle);
+        let now = sim.now();
+        let host = {
+            let mut st = state.borrow_mut();
+            let fw = &mut st.files[idx];
+            let banked = (fw.attempt_base + marker).min(fw.status.size);
+            // Bank the partial range with its provenance — it still
+            // gets digest-verified before the file can complete.
+            // Repair attempts never bank (their marker is synthetic).
+            if !fw.repairing && banked > fw.attempt_base {
+                if let (Some(h), Some(node)) = (fw.status.replica_host.clone(), fw.current_src) {
+                    fw.segments.push(SegRecord {
+                        host: h,
+                        node,
+                        start: fw.attempt_base,
+                        end: banked,
+                        t0: fw.transfer_started,
+                        t1: now,
+                        seq: fw.current_seq,
+                    });
+                }
+            }
+            fw.status.bytes_done = fw.status.bytes_done.max(banked);
+            fw.current = None;
+            fw.repairing = false;
+            let host = fw.status.replica_host.clone().unwrap_or_default();
+            fw.excluded_hosts.push(host.clone());
+            host
+        };
+        ledger_release(sim, state, idx);
+        let fname = state.borrow().files[idx].status.name.clone();
+        sim.world.reqman().breaker_failure(&host, now);
+        sim.world.reqman().log.push(
+            LogEvent::new(now, "rm.reliability.failover")
+                .field("file", fname)
+                .field("from", host)
+                .field("stalled", if stalled { 1u64 } else { 0u64 })
+                .field("timeout", if timed_out { 1u64 } else { 0u64 })
+                .field("rate", rate),
+        );
+        start_file_worker(sim, state.clone(), cb.clone(), idx);
+    }
 }
 
 /// All bytes of a file have landed: verify the received blocks against the
@@ -1090,13 +1404,16 @@ fn launch_repair<W: RmWorld>(
 ) {
     let ranges = repair_ranges(blocks, size, BLOCK_SIZE);
     let bytes = ranges.total();
-    let no_load = HashMap::new();
+    // Repairs see the manager-wide load (for the spread discount) but
+    // bypass the per-host cap: a small ERET fetch must not starve behind
+    // bulk admission, and it still counts in the ledger once committed.
+    let load = sim.world.reqman().inflight.snapshot();
     // Prefer an alternate over any blamed host; fall back to the full
     // candidate set when no alternate exists (a bad copy the verifier can
     // catch again beats no copy).
-    let (mut choice, _) = select_replica(sim, client, collection, name, blamed, &no_load);
+    let (mut choice, _, _) = select_replica(sim, client, collection, name, blamed, &load, 0);
     if choice.is_none() {
-        choice = select_replica(sim, client, collection, name, &[], &no_load).0;
+        choice = select_replica(sim, client, collection, name, &[], &load, 0).0;
     }
     let Some((replica, src_node)) = choice else {
         // No source reachable right now: back off; the worker re-verifies
@@ -1106,14 +1423,16 @@ fn launch_repair<W: RmWorld>(
     };
     let now = sim.now();
     sim.world.reqman().breaker_admit(&replica.host, now);
-    let round = {
+    ledger_acquire(sim, state, idx, &replica.host, false);
+    let (round, req_id) = {
         let mut st = state.borrow_mut();
+        let id = st.id;
         let fw = &mut st.files[idx];
         fw.repair_rounds += 1;
         fw.repair_bytes += bytes;
         fw.repairing = true;
         fw.status.replica_host = Some(replica.host.clone());
-        fw.repair_rounds
+        (fw.repair_rounds, id)
     };
     sim.world.reqman().log.push(
         LogEvent::new(now, "integrity.repair.eret")
@@ -1123,7 +1442,7 @@ fn launch_repair<W: RmWorld>(
             .field("spans", ranges.span_count() as u64)
             .field("round", round as u64),
     );
-    let tuning = sim.world.reqman().tuning;
+    let tuning = resolve_tuning(sim, client, src_node, &replica.host, name, req_id);
     let seq = sim.world.reqman().next_xfer_seq();
     let mut spec = TransferSpec::new(src_node, client, bytes)
         .streams(tuning.streams)
@@ -1139,6 +1458,7 @@ fn launch_repair<W: RmWorld>(
         Ok(_) => {
             let done = s2.now();
             s2.world.reqman().breaker_success(&host, done);
+            ledger_release(s2, &st2, idx);
             {
                 let mut st = st2.borrow_mut();
                 let fw = &mut st.files[idx];
@@ -1170,6 +1490,7 @@ fn launch_repair<W: RmWorld>(
         }
         Err(e) => {
             let done = s2.now();
+            ledger_release(s2, &st2, idx);
             {
                 let mut st = st2.borrow_mut();
                 let fw = &mut st.files[idx];
@@ -1198,10 +1519,10 @@ fn launch_repair<W: RmWorld>(
                 fw.current_seq = seq;
                 fw.current_src = Some(src_node);
             }
-            let poll = sim.world.reqman().poll;
-            schedule_monitor(sim, state.clone(), cb.clone(), idx, handle, poll);
+            ensure_monitor(sim, state, cb);
         }
         Err(e) => {
+            ledger_release(sim, state, idx);
             {
                 let mut st = state.borrow_mut();
                 let fw = &mut st.files[idx];
@@ -1245,6 +1566,7 @@ fn rehabilitate_replica<W: RmWorld>(sim: &mut Sim<W>, collection: String, host: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::AdmissionPolicy;
     use esg_gridftp::simxfer::GridFtpSim;
     use esg_gridftp::GridUrl;
     use esg_nws::NwsRegistry;
@@ -2073,5 +2395,327 @@ mod tests {
         assert!(!f.done);
         assert_eq!(f.attempts, 3);
         assert!(sim.world.rm.log.named("rm.file.failed").next().is_some());
+    }
+
+    /// Two hosts with identical links and forecasts, `n` files registered
+    /// at both.
+    fn setup_equal_pair(n_files: usize) -> (Sim<World>, NodeId, Vec<String>) {
+        let mut topo = Topology::new();
+        let core = topo.add_node(Node::router("core"));
+        let client = topo.add_node(Node::host("client"));
+        topo.add_link(client, core, 1e9, SimDuration::from_millis(2));
+        let a = topo.add_node(Node::host("a.llnl.gov"));
+        topo.add_link(a, core, 50e6, SimDuration::from_millis(5));
+        let b = topo.add_node(Node::host("b.anl.gov"));
+        topo.add_link(b, core, 50e6, SimDuration::from_millis(5));
+
+        let mut rm = RequestManager::new(Policy::BestBandwidth, 7);
+        rm.add_host("a.llnl.gov", a);
+        rm.add_host("b.anl.gov", b);
+        rm.spread_sites = true;
+        rm.catalog.create_collection("co2").unwrap();
+        let names: Vec<String> = (0..n_files).map(|i| format!("f{i:02}.esg")).collect();
+        for name in &names {
+            rm.catalog
+                .add_logical_file("co2", name, 20_000_000)
+                .unwrap();
+        }
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        rm.catalog
+            .register_location("co2", "llnl", &GridUrl::new("a.llnl.gov", "/data"), &refs)
+            .unwrap();
+        rm.catalog
+            .register_location("co2", "anl", &GridUrl::new("b.anl.gov", "/data"), &refs)
+            .unwrap();
+
+        let mut world = World {
+            rm,
+            gridftp: GridFtpSim::new(),
+            nws: NwsRegistry::new(),
+            outcomes: Vec::new(),
+        };
+        world.nws.observe_bandwidth(a, client, SimTime::ZERO, 50e6);
+        world.nws.observe_bandwidth(b, client, SimTime::ZERO, 50e6);
+        let sim = Sim::new(topo, world);
+        (sim, client, names)
+    }
+
+    #[test]
+    fn concurrent_requests_spread_across_equal_replicas() {
+        // Regression for the per-request host_load bug: with the load
+        // discount scoped to one request, every selection that runs with
+        // no sibling in flight ties onto the same first host, so two
+        // concurrent 4-file requests stack all eight pulls on one site.
+        // The manager-wide ledger makes each selection see every live
+        // pull. Admission cap 1 serializes each request's files, which is
+        // exactly the shape where per-request counting saw an empty map.
+        let (mut sim, client, names) = setup_equal_pair(4);
+        sim.world.rm.scheduler.max_active_per_request = 1;
+        let files: Vec<(String, String)> = names
+            .iter()
+            .map(|n| ("co2".to_string(), n.clone()))
+            .collect();
+        let f2 = files.clone();
+        submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+        submit_request(&mut sim, client, f2, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 2);
+        let mut per_host: HashMap<String, usize> = HashMap::new();
+        for o in &sim.world.outcomes {
+            for f in &o.files {
+                assert!(f.done);
+                *per_host.entry(f.replica_host.clone().unwrap()).or_default() += 1;
+            }
+        }
+        let a = per_host.get("a.llnl.gov").copied().unwrap_or(0);
+        let b = per_host.get("b.anl.gov").copied().unwrap_or(0);
+        assert_eq!(a + b, 8);
+        assert!(
+            a >= 3 && b >= 3,
+            "concurrent requests must split over equal replicas, got a={a} b={b}"
+        );
+    }
+
+    #[test]
+    fn admission_cap_limits_active_files_per_request() {
+        let (mut sim, client, names) = setup_equal_pair(12);
+        sim.world.rm.scheduler.max_active_per_request = 3;
+        let files: Vec<(String, String)> = names
+            .iter()
+            .map(|n| ("co2".to_string(), n.clone()))
+            .collect();
+        submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        assert!(sim.world.outcomes[0].files.iter().all(|f| f.done));
+        let stats = sim.world.rm.sched_stats;
+        assert_eq!(stats.admitted, 12);
+        assert!(
+            stats.peak_active_per_request <= 3,
+            "admission cap exceeded: {}",
+            stats.peak_active_per_request
+        );
+    }
+
+    #[test]
+    fn host_cap_is_never_exceeded_under_contention() {
+        // Soak-style invariant: with a per-host in-flight cap of 2 and
+        // three 4-file requests hammering two hosts, the attempt-count
+        // high-water mark must never pass the cap — overflow demand is
+        // deferred (capacity wait), not failed.
+        let (mut sim, client, names) = setup_equal_pair(4);
+        sim.world.rm.scheduler.max_inflight_per_host = 2;
+        let files: Vec<(String, String)> = names
+            .iter()
+            .map(|n| ("co2".to_string(), n.clone()))
+            .collect();
+        for _ in 0..3 {
+            let fs = files.clone();
+            submit_request(&mut sim, client, fs, |s, o| s.world.outcomes.push(o));
+        }
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 3);
+        for o in &sim.world.outcomes {
+            assert!(o.files.iter().all(|f| f.done && !f.failed));
+        }
+        let rm = &sim.world.rm;
+        assert!(
+            rm.inflight().peak_attempts() <= 2,
+            "per-host cap violated: peak {}",
+            rm.inflight().peak_attempts()
+        );
+        assert!(
+            rm.sched_stats.deferred > 0,
+            "12 files over 2 hosts at cap 2 must defer some selections"
+        );
+        assert_eq!(rm.inflight().total(), 0, "ledger must drain");
+        assert!(rm.log.named("rm.sched.defer").next().is_some());
+    }
+
+    #[test]
+    fn monitor_coalesces_to_one_tick_per_poll_interval() {
+        // A 32-file request must cost ~one monitor event per poll
+        // interval, not 32 — the per-request tick snapshots every live
+        // transfer at once.
+        let (mut sim, client, names) = setup_equal_pair(32);
+        sim.world.rm.scheduler.max_active_per_request = 8;
+        let files: Vec<(String, String)> = names
+            .iter()
+            .map(|n| ("co2".to_string(), n.clone()))
+            .collect();
+        submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert!(o.files.iter().all(|f| f.done));
+        let dt = o.finished.since(o.started).as_secs_f64();
+        let poll = sim.world.rm.poll.as_secs_f64();
+        let ticks = sim.world.rm.monitor_ticks;
+        // One tick per interval, plus slack for retire/re-arm cycles at
+        // transfer boundaries. A per-file monitor would be ~an order of
+        // magnitude above this bound.
+        let budget = (dt / poll).ceil() as u64 + 4;
+        assert!(
+            ticks <= budget,
+            "monitor not coalesced: {ticks} ticks over {dt:.1}s (budget {budget})"
+        );
+        assert!(ticks >= 1, "monitor must actually run");
+    }
+
+    #[test]
+    fn prestage_overlaps_tape_staging_with_warm_transfers() {
+        // Two big warm files ahead of two cold tape-only files, admission
+        // cap 2, FIFO order: the cold stages are kicked off at submit, so
+        // mount/seek/stream (~62 s) runs while the warm transfers (~40 s)
+        // move. Pipelined completion ≈ max(stage, warm) + cold transfer;
+        // serializing the stage behind the warm files would pass 100 s.
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        {
+            let rm = &mut sim.world.rm;
+            rm.scheduler.policy = AdmissionPolicy::Fifo;
+            rm.scheduler.max_active_per_request = 2;
+            for f in ["warm1.esg", "warm2.esg"] {
+                rm.catalog
+                    .add_logical_file("co2", f, 1_000_000_000)
+                    .unwrap();
+                rm.catalog.add_file_to_location("co2", "llnl", f).unwrap();
+            }
+            for f in ["cold1.esg", "cold2.esg"] {
+                rm.catalog.add_logical_file("co2", f, 20_000_000).unwrap();
+            }
+            rm.catalog
+                .register_location(
+                    "co2",
+                    "lbl",
+                    &GridUrl::new("hpss.lbl.gov", "/hpss"),
+                    &["cold1.esg", "cold2.esg"],
+                )
+                .unwrap();
+            rm.add_hrm(
+                "hpss.lbl.gov",
+                Hrm::new(
+                    TapeParams {
+                        drives: 2,
+                        mount: SimDuration::from_secs(40),
+                        seek: SimDuration::from_secs(20),
+                        rate: 10e6,
+                    },
+                    1 << 34,
+                ),
+            );
+        }
+        submit_request(
+            &mut sim,
+            client,
+            vec![
+                ("co2".into(), "warm1.esg".into()),
+                ("co2".into(), "warm2.esg".into()),
+                ("co2".into(), "cold1.esg".into()),
+                ("co2".into(), "cold2.esg".into()),
+            ],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert!(o.files.iter().all(|f| f.done));
+        assert_eq!(sim.world.rm.sched_stats.prestaged, 2);
+        assert!(sim.world.rm.log.named("rm.prestage").next().is_some());
+        let dt = o.finished.since(o.started).as_secs_f64();
+        // Stage floor: the tape path alone takes 40+20+2 = 62 s.
+        assert!(dt > 60.0, "tape stage must bound completion: {dt}");
+        assert!(
+            dt < 85.0,
+            "stage must overlap warm transfers (serial sum > 100 s): {dt}"
+        );
+    }
+
+    #[test]
+    fn scheduler_off_restores_start_all_behaviour() {
+        let (mut sim, client, names) = setup_equal_pair(6);
+        sim.world.rm.scheduler.enabled = false;
+        let files: Vec<(String, String)> = names
+            .iter()
+            .map(|n| ("co2".to_string(), n.clone()))
+            .collect();
+        submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        assert!(sim.world.outcomes[0].files.iter().all(|f| f.done));
+        let stats = sim.world.rm.sched_stats;
+        assert_eq!(stats.admitted, 0, "no admission bookkeeping when off");
+        assert_eq!(stats.deferred, 0);
+        assert_eq!(stats.prestaged, 0);
+        assert_eq!(stats.tuned, 0, "auto-tune gated behind the scheduler");
+        assert_eq!(sim.world.rm.inflight().total(), 0, "ledger still drains");
+    }
+
+    #[test]
+    fn tune_path_event_logged_for_every_attempt() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        // Give the fast path a latency observation so the BDP rule has
+        // both inputs and actually fires.
+        let fast = sim.world.rm.hosts["fast.llnl.gov"];
+        sim.world.nws.observe_latency(fast, client, 0.014);
+        submit_request(
+            &mut sim,
+            client,
+            vec![("co2".into(), "jan.esg".into())],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let tunes: Vec<_> = sim.world.rm.log.named("rm.tune.path").collect();
+        assert_eq!(tunes.len(), 1, "one tuning decision per attempt");
+        let e = &tunes[0];
+        assert!(e.get_num("streams").is_some());
+        assert!(e.get_num("window").unwrap() > 0.0);
+        assert!(e.get_num("fc_bw").unwrap() > 0.0);
+        assert!(e.get_num("fc_rtt_s").unwrap() > 0.0);
+        assert_eq!(sim.world.rm.sched_stats.tuned, 1);
+        // BDP = 50e6 × 0.014 × 2 = 1.4 MB → one stream, 1.4 MB window.
+        let w = e.get_num("window").unwrap();
+        assert!(
+            (1.3e6..1.5e6).contains(&w),
+            "window should track the headroomed BDP: {w}"
+        );
+    }
+
+    #[test]
+    fn shortest_first_delivers_small_files_before_large() {
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        {
+            let rm = &mut sim.world.rm;
+            rm.scheduler.max_active_per_request = 1;
+            rm.catalog
+                .add_logical_file("co2", "tiny.esg", 1_000_000)
+                .unwrap();
+            rm.catalog
+                .add_file_to_location("co2", "llnl", "tiny.esg")
+                .unwrap();
+        }
+        // Submit the 50 MB file first, the 1 MB file second: SFF must
+        // reorder so the small file is not starved behind the big one.
+        submit_request(
+            &mut sim,
+            client,
+            vec![
+                ("co2".into(), "jan.esg".into()),
+                ("co2".into(), "tiny.esg".into()),
+            ],
+            |s, o| s.world.outcomes.push(o),
+        );
+        sim.run();
+        let first_complete =
+            sim.world
+                .rm
+                .log
+                .named("rm.file.complete")
+                .next()
+                .and_then(|e| match e.get("file") {
+                    Some(esg_netlogger::Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                });
+        assert_eq!(first_complete.as_deref(), Some("tiny.esg"));
     }
 }

@@ -6,20 +6,24 @@
 //! sites from which files are obtained." (§4)
 //!
 //! The planner scores each candidate replica by its NWS bandwidth forecast
-//! *discounted by how many of this request's transfers are already pulling
-//! from that site*: with `k` concurrent pulls a site's remaining share is
-//! roughly `bw / (k + 1)`. Maximizing the discounted score spreads a
-//! multi-file request across sites while still respecting measured
-//! bandwidth differences.
+//! *discounted by how many in-flight transfers are already pulling from
+//! that site*: with `k` concurrent pulls a site's remaining share is
+//! roughly `bw / (k + 1)`. Maximizing the discounted score spreads
+//! transfers across sites while still respecting measured bandwidth
+//! differences. The load counts come from the request manager's
+//! cross-request in-flight ledger (`HostLedger`), so concurrent users
+//! spread over replicas too — a per-request count would let every
+//! concurrent request stack onto the same best forecast.
 
 use esg_replica::{PathEstimate, Replica};
 use std::collections::HashMap;
 
 /// Score candidates and pick the best index, or `None` if empty.
 ///
-/// `host_load[h]` = number of this request's in-flight transfers already
-/// assigned to host `h`. Unknown forecasts rank below all known ones (they
-/// still win if nothing has a forecast — first such candidate).
+/// `host_load[h]` = number of in-flight transfers (across every request —
+/// the manager's ledger snapshot) already assigned to host `h`. Unknown
+/// forecasts rank below all known ones (they still win if nothing has a
+/// forecast — first such candidate).
 pub fn plan_spread(
     candidates: &[Replica],
     estimates: &[PathEstimate],

@@ -1,0 +1,387 @@
+//! The pipelined transfer scheduler.
+//!
+//! The paper's Request Manager "plan[s] concurrent file transfers to
+//! maximize the number of different sites from which files are obtained"
+//! (§4), negotiates TCP buffers per path, and leans on HRM to stage tape
+//! files ahead of the WAN transfer. The seed RM fired every file worker
+//! simultaneously with fixed tuning: a 40-file request opened 40 transfers
+//! into one client NIC, each crawling through slow start at 1/40th of the
+//! access rate, tripping the reliability plugin's minimum-rate check and
+//! thrashing through failovers. This module is the scheduling layer that
+//! replaces that loop:
+//!
+//! * **Admission control** — a per-request ready queue ordered by a
+//!   pluggable [`AdmissionPolicy`], released under a per-request in-flight
+//!   cap, plus a per-source-host cap backed by the manager-wide
+//!   [`HostLedger`], so small files are not starved behind multi-GB
+//!   transfers and no host (or the client NIC) is oversubscribed.
+//! * **BDP auto-tuning** — per-path `TransferTuning` derived from the NWS
+//!   bandwidth×RTT product (the paper's "Buffer size = Bandwidth ×
+//!   Latency" rule) instead of fixed defaults; see [`bdp_tuning`].
+//! * **Stage/transfer pipelining** — cold tape-only files are prestaged at
+//!   submit time so HRM mount/seek/stream latency overlaps the WAN
+//!   transfers of warm files instead of serializing behind admission.
+//! * **Cross-request load** — the [`HostLedger`] counts in-flight pulls
+//!   across *all* requests, so `plan_spread`'s load discount sees what
+//!   concurrent users are doing and spreads them over replicas.
+
+use crate::manager::TransferTuning;
+use esg_simnet::SimDuration;
+use std::collections::HashMap;
+
+/// Order in which a request's ready queue is released by admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Submit order.
+    Fifo,
+    /// Smallest file first: minimizes mean file sojourn, and small files
+    /// are exactly the ones a multi-GB neighbour would starve.
+    ShortestFirst,
+    /// Interleave by size rank so consecutive releases mix large and
+    /// small files; combined with `plan_spread` this widens the set of
+    /// sites serving at any instant.
+    SiteSpread,
+}
+
+/// Scheduler configuration living inside the request manager.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Master switch: `false` restores the seed "start all N workers at
+    /// once" behaviour (the bench ablation baseline).
+    pub enabled: bool,
+    /// In-flight file cap per request (admission slots).
+    pub max_active_per_request: usize,
+    /// In-flight transfer cap per source host across all requests
+    /// (0 = uncapped). Checked against the manager-wide [`HostLedger`];
+    /// block-repair fetches bypass the cap but still count in the ledger.
+    pub max_inflight_per_host: usize,
+    /// Ready-queue release order.
+    pub policy: AdmissionPolicy,
+    /// Derive per-path streams/window from the NWS BDP forecast.
+    pub auto_tune: bool,
+    /// Prestage cold tape-only files at submit time.
+    pub prestage: bool,
+    /// Retry delay when every candidate replica is at its host cap. This
+    /// is a capacity wait, not a failure: it consumes no attempt.
+    pub defer_retry: SimDuration,
+    /// Clamp floor for the auto-tuned per-stream window.
+    pub window_min: f64,
+    /// Clamp ceiling for the auto-tuned per-stream window.
+    pub window_max: f64,
+    /// Ceiling on auto-tuned parallel streams.
+    pub max_streams: u32,
+    /// BDP multiplier. NWS forecasts *achieved* throughput, not capacity;
+    /// sizing the window at exactly forecast×RTT would cap the new
+    /// transfer at the previously observed rate (a self-fulfilling
+    /// underestimate), so the window gets headroom to discover more.
+    pub bdp_headroom: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            enabled: true,
+            max_active_per_request: 4,
+            max_inflight_per_host: 8,
+            policy: AdmissionPolicy::ShortestFirst,
+            auto_tune: true,
+            prestage: true,
+            defer_retry: SimDuration::from_secs(1),
+            window_min: (256u64 << 10) as f64,
+            window_max: (4u64 << 20) as f64,
+            max_streams: 8,
+            bdp_headroom: 2.0,
+        }
+    }
+}
+
+/// Manager-wide in-flight transfer counts per source host.
+///
+/// An entry covers the span from replica-selection commit to the end of
+/// the attempt (completion, cancellation, or failure), which is exactly
+/// the window in which the pull occupies the host. Both normal attempts
+/// and ERET block repairs are counted — the spread planner should see
+/// every live pull — but only attempts update the admission peak gauge,
+/// because only attempts are subject to the cap.
+#[derive(Debug, Default)]
+pub struct HostLedger {
+    counts: HashMap<String, usize>,
+    total: usize,
+    /// Highest simultaneous *attempt* count observed on any single host
+    /// (soak tests assert this never exceeds the per-host cap).
+    peak_attempts: usize,
+    attempts: HashMap<String, usize>,
+}
+
+impl HostLedger {
+    /// In-flight pulls from `host` right now.
+    pub fn load(&self, host: &str) -> usize {
+        self.counts.get(host).copied().unwrap_or(0)
+    }
+
+    /// Total in-flight pulls across all hosts.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Highest simultaneous attempt count seen on any host.
+    pub fn peak_attempts(&self) -> usize {
+        self.peak_attempts
+    }
+
+    /// Snapshot of per-host loads for the spread planner.
+    pub fn snapshot(&self) -> HashMap<String, usize> {
+        self.counts.clone()
+    }
+
+    /// Record a pull starting from `host`. `is_attempt` distinguishes
+    /// cap-governed attempts from cap-exempt repairs.
+    pub fn acquire(&mut self, host: &str, is_attempt: bool) {
+        *self.counts.entry(host.to_string()).or_default() += 1;
+        self.total += 1;
+        if is_attempt {
+            let a = self.attempts.entry(host.to_string()).or_default();
+            *a += 1;
+            self.peak_attempts = self.peak_attempts.max(*a);
+        }
+    }
+
+    /// Record a pull from `host` ending.
+    pub fn release(&mut self, host: &str, is_attempt: bool) {
+        if let Some(c) = self.counts.get_mut(host) {
+            *c -= 1;
+            self.total -= 1;
+            if *c == 0 {
+                self.counts.remove(host);
+            }
+        }
+        if is_attempt {
+            if let Some(a) = self.attempts.get_mut(host) {
+                *a = a.saturating_sub(1);
+                if *a == 0 {
+                    self.attempts.remove(host);
+                }
+            }
+        }
+    }
+}
+
+/// Scheduler observability counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedStats {
+    /// Files released from a ready queue into a worker.
+    pub admitted: u64,
+    /// Selection rounds postponed because every candidate was at its
+    /// host cap (capacity waits, not failures).
+    pub deferred: u64,
+    /// Cold tape files prestaged at submit time.
+    pub prestaged: u64,
+    /// Transfers launched with BDP-derived tuning (vs. defaults).
+    pub tuned: u64,
+    /// Highest simultaneous admitted-file count in any single request.
+    pub peak_active_per_request: usize,
+}
+
+/// Order a request's file indices into its ready queue.
+///
+/// `sizes[i]` is the catalog size of file `i`. Ties (and `Fifo`) preserve
+/// submit order, which keeps the schedule a pure function of the request.
+pub fn order_queue(policy: AdmissionPolicy, sizes: &[u64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..sizes.len()).collect();
+    match policy {
+        AdmissionPolicy::Fifo => {}
+        AdmissionPolicy::ShortestFirst => {
+            idx.sort_by_key(|&i| (sizes[i], i));
+        }
+        AdmissionPolicy::SiteSpread => {
+            // Interleave the size-sorted order from both ends: small,
+            // large, small, large... so each admission wave mixes file
+            // scales (and therefore likely sites/durations).
+            let mut by_size: Vec<usize> = (0..sizes.len()).collect();
+            by_size.sort_by_key(|&i| (sizes[i], i));
+            let mut out = Vec::with_capacity(by_size.len());
+            let (mut lo, mut hi) = (0usize, by_size.len());
+            while lo < hi {
+                out.push(by_size[lo]);
+                lo += 1;
+                if lo < hi {
+                    hi -= 1;
+                    out.push(by_size[hi]);
+                }
+            }
+            idx = out;
+        }
+    }
+    idx
+}
+
+/// Derive per-path transfer tuning from NWS forecasts.
+///
+/// The paper's operating rule was "Buffer size in KB = Bandwidth (Mb/s) ×
+/// Latency (ms) × 1024/1000/8" — the bandwidth-delay product. Given a
+/// bandwidth forecast (bytes/sec) and an RTT forecast (seconds) for the
+/// chosen path:
+///
+/// * `bdp = bandwidth × rtt × bdp_headroom`
+/// * `streams = clamp(ceil(bdp / window_max), 1, max_streams)` — only
+///   paths whose BDP exceeds one clamped window get extra streams;
+/// * `window = clamp(bdp / streams, window_min, window_max)`.
+///
+/// Returns `(tuning, true)` when a forecast-driven decision was made, or
+/// `(base, false)` when either forecast is missing (cold NWS path) and the
+/// fixed defaults apply.
+pub fn bdp_tuning(
+    cfg: &SchedulerConfig,
+    base: TransferTuning,
+    bandwidth: Option<f64>,
+    rtt: Option<f64>,
+) -> (TransferTuning, bool) {
+    let (Some(bw), Some(rtt)) = (bandwidth, rtt) else {
+        return (base, false);
+    };
+    // Degenerate forecasts (zero, negative, NaN) fall back to defaults.
+    let healthy = bw > 0.0 && rtt > 0.0;
+    if !healthy {
+        return (base, false);
+    }
+    let bdp = bw * rtt * cfg.bdp_headroom;
+    let streams = ((bdp / cfg.window_max).ceil() as u32).clamp(1, cfg.max_streams.max(1));
+    let window = (bdp / streams as f64).clamp(cfg.window_min, cfg.window_max);
+    (
+        TransferTuning {
+            streams,
+            window,
+            channel_cache: base.channel_cache,
+        },
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_submit_order() {
+        assert_eq!(order_queue(AdmissionPolicy::Fifo, &[30, 10, 20]), [0, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_first_sorts_by_size_stable() {
+        assert_eq!(
+            order_queue(AdmissionPolicy::ShortestFirst, &[30, 10, 20, 10]),
+            [1, 3, 2, 0]
+        );
+    }
+
+    #[test]
+    fn site_spread_interleaves_extremes() {
+        // sizes sorted: 1(=idx1), 2(=idx3), 3(=idx0), 4(=idx2)
+        assert_eq!(
+            order_queue(AdmissionPolicy::SiteSpread, &[3, 1, 4, 2]),
+            [1, 2, 3, 0]
+        );
+    }
+
+    #[test]
+    fn empty_queue_is_empty() {
+        assert!(order_queue(AdmissionPolicy::ShortestFirst, &[]).is_empty());
+    }
+
+    #[test]
+    fn ledger_tracks_loads_and_peak() {
+        let mut l = HostLedger::default();
+        l.acquire("a", true);
+        l.acquire("a", true);
+        l.acquire("b", false); // repair: counted, not peak-tracked
+        assert_eq!(l.load("a"), 2);
+        assert_eq!(l.load("b"), 1);
+        assert_eq!(l.total(), 3);
+        assert_eq!(l.peak_attempts(), 2);
+        l.release("a", true);
+        l.release("a", true);
+        l.release("b", false);
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.load("a"), 0);
+        assert_eq!(l.peak_attempts(), 2, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn ledger_release_of_unknown_host_is_noop() {
+        let mut l = HostLedger::default();
+        l.release("ghost", true);
+        assert_eq!(l.total(), 0);
+    }
+
+    #[test]
+    fn bdp_tuning_falls_back_without_forecasts() {
+        let cfg = SchedulerConfig::default();
+        let base = TransferTuning::default();
+        let (t, tuned) = bdp_tuning(&cfg, base, None, Some(0.01));
+        assert!(!tuned);
+        assert_eq!(t.streams, base.streams);
+        let (_, tuned) = bdp_tuning(&cfg, base, Some(1e7), None);
+        assert!(!tuned);
+        let (_, tuned) = bdp_tuning(&cfg, base, Some(0.0), Some(0.01));
+        assert!(!tuned, "degenerate forecasts fall back");
+    }
+
+    #[test]
+    fn bdp_tuning_small_path_gets_one_stream() {
+        let cfg = SchedulerConfig::default();
+        // 10 MB/s × 10 ms × 2 headroom = 200 KB BDP: one stream, floor
+        // window.
+        let (t, tuned) = bdp_tuning(&cfg, TransferTuning::default(), Some(10e6), Some(0.010));
+        assert!(tuned);
+        assert_eq!(t.streams, 1);
+        assert_eq!(t.window, cfg.window_min);
+    }
+
+    #[test]
+    fn bdp_tuning_long_fat_path_gets_streams_and_capped_window() {
+        let cfg = SchedulerConfig::default();
+        // 150 MB/s × 80 ms × 2 = 24 MB BDP: ceil(24e6/4MiB) = 6 streams,
+        // each window bdp/6 = 4.0 MB (just inside the 4 MiB ceiling).
+        let (t, tuned) = bdp_tuning(&cfg, TransferTuning::default(), Some(150e6), Some(0.080));
+        assert!(tuned);
+        assert_eq!(t.streams, 6);
+        assert_eq!(t.window, 24e6 / 6.0);
+        assert!(t.window <= cfg.window_max);
+    }
+
+    #[test]
+    fn bdp_tuning_respects_stream_ceiling() {
+        let cfg = SchedulerConfig {
+            max_streams: 4,
+            ..Default::default()
+        };
+        let (t, _) = bdp_tuning(&cfg, TransferTuning::default(), Some(1e9), Some(0.2));
+        assert_eq!(t.streams, 4);
+        assert_eq!(t.window, cfg.window_max);
+    }
+
+    #[test]
+    fn bdp_tuning_window_times_streams_covers_bdp_when_unclamped() {
+        let cfg = SchedulerConfig::default();
+        let bw = 60e6;
+        let rtt = 0.05;
+        let (t, _) = bdp_tuning(&cfg, TransferTuning::default(), Some(bw), Some(rtt));
+        let bdp = bw * rtt * cfg.bdp_headroom;
+        assert!(
+            t.streams as f64 * t.window >= bdp - 1.0,
+            "aggregate window {} must cover the headroomed BDP {bdp}",
+            t.streams as f64 * t.window
+        );
+    }
+
+    #[test]
+    fn bdp_tuning_preserves_channel_cache_flag() {
+        let cfg = SchedulerConfig::default();
+        let base = TransferTuning {
+            channel_cache: true,
+            ..Default::default()
+        };
+        let (t, _) = bdp_tuning(&cfg, base, Some(50e6), Some(0.02));
+        assert!(t.channel_cache);
+    }
+}

@@ -172,6 +172,19 @@ impl Hrm {
         })
     }
 
+    /// Is `name` usable from the disk cache right now — present, and not
+    /// still coming off tape? A read-only probe: unlike [`Hrm::request_file`]
+    /// it neither touches LRU state nor schedules a stage, so schedulers
+    /// can ask "would this be a cache hit?" without side effects.
+    pub fn resident(&self, name: &str, now: SimTime) -> bool {
+        if let Some(&ready) = self.staging.get(name) {
+            if now < ready {
+                return false;
+            }
+        }
+        self.cache.contains(name)
+    }
+
     /// Pin a staged file for the duration of a transfer.
     pub fn pin(&mut self, name: &str) -> bool {
         self.cache.pin(name)

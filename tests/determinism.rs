@@ -129,10 +129,80 @@ fn user_scaling_trace_survives_incremental_allocator() {
     );
 }
 
+/// Golden trace hash for `scheduler_pipeline_trace_is_pinned` (seed 29).
+/// Regenerate with `cargo test scheduler_pipeline_trace -- --nocapture`
+/// after intentional changes to the scheduler, workload or logging.
+const SCHED_PIPELINE_GOLDEN: &str =
+    "5780978310e80e11f2d3b2d554b42e4a1cde91120d5d0d8e3e47a1977fc93d19";
+
+#[test]
+fn scheduler_pipeline_trace_is_pinned() {
+    use esg::core::esg_testbed;
+    use esg::reqman::submit_request;
+    use esg::simnet::SimTime;
+
+    // Concurrent mixed hot/cold requests that exercise every scheduler
+    // feature: admission queues, per-host caps (deferrals at the tape
+    // site), prestage of queued cold files, and BDP tuning.
+    let run = || -> String {
+        let mut tb = esg_testbed(29);
+        tb.sim.world.rm.min_rate = 2.6e6;
+        tb.publish_dataset("sched_disk", 32, 4, 10_000_000, &[1, 3]);
+        tb.publish_dataset("sched_tape", 8, 2, 15_000_000, &[0]);
+        tb.start_nws(SimDuration::from_secs(25));
+        tb.sim.run_until(SimTime::from_secs(100));
+        let dc = tb.sim.world.metadata.collection_of("sched_disk").unwrap();
+        let tc = tb.sim.world.metadata.collection_of("sched_tape").unwrap();
+        let disk: Vec<String> = tb
+            .sim
+            .world
+            .metadata
+            .all_files("sched_disk")
+            .unwrap()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let tape: Vec<String> = tb
+            .sim
+            .world
+            .metadata
+            .all_files("sched_tape")
+            .unwrap()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        let client = tb.client;
+        for r in 0..2usize {
+            let mut files: Vec<(String, String)> = (0..4)
+                .map(|k| (dc.clone(), disk[(r * 4 + k) % disk.len()].clone()))
+                .collect();
+            for k in 0..2 {
+                files.push((tc.clone(), tape[(r * 2 + k) % tape.len()].clone()));
+            }
+            let at = SimTime::from_secs(100 + 2 * r as u64);
+            tb.sim.schedule_at(at, move |sim| {
+                submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
+            });
+        }
+        tb.sim.run_until(SimTime::from_secs(1800));
+        assert_eq!(tb.sim.world.outcomes.len(), 2, "both requests must finish");
+        let rm = &tb.sim.world.rm;
+        assert!(rm.sched_stats.prestaged > 0, "prestage must fire");
+        assert!(rm.sched_stats.tuned > 0, "BDP tuning must fire");
+        rm.log.to_ulm()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "scheduler pipeline trace must be run-stable");
+    let hex = sha_hex(&a);
+    println!("scheduler pipeline trace sha256: {hex}");
+    assert_eq!(hex, SCHED_PIPELINE_GOLDEN, "pinned scheduler trace drifted");
+}
+
 /// Golden trace hash for `soak_trace_survives_incremental_allocator`
 /// (seed 11). Regenerate with
 /// `cargo test soak_trace -- --nocapture` after intentional changes.
-const SOAK_GOLDEN: &str = "057a8d531d43aab28427b2285d261b077f47c2e17611f603155cc2c043b78884";
+const SOAK_GOLDEN: &str = "1b8f5088b02371910e94a60d6fca6adbdcdb87742d0f46c843ef0e236b235585";
 
 #[test]
 fn soak_trace_survives_incremental_allocator() {
