@@ -184,8 +184,8 @@ fn run(seed: u64, n_requests: usize, scheduler_on: bool) -> RunResult {
         verified: count("integrity.file.verified"),
         failovers: count("rm.reliability.failover"),
         defers: count("rm.sched.defer"),
-        prestaged: rm.sched_stats.prestaged,
-        tuned: rm.sched_stats.tuned,
+        prestaged: rm.sched_stats().prestaged,
+        tuned: rm.sched_stats().tuned,
         peak_host_inflight: rm.inflight().peak_attempts(),
         wall,
         deliveries,

@@ -214,6 +214,15 @@ impl GridFtpSim {
     pub fn flush_cache(&mut self) {
         self.cache.clear();
     }
+
+    /// Export the service counters into a metrics registry (a set, not an
+    /// add — safe to call repeatedly).
+    pub fn export_metrics(&self, reg: &mut esg_netlogger::MetricsRegistry) {
+        reg.counter_set("gridftp.transfers_started", self.transfers_started);
+        reg.counter_set("gridftp.transfers_completed", self.transfers_completed);
+        reg.counter_set("gridftp.handshakes_performed", self.handshakes_performed);
+        reg.counter_set("gridftp.cache_hits", self.cache_hits);
+    }
 }
 
 /// World-access trait for the engine.

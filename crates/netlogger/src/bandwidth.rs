@@ -15,6 +15,9 @@ pub struct BandwidthMeter {
     /// (time, cumulative bytes) samples, strictly increasing in time,
     /// non-decreasing in bytes.
     samples: Vec<(SimTime, f64)>,
+    /// Samples rejected because they regressed in time or bytes. Counted
+    /// identically in debug and release builds.
+    dropped_samples: u64,
 }
 
 impl BandwidthMeter {
@@ -22,29 +25,42 @@ impl BandwidthMeter {
         BandwidthMeter::default()
     }
 
-    /// Record the cumulative byte count at `time`. Out-of-order or
-    /// regressing samples are rejected with a panic in debug builds and
-    /// ignored in release builds.
-    pub fn record(&mut self, time: SimTime, cumulative_bytes: f64) {
+    /// Record the cumulative byte count at `time`.
+    ///
+    /// Returns `true` if the sample was accepted (appended or same-instant
+    /// replaced). Out-of-order or byte-regressing samples are dropped, the
+    /// [`dropped_samples`] counter is bumped, and `false` is returned — the
+    /// same behaviour in every build profile, so debug and release runs no
+    /// longer diverge (the seed panicked in debug and silently dropped in
+    /// release).
+    ///
+    /// [`dropped_samples`]: BandwidthMeter::dropped_samples
+    pub fn record(&mut self, time: SimTime, cumulative_bytes: f64) -> bool {
         if let Some(&(t, b)) = self.samples.last() {
-            debug_assert!(time >= t, "samples must be time-ordered");
-            debug_assert!(cumulative_bytes + 1e-6 >= b, "cumulative bytes regressed");
             if time < t || cumulative_bytes < b {
-                return;
+                self.dropped_samples += 1;
+                return false;
             }
             if time == t {
                 // Replace: same-instant update.
                 self.samples.last_mut().unwrap().1 = cumulative_bytes;
-                return;
+                return true;
             }
         }
         self.samples.push((time, cumulative_bytes));
+        true
     }
 
-    /// Convenience: add a byte delta at `time`.
-    pub fn add(&mut self, time: SimTime, delta: f64) {
+    /// Convenience: add a byte delta at `time`. Returns `false` if the
+    /// resulting sample was dropped (see [`BandwidthMeter::record`]).
+    pub fn add(&mut self, time: SimTime, delta: f64) -> bool {
         let last = self.samples.last().map_or(0.0, |&(_, b)| b);
-        self.record(time, last + delta);
+        self.record(time, last + delta)
+    }
+
+    /// How many samples have been rejected for regressing in time or bytes.
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped_samples
     }
 
     pub fn is_empty(&self) -> bool {
@@ -279,6 +295,25 @@ mod tests {
     fn unit_conversions() {
         assert!((to_mbps(512.9e6 / 8.0) - 512.9).abs() < 1e-9);
         assert!((to_gbps(1.55e9 / 8.0) - 1.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressing_samples_are_counted_and_reported() {
+        let mut m = BandwidthMeter::new();
+        assert!(m.record(SimTime::from_secs(5), 100.0));
+        // Time regression.
+        assert!(!m.record(SimTime::from_secs(4), 200.0));
+        // Byte regression at a later time.
+        assert!(!m.record(SimTime::from_secs(6), 50.0));
+        assert_eq!(m.dropped_samples(), 2);
+        assert_eq!(m.sample_count(), 1);
+        // A well-formed sample still lands afterwards.
+        assert!(m.record(SimTime::from_secs(6), 150.0));
+        assert_eq!(m.sample_count(), 2);
+        assert_eq!(m.dropped_samples(), 2);
+        // add() propagates the verdict too.
+        assert!(!m.add(SimTime::from_secs(5), 10.0));
+        assert_eq!(m.dropped_samples(), 3);
     }
 
     #[test]

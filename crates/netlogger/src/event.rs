@@ -4,7 +4,10 @@
 //! every component of a distributed system and correlates them afterwards —
 //! it produced the paper's Figure 8. We reproduce its event model: an event
 //! has a time, a dotted event name (`gridftp.transfer.start`), and a flat
-//! set of string/number fields.
+//! set of string/number fields — plus the second half of the NetLogger
+//! story: a ULM parser ([`LogEvent::from_ulm`], [`NetLog::from_ulm`]) whose
+//! export→parse→export round-trip is byte-identical, which is what makes
+//! offline lifeline reconstruction trustworthy.
 
 use esg_simnet::SimTime;
 use std::fmt;
@@ -63,6 +66,165 @@ impl From<usize> for Value {
     }
 }
 
+/// Normalise a field key to the ULM-safe alphabet `[a-z0-9._-]`.
+///
+/// ULM keys are case-insensitive on the wire, so uppercase is folded to
+/// lowercase rather than rejected; any other character outside the alphabet
+/// (spaces, `=`, `%`, control characters) would make the line unparseable and
+/// is replaced with `_`. An empty key becomes `_`.
+pub fn sanitize_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for c in key.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '.' | '_' | '-' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Percent-escape the characters that would break ULM tokenisation in an
+/// event name or field value: space, `=`, `%`, and line/tab controls.
+fn escape_value(s: &str) -> String {
+    if !s
+        .bytes()
+        .any(|b| matches!(b, b' ' | b'=' | b'%' | b'\n' | b'\r' | b'\t'))
+    {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            // The specials are all single-byte ASCII; everything else
+            // (including multi-byte UTF-8) passes through untouched.
+            ' ' | '=' | '%' | '\n' | '\r' | '\t' => {
+                let b = c as u8;
+                out.push('%');
+                out.push(
+                    char::from_digit((b >> 4) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((b & 0xf) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_value(s: &str) -> Result<String, UlmError> {
+    if !s.contains('%') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| UlmError::BadEscape(s.to_string()))?;
+            let b = u8::from_str_radix(hex, 16).map_err(|_| UlmError::BadEscape(s.to_string()))?;
+            out.push(b);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| UlmError::BadEscape(s.to_string()))
+}
+
+/// Why a ULM line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UlmError {
+    /// Line does not start with a `DATE=` token.
+    MissingDate(String),
+    /// `DATE=` value is not a non-negative decimal timestamp.
+    BadDate(String),
+    /// Second token is not `EVNT=`.
+    MissingEvent(String),
+    /// A field token has no `=` separator.
+    BadField(String),
+    /// A percent-escape in a value is malformed.
+    BadEscape(String),
+}
+
+impl fmt::Display for UlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UlmError::MissingDate(l) => write!(f, "ULM line missing DATE=: {l:?}"),
+            UlmError::BadDate(t) => write!(f, "bad DATE value: {t:?}"),
+            UlmError::MissingEvent(l) => write!(f, "ULM line missing EVNT=: {l:?}"),
+            UlmError::BadField(t) => write!(f, "field token without '=': {t:?}"),
+            UlmError::BadEscape(t) => write!(f, "malformed percent-escape: {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UlmError {}
+
+/// Parse a `DATE=` timestamp exactly: the exporter writes `{:.6}` seconds, so
+/// decoding digit-by-digit into nanoseconds (instead of going through an f64
+/// multiply) guarantees a byte-identical re-export.
+fn parse_date_nanos(tok: &str) -> Result<SimTime, UlmError> {
+    let bad = || UlmError::BadDate(tok.to_string());
+    let (secs, frac) = match tok.split_once('.') {
+        Some((s, f)) => (s, f),
+        None => (tok, ""),
+    };
+    if secs.is_empty() || !secs.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad());
+    }
+    if frac.len() > 9 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad());
+    }
+    let secs: u64 = secs.parse().map_err(|_| bad())?;
+    let mut frac_nanos: u64 = 0;
+    for (i, b) in frac.bytes().enumerate() {
+        frac_nanos += (b - b'0') as u64 * 10u64.pow(8 - i as u32);
+    }
+    secs.checked_mul(1_000_000_000)
+        .and_then(|n| n.checked_add(frac_nanos))
+        .map(SimTime)
+        .ok_or_else(bad)
+}
+
+/// Classify a parsed value token. A token becomes numeric only when its
+/// canonical `Display` reprints the exact original text, so that a parsed
+/// log re-exports byte-identically (`007` stays a string, `7` becomes an
+/// integer, `55.5` a float).
+fn classify_value(raw: String) -> Value {
+    if raw.len() <= 20 {
+        if let Ok(i) = raw.parse::<i64>() {
+            if i.to_string() == raw {
+                return Value::Int(i);
+            }
+        }
+    }
+    if raw.len() <= 32
+        && raw
+            .bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'.' | b'-' | b'e' | b'E' | b'+'))
+    {
+        if let Ok(x) = raw.parse::<f64>() {
+            if x.is_finite() && format!("{x}") == raw {
+                return Value::Num(x);
+            }
+        }
+    }
+    Value::Str(raw)
+}
+
 /// One logged event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEvent {
@@ -80,9 +242,26 @@ impl LogEvent {
         }
     }
 
+    /// Append a field. The key is normalised via [`sanitize_key`] so every
+    /// event this builder produces is exportable and re-parseable.
     pub fn field(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
-        self.fields.push((key.into(), value.into()));
+        let key = key.into();
+        let key = if key
+            .bytes()
+            .all(|b| matches!(b, b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-'))
+            && !key.is_empty()
+        {
+            key
+        } else {
+            sanitize_key(&key)
+        };
+        self.fields.push((key, value.into()));
         self
+    }
+
+    /// True if the event already carries a field with this key.
+    pub fn has(&self, key: &str) -> bool {
+        self.fields.iter().any(|(k, _)| k == key)
     }
 
     pub fn get(&self, key: &str) -> Option<&Value> {
@@ -98,22 +277,77 @@ impl LogEvent {
     }
 
     /// NetLogger ULM text format:
-    /// `DATE=<secs> EVNT=<name> KEY=VALUE ...`
+    /// `DATE=<secs> EVNT=<name> key=value ...`
+    ///
+    /// Keys are emitted verbatim (they were sanitised at [`field`]); values
+    /// and the event name are percent-escaped so that spaces, `=`, and `%`
+    /// survive tokenisation.
+    ///
+    /// [`field`]: LogEvent::field
     pub fn to_ulm(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        write!(s, "DATE={:.6} EVNT={}", self.time.as_secs_f64(), self.name).unwrap();
+        write!(
+            s,
+            "DATE={:.6} EVNT={}",
+            self.time.as_secs_f64(),
+            escape_value(&self.name)
+        )
+        .unwrap();
         for (k, v) in &self.fields {
-            write!(s, " {}={}", k.to_uppercase(), v).unwrap();
+            match v {
+                Value::Str(raw) => write!(s, " {}={}", k, escape_value(raw)).unwrap(),
+                _ => write!(s, " {k}={v}").unwrap(),
+            }
         }
         s
     }
+
+    /// Parse one ULM line produced by [`LogEvent::to_ulm`].
+    pub fn from_ulm(line: &str) -> Result<LogEvent, UlmError> {
+        let mut toks = line.split(' ').filter(|t| !t.is_empty());
+        let date = toks
+            .next()
+            .and_then(|t| t.strip_prefix("DATE="))
+            .ok_or_else(|| UlmError::MissingDate(line.to_string()))?;
+        let time = parse_date_nanos(date)?;
+        let name = toks
+            .next()
+            .and_then(|t| t.strip_prefix("EVNT="))
+            .ok_or_else(|| UlmError::MissingEvent(line.to_string()))?;
+        let mut event = LogEvent::new(time, unescape_value(name)?);
+        for tok in toks {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| UlmError::BadField(tok.to_string()))?;
+            event
+                .fields
+                .push((k.to_string(), classify_value(unescape_value(v)?)));
+        }
+        Ok(event)
+    }
+}
+
+/// What [`NetLog::push`] does with an event whose timestamp precedes the tail
+/// of the log. The seed only `debug_assert`ed, so release builds silently
+/// produced logs that broke `between()`'s half-open scan; now the policy is
+/// explicit and counted in both profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Clamp the event's time up to the tail time and keep it (default:
+    /// causality is preserved, nothing is lost, `between()` stays correct).
+    #[default]
+    Clamp,
+    /// Drop the event entirely.
+    Drop,
 }
 
 /// An append-only event log with simple queries.
 #[derive(Debug, Default, Clone)]
 pub struct NetLog {
     events: Vec<LogEvent>,
+    order_policy: OrderPolicy,
+    out_of_order: u64,
 }
 
 impl NetLog {
@@ -121,12 +355,38 @@ impl NetLog {
         NetLog::default()
     }
 
-    pub fn push(&mut self, event: LogEvent) {
-        debug_assert!(
-            self.events.last().is_none_or(|e| e.time <= event.time),
-            "events must be appended in time order"
-        );
+    pub fn with_order_policy(policy: OrderPolicy) -> Self {
+        NetLog {
+            order_policy: policy,
+            ..NetLog::default()
+        }
+    }
+
+    /// Append an event, enforcing time order under the configured
+    /// [`OrderPolicy`] in every build profile. Out-of-order submissions are
+    /// counted (see [`out_of_order_count`]) whether clamped or dropped.
+    ///
+    /// [`out_of_order_count`]: NetLog::out_of_order_count
+    pub fn push(&mut self, mut event: LogEvent) {
+        if let Some(last) = self.events.last() {
+            if event.time < last.time {
+                self.out_of_order += 1;
+                match self.order_policy {
+                    OrderPolicy::Clamp => event.time = last.time,
+                    OrderPolicy::Drop => return,
+                }
+            }
+        }
         self.events.push(event);
+    }
+
+    /// How many pushed events violated time order so far.
+    pub fn out_of_order_count(&self) -> u64 {
+        self.out_of_order
+    }
+
+    pub fn order_policy(&self) -> OrderPolicy {
+        self.order_policy
     }
 
     pub fn log(&mut self, time: SimTime, name: impl Into<String>) -> &mut Self {
@@ -167,6 +427,19 @@ impl NetLog {
         }
         s
     }
+
+    /// Parse a multi-line ULM export back into a log. Round-trips
+    /// [`NetLog::to_ulm`] byte-identically; blank lines are skipped.
+    pub fn from_ulm(text: &str) -> Result<NetLog, UlmError> {
+        let mut log = NetLog::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            log.push(LogEvent::from_ulm(line)?);
+        }
+        Ok(log)
+    }
 }
 
 #[cfg(test)]
@@ -187,9 +460,74 @@ mod tests {
     }
 
     #[test]
-    fn ulm_format() {
+    fn ulm_format_preserves_key_case_distinctly() {
         let e = LogEvent::new(SimTime::from_secs_f64(1.5), "x.y").field("n", 3u64);
-        assert_eq!(e.to_ulm(), "DATE=1.500000 EVNT=x.y N=3");
+        assert_eq!(e.to_ulm(), "DATE=1.500000 EVNT=x.y n=3");
+        // Uppercase keys fold to lowercase at the builder, so `HOST` and
+        // `host` are the *same* field rather than two colliding columns.
+        let e = LogEvent::new(SimTime::ZERO, "x").field("HOST", "a");
+        assert_eq!(e.get("host"), Some(&Value::Str("a".into())));
+        assert_eq!(e.to_ulm(), "DATE=0.000000 EVNT=x host=a");
+    }
+
+    #[test]
+    fn hostile_keys_are_sanitized_and_values_escaped() {
+        let e = LogEvent::new(SimTime::ZERO, "x")
+            .field("bad key=here", "v")
+            .field("", "empty")
+            .field("msg", "a b=c%d");
+        let ulm = e.to_ulm();
+        assert_eq!(
+            ulm,
+            "DATE=0.000000 EVNT=x bad_key_here=v _=empty msg=a%20b%3Dc%25d"
+        );
+        let back = LogEvent::from_ulm(&ulm).unwrap();
+        assert_eq!(back.get("msg"), Some(&Value::Str("a b=c%d".into())));
+        assert_eq!(back.to_ulm(), ulm);
+    }
+
+    #[test]
+    fn ulm_parse_round_trips_value_types() {
+        let e = LogEvent::new(SimTime::from_secs_f64(12.25), "a.b")
+            .field("i", 42u64)
+            .field("neg", -7i64)
+            .field("f", 55.5)
+            .field("s", "plain")
+            .field("oct", "007");
+        let ulm = e.to_ulm();
+        let back = LogEvent::from_ulm(&ulm).unwrap();
+        assert_eq!(back.get("i"), Some(&Value::Int(42)));
+        assert_eq!(back.get("neg"), Some(&Value::Int(-7)));
+        assert_eq!(back.get("f"), Some(&Value::Num(55.5)));
+        assert_eq!(back.get("s"), Some(&Value::Str("plain".into())));
+        // Leading zeros must stay a string or the re-export would differ.
+        assert_eq!(back.get("oct"), Some(&Value::Str("007".into())));
+        assert_eq!(back.to_ulm(), ulm);
+        assert_eq!(back.time, SimTime::from_secs_f64(12.25));
+    }
+
+    #[test]
+    fn ulm_parse_rejects_garbage() {
+        assert!(matches!(
+            LogEvent::from_ulm("EVNT=x"),
+            Err(UlmError::MissingDate(_))
+        ));
+        assert!(matches!(
+            LogEvent::from_ulm("DATE=abc EVNT=x"),
+            Err(UlmError::BadDate(_))
+        ));
+        assert!(matches!(
+            LogEvent::from_ulm("DATE=1.0 nope"),
+            Err(UlmError::MissingEvent(_))
+        ));
+        assert!(matches!(
+            LogEvent::from_ulm("DATE=1.0 EVNT=x badtoken"),
+            Err(UlmError::BadField(_))
+        ));
+        assert!(matches!(
+            LogEvent::from_ulm("DATE=1.0 EVNT=x k=%zz"),
+            Err(UlmError::BadEscape(_))
+        ));
     }
 
     #[test]
@@ -206,6 +544,82 @@ mod tests {
                 .count(),
             3
         );
+    }
+
+    #[test]
+    fn queries_on_empty_log() {
+        let log = NetLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.named("anything").count(), 0);
+        assert_eq!(log.between(SimTime::ZERO, SimTime::MAX).count(), 0);
+        assert_eq!(log.to_ulm(), "");
+        assert_eq!(NetLog::from_ulm("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn queries_on_single_event_log() {
+        let mut log = NetLog::new();
+        log.push(LogEvent::new(SimTime::from_secs(5), "only").field("k", 1u64));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.named("only").count(), 1);
+        assert_eq!(log.named("other").count(), 0);
+        // Half-open: [5, 5) is empty, [5, 6) contains it, [4, 5) does not.
+        assert_eq!(
+            log.between(SimTime::from_secs(5), SimTime::from_secs(5))
+                .count(),
+            0
+        );
+        assert_eq!(
+            log.between(SimTime::from_secs(5), SimTime::from_secs(6))
+                .count(),
+            1
+        );
+        assert_eq!(
+            log.between(SimTime::from_secs(4), SimTime::from_secs(5))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn out_of_order_clamp_policy() {
+        let mut log = NetLog::new();
+        log.log(SimTime::from_secs(10), "a");
+        log.push(LogEvent::new(SimTime::from_secs(3), "late"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.out_of_order_count(), 1);
+        // Clamped to the tail time so between() stays a correct scan.
+        let late = log.named("late").next().unwrap();
+        assert_eq!(late.time, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn out_of_order_drop_policy() {
+        let mut log = NetLog::with_order_policy(OrderPolicy::Drop);
+        log.log(SimTime::from_secs(10), "a");
+        log.push(LogEvent::new(SimTime::from_secs(3), "late"));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.out_of_order_count(), 1);
+        assert_eq!(log.named("late").count(), 0);
+    }
+
+    #[test]
+    fn netlog_ulm_round_trip_is_byte_identical() {
+        let mut log = NetLog::new();
+        log.push(
+            LogEvent::new(SimTime::ZERO, "rm.request.submit")
+                .field("request", 3u64)
+                .field("files", 12u64),
+        );
+        log.push(
+            LogEvent::new(SimTime(1_234_567_000), "gridftp.transfer.start")
+                .field("file", "pcm.run1.f003")
+                .field("rate", 12.5),
+        );
+        let ulm = log.to_ulm();
+        let back = NetLog::from_ulm(&ulm).unwrap();
+        assert_eq!(back.to_ulm(), ulm);
+        assert_eq!(back.len(), log.len());
     }
 
     #[test]

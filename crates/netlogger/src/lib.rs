@@ -1,12 +1,20 @@
 //! # esg-netlogger — instrumentation and bandwidth statistics
 //!
 //! A reproduction of the role NetLogger (ref. \[13\] in the paper) played: structured
-//! timestamped events from every component ([`event`]) and the cumulative
-//! byte curves + windowed rate statistics behind Table 1 and Figure 8
-//! ([`bandwidth`]).
+//! timestamped events from every component ([`event`]), causal trace context
+//! and span emission ([`trace`]), offline lifeline reconstruction — the
+//! Figure 8 phase decomposition — ([`lifeline`]), a deterministic metrics
+//! registry ([`metrics`]), and the cumulative byte curves + windowed rate
+//! statistics behind Table 1 and Figure 8 ([`bandwidth`]).
 
 pub mod bandwidth;
 pub mod event;
+pub mod lifeline;
+pub mod metrics;
+pub mod trace;
 
 pub use bandwidth::{to_gbps, to_mbps, BandwidthMeter};
-pub use event::{LogEvent, NetLog, Value};
+pub use event::{sanitize_key, LogEvent, NetLog, OrderPolicy, UlmError, Value};
+pub use lifeline::{CriticalPath, Lifeline, LifelineSet, Span, Stall};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use trace::{Phase, SpanId, TraceCtx, TracedLog};

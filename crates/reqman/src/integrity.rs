@@ -234,6 +234,17 @@ impl IntegrityManager {
         self.incidents.remove(&key);
         true
     }
+
+    /// Export the current incident/quarantine state into a metrics
+    /// registry (gauges, since both can shrink on rehabilitation).
+    pub fn export_metrics(&self, reg: &mut esg_netlogger::MetricsRegistry) {
+        let incidents: u32 = self.incidents.values().sum();
+        reg.gauge_set("rm.integrity.open_incidents", incidents as f64);
+        reg.gauge_set(
+            "rm.integrity.quarantined_replicas",
+            self.quarantined.len() as f64,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use esg_gridftp::simxfer::{
     cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, HasGridFtp,
     TransferError, TransferHandle, TransferSpec,
 };
-use esg_netlogger::{LogEvent, NetLog};
+use esg_netlogger::{LogEvent, MetricsRegistry, Phase, SpanId, TraceCtx, TracedLog, Value};
 use esg_nws::HasNws;
 use esg_replica::{PathEstimate, Policy, Replica, ReplicaCatalog, ReplicaSelector};
 use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
@@ -144,6 +144,16 @@ struct FileWork {
     ledger_host: Option<(String, bool)>,
     /// The file holds one of its request's admission slots.
     admitted: bool,
+    /// Root `Phase::File` span of this file's lifeline (NONE until the
+    /// request's RPC lands, and again after the file settles).
+    trace_root: SpanId,
+    /// The currently open phase span: `(id, phase, opened_at)`. Invariant:
+    /// while `trace_root` is live exactly one phase span is open, and
+    /// transitions close + open at the same instant — so a settled file's
+    /// phase durations tile its makespan exactly.
+    trace_phase: Option<(SpanId, Phase, SimTime)>,
+    /// When the root span opened (for the makespan histogram).
+    trace_opened: SimTime,
 }
 
 struct RequestState {
@@ -193,18 +203,19 @@ pub struct RequestManager {
     /// "maximize the number of different sites from which files are
     /// obtained"). When false, every file independently uses `selector`.
     pub spread_sites: bool,
-    /// Structured event log (NetLogger).
-    pub log: NetLog,
+    /// Structured event log (NetLogger). A [`TracedLog`]: read queries
+    /// deref to [`esg_netlogger::NetLog`], but emission requires a
+    /// [`TraceCtx`] — un-contexted `push` inside the RM is a compile error.
+    pub log: TracedLog,
     /// Integrity policy, per-site corruption stores and quarantine state.
     pub integrity: IntegrityManager,
     /// Pipelined transfer scheduler: admission caps, release policy, BDP
     /// auto-tuning and prestage pipelining.
     pub scheduler: SchedulerConfig,
-    /// Scheduler observability counters.
-    pub sched_stats: SchedStats,
-    /// Per-request monitor ticks executed (perf regression gauge: one per
-    /// poll interval per live request, not one per file).
-    pub monitor_ticks: u64,
+    /// Deterministic metrics registry: every manager counter/gauge/
+    /// histogram lives here behind one interface (scheduler stats, monitor
+    /// ticks, integrity incidents, phase-duration histograms).
+    pub metrics: MetricsRegistry,
     /// Manager-wide in-flight pulls per source host (all requests).
     inflight: HostLedger,
     breakers: HashMap<String, CircuitBreaker>,
@@ -236,11 +247,10 @@ impl RequestManager {
             breaker_cooldown: SimDuration::from_secs(60),
             rpc_latency: SimDuration::from_millis(2),
             spread_sites: false,
-            log: NetLog::new(),
+            log: TracedLog::new(),
             integrity: IntegrityManager::default(),
             scheduler: SchedulerConfig::default(),
-            sched_stats: SchedStats::default(),
-            monitor_ticks: 0,
+            metrics: MetricsRegistry::new(),
             inflight: HostLedger::default(),
             breakers: HashMap::new(),
             // Decorrelate the jitter stream from the selector's RNG while
@@ -293,6 +303,18 @@ impl RequestManager {
         &self.inflight
     }
 
+    /// Scheduler observability counters, materialised from the metrics
+    /// registry (the single source of truth).
+    pub fn sched_stats(&self) -> SchedStats {
+        SchedStats::from_registry(&self.metrics)
+    }
+
+    /// Per-request monitor ticks executed (perf regression gauge: one per
+    /// poll interval per live request, not one per file).
+    pub fn monitor_ticks(&self) -> u64 {
+        self.metrics.counter("rm.monitor.ticks")
+    }
+
     fn breaker_entry(&mut self, host: &str) -> &mut CircuitBreaker {
         let (threshold, cooldown) = (self.breaker_threshold, self.breaker_cooldown);
         self.breakers
@@ -336,8 +358,11 @@ impl RequestManager {
             Some(BreakerTransition::Closed) => "rm.breaker.close",
             None => return,
         };
-        self.log
-            .push(LogEvent::new(now, name).field("host", host.to_string()));
+        self.metrics.counter_add(name, 1);
+        self.log.emit(
+            &TraceCtx::system(),
+            LogEvent::new(now, name).field("host", host.to_string()),
+        );
     }
 
     fn next_backoff(&mut self, attempt: u32) -> SimDuration {
@@ -377,6 +402,108 @@ impl RequestManager {
                 .flip(name, block, nonce, at);
         }
     }
+}
+
+/// The causal coordinates of file `idx` of `state`, for event emission.
+fn fw_ctx(state: &SharedRequest, idx: usize) -> TraceCtx {
+    let st = state.borrow();
+    let fw = &st.files[idx];
+    TraceCtx::request(st.id)
+        .with_file(fw.status.name.clone())
+        .with_attempt(fw.status.attempts)
+}
+
+/// Open the root `Phase::File` span for `idx`. Idempotent.
+fn open_file_span<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, idx: usize) {
+    if !state.borrow().files[idx].trace_root.is_none() {
+        return;
+    }
+    let ctx = fw_ctx(state, idx);
+    let now = sim.now();
+    let id = sim
+        .world
+        .reqman()
+        .log
+        .span_start(&ctx, now, Phase::File, None);
+    let fw = &mut state.borrow_mut().files[idx];
+    fw.trace_root = id;
+    fw.trace_opened = now;
+}
+
+/// Transition file `idx` into `phase`: close the currently open phase span
+/// and open the new one at the same instant, so the root span stays tiled.
+/// `extra` fields attach to the *closing* span (e.g. the bytes a transfer
+/// attempt banked). Re-entering the open phase is a no-op (deferral loops)
+/// and discards `extra`.
+fn enter_phase<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    idx: usize,
+    phase: Phase,
+    extra: Vec<(&'static str, Value)>,
+) {
+    let (root, open) = {
+        let fw = &state.borrow().files[idx];
+        (fw.trace_root, fw.trace_phase)
+    };
+    if root.is_none() {
+        return;
+    }
+    if let Some((_, p, _)) = open {
+        if p == phase {
+            return;
+        }
+    }
+    let ctx = fw_ctx(state, idx);
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    if let Some((sid, p, opened)) = open {
+        rm.log.span_end(&ctx, now, sid, p, extra);
+        rm.metrics.observe(
+            &format!("rm.phase.{}_s", p.as_str()),
+            now.since(opened).as_secs_f64(),
+        );
+    }
+    let sid = rm.log.span_start(&ctx, now, phase, Some(root));
+    state.borrow_mut().files[idx].trace_phase = Some((sid, phase, now));
+}
+
+/// Close file `idx`'s open phase span and its root span with a terminal
+/// `status` (`done` / `failed`). Idempotent: the root id is cleared.
+fn close_file_span<W: RmWorld>(
+    sim: &mut Sim<W>,
+    state: &SharedRequest,
+    idx: usize,
+    status: &'static str,
+) {
+    let (root, open, opened_at) = {
+        let fw = &mut state.borrow_mut().files[idx];
+        let root = fw.trace_root;
+        fw.trace_root = SpanId::NONE;
+        (root, fw.trace_phase.take(), fw.trace_opened)
+    };
+    if root.is_none() {
+        return;
+    }
+    let ctx = fw_ctx(state, idx);
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    if let Some((sid, p, phase_opened)) = open {
+        rm.log.span_end(&ctx, now, sid, p, vec![]);
+        rm.metrics.observe(
+            &format!("rm.phase.{}_s", p.as_str()),
+            now.since(phase_opened).as_secs_f64(),
+        );
+    }
+    rm.log.span_end(
+        &ctx,
+        now,
+        root,
+        Phase::File,
+        vec![("status", status.into())],
+    );
+    rm.metrics
+        .observe("rm.file.makespan_s", now.since(opened_at).as_secs_f64());
 }
 
 /// Submit a request: the CDAT client hands the RM a list of logical files
@@ -419,6 +546,9 @@ pub fn submit_request<W: RmWorld>(
             repairing: false,
             ledger_host: None,
             admitted: false,
+            trace_root: SpanId::NONE,
+            trace_phase: None,
+            trace_opened: SimTime::ZERO,
         });
     }
     let remaining = work.len();
@@ -434,10 +564,11 @@ pub fn submit_request<W: RmWorld>(
     }));
     sim.world.reqman().requests.insert(id, state.clone());
     let now = sim.now();
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "rm.request.submit")
-            .field("request", id)
-            .field("files", remaining),
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.requests.submitted", 1);
+    rm.log.emit(
+        &TraceCtx::request(id),
+        LogEvent::new(now, "rm.request.submit").field("files", remaining),
     );
 
     // Wrap the typed callback so every file worker can share it.
@@ -455,6 +586,13 @@ pub fn submit_request<W: RmWorld>(
         if n_files == 0 {
             finish_request(s, &state, &cb_cell);
             return;
+        }
+        // Every file's lifeline opens when the RPC lands; files then sit in
+        // the Queue phase until their worker picks them up (zero-length for
+        // immediately-admitted files, the real wait for queued ones).
+        for idx in 0..n_files {
+            open_file_span(s, &state, idx);
+            enter_phase(s, &state, idx, Phase::Queue, vec![]);
         }
         if sched_on {
             if s.world.reqman().scheduler.prestage {
@@ -497,9 +635,9 @@ fn pump_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCe
         };
         let active = state.borrow().active;
         {
-            let stats = &mut sim.world.reqman().sched_stats;
-            stats.admitted += 1;
-            stats.peak_active_per_request = stats.peak_active_per_request.max(active);
+            let metrics = &mut sim.world.reqman().metrics;
+            metrics.counter_add(SchedStats::ADMITTED, 1);
+            metrics.gauge_max(SchedStats::PEAK_ACTIVE, active as f64);
         }
         start_file_worker(sim, state.clone(), cb.clone(), idx);
     }
@@ -549,19 +687,40 @@ fn prestage_cold_files<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest) {
     }
     let mut by_host: Vec<(String, Vec<String>)> = plan.into_iter().collect();
     by_host.sort();
+    let req_id = state.borrow().id;
+    let ctx = TraceCtx::request(req_id);
     for (host, names) in by_host {
         let rm = sim.world.reqman();
         let Some(hrm) = rm.hrms.get_mut(&host) else {
             continue;
         };
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        let _ = hrm.prestage(&refs, now);
-        rm.sched_stats.prestaged += names.len() as u64;
-        rm.log.push(
+        let ready = hrm.prestage(&refs, now).ok();
+        rm.metrics
+            .counter_add(SchedStats::PRESTAGED, names.len() as u64);
+        // A request-scoped Prestage span covers the whole host batch: it
+        // opens now and closes when the HRM says the last file is staged,
+        // so lifelines show how much tape latency the prefetch hid.
+        let span = rm.log.span_start(&ctx, now, Phase::Prestage, None);
+        rm.log.emit(
+            &ctx,
             LogEvent::new(now, "rm.prestage")
-                .field("host", host)
+                .field("host", host.clone())
                 .field("files", names.len() as u64),
         );
+        let ready = ready.unwrap_or(now).max(now);
+        let n = names.len() as u64;
+        let ctx2 = ctx.clone();
+        sim.schedule(ready.since(now), move |s| {
+            let done = s.now();
+            s.world.reqman().log.span_end(
+                &ctx2,
+                done,
+                span,
+                Phase::Prestage,
+                vec![("host", host.into()), ("files", n.into())],
+            );
+        });
     }
 }
 
@@ -605,10 +764,11 @@ fn finish_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
     let id = outcome.id;
     sim.world.reqman().requests.remove(&id);
     let now = sim.now();
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "rm.request.complete")
-            .field("request", id)
-            .field("bytes", outcome.total_bytes),
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.requests.completed", 1);
+    rm.log.emit(
+        &TraceCtx::request(id),
+        LogEvent::new(now, "rm.request.complete").field("bytes", outcome.total_bytes),
     );
     if let Some(f) = cb.borrow_mut().take() {
         f(sim, outcome);
@@ -642,12 +802,12 @@ fn complete_file<W: RmWorld>(
         (st.remaining == 0, was_admitted)
     };
     ledger_release(sim, state, idx);
+    close_file_span(sim, state, idx, "done");
     let now = sim.now();
-    let fname = state.borrow().files[idx].status.name.clone();
-    sim.world
-        .reqman()
-        .log
-        .push(LogEvent::new(now, "rm.file.complete").field("file", fname));
+    let ctx = fw_ctx(state, idx);
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.files.completed", 1);
+    rm.log.emit(&ctx, LogEvent::new(now, "rm.file.complete"));
     if finished_all {
         finish_request(sim, state, cb);
     } else if was_admitted {
@@ -677,11 +837,14 @@ fn fail_file<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<
         (st.remaining == 0, name, attempts, was_admitted)
     };
     ledger_release(sim, state, idx);
+    close_file_span(sim, state, idx, "failed");
     let now = sim.now();
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "rm.file.failed")
-            .field("file", fname)
-            .field("attempts", attempts as u64),
+    let ctx = TraceCtx::request(state.borrow().id).with_file(fname);
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.files.failed", 1);
+    rm.log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.file.failed").field("attempts", attempts as u64),
     );
     if finished_all {
         finish_request(sim, state, cb);
@@ -697,19 +860,18 @@ fn requeue_with_backoff<W: RmWorld>(
     cb: DoneCell<W>,
     idx: usize,
 ) {
-    let (attempts, fname, req_id) = {
-        let st = state.borrow();
-        let fw = &st.files[idx];
-        (fw.status.attempts, fw.status.name.clone(), st.id)
-    };
+    let attempts = state.borrow().files[idx].status.attempts;
     let delay = sim.world.reqman().next_backoff(attempts);
     let now = sim.now();
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "rm.retry.backoff")
-            .field("request", req_id)
-            .field("file", fname)
-            .field("attempt", attempts as u64)
-            .field("delay_s", delay.as_secs_f64()),
+    // The wait itself is part of the lifeline: the file sits in Backoff
+    // until the worker relaunches.
+    enter_phase(sim, &state, idx, Phase::Backoff, vec![]);
+    let ctx = fw_ctx(&state, idx);
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.retries", 1);
+    rm.log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.retry.backoff").field("delay_s", delay.as_secs_f64()),
     );
     sim.schedule(delay, move |s| {
         start_file_worker(s, state, cb, idx);
@@ -803,8 +965,7 @@ fn resolve_tuning<W: RmWorld>(
     client: NodeId,
     src_node: NodeId,
     host: &str,
-    file: &str,
-    req_id: u64,
+    ctx: &TraceCtx,
 ) -> TransferTuning {
     let (bw, rtt) = {
         let nws = sim.world.nws();
@@ -822,12 +983,11 @@ fn resolve_tuning<W: RmWorld>(
         (base, false)
     };
     if tuned {
-        rm.sched_stats.tuned += 1;
+        rm.metrics.counter_add(SchedStats::TUNED, 1);
     }
-    rm.log.push(
+    rm.log.emit(
+        ctx,
         LogEvent::new(now, "rm.tune.path")
-            .field("request", req_id)
-            .field("file", file.to_string())
             .field("host", host.to_string())
             .field("streams", tuning.streams as u64)
             .field("window", tuning.window)
@@ -845,7 +1005,7 @@ fn start_file_worker<W: RmWorld>(
     cb: DoneCell<W>,
     idx: usize,
 ) {
-    let (client, collection, file, excluded, req_id, attempts, settled, delivered) = {
+    let (client, collection, file, excluded, attempts, settled, delivered) = {
         let st = state.borrow();
         let fw = &st.files[idx];
         (
@@ -853,7 +1013,6 @@ fn start_file_worker<W: RmWorld>(
             fw.status.collection.clone(),
             fw.status.name.clone(),
             fw.excluded_hosts.clone(),
-            st.id,
             fw.status.attempts,
             fw.status.done || fw.status.failed,
             fw.known && fw.status.bytes_done >= fw.status.size,
@@ -877,6 +1036,10 @@ fn start_file_worker<W: RmWorld>(
         fail_file(sim, &state, &cb, idx);
         return;
     }
+    // The worker owns the file now: selection (and any capacity deferral)
+    // is the current lifeline phase. Re-entry from a deferral loop is a
+    // no-op — the Select span keeps accumulating the wait.
+    enter_phase(sim, &state, idx, Phase::Select, vec![]);
 
     // In-flight pulls per host: the manager-wide ledger, so the spread
     // planner sees what every request (not just this one) is doing.
@@ -905,13 +1068,12 @@ fn start_file_worker<W: RmWorld>(
             // growth, and the file keeps its admission slot.
             let delay = sim.world.reqman().scheduler.defer_retry;
             let now = sim.now();
+            let ctx = fw_ctx(&state, idx);
             let rm = sim.world.reqman();
-            rm.sched_stats.deferred += 1;
-            rm.log.push(
-                LogEvent::new(now, "rm.sched.defer")
-                    .field("request", req_id)
-                    .field("file", file.clone())
-                    .field("delay_s", delay.as_secs_f64()),
+            rm.metrics.counter_add(SchedStats::DEFERRED, 1);
+            rm.log.emit(
+                &ctx,
+                LogEvent::new(now, "rm.sched.defer").field("delay_s", delay.as_secs_f64()),
             );
             sim.schedule(delay, move |s| start_file_worker(s, state, cb, idx));
             return;
@@ -943,15 +1105,17 @@ fn start_file_worker<W: RmWorld>(
     // The pull occupies the source host from this commit until the attempt
     // ends; every other selection round sees it via the ledger.
     ledger_acquire(sim, &state, idx, &replica.host, true);
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "rm.replica.selected")
-            .field("request", req_id)
-            .field("file", file.clone())
-            .field("host", replica.host.clone()),
+    // Re-read the ctx: the attempt counter just advanced, and every event
+    // of this attempt (selection, staging, tuning, restart marker) carries
+    // the new attempt number.
+    let ctx = fw_ctx(&state, idx);
+    sim.world.reqman().log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.replica.selected").field("host", replica.host.clone()),
     );
 
     // HRM staging when the site is tape-backed.
-    let stage_delay = {
+    let (stage_delay, stage_queued) = {
         let rm = sim.world.reqman();
         match rm.hrms.get_mut(&replica.host) {
             Some(hrm) => {
@@ -961,24 +1125,42 @@ fn start_file_worker<W: RmWorld>(
                     hrm.catalog.register(&file, size);
                 }
                 match hrm.request_file(&file, now) {
-                    Ok(StageOutcome::CacheHit) => SimDuration::ZERO,
-                    Ok(StageOutcome::Staged { ready, .. }) => ready.since(now),
-                    Ok(StageOutcome::Failed(_)) | Err(_) => SimDuration::ZERO,
+                    Ok(StageOutcome::CacheHit) => (SimDuration::ZERO, SimDuration::ZERO),
+                    Ok(StageOutcome::Staged {
+                        ready,
+                        queued_behind,
+                    }) => (ready.since(now), queued_behind),
+                    Ok(StageOutcome::Failed(_)) | Err(_) => (SimDuration::ZERO, SimDuration::ZERO),
                 }
             }
-            None => SimDuration::ZERO,
+            None => (SimDuration::ZERO, SimDuration::ZERO),
         }
     };
     if !stage_delay.is_zero() {
         state.borrow_mut().files[idx].status.staging_until = Some(now + stage_delay);
-        sim.world.reqman().log.push(
+        enter_phase(sim, &state, idx, Phase::Stage, vec![]);
+        // Attach the HRM's cost decomposition so lifeline analysis can
+        // split drive-queueing from mount/seek/stream latency.
+        let (mount_s, seek_s, stream_s) = sim
+            .world
+            .reqman()
+            .hrms
+            .get(&replica.host)
+            .and_then(|h| h.stage_cost(&file))
+            .unwrap_or((0.0, 0.0, 0.0));
+        sim.world.reqman().log.emit(
+            &ctx,
             LogEvent::new(now, "rm.hrm.staging")
-                .field("file", file.clone())
-                .field("ready_in_s", stage_delay.as_secs_f64()),
+                .field("host", replica.host.clone())
+                .field("ready_in_s", stage_delay.as_secs_f64())
+                .field("queued_s", stage_queued.as_secs_f64())
+                .field("mount_s", mount_s)
+                .field("seek_s", seek_s)
+                .field("stream_s", stream_s),
         );
     }
 
-    let tuning = resolve_tuning(sim, client, src_node, &replica.host, &file, req_id);
+    let tuning = resolve_tuning(sim, client, src_node, &replica.host, &ctx);
     let host = replica.host.clone();
     let st2 = state.clone();
     let cb2 = cb.clone();
@@ -1003,11 +1185,10 @@ fn start_file_worker<W: RmWorld>(
         };
         if base > 0 {
             let now = s.now();
-            let fname = st2.borrow().files[idx].status.name.clone();
-            s.world.reqman().log.push(
-                LogEvent::new(now, "rm.failover.restart_marker")
-                    .field("file", fname)
-                    .field("offset", base),
+            let ctx = fw_ctx(&st2, idx);
+            s.world.reqman().log.emit(
+                &ctx,
+                LogEvent::new(now, "rm.failover.restart_marker").field("offset", base),
             );
         }
         let mut spec = TransferSpec::new(src_node, client, remaining_bytes)
@@ -1027,7 +1208,7 @@ fn start_file_worker<W: RmWorld>(
                     let now = s2.now();
                     s2.world.reqman().breaker_success(&done_host, now);
                     ledger_release(s2, &st3, idx);
-                    {
+                    let delta = {
                         let mut st = st3.borrow_mut();
                         let fw = &mut st.files[idx];
                         if fw.status.done || fw.status.failed {
@@ -1046,9 +1227,15 @@ fn start_file_worker<W: RmWorld>(
                                 seq,
                             });
                         }
+                        let delta = fw.status.size.saturating_sub(base);
                         fw.status.bytes_done = fw.status.size;
                         fw.current = None;
-                    }
+                        delta
+                    };
+                    // Close the Transfer span crediting this attempt's
+                    // delivered bytes; attempt deltas telescope, so a
+                    // file's Transfer spans sum to its size.
+                    enter_phase(s2, &st3, idx, Phase::Verify, vec![("bytes", delta.into())]);
                     verify_and_finish(s2, &st3, &cb3, idx);
                 }
                 Err(TransferError::Cancelled) => {
@@ -1087,6 +1274,7 @@ fn start_file_worker<W: RmWorld>(
                     fw.current_src = Some(src_node);
                     fw.repairing = false;
                 }
+                enter_phase(s, &st2, idx, Phase::Transfer, vec![]);
                 // Make sure the request's monitor tick is running.
                 ensure_monitor(s, &st2, &cb2);
             }
@@ -1133,7 +1321,10 @@ fn ensure_monitor<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
 /// update the visible progress snapshot, and apply the reliability plugin
 /// to each one.
 fn monitor_tick<W: RmWorld>(sim: &mut Sim<W>, state: SharedRequest, cb: DoneCell<W>) {
-    sim.world.reqman().monitor_ticks += 1;
+    sim.world
+        .reqman()
+        .metrics
+        .counter_add("rm.monitor.ticks", 1);
     let live: Vec<(usize, TransferHandle)> = {
         let st = state.borrow();
         st.files
@@ -1199,10 +1390,16 @@ fn poll_file<W: RmWorld>(
         // marker, try an alternate.
         let marker = cancel_transfer(sim, handle);
         let now = sim.now();
-        let host = {
+        let (host, delta) = {
             let mut st = state.borrow_mut();
             let fw = &mut st.files[idx];
             let banked = (fw.attempt_base + marker).min(fw.status.size);
+            // Repair attempts bank nothing — the span closes with 0 bytes.
+            let delta = if fw.repairing {
+                0
+            } else {
+                banked.saturating_sub(fw.attempt_base)
+            };
             // Bank the partial range with its provenance — it still
             // gets digest-verified before the file can complete.
             // Repair attempts never bank (their marker is synthetic).
@@ -1224,18 +1421,31 @@ fn poll_file<W: RmWorld>(
             fw.repairing = false;
             let host = fw.status.replica_host.clone().unwrap_or_default();
             fw.excluded_hosts.push(host.clone());
-            host
+            (host, delta)
         };
         ledger_release(sim, state, idx);
-        let fname = state.borrow().files[idx].status.name.clone();
+        let ctx = fw_ctx(state, idx);
         sim.world.reqman().breaker_failure(&host, now);
-        sim.world.reqman().log.push(
-            LogEvent::new(now, "rm.reliability.failover")
-                .field("file", fname)
-                .field("from", host)
-                .field("stalled", if stalled { 1u64 } else { 0u64 })
-                .field("timeout", if timed_out { 1u64 } else { 0u64 })
-                .field("rate", rate),
+        {
+            let rm = sim.world.reqman();
+            rm.metrics.counter_add("rm.failovers", 1);
+            rm.log.emit(
+                &ctx,
+                LogEvent::new(now, "rm.reliability.failover")
+                    .field("from", host)
+                    .field("stalled", if stalled { 1u64 } else { 0u64 })
+                    .field("timeout", if timed_out { 1u64 } else { 0u64 })
+                    .field("rate", rate),
+            );
+        }
+        // Close the Transfer/Repair span with whatever bytes were banked;
+        // the worker re-enters Select on restart.
+        enter_phase(
+            sim,
+            state,
+            idx,
+            Phase::Select,
+            vec![("bytes", delta.into())],
         );
         start_file_worker(sim, state.clone(), cb.clone(), idx);
     }
@@ -1268,6 +1478,10 @@ fn verify_and_finish<W: RmWorld>(
             st.client,
         )
     };
+    // Re-entrant verifies (post-repair, post-requeue) land in the same
+    // open Verify span; the transition is a no-op if already there.
+    enter_phase(sim, state, idx, Phase::Verify, vec![]);
+    let ctx = fw_ctx(state, idx);
     let Some(expected_hex) = sim.world.reqman().catalog.file_digest(&collection, &name) else {
         complete_file(sim, state, cb, idx);
         return;
@@ -1303,9 +1517,11 @@ fn verify_and_finish<W: RmWorld>(
     let report = verify_blocks(&key, size, denom, &views);
     let now = sim.now();
     if report.is_clean() && report.received_hex == expected_hex {
-        sim.world.reqman().log.push(
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add("rm.integrity.verified", 1);
+        rm.log.emit(
+            &ctx,
             LogEvent::new(now, "integrity.file.verified")
-                .field("file", name)
                 .field("digest", report.received_hex)
                 .field("repair_rounds", repair_rounds as u64)
                 .field("repair_bytes", repair_bytes),
@@ -1319,9 +1535,10 @@ fn verify_and_finish<W: RmWorld>(
     {
         let rm = sim.world.reqman();
         for (b, h) in &report.corrupt {
-            rm.log.push(
+            rm.metrics.counter_add("rm.integrity.block_mismatches", 1);
+            rm.log.emit(
+                &ctx,
                 LogEvent::new(now, "integrity.block.mismatch")
-                    .field("file", name.clone())
                     .field("block", *b)
                     .field("host", h.clone()),
             );
@@ -1337,7 +1554,9 @@ fn verify_and_finish<W: RmWorld>(
         let count = rm.integrity.record_incident(&collection, host);
         if rm.integrity.quarantine_if_due(&collection, host) {
             let _ = rm.catalog.set_host_suspect(&collection, host, true);
-            rm.log.push(
+            rm.metrics.counter_add("rm.integrity.quarantines", 1);
+            rm.log.emit(
+                &ctx,
                 LogEvent::new(now, "integrity.replica.quarantine")
                     .field("collection", collection.clone())
                     .field("host", host.clone())
@@ -1365,11 +1584,15 @@ fn verify_and_finish<W: RmWorld>(
             fw.current = None;
             fw.excluded_hosts = blamed.clone();
         }
-        sim.world.reqman().log.push(
-            LogEvent::new(now, "integrity.repair.escalate")
-                .field("file", name)
-                .field("blocks", blocks.len() as u64),
-        );
+        {
+            let rm = sim.world.reqman();
+            rm.metrics.counter_add("rm.integrity.escalations", 1);
+            rm.log.emit(
+                &ctx,
+                LogEvent::new(now, "integrity.repair.escalate")
+                    .field("blocks", blocks.len() as u64),
+            );
+        }
         requeue_with_backoff(sim, state.clone(), cb.clone(), idx);
         return;
     }
@@ -1424,25 +1647,30 @@ fn launch_repair<W: RmWorld>(
     let now = sim.now();
     sim.world.reqman().breaker_admit(&replica.host, now);
     ledger_acquire(sim, state, idx, &replica.host, false);
-    let (round, req_id) = {
+    let round = {
         let mut st = state.borrow_mut();
-        let id = st.id;
         let fw = &mut st.files[idx];
         fw.repair_rounds += 1;
         fw.repair_bytes += bytes;
         fw.repairing = true;
         fw.status.replica_host = Some(replica.host.clone());
-        (fw.repair_rounds, id)
+        fw.repair_rounds
     };
-    sim.world.reqman().log.push(
-        LogEvent::new(now, "integrity.repair.eret")
-            .field("file", name.to_string())
-            .field("host", replica.host.clone())
-            .field("bytes", bytes)
-            .field("spans", ranges.span_count() as u64)
-            .field("round", round as u64),
-    );
-    let tuning = resolve_tuning(sim, client, src_node, &replica.host, name, req_id);
+    enter_phase(sim, state, idx, Phase::Repair, vec![]);
+    let ctx = fw_ctx(state, idx);
+    {
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add("rm.integrity.repairs", 1);
+        rm.log.emit(
+            &ctx,
+            LogEvent::new(now, "integrity.repair.eret")
+                .field("host", replica.host.clone())
+                .field("bytes", bytes)
+                .field("spans", ranges.span_count() as u64)
+                .field("round", round as u64),
+        );
+    }
+    let tuning = resolve_tuning(sim, client, src_node, &replica.host, &ctx);
     let seq = sim.world.reqman().next_xfer_seq();
     let mut spec = TransferSpec::new(src_node, client, bytes)
         .streams(tuning.streams)
@@ -1482,6 +1710,7 @@ fn launch_repair<W: RmWorld>(
                 fw.repairing = false;
                 fw.current = None;
             }
+            enter_phase(s2, &st2, idx, Phase::Verify, vec![("bytes", bytes.into())]);
             verify_and_finish(s2, &st2, &cb2, idx);
         }
         Err(TransferError::Cancelled) => {
@@ -1556,7 +1785,9 @@ fn rehabilitate_replica<W: RmWorld>(sim: &mut Sim<W>, collection: String, host: 
         store.scrub();
     }
     let _ = rm.catalog.set_host_suspect(&collection, &host, false);
-    rm.log.push(
+    rm.metrics.counter_add("rm.integrity.rehabilitations", 1);
+    rm.log.emit(
+        &TraceCtx::system(),
         LogEvent::new(now, "integrity.replica.rehabilitated")
             .field("collection", collection)
             .field("host", host),
@@ -2488,7 +2719,7 @@ mod tests {
         sim.run();
         assert_eq!(sim.world.outcomes.len(), 1);
         assert!(sim.world.outcomes[0].files.iter().all(|f| f.done));
-        let stats = sim.world.rm.sched_stats;
+        let stats = sim.world.rm.sched_stats();
         assert_eq!(stats.admitted, 12);
         assert!(
             stats.peak_active_per_request <= 3,
@@ -2525,7 +2756,7 @@ mod tests {
             rm.inflight().peak_attempts()
         );
         assert!(
-            rm.sched_stats.deferred > 0,
+            rm.sched_stats().deferred > 0,
             "12 files over 2 hosts at cap 2 must defer some selections"
         );
         assert_eq!(rm.inflight().total(), 0, "ledger must drain");
@@ -2550,7 +2781,7 @@ mod tests {
         assert!(o.files.iter().all(|f| f.done));
         let dt = o.finished.since(o.started).as_secs_f64();
         let poll = sim.world.rm.poll.as_secs_f64();
-        let ticks = sim.world.rm.monitor_ticks;
+        let ticks = sim.world.rm.monitor_ticks();
         // One tick per interval, plus slack for retire/re-arm cycles at
         // transfer boundaries. A per-file monitor would be ~an order of
         // magnitude above this bound.
@@ -2619,7 +2850,7 @@ mod tests {
         assert_eq!(sim.world.outcomes.len(), 1);
         let o = &sim.world.outcomes[0];
         assert!(o.files.iter().all(|f| f.done));
-        assert_eq!(sim.world.rm.sched_stats.prestaged, 2);
+        assert_eq!(sim.world.rm.sched_stats().prestaged, 2);
         assert!(sim.world.rm.log.named("rm.prestage").next().is_some());
         let dt = o.finished.since(o.started).as_secs_f64();
         // Stage floor: the tape path alone takes 40+20+2 = 62 s.
@@ -2642,7 +2873,7 @@ mod tests {
         sim.run();
         assert_eq!(sim.world.outcomes.len(), 1);
         assert!(sim.world.outcomes[0].files.iter().all(|f| f.done));
-        let stats = sim.world.rm.sched_stats;
+        let stats = sim.world.rm.sched_stats();
         assert_eq!(stats.admitted, 0, "no admission bookkeeping when off");
         assert_eq!(stats.deferred, 0);
         assert_eq!(stats.prestaged, 0);
@@ -2672,7 +2903,7 @@ mod tests {
         assert!(e.get_num("window").unwrap() > 0.0);
         assert!(e.get_num("fc_bw").unwrap() > 0.0);
         assert!(e.get_num("fc_rtt_s").unwrap() > 0.0);
-        assert_eq!(sim.world.rm.sched_stats.tuned, 1);
+        assert_eq!(sim.world.rm.sched_stats().tuned, 1);
         // BDP = 50e6 × 0.014 × 2 = 1.4 MB → one stream, 1.4 MB window.
         let w = e.get_num("window").unwrap();
         assert!(

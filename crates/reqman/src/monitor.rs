@@ -206,6 +206,28 @@ mod tests {
     }
 
     #[test]
+    fn renders_with_empty_log_and_no_files() {
+        // Degenerate monitor: nothing submitted yet, no events. All three
+        // panes still render, and the message pane is simply empty.
+        let text = render_monitor(SimTime::ZERO, &[], &NetLog::new());
+        assert!(text.contains("transfer monitor"));
+        assert!(text.contains("total transferred: 0 B of 0 B"));
+        assert!(text.contains("replica selections"));
+        assert!(text.ends_with("--- messages ---\n"));
+    }
+
+    #[test]
+    fn renders_single_event_log() {
+        let mut log = NetLog::new();
+        log.push(LogEvent::new(SimTime(1_500_000_000), "rm.request.submit").field("files", 1u64));
+        let text = render_monitor(SimTime::from_secs(2), &[file("a.esg", 0, 10)], &log);
+        // The lone event shows with its ULM line and bracketed timestamp.
+        assert!(text.contains("[    1.500s]"));
+        assert!(text.contains("EVNT=rm.request.submit"));
+        assert!(text.contains("files=1"));
+    }
+
+    #[test]
     fn human_bytes_units() {
         assert_eq!(human_bytes(512), "512 B");
         assert_eq!(human_bytes(1_500), "1.5 KB");

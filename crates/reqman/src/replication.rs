@@ -14,7 +14,7 @@
 use crate::manager::RmWorld;
 use esg_gridftp::simxfer::{start_transfer, TransferSpec};
 use esg_gridftp::GridUrl;
-use esg_netlogger::LogEvent;
+use esg_netlogger::{LogEvent, TraceCtx};
 use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
 
 use std::cell::RefCell;
@@ -69,7 +69,8 @@ pub fn replicate_collection<W: RmWorld>(
         &[],
     );
     let now = sim.now();
-    sim.world.reqman().log.push(
+    sim.world.reqman().log.emit(
+        &TraceCtx::system(),
         LogEvent::new(now, "rm.replicate.start")
             .field("collection", collection)
             .field("target", target_host)
@@ -118,7 +119,8 @@ fn finish<W: RmWorld>(sim: &mut Sim<W>, state: &Shared, cb: &DoneCell<W>) {
         }
     };
     let now = sim.now();
-    sim.world.reqman().log.push(
+    sim.world.reqman().log.emit(
+        &TraceCtx::system(),
         LogEvent::new(now, "rm.replicate.complete")
             .field("collection", outcome.collection.clone())
             .field("copied", outcome.files_copied)
@@ -199,10 +201,9 @@ fn copy_one<W: RmWorld>(
                 st.remaining == 0
             };
             let now = s.now();
-            s.world.reqman().log.push(
-                LogEvent::new(now, "rm.replicate.file")
-                    .field("file", file2.clone())
-                    .field("bytes", r.bytes),
+            s.world.reqman().log.emit(
+                &TraceCtx::system().with_file(file2.clone()),
+                LogEvent::new(now, "rm.replicate.file").field("bytes", r.bytes),
             );
             if done {
                 finish(s, &st2, &cb2);

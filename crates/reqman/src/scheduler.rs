@@ -182,6 +182,27 @@ pub struct SchedStats {
     pub peak_active_per_request: usize,
 }
 
+impl SchedStats {
+    /// Registry names backing each field. The request manager counts
+    /// directly into its `MetricsRegistry`; this struct is a typed view.
+    pub const ADMITTED: &'static str = "rm.sched.admitted";
+    pub const DEFERRED: &'static str = "rm.sched.deferred";
+    pub const PRESTAGED: &'static str = "rm.sched.prestaged";
+    pub const TUNED: &'static str = "rm.sched.tuned";
+    pub const PEAK_ACTIVE: &'static str = "rm.sched.peak_active_per_request";
+
+    /// Materialise the view from a metrics registry snapshot.
+    pub fn from_registry(reg: &esg_netlogger::MetricsRegistry) -> Self {
+        SchedStats {
+            admitted: reg.counter(Self::ADMITTED),
+            deferred: reg.counter(Self::DEFERRED),
+            prestaged: reg.counter(Self::PRESTAGED),
+            tuned: reg.counter(Self::TUNED),
+            peak_active_per_request: reg.gauge(Self::PEAK_ACTIVE) as usize,
+        }
+    }
+}
+
 /// Order a request's file indices into its ready queue.
 ///
 /// `sizes[i]` is the catalog size of file `i`. Ties (and `Fifo`) preserve

@@ -185,6 +185,23 @@ impl Hrm {
         self.cache.contains(name)
     }
 
+    /// The fixed cost components of staging `name` off tape, in seconds:
+    /// `(mount, seek, stream)`. Queueing behind other jobs is excluded —
+    /// it depends on drive contention at submit time, which
+    /// [`StageOutcome::Staged`]'s `queued_behind` reports per request.
+    /// `None` when the catalog does not know the file. Observability
+    /// consumers attach this breakdown to their `rm.hrm.staging` events so
+    /// lifeline analysis can split tape-mount latency from streaming.
+    pub fn stage_cost(&self, name: &str) -> Option<(f64, f64, f64)> {
+        let size = self.catalog.size_of(name)?;
+        let p = self.tape.params();
+        Some((
+            p.mount.as_secs_f64(),
+            p.seek.as_secs_f64(),
+            self.tape.transfer_time(size as f64).as_secs_f64(),
+        ))
+    }
+
     /// Pin a staged file for the duration of a transfer.
     pub fn pin(&mut self, name: &str) -> bool {
         self.cache.pin(name)

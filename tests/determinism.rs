@@ -107,7 +107,7 @@ fn sha_hex(s: &str) -> String {
 /// topology or logging shifts the trace, regenerate with:
 /// `cargo test user_scaling_trace -- --nocapture` and update.
 const USER_SCALING_GOLDEN: &str =
-    "a5f9774ab8dbdb564c1dea124e130fc017ee02496c30173184cd908fd247478d";
+    "05f2528ace6624dc347f92bb74847ce0ace90a81498e43e7fea734732c95f071";
 
 #[test]
 fn user_scaling_trace_survives_incremental_allocator() {
@@ -133,7 +133,7 @@ fn user_scaling_trace_survives_incremental_allocator() {
 /// Regenerate with `cargo test scheduler_pipeline_trace -- --nocapture`
 /// after intentional changes to the scheduler, workload or logging.
 const SCHED_PIPELINE_GOLDEN: &str =
-    "5780978310e80e11f2d3b2d554b42e4a1cde91120d5d0d8e3e47a1977fc93d19";
+    "417138b4dd8108c4c3d34df3a7ac64fc877df0e7b0c56983c56750589d1be1b9";
 
 #[test]
 fn scheduler_pipeline_trace_is_pinned() {
@@ -187,8 +187,8 @@ fn scheduler_pipeline_trace_is_pinned() {
         tb.sim.run_until(SimTime::from_secs(1800));
         assert_eq!(tb.sim.world.outcomes.len(), 2, "both requests must finish");
         let rm = &tb.sim.world.rm;
-        assert!(rm.sched_stats.prestaged > 0, "prestage must fire");
-        assert!(rm.sched_stats.tuned > 0, "BDP tuning must fire");
+        assert!(rm.sched_stats().prestaged > 0, "prestage must fire");
+        assert!(rm.sched_stats().tuned > 0, "BDP tuning must fire");
         rm.log.to_ulm()
     };
     let a = run();
@@ -202,7 +202,7 @@ fn scheduler_pipeline_trace_is_pinned() {
 /// Golden trace hash for `soak_trace_survives_incremental_allocator`
 /// (seed 11). Regenerate with
 /// `cargo test soak_trace -- --nocapture` after intentional changes.
-const SOAK_GOLDEN: &str = "1b8f5088b02371910e94a60d6fca6adbdcdb87742d0f46c843ef0e236b235585";
+const SOAK_GOLDEN: &str = "ec9e7d0d221237666540acb366bdfef55983eaba503f4ccda238c6d6b60cb356";
 
 #[test]
 fn soak_trace_survives_incremental_allocator() {

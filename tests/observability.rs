@@ -1,0 +1,185 @@
+//! End-to-end observability: causal tracing, lifeline reconstruction and
+//! the unified metrics registry over a real testbed run.
+
+use esg::core::esg_testbed;
+use esg::netlogger::{LifelineSet, NetLog};
+use esg::reqman::submit_request;
+use esg::simnet::{SimDuration, SimTime};
+use esg::storage::{Hrm, TapeParams};
+
+/// One mixed hot/cold request on the Figure 1 testbed: four replicated
+/// disk files plus one tape-only file behind the HPSS HRM.
+fn run_mixed(seed: u64) -> esg::core::EsgTestbed {
+    let mut tb = esg_testbed(seed);
+    tb.sim.world.rm.add_hrm(
+        "hpss.lbl.gov",
+        Hrm::new(
+            TapeParams {
+                drives: 2,
+                mount: SimDuration::from_secs(10),
+                seek: SimDuration::from_secs(5),
+                rate: 25e6,
+            },
+            1 << 38,
+        ),
+    );
+    tb.publish_dataset("obs.disk", 16, 4, 10_000_000, &[1, 3]);
+    tb.publish_dataset("obs.tape", 4, 2, 15_000_000, &[0]);
+    tb.start_nws(SimDuration::from_secs(25));
+    tb.sim.run_until(SimTime::from_secs(100));
+
+    let dc = tb.sim.world.metadata.collection_of("obs.disk").unwrap();
+    let tc = tb.sim.world.metadata.collection_of("obs.tape").unwrap();
+    let mut files: Vec<(String, String)> = tb
+        .sim
+        .world
+        .metadata
+        .all_files("obs.disk")
+        .unwrap()
+        .iter()
+        .take(4)
+        .map(|f| (dc.clone(), f.name.clone()))
+        .collect();
+    files.push((
+        tc.clone(),
+        tb.sim.world.metadata.all_files("obs.tape").unwrap()[0]
+            .name
+            .clone(),
+    ));
+    let client = tb.client;
+    submit_request(&mut tb.sim, client, files, |s, o| s.world.outcomes.push(o));
+    tb.sim.run_until(SimTime::from_secs(3600));
+    assert_eq!(tb.sim.world.outcomes.len(), 1);
+    assert!(tb.sim.world.outcomes[0].files.iter().all(|f| f.done));
+    tb
+}
+
+#[test]
+fn every_delivered_file_reconstructs_a_complete_lifeline() {
+    let tb = run_mixed(41);
+    // Reconstruct from the *parsed* trace: the offline path a NetLogger
+    // consumer would take from the ULM file.
+    let ulm = tb.sim.world.rm.log.to_ulm();
+    let parsed = NetLog::from_ulm(&ulm).expect("trace parses");
+    assert_eq!(parsed.to_ulm(), ulm, "round-trip must be byte-identical");
+
+    let set = LifelineSet::from_log(&parsed);
+    assert!(set.orphans.is_empty(), "orphans: {:?}", set.orphans);
+    let o = &tb.sim.world.outcomes[0];
+    assert_eq!(set.lifelines.len(), o.files.len());
+    for f in &o.files {
+        let l = set.lifeline(o.id, &f.name).expect("lifeline exists");
+        assert!(l.is_complete(), "incomplete tiling for {}", f.name);
+        assert!(l.tiling_gap_s().unwrap() < 1e-6);
+        assert_eq!(l.transfer_bytes(), f.size, "byte coverage for {}", f.name);
+        assert_eq!(l.status(), Some("done"));
+    }
+    // The tape file's lifeline carries a Stage phase; disk files do not.
+    let tape = o
+        .files
+        .iter()
+        .find(|f| f.name.contains("obs.tape"))
+        .unwrap();
+    let l = set.lifeline(o.id, &tape.name).unwrap();
+    assert!(l.phase_totals().contains_key("stage"), "tape file staged");
+    let disk = o
+        .files
+        .iter()
+        .find(|f| f.name.contains("obs.disk"))
+        .unwrap();
+    let l = set.lifeline(o.id, &disk.name).unwrap();
+    assert!(!l.phase_totals().contains_key("stage"));
+    // One critical path for the one request, gated by a real file.
+    let cps = set.critical_paths();
+    assert_eq!(cps.len(), 1);
+    assert!(cps[0].makespan_s > 0.0);
+}
+
+#[test]
+fn span_events_carry_causal_context() {
+    let tb = run_mixed(42);
+    let rm = &tb.sim.world.rm;
+    // Every span event names its span and phase; every file-scoped event
+    // carries request and file stamped by the trace context.
+    for e in rm.log.named("span.start") {
+        assert!(e.has("span") && e.has("phase"), "{}", e.to_ulm());
+    }
+    for e in rm.log.named("rm.replica.selected") {
+        assert!(
+            e.has("request") && e.has("file") && e.has("attempt"),
+            "{}",
+            e.to_ulm()
+        );
+    }
+    // Prestage spans are request-scoped (no file).
+    let prestart = rm
+        .log
+        .named("span.start")
+        .find(|e| matches!(e.get("phase"), Some(v) if v.to_string() == "prestage"))
+        .expect("tape workload prestages");
+    assert!(prestart.has("request") && !prestart.has("file"));
+    // span.start/span.end pair up exactly.
+    assert_eq!(
+        rm.log.named("span.start").count(),
+        rm.log.named("span.end").count()
+    );
+}
+
+#[test]
+fn metrics_registry_unifies_all_layers_and_snapshots_deterministically() {
+    let tb = run_mixed(43);
+    let mut reg = tb.sim.world.rm.metrics.clone();
+    reg.import_alloc(&tb.sim.net.alloc_stats());
+    tb.sim.world.gridftp.export_metrics(&mut reg);
+    tb.sim.world.rm.integrity.export_metrics(&mut reg);
+
+    // The registry view agrees with the typed SchedStats facade.
+    let stats = tb.sim.world.rm.sched_stats();
+    assert_eq!(stats.admitted, reg.counter("rm.sched.admitted"));
+    assert!(stats.admitted >= 5, "five files admitted");
+    assert_eq!(stats.prestaged, reg.counter("rm.sched.prestaged"));
+    assert!(stats.prestaged >= 1, "the tape file prestaged");
+    assert!(tb.sim.world.rm.monitor_ticks() == reg.counter("rm.monitor.ticks"));
+
+    // Cross-layer counters landed under one interface.
+    assert_eq!(reg.counter("rm.requests.completed"), 1);
+    assert_eq!(reg.counter("rm.files.completed"), 5);
+    assert!(reg.counter("gridftp.transfers_completed") >= 5);
+    assert!(reg.counter("simnet.alloc.flow_solves") > 0);
+
+    // Phase histograms observed every closed span; makespans are positive.
+    let h = reg
+        .histogram("rm.file.makespan_s")
+        .expect("makespans observed");
+    assert_eq!(h.count(), 5);
+    assert!(h.min().unwrap() > 0.0);
+    let q = reg.histogram("rm.phase.queue_s").expect("queue observed");
+    assert!(q.count() >= 5);
+
+    // Snapshots are deterministic: same registry, same JSON.
+    assert_eq!(reg.to_json(), reg.clone().to_json());
+    let tb2 = run_mixed(43);
+    let mut reg2 = tb2.sim.world.rm.metrics.clone();
+    reg2.import_alloc(&tb2.sim.net.alloc_stats());
+    tb2.sim.world.gridftp.export_metrics(&mut reg2);
+    tb2.sim.world.rm.integrity.export_metrics(&mut reg2);
+    assert_eq!(reg.to_json(), reg2.to_json(), "same seed, same snapshot");
+}
+
+#[test]
+fn stall_detector_flags_tape_staging_but_not_healthy_transfers() {
+    let tb = run_mixed(44);
+    let set = LifelineSet::from_log(&tb.sim.world.rm.log);
+    // Tape staging (mount + seek + stream behind 2 drives) takes tens of
+    // seconds; healthy disk transfers take a few. A threshold between the
+    // two flags exactly the staging spans.
+    let stalls = set.detect_stalls(15.0);
+    assert!(!stalls.is_empty(), "staging must trip the detector");
+    assert!(stalls
+        .iter()
+        .all(|s| s.phase.as_str() == "stage" || s.phase.as_str() == "prestage"));
+    let events = set.stall_events(15.0);
+    assert_eq!(events.named("obs.stall").count(), stalls.len());
+    // A generous threshold is silent.
+    assert!(set.detect_stalls(500.0).is_empty());
+}

@@ -184,9 +184,9 @@ fn soak_120_requests_all_bit_exact_under_corruption() {
     {
         let bytes: f64 = line
             .split_whitespace()
-            .find_map(|kv| kv.strip_prefix("BYTES="))
+            .find_map(|kv| kv.strip_prefix("bytes="))
             .and_then(|v| v.parse().ok())
-            .expect("repair event carries BYTES");
+            .expect("repair event carries bytes");
         assert!(
             bytes > 0.0 && bytes < FILE_SIZE as f64,
             "repair must move a partial range: {line}"

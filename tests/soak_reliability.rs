@@ -164,9 +164,9 @@ fn soak_200_requests_all_complete_under_faults() {
     {
         let off: f64 = line
             .split_whitespace()
-            .find_map(|kv| kv.strip_prefix("OFFSET="))
+            .find_map(|kv| kv.strip_prefix("offset="))
             .and_then(|v| v.parse().ok())
-            .expect("restart marker event carries OFFSET");
+            .expect("restart marker event carries offset");
         assert!(off > 0.0 && off < max_size, "bad restart offset: {line}");
     }
 
