@@ -38,179 +38,7 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-pub mod scaling {
-    //! Flow-level concurrent-user scaling harness (A10).
-    //!
-    //! Builds a WAN of independent regions — each a storage server feeding
-    //! several clients through a shared regional uplink — and pushes N
-    //! concurrent flows through it, in either the incremental-allocator
-    //! mode (default) or the `--full-recompute` ablation. Both modes must
-    //! produce bitwise-identical per-flow completion times and NetLogger
-    //! traces; only the wall clock and the allocation-work counters differ.
-    //!
-    //! Regions are disjoint on purpose: real deployments are many mostly-
-    //! independent site↔client paths, and that independence is exactly the
-    //! structure a component-scoped allocator exploits. The ablation solves
-    //! every region on every event; the incremental path solves only the
-    //! region an event touches.
-
-    use esg_netlogger::{LogEvent, NetLog};
-    use esg_simnet::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    use std::cell::RefCell;
-    use std::rc::Rc;
-
-    pub const CLIENTS_PER_REGION: usize = 4;
-
-    /// Result of one variant run.
-    pub struct VariantResult {
-        pub mode: &'static str,
-        pub wall: std::time::Duration,
-        pub stats: AllocStats,
-        /// (flow sequence number, completion time) in completion order.
-        pub completions: Vec<(usize, SimTime)>,
-        /// ULM dump of the flow.start/flow.complete trace.
-        pub trace_ulm: String,
-        pub peak_concurrent: usize,
-    }
-
-    struct World {
-        log: NetLog,
-        completions: Vec<(usize, SimTime)>,
-        peak: usize,
-    }
-
-    /// Run `n` flows over `regions` regions with the given seed.
-    pub fn run_variant(n: usize, regions: usize, seed: u64, full_recompute: bool) -> VariantResult {
-        let mut topo = Topology::new();
-        let mut servers = Vec::with_capacity(regions);
-        let mut clients = Vec::with_capacity(regions);
-        for r in 0..regions {
-            let sv = topo.add_node(Node::host(format!("server{r}")));
-            let rt = topo.add_node(Node::router(format!("router{r}")));
-            // Shared regional uplink: 1 Gb/s, 10 ms.
-            topo.add_link(sv, rt, 125e6, SimDuration::from_millis(10));
-            let mut cls = Vec::with_capacity(CLIENTS_PER_REGION);
-            for c in 0..CLIENTS_PER_REGION {
-                let cl = topo.add_node(Node::host(format!("client{r}.{c}")));
-                // Access: 622 Mb/s, 5 ms.
-                topo.add_link(rt, cl, 77.75e6, SimDuration::from_millis(5));
-                cls.push(cl);
-            }
-            servers.push(sv);
-            clients.push(cls);
-        }
-
-        let mut sim: Sim<Rc<RefCell<World>>> = Sim::new(
-            topo,
-            Rc::new(RefCell::new(World {
-                log: NetLog::new(),
-                completions: Vec::new(),
-                peak: 0,
-            })),
-        );
-        sim.net.set_full_recompute(full_recompute);
-
-        // Deterministic workload, identical across variants: arrivals
-        // staggered over 20 s, sizes chosen so every flow outlives the
-        // arrival window — the whole population is concurrently active.
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in 0..n {
-            let region = i % regions;
-            let src = servers[region];
-            let dst = clients[region][rng.gen_range(0usize..CLIENTS_PER_REGION)];
-            let at = SimTime::ZERO + SimDuration::from_millis(rng.gen_range(0u64..20_000));
-            let size = 150e6 + rng.gen_range(0u64..400_000_000) as f64;
-            sim.schedule_at(at, move |s| {
-                {
-                    let mut w = s.world.borrow_mut();
-                    let now = s.net.now();
-                    w.log.push(
-                        LogEvent::new(now, "flow.start")
-                            .field("flow", i)
-                            .field("bytes", size),
-                    );
-                }
-                let world = s.world.clone();
-                s.start_flow(
-                    FlowSpec::new(src, dst, size).window(2e6).memory_to_memory(),
-                    move |s2| {
-                        let now = s2.now();
-                        let mut w = world.borrow_mut();
-                        w.completions.push((i, now));
-                        w.log.push(
-                            LogEvent::new(now, "flow.complete")
-                                .field("flow", i)
-                                .field("bytes", size),
-                        );
-                    },
-                )
-                .expect("regions are always routable");
-                let active = s.net.active_flow_count();
-                let mut w = s.world.borrow_mut();
-                if active > w.peak {
-                    w.peak = active;
-                }
-            });
-        }
-
-        let wall = std::time::Instant::now();
-        sim.run_until(SimTime::from_secs(100_000));
-        let wall = wall.elapsed();
-
-        let world = sim.world.borrow();
-        assert_eq!(
-            world.completions.len(),
-            n,
-            "not every flow completed before the horizon"
-        );
-        VariantResult {
-            mode: if full_recompute {
-                "full-recompute"
-            } else {
-                "incremental"
-            },
-            wall,
-            stats: sim.net.alloc_stats(),
-            completions: world.completions.clone(),
-            trace_ulm: world.log.to_ulm(),
-            peak_concurrent: world.peak,
-        }
-    }
-
-    /// Assert the two variants are observably identical: same completion
-    /// order and instants, byte-identical traces. Panics on divergence —
-    /// this is the allocation-equivalence tripwire CI relies on.
-    pub fn assert_equivalent(a: &VariantResult, b: &VariantResult) {
-        assert_eq!(
-            a.completions.len(),
-            b.completions.len(),
-            "completion counts differ: {} vs {}",
-            a.mode,
-            b.mode
-        );
-        for (i, (x, y)) in a.completions.iter().zip(&b.completions).enumerate() {
-            assert_eq!(
-                x, y,
-                "completion {i} diverged between {} and {}",
-                a.mode, b.mode
-            );
-        }
-        assert_eq!(
-            a.trace_ulm, b.trace_ulm,
-            "NetLogger traces diverged between {} and {}",
-            a.mode, b.mode
-        );
-    }
-
-    pub fn trace_sha256_hex(v: &VariantResult) -> String {
-        esg_gsi::sha256(v.trace_ulm.as_bytes())
-            .iter()
-            .map(|b| format!("{b:02x}"))
-            .collect()
-    }
-}
+pub mod scaling;
 
 #[cfg(test)]
 mod tests {
@@ -222,18 +50,5 @@ mod tests {
         assert_eq!(s.chars().count(), 3);
         assert!(s.ends_with('█'));
         assert!(s.starts_with('▁'));
-    }
-
-    #[test]
-    fn scaling_variants_are_equivalent_at_small_n() {
-        let inc = scaling::run_variant(48, 6, 7, false);
-        let full = scaling::run_variant(48, 6, 7, true);
-        scaling::assert_equivalent(&inc, &full);
-        // The ablation must do strictly more allocation work.
-        assert!(full.stats.flow_solves > inc.stats.flow_solves);
-        assert_eq!(
-            scaling::trace_sha256_hex(&inc),
-            scaling::trace_sha256_hex(&full)
-        );
     }
 }

@@ -406,6 +406,13 @@ impl NetLog {
         self.events.iter()
     }
 
+    /// The last `n` events (fewer if the log is shorter). O(1) — a slice
+    /// of the tail, for live displays that re-render every tick and must
+    /// not walk the whole log each time.
+    pub fn tail(&self, n: usize) -> &[LogEvent] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+
     /// Events with the given name.
     pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a LogEvent> + 'a {
         self.events.iter().filter(move |e| e.name == name)

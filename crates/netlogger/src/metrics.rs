@@ -201,6 +201,10 @@ impl MetricsRegistry {
             "simnet.alloc.route_cache_misses".into(),
             stats.route_cache_misses,
         );
+        self.counters.insert(
+            "simnet.alloc.parallel_batches".into(),
+            stats.parallel_batches,
+        );
     }
 
     /// Overwrite a counter with an absolute value (for importing externally
@@ -342,6 +346,7 @@ mod tests {
             flow_solves: 30,
             route_cache_hits: 40,
             route_cache_misses: 5,
+            parallel_batches: 2,
         };
         r.import_alloc(&stats);
         r.import_alloc(&stats);

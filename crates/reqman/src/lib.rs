@@ -28,7 +28,7 @@ pub use integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView, Ver
 pub use manager::{
     submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld, TransferTuning,
 };
-pub use monitor::render_monitor;
+pub use monitor::{render_monitor, render_monitor_metered};
 pub use planner::plan_spread;
 pub use reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
 pub use replication::{replicate_collection, ReplicationOutcome};

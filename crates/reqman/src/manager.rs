@@ -884,16 +884,17 @@ fn requeue_with_backoff<W: RmWorld>(
 /// from "everything currently unavailable" / requeue and wait), and a
 /// `deferred` flag set when healthy candidates exist but every one is at
 /// the per-host in-flight cap — a capacity wait, not a failure.
-/// `host_load` is the manager-wide in-flight ledger snapshot, consulted by
-/// both the spread planner's load discount and the cap filter
-/// (`host_cap == 0` disables the cap — repairs bypass it).
+/// Host loads are read straight from the manager-wide in-flight ledger —
+/// O(1) per candidate — by both the spread planner's load discount and the
+/// cap filter (`host_cap == 0` disables the cap — repairs bypass it). The
+/// per-lookup cost is recorded under `rm.select.ledger_lookups`; the
+/// previous implementation cloned the whole ledger per selection round.
 fn select_replica<W: RmWorld>(
     sim: &mut Sim<W>,
     client: NodeId,
     collection: &str,
     file: &str,
     excluded: &[String],
-    host_load: &HashMap<String, usize>,
     host_cap: usize,
 ) -> (Option<(Replica, NodeId)>, usize, bool) {
     // Gather candidates and estimates first (immutable catalog reads),
@@ -922,7 +923,10 @@ fn select_replica<W: RmWorld>(
     // empties a non-empty healthy set, the caller should wait for
     // capacity rather than burn an attempt.
     if host_cap > 0 {
-        replicas.retain(|r| host_load.get(&r.host).copied().unwrap_or(0) < host_cap);
+        rm.metrics
+            .counter_add("rm.select.ledger_lookups", replicas.len() as u64);
+        let inflight = &rm.inflight;
+        replicas.retain(|r| inflight.load(&r.host) < host_cap);
         if replicas.is_empty() {
             return (None, candidates, true);
         }
@@ -947,7 +951,10 @@ fn select_replica<W: RmWorld>(
     }
     let rm = sim.world.reqman();
     let idx = if rm.spread_sites {
-        crate::planner::plan_spread(&replicas, &estimates, host_load)
+        rm.metrics
+            .counter_add("rm.select.ledger_lookups", replicas.len() as u64);
+        let inflight = &rm.inflight;
+        crate::planner::plan_spread(&replicas, &estimates, |h| inflight.load(h))
     } else {
         rm.selector.select(&replicas, &estimates)
     };
@@ -977,11 +984,17 @@ fn resolve_tuning<W: RmWorld>(
     let now = sim.now();
     let rm = sim.world.reqman();
     let base = rm.tuning;
-    let (tuning, tuned) = if rm.scheduler.enabled && rm.scheduler.auto_tune {
+    let (mut tuning, tuned) = if rm.scheduler.enabled && rm.scheduler.auto_tune {
         bdp_tuning(&rm.scheduler, base, bw, rtt)
     } else {
         (base, false)
     };
+    // Data-channel caching is a scheduler decision, not a BDP one: apply
+    // it whenever the scheduler asks for it so repeat pulls from the same
+    // host actually bank and reuse channels (`gridftp.cache_hits`).
+    if rm.scheduler.enabled && rm.scheduler.channel_cache {
+        tuning.channel_cache = true;
+    }
     if tuned {
         rm.metrics.counter_add(SchedStats::TUNED, 1);
     }
@@ -991,6 +1004,7 @@ fn resolve_tuning<W: RmWorld>(
             .field("host", host.to_string())
             .field("streams", tuning.streams as u64)
             .field("window", tuning.window)
+            .field("cached", tuning.channel_cache as u64)
             .field("fc_bw", bw.unwrap_or(-1.0))
             .field("fc_rtt_s", rtt.unwrap_or(-1.0))
             .field("source", if tuned { "bdp" } else { "default" }.to_string()),
@@ -1041,26 +1055,19 @@ fn start_file_worker<W: RmWorld>(
     // no-op — the Select span keeps accumulating the wait.
     enter_phase(sim, &state, idx, Phase::Select, vec![]);
 
-    // In-flight pulls per host: the manager-wide ledger, so the spread
-    // planner sees what every request (not just this one) is doing.
-    let (host_load, host_cap) = {
+    // The per-host in-flight cap; loads come from the manager-wide ledger
+    // inside `select_replica`, so the spread planner sees what every
+    // request (not just this one) is doing.
+    let host_cap = {
         let rm = sim.world.reqman();
-        let cap = if rm.scheduler.enabled {
+        if rm.scheduler.enabled {
             rm.scheduler.max_inflight_per_host
         } else {
             0
-        };
-        (rm.inflight.snapshot(), cap)
+        }
     };
-    let (choice, candidates, deferred) = select_replica(
-        sim,
-        client,
-        &collection,
-        &file,
-        &excluded,
-        &host_load,
-        host_cap,
-    );
+    let (choice, candidates, deferred) =
+        select_replica(sim, client, &collection, &file, &excluded, host_cap);
     let Some((replica, src_node)) = choice else {
         if deferred {
             // Every healthy candidate is at its in-flight cap: wait for
@@ -1628,15 +1635,16 @@ fn launch_repair<W: RmWorld>(
     let ranges = repair_ranges(blocks, size, BLOCK_SIZE);
     let bytes = ranges.total();
     // Repairs see the manager-wide load (for the spread discount) but
-    // bypass the per-host cap: a small ERET fetch must not starve behind
-    // bulk admission, and it still counts in the ledger once committed.
-    let load = sim.world.reqman().inflight.snapshot();
+    // bypass the per-host cap (`host_cap == 0`): a small ERET fetch must
+    // not starve behind bulk admission, and it still counts in the ledger
+    // once committed.
+    //
     // Prefer an alternate over any blamed host; fall back to the full
     // candidate set when no alternate exists (a bad copy the verifier can
     // catch again beats no copy).
-    let (mut choice, _, _) = select_replica(sim, client, collection, name, blamed, &load, 0);
+    let (mut choice, _, _) = select_replica(sim, client, collection, name, blamed, 0);
     if choice.is_none() {
-        choice = select_replica(sim, client, collection, name, &[], &load, 0).0;
+        choice = select_replica(sim, client, collection, name, &[], 0).0;
     }
     let Some((replica, src_node)) = choice else {
         // No source reachable right now: back off; the worker re-verifies
@@ -1902,6 +1910,51 @@ mod tests {
         // ~1 s of data at 50 MB/s... link is 50e6 bytes/s? cap 50e6 B/s.
         let dt = o.finished.since(o.started).as_secs_f64();
         assert!(dt < 5.0, "{dt}");
+    }
+
+    #[test]
+    fn scheduled_transfers_reuse_cached_channels() {
+        // Regression: `gridftp.cache_hits` sat at zero forever because the
+        // default TransferTuning never requested channel caching, so the
+        // simxfer engine banked no channels and every attempt paid the
+        // full connect + GSI handshake. With the scheduler's
+        // `channel_cache` wired through `resolve_tuning`, repeat pulls
+        // from the same host must reuse banked channels.
+        let (mut sim, client) = setup(Policy::BestBandwidth);
+        {
+            let rm = &mut sim.world.rm;
+            // Eight same-site files: the admission cap (4) serializes the
+            // request into waves, so later waves find channels banked by
+            // completed transfers from the same host.
+            for i in 0..8 {
+                let f = format!("wave{i}.esg");
+                rm.catalog.add_logical_file("co2", &f, 10_000_000).unwrap();
+                rm.catalog.add_file_to_location("co2", "llnl", &f).unwrap();
+            }
+        }
+        let files: Vec<(String, String)> = (0..8)
+            .map(|i| ("co2".to_string(), format!("wave{i}.esg")))
+            .collect();
+        submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        assert!(sim.world.outcomes[0].files.iter().all(|f| f.done));
+        let g = &sim.world.gridftp;
+        assert!(
+            g.cache_hits > 0,
+            "no data-channel reuse: {} transfers, {} handshakes",
+            g.transfers_started,
+            g.handshakes_performed
+        );
+        assert!(
+            g.handshakes_performed < g.transfers_started,
+            "every transfer paid a handshake despite channel caching"
+        );
+        // The counter must survive the metrics export path the bench
+        // reports go through.
+        let mut reg = esg_netlogger::MetricsRegistry::new();
+        g.export_metrics(&mut reg);
+        assert_eq!(reg.counter("gridftp.cache_hits"), g.cache_hits);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! selection and file transfer ... are displayed." (§4)
 
 use crate::manager::FileStatus;
-use esg_netlogger::NetLog;
+use esg_netlogger::{MetricsRegistry, NetLog};
 use esg_simnet::SimTime;
 use std::fmt::Write;
 
@@ -28,6 +28,23 @@ fn human_bytes(b: u64) -> String {
     } else {
         format!("{x:.1} {}", UNITS[u])
     }
+}
+
+/// [`render_monitor`] with render-cost accounting: `monitor.renders`
+/// counts invocations, `monitor.events_scanned` counts events actually
+/// formatted into the message pane. After the tail fix the latter grows by
+/// at most 8 per render; before it, every render scanned the entire log
+/// (the counter would have grown by `log.len()`), so a periodic monitor
+/// over a long soak degraded quadratically.
+pub fn render_monitor_metered(
+    now: SimTime,
+    files: &[FileStatus],
+    log: &NetLog,
+    reg: &mut MetricsRegistry,
+) -> String {
+    reg.counter_add("monitor.renders", 1);
+    reg.counter_add("monitor.events_scanned", log.tail(8).len() as u64);
+    render_monitor(now, files, log)
 }
 
 /// Render the three-pane monitor for a request's files.
@@ -92,11 +109,11 @@ pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> Strin
         }
     }
 
-    // Bottom pane: recent event messages.
+    // Bottom pane: recent event messages. `tail` slices the log's end in
+    // O(1); collecting the whole log made every render O(events so far),
+    // which turned a long soak's periodic monitor into a quadratic scan.
     writeln!(out, "\n--- messages ---").unwrap();
-    let all: Vec<_> = log.iter().collect();
-    let start = all.len().saturating_sub(8);
-    for e in &all[start..] {
+    for e in log.tail(8) {
         writeln!(out, "  [{:9.3}s] {}", e.time.as_secs_f64(), e.to_ulm()).unwrap();
     }
     out
@@ -180,6 +197,22 @@ mod tests {
                 "recent msg {i} missing"
             );
         }
+    }
+
+    #[test]
+    fn metered_render_scans_constant_tail() {
+        let mut log = NetLog::new();
+        for i in 0..1000u64 {
+            log.push(LogEvent::new(SimTime::from_secs(i), format!("rm.msg{i}")));
+        }
+        let mut reg = MetricsRegistry::new();
+        for _ in 0..5 {
+            render_monitor_metered(SimTime::from_secs(2000), &[], &log, &mut reg);
+        }
+        assert_eq!(reg.counter("monitor.renders"), 5);
+        // 8 events per render regardless of log length — the pre-fix
+        // full-log collect would have scanned 1000 each time.
+        assert_eq!(reg.counter("monitor.events_scanned"), 40);
     }
 
     #[test]

@@ -16,18 +16,20 @@
 //! concurrent request stack onto the same best forecast.
 
 use esg_replica::{PathEstimate, Replica};
-use std::collections::HashMap;
 
 /// Score candidates and pick the best index, or `None` if empty.
 ///
-/// `host_load[h]` = number of in-flight transfers (across every request —
-/// the manager's ledger snapshot) already assigned to host `h`. Unknown
-/// forecasts rank below all known ones (they still win if nothing has a
-/// forecast — first such candidate).
+/// `host_load(h)` = number of in-flight transfers (across every request —
+/// the manager's ledger) already assigned to host `h`. Taking a lookup
+/// function instead of a snapshot map keeps the caller's cost at O(1) per
+/// *candidate* — the manager used to clone its entire ledger for every
+/// selection round, which at 100k-flow scale dominated the scheduler's
+/// hot path. Unknown forecasts rank below all known ones (they still win
+/// if nothing has a forecast — first such candidate).
 pub fn plan_spread(
     candidates: &[Replica],
     estimates: &[PathEstimate],
-    host_load: &HashMap<String, usize>,
+    host_load: impl Fn(&str) -> usize,
 ) -> Option<usize> {
     if candidates.is_empty() {
         return None;
@@ -36,7 +38,7 @@ pub fn plan_spread(
     let mut best: Option<(usize, f64, usize)> = None; // (idx, score, load)
     let mut best_unknown: Option<(usize, usize)> = None;
     for (i, (cand, est)) in candidates.iter().zip(estimates).enumerate() {
-        let load = host_load.get(&cand.host).copied().unwrap_or(0);
+        let load = host_load(&cand.host);
         match est.bandwidth {
             Some(bw) => {
                 let score = bw / (load as f64 + 1.0);
@@ -58,6 +60,7 @@ pub fn plan_spread(
 mod tests {
     use super::*;
     use esg_gridftp::GridUrl;
+    use std::collections::HashMap;
 
     fn replicas(hosts: &[&str]) -> Vec<Replica> {
         hosts
@@ -85,8 +88,11 @@ mod tests {
     fn unloaded_picks_fastest() {
         let reps = replicas(&["a", "b", "c"]);
         let estimates = est(&[Some(10.0), Some(30.0), Some(20.0)]);
-        let load = HashMap::new();
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        let load: HashMap<String, usize> = HashMap::new();
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(1)
+        );
     }
 
     #[test]
@@ -96,7 +102,10 @@ mod tests {
         let mut load = HashMap::new();
         // One pull already on `fast`: 100/2 = 50 < 60 → pick `slow`.
         load.insert("fast".to_string(), 1);
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(1)
+        );
     }
 
     #[test]
@@ -106,7 +115,7 @@ mod tests {
         let mut load: HashMap<String, usize> = HashMap::new();
         let mut picks = Vec::new();
         for _ in 0..6 {
-            let i = plan_spread(&reps, &estimates, &load).unwrap();
+            let i = plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)).unwrap();
             picks.push(i);
             *load.entry(reps[i].host.clone()).or_default() += 1;
         }
@@ -120,10 +129,16 @@ mod tests {
     fn unknown_only_wins_when_nothing_known() {
         let reps = replicas(&["known", "unknown"]);
         let estimates = est(&[Some(1.0), None]);
-        let load = HashMap::new();
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(0));
+        let load: HashMap<String, usize> = HashMap::new();
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(0)
+        );
         let estimates = est(&[None, None]);
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(0));
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -132,12 +147,15 @@ mod tests {
         let estimates = est(&[None, None]);
         let mut load = HashMap::new();
         load.insert("a".to_string(), 2);
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(1)
+        );
     }
 
     #[test]
     fn empty_is_none() {
-        assert_eq!(plan_spread(&[], &[], &HashMap::new()), None);
+        assert_eq!(plan_spread(&[], &[], |_| 0), None);
     }
 
     #[test]
@@ -146,7 +164,10 @@ mod tests {
         // conjure a pick out of nothing.
         let mut load = HashMap::new();
         load.insert("ghost".to_string(), 3);
-        assert_eq!(plan_spread(&[], &[], &load), None);
+        assert_eq!(
+            plan_spread(&[], &[], |h| load.get(h).copied().unwrap_or(0)),
+            None
+        );
     }
 
     #[test]
@@ -156,9 +177,15 @@ mod tests {
         let reps = replicas(&["only", "only", "only"]);
         let estimates = est(&[Some(10.0), Some(30.0), Some(20.0)]);
         let mut load = HashMap::new();
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(1)
+        );
         load.insert("only".to_string(), 5);
-        assert_eq!(plan_spread(&reps, &estimates, &load), Some(1));
+        assert_eq!(
+            plan_spread(&reps, &estimates, |h| load.get(h).copied().unwrap_or(0)),
+            Some(1)
+        );
     }
 
     #[test]
@@ -169,7 +196,7 @@ mod tests {
         let reps = replicas(&["a", "b", "c"]);
         let estimates = est(&[Some(42.0), Some(42.0), Some(42.0)]);
         for _ in 0..4 {
-            assert_eq!(plan_spread(&reps, &estimates, &HashMap::new()), Some(0));
+            assert_eq!(plan_spread(&reps, &estimates, |_| 0), Some(0));
         }
     }
 }

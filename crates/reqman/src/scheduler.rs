@@ -59,6 +59,11 @@ pub struct SchedulerConfig {
     pub policy: AdmissionPolicy,
     /// Derive per-path streams/window from the NWS BDP forecast.
     pub auto_tune: bool,
+    /// Request cached GridFTP data channels for scheduled transfers, so
+    /// repeat pulls from a host skip the connect + GSI handshake and the
+    /// TCP slow-start ramp (the paper's data-channel-caching feature).
+    /// Observable as the `gridftp.cache_hits` counter.
+    pub channel_cache: bool,
     /// Prestage cold tape-only files at submit time.
     pub prestage: bool,
     /// Retry delay when every candidate replica is at its host cap. This
@@ -85,6 +90,7 @@ impl Default for SchedulerConfig {
             max_inflight_per_host: 8,
             policy: AdmissionPolicy::ShortestFirst,
             auto_tune: true,
+            channel_cache: true,
             prestage: true,
             defer_retry: SimDuration::from_secs(1),
             window_min: (256u64 << 10) as f64,

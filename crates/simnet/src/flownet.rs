@@ -23,6 +23,29 @@
 //! change) for ablation benchmarks, and [`FlowNet::oracle_rates`] rebuilds
 //! the whole problem from routes and topology for differential tests.
 //!
+//! ## Parallel component solve
+//!
+//! Components are independent subproblems, so a recompute pass may fan them
+//! out across a worker pool ([`SolverMode::Parallel`]). Each worker solves
+//! pure subproblems against a shared immutable snapshot of the network and
+//! an arena of its own ([`SolveScratch`]); the results are then *applied in
+//! ascending component order on the main thread*. Components are disjoint
+//! (no shared flows or capacity) and assembly is canonical, so the merged
+//! rates are bitwise identical to the sequential reference solver no matter
+//! how the OS schedules the workers. `tests/alloc_differential.rs` holds a
+//! property test pinning sequential ≡ parallel ≡ oracle.
+//!
+//! ## Scale: O(events), not O(flows · events)
+//!
+//! Nothing in the steady-state event path scans all flows. Byte progress is
+//! integrated *lazily*: a flow's `bytes_done` is materialized only when its
+//! rate actually changes (bitwise), so a clean advance costs nothing per
+//! flow. Completions and slow-start boundaries live in a time-ordered event
+//! index updated on rate changes, making [`FlowNet::next_event_time`] a
+//! lookup instead of a scan. Membership lives in a region-sharded index
+//! ([`crate::membership`]) and per-flow hot state is keyed by dense interned
+//! flow ids (a slab), not a tree.
+//!
 //! Same-instant dirty events coalesce: a burst of N flow arrivals between
 //! two queries accumulates one dirty set and triggers one recompute pass,
 //! not N. Read-only queries ([`FlowNet::flow_rate`],
@@ -30,9 +53,10 @@
 //! dirty-adjacent to the queried flow or host and never force work for
 //! unrelated parts of the network.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::allocation::{max_min_fair, AllocFlow};
+use crate::membership::MembershipIndex;
 use crate::network::{Dir, LinkId, NodeId, NodeKind, Topology};
 use crate::tcp::{TcpParams, INITIAL_WINDOW, MSS};
 use crate::time::{SimDuration, SimTime};
@@ -120,23 +144,41 @@ impl FlowSpec {
     }
 }
 
+/// Event-index kinds: completions pop before ramp boundaries at the same
+/// instant (a flow that finishes exactly at a boundary never ramps).
+const EV_COMPLETE: u8 = 0;
+const EV_RAMP: u8 = 1;
+
 #[derive(Debug)]
 struct FlowRt {
     spec: FlowSpec,
     route: Vec<(LinkId, Dir)>,
     rtt: SimDuration,
     loss: f64,
+    /// Bytes delivered as of `anchor`. Progress past the anchor is implied
+    /// by `rate` and only *materialized* when the rate changes bitwise —
+    /// the lazy-integration contract that keeps the incremental and
+    /// full-recompute modes byte-identical (both materialize at exactly the
+    /// same instants, with exactly the same arithmetic).
     bytes_done: f64,
+    /// Instant `bytes_done` was last materialized.
+    anchor: SimTime,
     rate: f64,
     state: FlowState,
     started: SimTime,
     /// Congestion-window ramp stage; cap = INITIAL_WINDOW * 2^stage / rtt
     /// until it reaches the steady cap. `None` once ramp is finished.
     ramp_stage: Option<u32>,
+    /// Scheduled completion entry in the event index (`SimTime::MAX` =
+    /// none): `anchor + remaining/rate`, refreshed on rate changes.
+    comp_at: SimTime,
+    /// Scheduled ramp-boundary entry in the event index (`SimTime::MAX` =
+    /// none).
+    ramp_at: SimTime,
     /// Interned resource ids this flow crosses, in canonical order (route
     /// links first, then endpoint NIC/CPU/disk), deduplicated. Empty while
     /// the flow is stalled or done.
-    res: Vec<usize>,
+    res: Vec<u32>,
 }
 
 impl FlowRt {
@@ -167,7 +209,7 @@ impl FlowRt {
     }
 
     /// Time of the next ramp-stage boundary, if still ramping.
-    fn next_ramp_boundary(&self, _now: SimTime) -> Option<SimTime> {
+    fn next_ramp_boundary(&self) -> Option<SimTime> {
         let stage = self.ramp_stage?;
         if self.rtt.is_zero() {
             return None;
@@ -175,11 +217,23 @@ impl FlowRt {
         Some(self.started + self.rtt * (stage as u64 + 1))
     }
 
-    fn remaining(&self) -> f64 {
-        if self.spec.size.is_finite() {
-            (self.spec.size - self.bytes_done).max(0.0)
+    /// Fold progress since `anchor` into `bytes_done`. Called exactly when
+    /// the rate is about to change (or the flow stalls) — never on clean
+    /// advances — so the float-addition sequence is a pure function of the
+    /// rate trajectory, identical across allocator modes.
+    fn materialize(&mut self, t: SimTime) {
+        if self.rate > 0.0 && t > self.anchor {
+            self.bytes_done += self.rate * t.since(self.anchor).as_secs_f64();
+        }
+        self.anchor = t;
+    }
+
+    /// Bytes delivered as of `t` (`t >= anchor`), without materializing.
+    fn bytes_at(&self, t: SimTime) -> f64 {
+        if self.state == FlowState::Running && self.rate > 0.0 && t > self.anchor {
+            self.bytes_done + self.rate * t.since(self.anchor).as_secs_f64()
         } else {
-            f64::INFINITY
+            self.bytes_done
         }
     }
 }
@@ -226,6 +280,159 @@ pub struct AllocStats {
     pub route_cache_hits: u64,
     /// Route-cache misses (BFS actually ran).
     pub route_cache_misses: u64,
+    /// Recompute passes whose components were solved on the worker pool.
+    pub parallel_batches: u64,
+}
+
+/// How recompute passes solve their dirty components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverMode {
+    /// Reference implementation: one component at a time, per-component
+    /// hash-map interning (the original solver, kept as the sequential
+    /// baseline for the scaling ablation).
+    Sequential,
+    /// Scratch-arena assembly, fanned out across `workers` OS threads when
+    /// a pass carries at least `threshold` flows (passes below the
+    /// threshold run inline on the caller's thread — spawn overhead would
+    /// swamp small solves). Bitwise identical to `Sequential`.
+    Parallel {
+        workers: usize,
+        /// Minimum total flows in a pass before threads are spawned.
+        threshold: usize,
+    },
+}
+
+/// Solver selection for [`FlowNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    pub mode: SolverMode,
+}
+
+impl Default for SolverConfig {
+    /// Parallel with one worker per available core (override with the
+    /// `ESG_ALLOC_WORKERS` environment variable); single-worker pools run
+    /// inline.
+    fn default() -> Self {
+        let workers = std::env::var("ESG_ALLOC_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        SolverConfig {
+            mode: SolverMode::Parallel {
+                workers,
+                threshold: 4096,
+            },
+        }
+    }
+}
+
+/// Reusable arena for assembling one component's subproblem without
+/// per-component allocation, replacing a hash map for global→local
+/// resource-id interning. Two regimes: components with few distinct
+/// resources (the overwhelmingly common case — one route plus endpoint
+/// NIC/CPU/disk) intern by linear scan over a tiny first-encounter list
+/// that stays in L1; a component that outgrows the list promotes to
+/// epoch-stamped dense `stamp`/`local` arrays sized to the whole resource
+/// table. Both regimes assign local ids in first-encounter order, so the
+/// interning is bitwise identical to the legacy hash-map solver's.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    local: Vec<u32>,
+    /// Global ids interned so far this solve, in first-encounter order —
+    /// the small-component fast path (local id = position).
+    small: Vec<u32>,
+    dense: bool,
+    n_res: usize,
+    capacities: Vec<f64>,
+}
+
+/// Distinct-resource count past which a component's interning promotes
+/// from the linear-scan list to the dense stamped arrays.
+const SCRATCH_SMALL_MAX: usize = 64;
+
+impl SolveScratch {
+    fn begin(&mut self, n_res: usize) {
+        self.n_res = n_res;
+        self.small.clear();
+        self.dense = false;
+        self.capacities.clear();
+    }
+
+    /// Switch to the dense-array regime, carrying over every id the small
+    /// list already interned (positions are preserved).
+    fn promote(&mut self) {
+        if self.stamp.len() < self.n_res {
+            self.stamp.resize(self.n_res, 0);
+            self.local.resize(self.n_res, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrapped: old stamps could alias the new epoch.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        for (i, &g) in self.small.iter().enumerate() {
+            self.stamp[g as usize] = self.epoch;
+            self.local[g as usize] = i as u32;
+        }
+        self.dense = true;
+    }
+
+    /// Local id for global resource `r`, interning on first encounter.
+    fn intern(&mut self, r: u32, cap: f64) -> usize {
+        if !self.dense {
+            if let Some(pos) = self.small.iter().position(|&g| g == r) {
+                return pos;
+            }
+            if self.small.len() < SCRATCH_SMALL_MAX {
+                self.small.push(r);
+                self.capacities.push(cap);
+                return self.capacities.len() - 1;
+            }
+            self.promote();
+        }
+        let ri = r as usize;
+        if self.stamp[ri] != self.epoch {
+            self.stamp[ri] = self.epoch;
+            self.local[ri] = self.capacities.len() as u32;
+            self.capacities.push(cap);
+        }
+        self.local[ri] as usize
+    }
+}
+
+/// Reusable epoch-stamped visited sets for component partitioning. A
+/// fresh `vec![false; N]` pair per recompute pass is O(flows + resources)
+/// of memset *per event* — the exact quadratic-at-scale pattern this
+/// allocator exists to avoid — so the seen marks live here and are
+/// invalidated in O(1) by bumping the epoch.
+#[derive(Debug, Default)]
+struct PartitionScratch {
+    epoch: u32,
+    seen_r: Vec<u32>,
+    seen_f: Vec<u32>,
+    stack: Vec<u64>,
+}
+
+impl PartitionScratch {
+    fn begin(&mut self, n_res: usize, n_flows: usize) {
+        if self.seen_r.len() < n_res {
+            self.seen_r.resize(n_res, 0);
+        }
+        if self.seen_f.len() < n_flows {
+            self.seen_f.resize(n_flows, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen_r.iter_mut().for_each(|s| *s = 0);
+            self.seen_f.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.stack.clear();
+    }
 }
 
 /// Canonical resource-key list for a flow: route link-directions in path
@@ -266,44 +473,84 @@ fn resource_keys_for(spec: &FlowSpec, route: &[(LinkId, Dir)], topo: &Topology) 
 /// connectivity (infinite resources never constrain anything). Components
 /// are emitted in ascending order of their smallest seed and each component
 /// is sorted by flow id — a canonical order shared by the incremental path
-/// and the oracle.
-fn partition_components(
+/// and the oracle. Traversal borrows the per-flow resource slices and
+/// visits resource members through a callback; it allocates nothing per
+/// flow.
+fn partition_components<'a>(
     seeds: &BTreeSet<u64>,
     n_res: usize,
-    res_of: impl Fn(u64) -> Vec<usize>,
-    flows_on: impl Fn(usize) -> Vec<u64>,
-    finite: impl Fn(usize) -> bool,
+    n_flows: u64,
+    scratch: &mut PartitionScratch,
+    res_of: impl Fn(u64) -> &'a [u32],
+    flows_on: impl Fn(u32, &mut dyn FnMut(u64)),
+    finite: impl Fn(u32) -> bool,
 ) -> Vec<Vec<u64>> {
-    let mut seen_r = vec![false; n_res];
-    let mut seen_f: HashSet<u64> = HashSet::new();
+    scratch.begin(n_res, n_flows as usize);
+    let epoch = scratch.epoch;
+    let PartitionScratch {
+        seen_r,
+        seen_f,
+        stack,
+        ..
+    } = scratch;
     let mut comps = Vec::new();
     for &s in seeds {
-        if !seen_f.insert(s) {
+        if seen_f[s as usize] == epoch {
             continue;
         }
+        seen_f[s as usize] = epoch;
         let mut comp = vec![s];
-        let mut stack = vec![s];
+        stack.push(s);
         while let Some(f) = stack.pop() {
-            for r in res_of(f) {
-                if seen_r[r] {
+            for &r in res_of(f) {
+                if seen_r[r as usize] == epoch {
                     continue;
                 }
-                seen_r[r] = true;
+                seen_r[r as usize] = epoch;
                 if !finite(r) {
                     continue;
                 }
-                for g in flows_on(r) {
-                    if seen_f.insert(g) {
+                flows_on(r, &mut |g| {
+                    if seen_f[g as usize] != epoch {
+                        seen_f[g as usize] = epoch;
                         comp.push(g);
                         stack.push(g);
                     }
-                }
+                });
             }
         }
         comp.sort_unstable();
         comps.push(comp);
     }
     comps
+}
+
+/// Insert/replace/remove a flow's completion entry in the event index.
+fn set_comp_entry(events: &mut BTreeSet<(SimTime, u8, u64)>, f: &mut FlowRt, id: u64, at: SimTime) {
+    if at == f.comp_at {
+        return;
+    }
+    if f.comp_at != SimTime::MAX {
+        events.remove(&(f.comp_at, EV_COMPLETE, id));
+    }
+    if at != SimTime::MAX {
+        events.insert((at, EV_COMPLETE, id));
+    }
+    f.comp_at = at;
+}
+
+/// Insert/replace/remove a flow's ramp-boundary entry in the event index.
+fn set_ramp_entry(events: &mut BTreeSet<(SimTime, u8, u64)>, f: &mut FlowRt, id: u64, at: SimTime) {
+    if at == f.ramp_at {
+        return;
+    }
+    if f.ramp_at != SimTime::MAX {
+        events.remove(&(f.ramp_at, EV_RAMP, id));
+    }
+    if at != SimTime::MAX {
+        events.insert((at, EV_RAMP, id));
+    }
+    f.ramp_at = at;
 }
 
 /// The live network: topology plus active flows.
@@ -316,37 +563,49 @@ pub struct FlowNet {
     pub name_service_up: bool,
     /// Bookkeeping for overlapping injected faults (see [`crate::failure`]).
     pub(crate) fault_ledger: crate::failure::FaultLedger,
-    flows: BTreeMap<u64, FlowRt>,
+    /// Flow slab keyed by dense flow id; ids are never reused, completed
+    /// and removed flows leave a `None` behind.
+    flows: Vec<Option<FlowRt>>,
+    /// Ids of flows in `Running` or `Stalled` state, ascending.
+    active: BTreeSet<u64>,
     next_id: u64,
     last_advance: SimTime,
     completed: Vec<FlowId>,
 
     // --- incremental allocator state ---
     /// Interning: resource key → stable index.
-    res_ids: HashMap<ResKey, usize>,
+    res_ids: HashMap<ResKey, u32>,
     /// Inverse interning: index → key (capacities are read live from the
     /// topology at solve time so capacity changes need no re-interning).
     res_keys: Vec<ResKey>,
-    /// Membership: resource index → running flows crossing it.
-    res_flows: Vec<BTreeSet<u64>>,
+    /// Membership: resource index → running flows crossing it (sharded).
+    members: MembershipIndex,
     /// Flows whose cap/route/existence changed since the last recompute.
     dirty_flows: BTreeSet<u64>,
     /// Resources whose capacity changed or whose member set shrank.
-    dirty_res: BTreeSet<usize>,
+    dirty_res: BTreeSet<u32>,
     /// Topology-wide invalidation (reroute events): re-solve everything.
     dirty_all: bool,
+    /// Time-ordered index of pending network discontinuities: flow
+    /// completions and slow-start boundaries, keyed `(time, kind, id)`.
+    /// Maintained eagerly on rate changes so `next_event_time` is a lookup.
+    events: BTreeSet<(SimTime, u8, u64)>,
     /// Route cache keyed by endpoint pair; cleared whenever link/node
     /// up-state changes (the only mutations that can change BFS routes).
     /// Negative results are cached too.
     route_cache: HashMap<(NodeId, NodeId), CachedRoute>,
     /// Ablation switch: treat every dirty event as a full invalidation, so
     /// each recompute re-solves every component from scratch (the seed
-    /// behaviour this PR replaces). Rates are bitwise identical either way.
+    /// behaviour this allocator replaces). Rates are bitwise identical
+    /// either way.
     full_recompute: bool,
-    /// Cached result of [`FlowNet::next_event_time`]; valid only while the
-    /// dirty set is empty (completion instants are invariant under clean
-    /// advances because rates are constant between allocation changes).
-    cached_next_event: Option<SimTime>,
+    solver: SolverConfig,
+    /// Arena for inline (non-parallel) solves.
+    scratch: SolveScratch,
+    /// Per-worker arenas, reused across parallel passes.
+    worker_scratch: Vec<SolveScratch>,
+    /// Visited-set arena for component partitioning, reused across passes.
+    part_scratch: PartitionScratch,
     stats: AllocStats,
 }
 
@@ -356,19 +615,24 @@ impl FlowNet {
             topo,
             name_service_up: true,
             fault_ledger: crate::failure::FaultLedger::default(),
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            active: BTreeSet::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             completed: Vec::new(),
             res_ids: HashMap::new(),
             res_keys: Vec::new(),
-            res_flows: Vec::new(),
+            members: MembershipIndex::new(),
             dirty_flows: BTreeSet::new(),
             dirty_res: BTreeSet::new(),
             dirty_all: false,
+            events: BTreeSet::new(),
             route_cache: HashMap::new(),
             full_recompute: false,
-            cached_next_event: None,
+            solver: SolverConfig::default(),
+            scratch: SolveScratch::default(),
+            worker_scratch: Vec::new(),
+            part_scratch: PartitionScratch::default(),
             stats: AllocStats::default(),
         }
     }
@@ -384,6 +648,16 @@ impl FlowNet {
         self.full_recompute
     }
 
+    /// Select how recompute passes solve their components. Every mode is
+    /// bitwise identical; this only trades wall-clock.
+    pub fn set_solver(&mut self, cfg: SolverConfig) {
+        self.solver = cfg;
+    }
+
+    pub fn solver(&self) -> SolverConfig {
+        self.solver
+    }
+
     /// Cumulative allocation-work counters.
     pub fn alloc_stats(&self) -> AllocStats {
         self.stats
@@ -391,28 +665,23 @@ impl FlowNet {
 
     /// Number of non-completed flows currently in the system.
     pub fn active_flow_count(&self) -> usize {
-        self.flows
-            .values()
-            .filter(|f| f.state != FlowState::Done)
-            .count()
+        self.active.len()
+    }
+
+    fn flow(&self, id: u64) -> &FlowRt {
+        self.flows[id as usize].as_ref().expect("live flow")
+    }
+
+    fn flow_mut(&mut self, id: u64) -> &mut FlowRt {
+        self.flows[id as usize].as_mut().expect("live flow")
     }
 
     fn is_dirty(&self) -> bool {
         self.dirty_all || !self.dirty_flows.is_empty() || !self.dirty_res.is_empty()
     }
 
-    fn invalidate_next_event(&mut self) {
-        self.cached_next_event = None;
-    }
-
     fn mark_flow_dirty(&mut self, id: u64) {
         self.dirty_flows.insert(id);
-        self.invalidate_next_event();
-    }
-
-    fn mark_res_dirty(&mut self, r: usize) {
-        self.dirty_res.insert(r);
-        self.invalidate_next_event();
     }
 
     fn capacity_of(&self, key: ResKey) -> f64 {
@@ -425,15 +694,15 @@ impl FlowNet {
         }
     }
 
-    fn intern_all(&mut self, keys: &[ResKey]) -> Vec<usize> {
+    fn intern_all(&mut self, keys: &[ResKey]) -> Vec<u32> {
         keys.iter()
             .map(|&k| match self.res_ids.get(&k) {
                 Some(&i) => i,
                 None => {
-                    let i = self.res_keys.len();
+                    let i = self.members.push_resource();
+                    debug_assert_eq!(i as usize, self.res_keys.len());
                     self.res_ids.insert(k, i);
                     self.res_keys.push(k);
-                    self.res_flows.push(BTreeSet::new());
                     i
                 }
             })
@@ -474,51 +743,73 @@ impl FlowNet {
         let keys = resource_keys_for(&spec, &route, &self.topo);
         let res = self.intern_all(&keys);
         for &r in &res {
-            self.res_flows[r].insert(id.0);
+            self.members.insert(r, id.0);
         }
-        self.flows.insert(
-            id.0,
-            FlowRt {
-                spec,
-                route,
-                rtt,
-                loss,
-                bytes_done: 0.0,
-                rate: 0.0,
-                state: FlowState::Running,
-                started: now,
-                ramp_stage,
-                res,
-            },
-        );
+        let mut f = FlowRt {
+            spec,
+            route,
+            rtt,
+            loss,
+            bytes_done: 0.0,
+            anchor: now,
+            rate: 0.0,
+            state: FlowState::Running,
+            started: now,
+            ramp_stage,
+            comp_at: SimTime::MAX,
+            ramp_at: SimTime::MAX,
+            res,
+        };
+        if let Some(b) = f.next_ramp_boundary() {
+            set_ramp_entry(&mut self.events, &mut f, id.0, b);
+        }
+        debug_assert_eq!(self.flows.len(), id.0 as usize);
+        self.flows.push(Some(f));
+        self.active.insert(id.0);
         self.mark_flow_dirty(id.0);
         Ok(id)
     }
 
     /// Remove a flow (cancellation, or cleanup after completion).
     pub fn remove_flow(&mut self, id: FlowId) {
-        if let Some(f) = self.flows.remove(&id.0) {
-            // Only a running flow occupies capacity: its departure dirties
-            // the resources it sat on so surviving sharers get re-solved.
-            // Removing a stalled or completed flow changes nothing.
-            if f.state == FlowState::Running {
-                for &r in &f.res {
-                    self.res_flows[r].remove(&id.0);
-                    self.dirty_res.insert(r);
-                }
-                self.invalidate_next_event();
-            }
-            self.dirty_flows.remove(&id.0);
+        let Some(slot) = self.flows.get_mut(id.0 as usize) else {
+            return;
+        };
+        let Some(f) = slot.take() else {
+            return;
+        };
+        if f.comp_at != SimTime::MAX {
+            self.events.remove(&(f.comp_at, EV_COMPLETE, id.0));
         }
+        if f.ramp_at != SimTime::MAX {
+            self.events.remove(&(f.ramp_at, EV_RAMP, id.0));
+        }
+        // Only a running flow occupies capacity: its departure dirties
+        // the resources it sat on so surviving sharers get re-solved.
+        // Removing a stalled or completed flow changes nothing.
+        if f.state == FlowState::Running {
+            for &r in &f.res {
+                self.members.remove(r, id.0);
+                self.dirty_res.insert(r);
+            }
+        }
+        self.active.remove(&id.0);
+        self.dirty_flows.remove(&id.0);
     }
 
     pub fn flow_state(&self, id: FlowId) -> Option<FlowState> {
-        self.flows.get(&id.0).map(|f| f.state)
+        self.flows
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|f| f.state)
     }
 
     /// Bytes delivered so far (as of the last advance).
     pub fn flow_bytes(&self, id: FlowId) -> f64 {
-        self.flows.get(&id.0).map_or(0.0, |f| f.bytes_done)
+        self.flows
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map_or(0.0, |f| f.bytes_at(self.last_advance))
     }
 
     /// Current allocated rate in bytes/sec. Read-only and scoped: refreshes
@@ -526,11 +817,17 @@ impl FlowNet {
     /// network is left for the next full recompute.
     pub fn flow_rate(&mut self, id: FlowId) -> f64 {
         self.refresh_scoped(|fid, _| fid == id.0);
-        self.flows.get(&id.0).map_or(0.0, |f| f.rate)
+        self.flows
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map_or(0.0, |f| f.rate)
     }
 
     pub fn flow_rtt(&self, id: FlowId) -> Option<SimDuration> {
-        self.flows.get(&id.0).map(|f| f.rtt)
+        self.flows
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|f| f.rtt)
     }
 
     /// RTT between two nodes along the current route, if any. Used by NWS
@@ -566,54 +863,57 @@ impl FlowNet {
         self.topo.link_mut(link).capacity = capacity;
         for d in [Dir::Fwd, Dir::Rev] {
             if let Some(&r) = self.res_ids.get(&ResKey::LinkDir(link, d)) {
-                self.mark_res_dirty(r);
+                self.dirty_res.insert(r);
             }
         }
     }
 
     /// Change a link's loss rate (congestion scenarios). Refreshes the
-    /// cached path loss of the flows actually crossing the link so their
-    /// Mathis caps track the new conditions; other flows are untouched.
+    /// cached path loss of the flows actually crossing the link — found
+    /// through the membership index, not a scan — so their Mathis caps
+    /// track the new conditions; other flows are untouched.
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
         self.topo.set_link_loss(link, loss);
-        let mut touched = Vec::new();
-        for (&id, f) in self.flows.iter_mut() {
-            if f.state == FlowState::Running && f.route.iter().any(|&(l, _)| l == link) {
-                f.loss = self.topo.route_loss(&f.route);
-                touched.push(id);
+        let mut touched: Vec<u64> = Vec::new();
+        for d in [Dir::Fwd, Dir::Rev] {
+            if let Some(&r) = self.res_ids.get(&ResKey::LinkDir(link, d)) {
+                touched.extend(self.members.members(r).iter().copied());
             }
         }
+        touched.sort_unstable();
+        touched.dedup();
         for id in touched {
-            self.mark_flow_dirty(id);
+            let loss = {
+                let f = self.flow(id);
+                self.topo.route_loss(&f.route)
+            };
+            self.flow_mut(id).loss = loss;
+            self.dirty_flows.insert(id);
         }
     }
 
     fn reroute_all(&mut self) {
         // Up-state changed somewhere: every cached path may be invalid.
         self.route_cache.clear();
-        let ids: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.state != FlowState::Done)
-            .map(|(&id, _)| id)
-            .collect();
+        let ids: Vec<u64> = self.active.iter().copied().collect();
         for id in ids {
             // Detach the old membership before rerouting.
-            let old = std::mem::take(&mut self.flows.get_mut(&id).unwrap().res);
+            let old = std::mem::take(&mut self.flow_mut(id).res);
             for r in old {
-                self.res_flows[r].remove(&id);
+                self.members.remove(r, id);
             }
-            let spec = self.flows[&id].spec;
+            let spec = self.flow(id).spec;
             match self.cached_route(spec.src, spec.dst) {
                 Some((route, rtt)) => {
                     let loss = self.topo.route_loss(&route);
                     let keys = resource_keys_for(&spec, &route, &self.topo);
                     let res = self.intern_all(&keys);
                     for &r in &res {
-                        self.res_flows[r].insert(id);
+                        self.members.insert(r, id);
                     }
                     let last = self.last_advance;
-                    let f = self.flows.get_mut(&id).unwrap();
+                    let events = &mut self.events;
+                    let f = self.flows[id as usize].as_mut().expect("live flow");
                     f.rtt = rtt;
                     f.loss = loss;
                     f.route = route;
@@ -632,79 +932,108 @@ impl FlowNet {
                         };
                     }
                     f.state = FlowState::Running;
+                    // The RTT (and thus any pending boundary) may have
+                    // moved; clamp to the strict future so a boundary
+                    // already behind the clock still fires (and ramp
+                    // catch-up runs) instead of wedging time.
+                    let b = f
+                        .next_ramp_boundary()
+                        .map(|b| b.max(last + SimDuration::from_nanos(1)))
+                        .unwrap_or(SimTime::MAX);
+                    set_ramp_entry(events, f, id, b);
                 }
                 None => {
-                    let f = self.flows.get_mut(&id).unwrap();
+                    let last = self.last_advance;
+                    let events = &mut self.events;
+                    let f = self.flows[id as usize].as_mut().expect("live flow");
+                    f.materialize(last);
                     f.route.clear();
                     f.rate = 0.0;
                     f.state = FlowState::Stalled;
+                    set_comp_entry(events, f, id, SimTime::MAX);
+                    set_ramp_entry(events, f, id, SimTime::MAX);
                 }
             }
         }
         self.dirty_all = true;
-        self.invalidate_next_event();
     }
 
-    /// Integrate progress up to `t` using the current allocation. Flows that
-    /// finish are marked `Done` and queued for [`FlowNet::take_completed`].
+    /// Integrate progress up to `t` using the current allocation. Flows
+    /// that finish are marked `Done` and queued for
+    /// [`FlowNet::take_completed`]. Cost is O(log n) per *discontinuity*
+    /// (completion or ramp boundary) in `(last_advance, t]`, not O(flows):
+    /// clean flows simply keep their anchor and rate. Each discontinuity
+    /// triggers a re-solve at its own instant, so rates are exact
+    /// piecewise-linear even when `t` jumps past several events.
     pub fn advance_to(&mut self, t: SimTime) {
         self.ensure_fresh();
         if t <= self.last_advance {
             return;
         }
-        let dt = t.since(self.last_advance).as_secs_f64();
-        let mut finished: Vec<u64> = Vec::new();
-        for (&id, f) in self.flows.iter_mut() {
-            if f.state != FlowState::Running || f.rate <= 0.0 {
-                continue;
+        while let Some(&(at, kind, id)) = self.events.first() {
+            if at > t {
+                break;
             }
-            f.bytes_done += f.rate * dt;
-            if f.spec.size.is_finite() && f.bytes_done + 0.5 >= f.spec.size {
-                f.bytes_done = f.spec.size;
-                f.state = FlowState::Done;
-                f.rate = 0.0;
-                finished.push(id);
+            self.events.pop_first();
+            self.last_advance = at;
+            match kind {
+                EV_COMPLETE => self.complete_flow(id),
+                _ => self.cross_ramp(id),
             }
-        }
-        for id in finished {
-            self.completed.push(FlowId(id));
-            let res = std::mem::take(&mut self.flows.get_mut(&id).unwrap().res);
-            for r in res {
-                self.res_flows[r].remove(&id);
-                self.dirty_res.insert(r);
-            }
-            self.invalidate_next_event();
-        }
-        // Ramp stage boundaries we've passed.
-        let mut ramp_dirty: Vec<u64> = Vec::new();
-        for (&id, f) in self.flows.iter_mut() {
-            if f.state != FlowState::Running {
-                continue;
-            }
-            let mut crossed = false;
-            while let Some(stage) = f.ramp_stage {
-                let boundary = f.started + f.rtt * (stage as u64 + 1);
-                if boundary > t {
-                    break;
-                }
-                let next = stage + 1;
-                let rtt = f.rtt.as_secs_f64();
-                let w = INITIAL_WINDOW * 2f64.powi(next as i32);
-                if rtt <= 0.0 || w / rtt >= f.steady_cap() {
-                    f.ramp_stage = None; // ramp complete
-                } else {
-                    f.ramp_stage = Some(next);
-                }
-                crossed = true;
-            }
-            if crossed {
-                ramp_dirty.push(id);
-            }
-        }
-        for id in ramp_dirty {
-            self.mark_flow_dirty(id);
+            self.ensure_fresh();
         }
         self.last_advance = t;
+    }
+
+    fn complete_flow(&mut self, id: u64) {
+        let t = self.last_advance;
+        let events = &mut self.events;
+        let f = self.flows[id as usize].as_mut().expect("live flow");
+        f.bytes_done = f.spec.size;
+        f.anchor = t;
+        f.comp_at = SimTime::MAX;
+        f.rate = 0.0;
+        f.state = FlowState::Done;
+        if f.ramp_at != SimTime::MAX {
+            events.remove(&(f.ramp_at, EV_RAMP, id));
+            f.ramp_at = SimTime::MAX;
+        }
+        let res = std::mem::take(&mut f.res);
+        for r in res {
+            self.members.remove(r, id);
+            self.dirty_res.insert(r);
+        }
+        self.active.remove(&id);
+        self.completed.push(FlowId(id));
+    }
+
+    fn cross_ramp(&mut self, id: u64) {
+        let last = self.last_advance;
+        let events = &mut self.events;
+        let f = self.flows[id as usize].as_mut().expect("live flow");
+        f.ramp_at = SimTime::MAX; // entry already popped
+                                  // Cross every boundary at or before now (a clamped stale entry —
+                                  // reroute with a shrunken RTT — can cover several at once).
+        while let Some(stage) = f.ramp_stage {
+            let boundary = f.started + f.rtt * (stage as u64 + 1);
+            if boundary > last {
+                break;
+            }
+            let next = stage + 1;
+            let rtt = f.rtt.as_secs_f64();
+            let w = INITIAL_WINDOW * 2f64.powi(next as i32);
+            if rtt <= 0.0 || w / rtt >= f.steady_cap() {
+                f.ramp_stage = None; // ramp complete
+            } else {
+                f.ramp_stage = Some(next);
+            }
+        }
+        let b = f
+            .next_ramp_boundary()
+            .map(|b| b.max(last + SimDuration::from_nanos(1)))
+            .unwrap_or(SimTime::MAX);
+        set_ramp_entry(events, f, id, b);
+        self.dirty_flows.insert(id);
     }
 
     /// Drain the set of flows that completed during past advances.
@@ -714,41 +1043,11 @@ impl FlowNet {
 
     /// The next time anything discontinuous happens inside the network:
     /// a flow completion or a slow-start stage boundary. `SimTime::MAX`
-    /// when nothing is pending. The result is cached while the allocation
-    /// is clean — completion instants are invariant under clean advances —
-    /// so the kernel's per-event-batch call is O(1) between changes.
+    /// when nothing is pending. The event index is maintained eagerly on
+    /// rate changes, so after the freshness check this is a lookup.
     pub fn next_event_time(&mut self) -> SimTime {
         self.ensure_fresh();
-        if let Some(t) = self.cached_next_event {
-            return t;
-        }
-        let mut next = SimTime::MAX;
-        for f in self.flows.values() {
-            if f.state != FlowState::Running {
-                continue;
-            }
-            if let Some(b) = f.next_ramp_boundary(self.last_advance) {
-                // Never report an event at or before the present: a stale
-                // boundary must still move the clock forward so the ramp
-                // catch-up in `advance_to` gets a chance to run.
-                let b = b.max(self.last_advance + SimDuration::from_nanos(1));
-                if b < next {
-                    next = b;
-                }
-            }
-            let rem = f.remaining();
-            if f.rate > 0.0 && rem.is_finite() {
-                let secs = rem / f.rate;
-                let t = self.last_advance
-                    + SimDuration::from_secs_f64(secs)
-                    + SimDuration::from_nanos(1);
-                if t < next {
-                    next = t;
-                }
-            }
-        }
-        self.cached_next_event = Some(next);
-        next
+        self.events.first().map_or(SimTime::MAX, |&(t, _, _)| t)
     }
 
     /// Seed flows for a recompute: the dirty flows still running, plus every
@@ -757,53 +1056,97 @@ impl FlowNet {
     fn dirty_seeds(&self) -> BTreeSet<u64> {
         if self.dirty_all {
             return self
-                .flows
+                .active
                 .iter()
-                .filter(|(_, f)| f.state == FlowState::Running)
-                .map(|(&id, _)| id)
+                .copied()
+                .filter(|&id| self.flow(id).state == FlowState::Running)
                 .collect();
         }
         let mut seeds: BTreeSet<u64> = self
             .dirty_flows
             .iter()
             .copied()
-            .filter(|id| {
+            .filter(|&id| {
                 self.flows
-                    .get(id)
+                    .get(id as usize)
+                    .and_then(|s| s.as_ref())
                     .is_some_and(|f| f.state == FlowState::Running)
             })
             .collect();
         for &r in &self.dirty_res {
-            seeds.extend(self.res_flows[r].iter().copied());
+            seeds.extend(self.members.members(r).iter().copied());
         }
         seeds
     }
 
-    fn components_from(&self, seeds: &BTreeSet<u64>) -> Vec<Vec<u64>> {
+    fn components_from(
+        &self,
+        seeds: &BTreeSet<u64>,
+        scratch: &mut PartitionScratch,
+    ) -> Vec<Vec<u64>> {
         partition_components(
             seeds,
             self.res_keys.len(),
-            |f| self.flows[&f].res.clone(),
-            |r| self.res_flows[r].iter().copied().collect(),
-            |r| self.capacity_of(self.res_keys[r]).is_finite(),
+            self.next_id,
+            scratch,
+            |f| {
+                self.flows[f as usize]
+                    .as_ref()
+                    .expect("live flow")
+                    .res
+                    .as_slice()
+            },
+            |r, visit| {
+                for &g in self.members.members(r) {
+                    visit(g);
+                }
+            },
+            |r| self.capacity_of(self.res_keys[r as usize]).is_finite(),
         )
     }
 
-    /// Solve one component as a self-contained max-min fair subproblem.
-    /// Assembly order is canonical — flows ascending by id, resources
-    /// interned by first encounter — so the same component always produces
-    /// the same bits no matter what else was recomputed around it.
-    fn solve_component(&mut self, comp: &[u64]) {
-        let mut local: HashMap<usize, usize> = HashMap::new();
+    /// Assemble and solve one component as a self-contained max-min fair
+    /// subproblem, against an immutable view of the network. Assembly order
+    /// is canonical — flows ascending by id, resources interned by first
+    /// encounter — so the same component always produces the same bits no
+    /// matter what else is recomputed around it, on whatever thread.
+    fn solve_component_rates(&self, comp: &[u64], scratch: &mut SolveScratch) -> Vec<f64> {
+        scratch.begin(self.res_keys.len());
+        let mut aflows: Vec<AllocFlow> = Vec::with_capacity(comp.len());
+        for &fid in comp {
+            let f = self.flow(fid);
+            let mut rs: Vec<usize> = Vec::with_capacity(f.res.len());
+            for &r in &f.res {
+                let cap = self.capacity_of(self.res_keys[r as usize]);
+                if !cap.is_finite() {
+                    continue; // unconstrained resources don't participate
+                }
+                rs.push(scratch.intern(r, cap));
+            }
+            rs.sort_unstable();
+            aflows.push(AllocFlow {
+                resources: rs,
+                cap: f.current_cap(),
+            });
+        }
+        max_min_fair(&scratch.capacities, &aflows)
+    }
+
+    /// The original per-component solver, kept verbatim as the sequential
+    /// reference: hash-map interning per component. Bitwise identical to
+    /// [`FlowNet::solve_component_rates`] (local ids are assigned in the
+    /// same first-encounter order either way).
+    fn solve_component_rates_legacy(&self, comp: &[u64]) -> Vec<f64> {
+        let mut local: HashMap<u32, usize> = HashMap::new();
         let mut capacities: Vec<f64> = Vec::new();
         let mut aflows: Vec<AllocFlow> = Vec::with_capacity(comp.len());
         for &fid in comp {
-            let f = &self.flows[&fid];
+            let f = self.flow(fid);
             let mut rs: Vec<usize> = Vec::with_capacity(f.res.len());
             for &r in &f.res {
-                let cap = self.capacity_of(self.res_keys[r]);
+                let cap = self.capacity_of(self.res_keys[r as usize]);
                 if !cap.is_finite() {
-                    continue; // unconstrained resources don't participate
+                    continue;
                 }
                 let next = local.len();
                 let lid = *local.entry(r).or_insert_with(|| {
@@ -818,12 +1161,121 @@ impl FlowNet {
                 cap: f.current_cap(),
             });
         }
-        let rates = max_min_fair(&capacities, &aflows);
-        for (&fid, rate) in comp.iter().zip(rates) {
-            self.flows.get_mut(&fid).unwrap().rate = rate;
+        max_min_fair(&capacities, &aflows)
+    }
+
+    /// Commit one solved component: flows whose rate changed *bitwise*
+    /// materialize their progress at the present and refresh their
+    /// completion entry; unchanged flows are untouched (same anchor, same
+    /// pending events) — in every solver mode and in the full-recompute
+    /// ablation alike, which is what keeps byte progress bit-identical
+    /// across them.
+    fn apply_rates(&mut self, comp: &[u64], rates: &[f64]) {
+        let t = self.last_advance;
+        for (&fid, &rate) in comp.iter().zip(rates) {
+            let events = &mut self.events;
+            let f = self.flows[fid as usize].as_mut().expect("live flow");
+            if rate.to_bits() == f.rate.to_bits() {
+                continue;
+            }
+            f.materialize(t);
+            f.rate = rate;
+            let at = if rate > 0.0 && f.spec.size.is_finite() {
+                let secs = (f.spec.size - f.bytes_done).max(0.0) / rate;
+                f.anchor + SimDuration::from_secs_f64(secs)
+            } else {
+                SimTime::MAX
+            };
+            set_comp_entry(events, f, fid, at);
         }
         self.stats.components_solved += 1;
         self.stats.flow_solves += comp.len() as u64;
+    }
+
+    /// Solve a batch of components under the configured solver mode and
+    /// commit the results in ascending component order.
+    fn solve_components(&mut self, comps: &[Vec<u64>]) {
+        match self.solver.mode {
+            SolverMode::Sequential => {
+                for comp in comps {
+                    let rates = self.solve_component_rates_legacy(comp);
+                    self.apply_rates(comp, &rates);
+                }
+            }
+            SolverMode::Parallel { workers, threshold } => {
+                let total: usize = comps.iter().map(|c| c.len()).sum();
+                let workers = workers.min(comps.len());
+                if workers > 1 && total >= threshold {
+                    self.solve_components_parallel(comps, workers);
+                } else {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    for comp in comps {
+                        let rates = self.solve_component_rates(comp, &mut scratch);
+                        self.apply_rates(comp, &rates);
+                    }
+                    self.scratch = scratch;
+                }
+            }
+        }
+    }
+
+    /// Fan a batch of components out across `workers` OS threads.
+    ///
+    /// The merge is deterministic by construction: workers own disjoint
+    /// contiguous chunks of the (canonically ordered) component list, each
+    /// component is solved as a pure function of the shared immutable
+    /// network snapshot, and the main thread joins the chunks back in
+    /// component order before applying them. Thread scheduling can change
+    /// only *when* a result is produced, never which result or the order in
+    /// which it is applied.
+    fn solve_components_parallel(&mut self, comps: &[Vec<u64>], workers: usize) {
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        // Contiguous chunks balanced by flow count (components vary wildly
+        // in size; round-robin would still balance but would scatter cache
+        // locality of neighbouring components).
+        let per_worker = total.div_ceil(workers);
+        let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (i, comp) in comps.iter().enumerate() {
+            acc += comp.len();
+            if acc >= per_worker && chunks.len() + 1 < workers {
+                chunks.push((start, i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < comps.len() {
+            chunks.push((start, comps.len()));
+        }
+        let mut pool = std::mem::take(&mut self.worker_scratch);
+        pool.resize_with(chunks.len(), SolveScratch::default);
+        let net: &FlowNet = self;
+        let mut parts: Vec<Vec<Vec<f64>>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (&(lo, hi), scratch) in chunks.iter().zip(pool.iter_mut()) {
+                handles.push(scope.spawn(move || {
+                    comps[lo..hi]
+                        .iter()
+                        .map(|comp| net.solve_component_rates(comp, scratch))
+                        .collect::<Vec<Vec<f64>>>()
+                }));
+            }
+            for h in handles {
+                parts.push(h.join().expect("solver worker panicked"));
+            }
+        });
+        self.worker_scratch = pool;
+        // Reassemble in canonical (ascending component) order and apply.
+        let mut it = comps.iter();
+        for part in parts {
+            for rates in part {
+                let comp = it.next().expect("chunk/component count mismatch");
+                self.apply_rates(comp, &rates);
+            }
+        }
+        self.stats.parallel_batches += 1;
     }
 
     /// Recompute the allocation for every dirty component. A burst of
@@ -839,15 +1291,14 @@ impl FlowNet {
         self.dirty_all = false;
         self.dirty_flows.clear();
         self.dirty_res.clear();
-        self.invalidate_next_event();
         if seeds.is_empty() {
             return;
         }
         self.stats.recompute_passes += 1;
-        let comps = self.components_from(&seeds);
-        for comp in &comps {
-            self.solve_component(comp);
-        }
+        let mut ps = std::mem::take(&mut self.part_scratch);
+        let comps = self.components_from(&seeds, &mut ps);
+        self.part_scratch = ps;
+        self.solve_components(&comps);
     }
 
     /// Refresh only the dirty components for which `wanted` matches a
@@ -864,33 +1315,43 @@ impl FlowNet {
             return;
         }
         let seeds = self.dirty_seeds();
-        let comps = self.components_from(&seeds);
+        let mut ps = std::mem::take(&mut self.part_scratch);
+        let comps = self.components_from(&seeds, &mut ps);
+        self.part_scratch = ps;
         let chosen: Vec<Vec<u64>> = comps
             .into_iter()
-            .filter(|c| c.iter().any(|&f| wanted(f, &self.flows[&f])))
+            .filter(|c| c.iter().any(|&f| wanted(f, self.flow(f))))
             .collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
         for comp in &chosen {
-            self.solve_component(comp);
+            let rates = self.solve_component_rates(comp, &mut scratch);
+            self.apply_rates(comp, &rates);
         }
+        self.scratch = scratch;
     }
 
     /// Fraction of a host's CPU byte-processing budget currently consumed
     /// by its flows (0.0 = idle, 1.0 = saturated). This is the "available
     /// CPU percentage" signal NWS's CPU sensor reports, and what §7 means
     /// by "the CPU was running at near 100% capacity". Read-only and
-    /// scoped: only components touching this host are refreshed.
+    /// scoped: only components touching this host are refreshed, and the
+    /// sum runs over the host's CPU-resource members (via the membership
+    /// index), not over every flow in the network.
     pub fn host_cpu_utilization(&mut self, node: NodeId) -> f64 {
         let budget = self.topo.node(node).cpu.max_byte_rate();
         if !budget.is_finite() {
             return 0.0;
         }
         self.refresh_scoped(|_, f| f.spec.src == node || f.spec.dst == node);
-        let used: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.state == FlowState::Running && (f.spec.src == node || f.spec.dst == node))
-            .map(|f| f.rate)
-            .sum();
+        let used: f64 = match self.res_ids.get(&ResKey::Cpu(node)) {
+            Some(&r) => self
+                .members
+                .members(r)
+                .iter()
+                .map(|&id| self.flow(id).rate)
+                .sum(),
+            None => 0.0,
+        };
         (used / budget).min(1.0)
     }
 
@@ -898,10 +1359,10 @@ impl FlowNet {
     /// running flow (for instrumentation snapshots).
     pub fn snapshot_rates(&mut self) -> Vec<(FlowId, f64)> {
         self.ensure_fresh();
-        self.flows
+        self.active
             .iter()
-            .filter(|(_, f)| f.state == FlowState::Running)
-            .map(|(&id, f)| (FlowId(id), f.rate))
+            .filter(|&&id| self.flow(id).state == FlowState::Running)
+            .map(|&id| (FlowId(id), self.flow(id).rate))
             .collect()
     }
 
@@ -911,20 +1372,21 @@ impl FlowNet {
     /// solves each with the same canonical assembly the incremental path
     /// uses. A correct incremental allocator must match this bit-for-bit.
     pub fn oracle_rates(&self) -> Vec<(FlowId, f64)> {
-        let mut key_ids: HashMap<ResKey, usize> = HashMap::new();
+        let mut key_ids: HashMap<ResKey, u32> = HashMap::new();
         let mut keys: Vec<ResKey> = Vec::new();
         let mut members: Vec<Vec<u64>> = Vec::new();
-        let mut flow_res: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut flow_res: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
         let mut running: BTreeSet<u64> = BTreeSet::new();
-        for (&id, f) in self.flows.iter() {
+        for &id in &self.active {
+            let f = self.flow(id);
             if f.state != FlowState::Running {
                 continue;
             }
             running.insert(id);
             let rkeys = resource_keys_for(&f.spec, &f.route, &self.topo);
-            let mut rs = Vec::with_capacity(rkeys.len());
+            let mut rs: Vec<u32> = Vec::with_capacity(rkeys.len());
             for key in rkeys {
-                let next = keys.len();
+                let next = keys.len() as u32;
                 let rid = *key_ids.entry(key).or_insert_with(|| {
                     keys.push(key);
                     members.push(Vec::new());
@@ -933,26 +1395,35 @@ impl FlowNet {
                 rs.push(rid);
             }
             for &r in &rs {
-                members[r].push(id);
+                members[r as usize].push(id);
             }
             flow_res.insert(id, rs);
         }
+        // The oracle is deliberately free of persistent state: it pays for
+        // a fresh scratch every call, which is fine at test frequency.
+        let mut ps = PartitionScratch::default();
         let comps = partition_components(
             &running,
             keys.len(),
-            |f| flow_res[&f].clone(),
-            |r| members[r].clone(),
-            |r| self.capacity_of(keys[r]).is_finite(),
+            self.next_id,
+            &mut ps,
+            |f| flow_res[&f].as_slice(),
+            |r, visit| {
+                for &g in &members[r as usize] {
+                    visit(g);
+                }
+            },
+            |r| self.capacity_of(keys[r as usize]).is_finite(),
         );
         let mut out: Vec<(FlowId, f64)> = Vec::new();
         for comp in &comps {
-            let mut local: HashMap<usize, usize> = HashMap::new();
+            let mut local: HashMap<u32, usize> = HashMap::new();
             let mut capacities: Vec<f64> = Vec::new();
             let mut aflows: Vec<AllocFlow> = Vec::with_capacity(comp.len());
             for &fid in comp {
                 let mut rs: Vec<usize> = Vec::new();
                 for &r in &flow_res[&fid] {
-                    let cap = self.capacity_of(keys[r]);
+                    let cap = self.capacity_of(keys[r as usize]);
                     if !cap.is_finite() {
                         continue;
                     }
@@ -966,7 +1437,7 @@ impl FlowNet {
                 rs.sort_unstable();
                 aflows.push(AllocFlow {
                     resources: rs,
-                    cap: self.flows[&fid].current_cap(),
+                    cap: self.flow(fid).current_cap(),
                 });
             }
             let rates = max_min_fair(&capacities, &aflows);
@@ -982,7 +1453,6 @@ impl FlowNet {
         self.last_advance
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1439,5 +1909,102 @@ mod tests {
         net.advance_to(t);
         assert_eq!(net.flow_state(short), Some(FlowState::Done));
         assert!((net.flow_rate(long) - 100e6).abs() < 1.0);
+    }
+
+    // ---- parallel-solver specific tests ----
+
+    /// Drive a multi-region workload under a given solver and collect the
+    /// full observable state trajectory.
+    fn solver_trajectory(mode: SolverMode) -> Vec<(u64, u64, u64)> {
+        let mut t = Topology::new();
+        let mut pairs = Vec::new();
+        for i in 0..8 {
+            let a = t.add_node(Node::host(format!("a{i}")));
+            let b = t.add_node(Node::host(format!("b{i}")));
+            t.add_link(a, b, 100e6, SimDuration::from_millis(5));
+            pairs.push((a, b));
+        }
+        let mut net = FlowNet::new(t);
+        net.set_solver(SolverConfig { mode });
+        let mut ids = Vec::new();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            for j in 0..4 {
+                let size = 20e6 + (i * 4 + j) as f64 * 3e6;
+                ids.push(
+                    net.start_flow(SimTime::ZERO, big_window_spec(a, b, size))
+                        .unwrap(),
+                );
+            }
+        }
+        let mut out = Vec::new();
+        for step in 1..=40u64 {
+            net.advance_to(SimTime::from_secs_f64(step as f64 * 0.2));
+            for &id in &ids {
+                out.push((
+                    id.0,
+                    net.flow_bytes(id).to_bits(),
+                    net.flow_rate(id).to_bits(),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_solver_is_bitwise_identical_to_sequential() {
+        let seq = solver_trajectory(SolverMode::Sequential);
+        // threshold 0: every pass goes through the worker pool.
+        let par = solver_trajectory(SolverMode::Parallel {
+            workers: 4,
+            threshold: 0,
+        });
+        let inline = solver_trajectory(SolverMode::Parallel {
+            workers: 1,
+            threshold: 0,
+        });
+        assert_eq!(seq, par);
+        assert_eq!(seq, inline);
+    }
+
+    #[test]
+    fn parallel_batches_counter_moves() {
+        let mut t = Topology::new();
+        let a = t.add_node(Node::host("a"));
+        let b = t.add_node(Node::host("b"));
+        let c = t.add_node(Node::host("c"));
+        let d = t.add_node(Node::host("d"));
+        t.add_link(a, b, 100e6, SimDuration::ZERO);
+        t.add_link(c, d, 100e6, SimDuration::ZERO);
+        let mut net = FlowNet::new(t);
+        net.set_solver(SolverConfig {
+            mode: SolverMode::Parallel {
+                workers: 2,
+                threshold: 0,
+            },
+        });
+        net.start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        net.start_flow(SimTime::ZERO, big_window_spec(c, d, f64::INFINITY))
+            .unwrap();
+        net.snapshot_rates();
+        assert_eq!(net.alloc_stats().parallel_batches, 1);
+        assert_eq!(net.alloc_stats().components_solved, 2);
+    }
+
+    #[test]
+    fn lazy_bytes_project_without_materializing() {
+        // A clean advance must not disturb the anchor: flow_bytes is a
+        // pure projection, and repeated queries agree with the closed form.
+        let (mut net, a, b) = dumbbell(100e6, 0);
+        let id = net
+            .start_flow(SimTime::ZERO, big_window_spec(a, b, f64::INFINITY))
+            .unwrap();
+        net.snapshot_rates();
+        for step in 1..=10u64 {
+            net.advance_to(SimTime::from_secs_f64(step as f64 * 0.137));
+            let expect = 100e6 * (step * 137) as f64 / 1000.0;
+            let got = net.flow_bytes(id);
+            assert!((got - expect).abs() < 1.0, "step {step}: {got} vs {expect}");
+        }
     }
 }

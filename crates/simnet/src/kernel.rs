@@ -11,49 +11,27 @@
 //! last byte, with rate changes from contention, slow start and failures all
 //! accounted for.
 
-use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use crate::flownet::{FlowError, FlowId, FlowNet, FlowSpec};
 use crate::network::Topology;
 use crate::time::{SimDuration, SimTime};
+use crate::timerwheel::TimerWheel;
 
 type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
 type FlowCb<W> = Box<dyn FnOnce(&mut Sim<W>)>;
 
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first. Ties broken
-        // by insertion order for determinism.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The simulator: virtual clock + event queue + network + world state.
+///
+/// The event queue is a hierarchical [`TimerWheel`] keyed on the explicit
+/// total order `(time, seq)`: earliest time first, insertion order within an
+/// instant. This is the same tie-break the original `BinaryHeap` queue
+/// implemented via a reversed `Ord`; the same-instant determinism tests
+/// below pin it across queue implementations.
 pub struct Sim<W> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: TimerWheel<EventFn<W>>,
     flow_callbacks: HashMap<FlowId, FlowCb<W>>,
     /// The simulated wide-area network.
     pub net: FlowNet,
@@ -66,7 +44,7 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             flow_callbacks: HashMap::new(),
             net: FlowNet::new(topo),
             world,
@@ -88,11 +66,7 @@ impl<W> Sim<W> {
         let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time,
-            seq,
-            f: Box::new(f),
-        });
+        self.queue.push(time.as_nanos(), seq, Box::new(f));
     }
 
     /// Start a network flow; `on_complete` fires when the last byte lands.
@@ -121,7 +95,7 @@ impl<W> Sim<W> {
     /// Run until the event queue and network are exhausted, or until `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
         loop {
-            let queue_next = self.queue.peek().map_or(SimTime::MAX, |s| s.time);
+            let queue_next = self.queue.peek().map_or(SimTime::MAX, |(t, _)| SimTime(t));
             let net_next = self.net.next_event_time();
             let next = queue_next.min(net_next);
             if next > limit || next == SimTime::MAX {
@@ -155,12 +129,12 @@ impl<W> Sim<W> {
                     // resources in the allocator.
                     self.net.remove_flow(fid);
                 }
-                while let Some(s) = self.queue.peek() {
-                    if s.time > self.now {
+                while let Some((t, _)) = self.queue.peek() {
+                    if SimTime(t) > self.now {
                         break;
                     }
-                    let s = self.queue.pop().unwrap();
-                    (s.f)(self);
+                    let (_, _, f) = self.queue.pop().unwrap();
+                    f(self);
                     fired = true;
                 }
                 if !fired {
@@ -218,6 +192,56 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_same_instant_events_drain_in_insertion_order() {
+        // Pin for the event-queue replacement: N events scheduled at one
+        // instant — interleaved with events at other instants, and with
+        // same-instant events scheduled *by* a same-instant event — must
+        // drain in insertion order. Any queue swap has to preserve the
+        // (time, seq) total order this observes.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<()> = Sim::new(empty_topo(), ());
+        for i in 0..256u32 {
+            let log = log.clone();
+            // Interleave other instants so the t=1 batch is not contiguous
+            // in the underlying storage.
+            let delay = if i % 3 == 0 { 2 } else { 1 };
+            sim.schedule(SimDuration::from_secs(delay), move |s| {
+                log.borrow_mut().push((s.now().as_secs_f64() as u64, i));
+            });
+        }
+        // One t=1 event schedules three more events at the same instant;
+        // they must run after every previously inserted t=1 event.
+        {
+            let log = log.clone();
+            sim.schedule(SimDuration::from_secs(1), move |s| {
+                log.borrow_mut().push((1, 1000));
+                for j in 0..3u32 {
+                    let log = log.clone();
+                    s.schedule(SimDuration::ZERO, move |s2| {
+                        log.borrow_mut()
+                            .push((s2.now().as_secs_f64() as u64, 1001 + j));
+                    });
+                }
+            });
+        }
+        sim.run();
+        let got = log.borrow();
+        let mut want: Vec<(u64, u32)> = Vec::new();
+        for i in 0..256u32 {
+            if i % 3 != 0 {
+                want.push((1, i));
+            }
+        }
+        want.extend([(1, 1000), (1, 1001), (1, 1002), (1, 1003)]);
+        for i in 0..256u32 {
+            if i % 3 == 0 {
+                want.push((2, i));
+            }
+        }
+        assert_eq!(*got, want);
     }
 
     #[test]

@@ -50,11 +50,15 @@ pub mod builders;
 pub mod failure;
 pub mod flownet;
 pub mod kernel;
+pub(crate) mod membership;
 pub mod network;
 pub mod tcp;
 pub mod time;
+pub mod timerwheel;
 
-pub use flownet::{AllocStats, FlowError, FlowId, FlowNet, FlowSpec, FlowState};
+pub use flownet::{
+    AllocStats, FlowError, FlowId, FlowNet, FlowSpec, FlowState, SolverConfig, SolverMode,
+};
 pub use kernel::Sim;
 pub use network::{CpuModel, Dir, Link, LinkId, Node, NodeId, NodeKind, Topology};
 pub use time::{SimDuration, SimTime};
@@ -64,7 +68,9 @@ pub mod prelude {
     pub use crate::background::{start_background, BackgroundTraffic};
     pub use crate::builders::{dumbbell, star_sites, Dumbbell, DumbbellParams};
     pub use crate::failure::{inject, inject_all, Fault, FaultKind};
-    pub use crate::flownet::{AllocStats, FlowError, FlowId, FlowNet, FlowSpec, FlowState};
+    pub use crate::flownet::{
+        AllocStats, FlowError, FlowId, FlowNet, FlowSpec, FlowState, SolverConfig, SolverMode,
+    };
     pub use crate::kernel::Sim;
     pub use crate::network::{CpuModel, Dir, Link, LinkId, Node, NodeId, NodeKind, Topology};
     pub use crate::tcp::{bandwidth_delay_product, TcpParams, MSS, MSS_JUMBO};

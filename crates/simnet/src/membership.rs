@@ -1,0 +1,118 @@
+//! Sharded flow↔resource membership index.
+//!
+//! The incremental allocator's central data structure maps each interned
+//! resource to the set of running flows crossing it. A flat
+//! `Vec<BTreeSet<u64>>` works until resource interning grows it mid-run: a
+//! spine reallocation moves every set (at 100k flows and ~40k resources
+//! that is megabytes of `BTreeSet` headers churned per growth step), and
+//! any outstanding reference is invalidated, which in turn forces the
+//! solver to copy member lists instead of borrowing them.
+//!
+//! Sharding fixes both: resources live in fixed-capacity *banks* allocated
+//! once and never moved. Resources intern in first-encounter order and the
+//! workloads this models intern one site/region's flows together, so a bank
+//! naturally clusters a region's resources — the "shard by region" layout —
+//! and dirty-set traversals touch few banks.
+
+use std::collections::BTreeSet;
+
+/// Resources per bank. Banks allocate this capacity up front so their
+/// element addresses are stable for the index's lifetime.
+const BANK_SIZE: usize = 1024;
+
+/// Resource → member-flow sets, sharded into stable fixed-size banks.
+#[derive(Debug, Default)]
+pub(crate) struct MembershipIndex {
+    banks: Vec<Vec<BTreeSet<u64>>>,
+    len: usize,
+}
+
+impl MembershipIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered resources.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Register the next resource id (ids are dense, assigned in order).
+    pub fn push_resource(&mut self) -> u32 {
+        let id = self.len;
+        if id.is_multiple_of(BANK_SIZE) {
+            let mut bank = Vec::new();
+            bank.reserve_exact(BANK_SIZE);
+            self.banks.push(bank);
+        }
+        self.banks
+            .last_mut()
+            .expect("bank allocated above")
+            .push(BTreeSet::new());
+        self.len += 1;
+        id as u32
+    }
+
+    pub fn insert(&mut self, r: u32, flow: u64) -> bool {
+        self.set_mut(r).insert(flow)
+    }
+
+    pub fn remove(&mut self, r: u32, flow: u64) -> bool {
+        self.set_mut(r).remove(&flow)
+    }
+
+    /// The member flows of resource `r`, in ascending flow-id order.
+    pub fn members(&self, r: u32) -> &BTreeSet<u64> {
+        &self.banks[r as usize / BANK_SIZE][r as usize % BANK_SIZE]
+    }
+
+    fn set_mut(&mut self, r: u32) -> &mut BTreeSet<u64> {
+        &mut self.banks[r as usize / BANK_SIZE][r as usize % BANK_SIZE]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_sets_independent() {
+        let mut idx = MembershipIndex::new();
+        for i in 0..5000u32 {
+            assert_eq!(idx.push_resource(), i);
+        }
+        assert_eq!(idx.len(), 5000);
+        idx.insert(0, 7);
+        idx.insert(4999, 9);
+        idx.insert(4999, 8);
+        assert_eq!(idx.members(0).iter().copied().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(
+            idx.members(4999).iter().copied().collect::<Vec<_>>(),
+            vec![8, 9]
+        );
+        assert!(idx.members(1).is_empty());
+        assert!(idx.remove(4999, 9));
+        assert!(!idx.remove(4999, 9));
+        assert_eq!(
+            idx.members(4999).iter().copied().collect::<Vec<_>>(),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn set_addresses_survive_growth() {
+        // The point of sharding: a set's address must not move as more
+        // resources are registered (banks never reallocate).
+        let mut idx = MembershipIndex::new();
+        let r = idx.push_resource();
+        idx.insert(r, 42);
+        let before = idx.members(r) as *const BTreeSet<u64>;
+        for _ in 0..10 * BANK_SIZE {
+            idx.push_resource();
+        }
+        let after = idx.members(r) as *const BTreeSet<u64>;
+        assert_eq!(before, after);
+        assert_eq!(idx.members(r).iter().copied().collect::<Vec<_>>(), vec![42]);
+    }
+}

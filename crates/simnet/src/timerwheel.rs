@@ -1,0 +1,358 @@
+//! Hierarchical timer wheel: the kernel's event queue at 100k-flow scale.
+//!
+//! A `BinaryHeap` is O(log n) per operation with a large constant (pointer-
+//! chasing sift-up/down over boxed closures) and no exploitable structure.
+//! Discrete-event workloads are overwhelmingly *near-future* inserts drained
+//! in time order, which is exactly what a hashed hierarchical wheel is built
+//! for: O(1) amortized insert, pops that touch only the occupied slots.
+//!
+//! ## Layout
+//!
+//! Eleven levels of 64 slots each cover the full 64-bit nanosecond clock
+//! (6 bits per level, 66 bits addressed). An entry's level is the position
+//! of the highest bit in which its time differs from the wheel's `horizon`
+//! (the earliest time that can still be scheduled): near-future entries land
+//! in level 0 where each slot is a single nanosecond tick, far-future
+//! entries park in coarse upper levels and *cascade* down lazily as the
+//! horizon reaches them. Per-level occupancy bitmasks make "next nonempty
+//! slot" a `trailing_zeros` instruction.
+//!
+//! ## Total order
+//!
+//! The queue's contract is a strict total order on `(time, seq)`: entries
+//! pop in ascending time, and same-instant entries pop in ascending `seq`
+//! (the caller's insertion counter). Slot vectors are *not* kept sorted —
+//! a cascade can deposit an older-`seq` entry behind a newer one — so each
+//! drained slot is sorted by `(time, seq)` before its entries are released.
+//! This keeps the tie-break explicit in exactly one place rather than
+//! distributed across the insert paths, and `kernel.rs`'s same-instant
+//! determinism tests pin the observable behaviour.
+
+const BITS: u32 = 6;
+const SLOTS: usize = 1 << BITS; // 64
+const LEVELS: usize = 11; // 11 * 6 = 66 bits ≥ the full u64 range
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A priority queue over `(time, seq)` keys, optimized for the
+/// near-monotone insert pattern of a discrete-event loop.
+///
+/// Inserts at or after the wheel's `horizon` (the common case — the kernel
+/// clamps `schedule_at` to the present, and the horizon trails the present)
+/// bucket in O(1). Inserts below the horizon — possible when a peek
+/// cascaded ahead of an earlier external event — fall back to a sorted
+/// overdue lane. The pop order is the strict `(time, seq)` total order in
+/// every case.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// `slots[level][slot]` holds entries whose time matches `horizon` on
+    /// all bits above the level's range and differs within it.
+    slots: Vec<Vec<Vec<Entry<T>>>>,
+    /// Per-level bitmask of nonempty slots.
+    occupancy: [u64; LEVELS],
+    /// Earliest admissible time; all stored entries have `time >= horizon`.
+    horizon: u64,
+    /// Same-instant batch drained from the earliest slot, held in
+    /// *descending* `(time, seq)` order so consuming from the back pops the
+    /// earliest entry in O(1).
+    ready: Vec<Entry<T>>,
+    /// Entries admitted below the horizon. A peek cascades lazily and may
+    /// advance the horizon toward the earliest *queued* entry; if an
+    /// external event source (the flow network) then fires earlier, its
+    /// callbacks schedule below the horizon. Such entries cannot be
+    /// bucketed (their level arithmetic is relative to the horizon), so
+    /// they wait here, sorted descending by `(time, seq)`. Every overdue
+    /// entry is earlier than every wheel entry: it was below the horizon
+    /// when admitted and the horizon only grows.
+    overdue: Vec<Entry<T>>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occupancy: [0; LEVELS],
+            horizon: 0,
+            ready: Vec::new(),
+            overdue: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Level/slot for `time` relative to the current horizon.
+    fn locate(&self, time: u64) -> (usize, usize) {
+        let xor = time ^ self.horizon;
+        let level = if xor == 0 {
+            0
+        } else {
+            ((63 - xor.leading_zeros()) / BITS) as usize
+        };
+        let slot = ((time >> (BITS * level as u32)) & SLOT_MASK) as usize;
+        (level, slot)
+    }
+
+    /// Insert an entry. Entries at or after the horizon bucket into the
+    /// wheel; earlier ones take the overdue lane.
+    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+        self.len += 1;
+        if time < self.horizon {
+            let at = self
+                .overdue
+                .partition_point(|e| (e.time, e.seq) > (time, seq));
+            self.overdue.insert(at, Entry { time, seq, item });
+            return;
+        }
+        let (level, slot) = self.locate(time);
+        self.slots[level][slot].push(Entry { time, seq, item });
+        self.occupancy[level] |= 1 << slot;
+    }
+
+    /// Earliest `(time, seq)` key, or `None` when empty. Takes `&mut self`:
+    /// finding the minimum may cascade coarse slots downward (an internal
+    /// reorganization that never changes the observable pop order).
+    pub fn peek(&mut self) -> Option<(u64, u64)> {
+        if let Some(e) = self.overdue.last() {
+            return Some((e.time, e.seq));
+        }
+        self.settle();
+        self.ready.last().map(|e| (e.time, e.seq))
+    }
+
+    /// Pop the earliest entry by `(time, seq)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if let Some(e) = self.overdue.pop() {
+            self.len -= 1;
+            return Some((e.time, e.seq, e.item));
+        }
+        self.settle();
+        let e = self.ready.pop()?;
+        self.len -= 1;
+        Some((e.time, e.seq, e.item))
+    }
+
+    /// Ensure the ready batch holds the globally earliest entries: cascade
+    /// upper levels until the earliest occupied slot is a level-0 tick, then
+    /// drain it. No-op while the current batch is still the earliest.
+    fn settle(&mut self) {
+        loop {
+            // The ready batch (all one timestamp, == horizon) always sorts
+            // before anything still in the wheel: wheel entries have
+            // time >= horizon, and same-instant wheel entries carry larger
+            // seqs (they were inserted after the batch was drained).
+            if !self.ready.is_empty() {
+                return;
+            }
+            if self.len == 0 {
+                return;
+            }
+            let level = (0..LEVELS)
+                .find(|&l| self.occupancy[l] != 0)
+                .expect("len > 0 but no occupied slot");
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            let mut batch = std::mem::take(&mut self.slots[level][slot]);
+            self.occupancy[level] &= !(1 << slot);
+            if level == 0 {
+                // A level-0 slot is a single nanosecond tick: one timestamp,
+                // ordered by seq alone. Descending so `pop` takes the back.
+                batch.sort_unstable_by_key(|b| std::cmp::Reverse((b.time, b.seq)));
+                self.horizon = batch[batch.len() - 1].time;
+                self.ready = batch;
+            } else {
+                // Coarse slot: advance the horizon to the slot's span and
+                // re-insert; every entry lands at a strictly lower level.
+                let width = BITS * level as u32;
+                let prefix = if width + BITS >= 64 {
+                    0 // top level: no bits above the slot index
+                } else {
+                    self.horizon >> (width + BITS) << BITS
+                };
+                let slot_start = (prefix | slot as u64) << width;
+                self.horizon = self.horizon.max(slot_start);
+                self.len -= batch.len();
+                for e in batch {
+                    self.push(e.time, e.seq, e.item);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        for (i, &t) in [5u64, 1, 9, 3, 7].iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+        }
+        let times: Vec<u64> = drain(&mut w).iter().map(|e| e.0).collect();
+        assert_eq!(times, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn same_instant_pops_in_seq_order() {
+        let mut w = TimerWheel::new();
+        for seq in 0..100u64 {
+            w.push(42, seq, seq as u32);
+        }
+        let seqs: Vec<u64> = drain(&mut w).iter().map(|e| e.1).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_times_cascade_correctly() {
+        let mut w = TimerWheel::new();
+        // One entry per level's span, plus one near the top of the clock.
+        let times = [
+            1u64,
+            100,
+            10_000,
+            1_000_000,
+            1_000_000_000,
+            1_000_000_000_000,
+            1_000_000_000_000_000,
+            u64::MAX - 1,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+        }
+        let got: Vec<u64> = drain(&mut w).iter().map(|e| e.0).collect();
+        assert_eq!(got, times.to_vec());
+    }
+
+    #[test]
+    fn insert_during_drain_at_same_instant_pops_after_earlier_seqs() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0, 0);
+        w.push(10, 1, 1);
+        let first = w.pop().unwrap();
+        assert_eq!((first.0, first.1), (10, 0));
+        // A callback fired at t=10 schedules more same-instant work.
+        w.push(10, 2, 2);
+        assert_eq!(w.pop().map(|e| e.1), Some(1));
+        assert_eq!(w.pop().map(|e| e.1), Some(2));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop_and_does_not_consume() {
+        let mut w = TimerWheel::new();
+        w.push(7, 3, 0);
+        w.push(5, 4, 1);
+        assert_eq!(w.peek(), Some((5, 4)));
+        assert_eq!(w.peek(), Some((5, 4)));
+        assert_eq!(w.pop().map(|e| (e.0, e.1)), Some((5, 4)));
+        assert_eq!(w.peek(), Some((7, 3)));
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.peek(), None);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn push_below_horizon_after_peek_cascade_still_pops_in_order() {
+        // Regression: a peek at a far-future entry cascades the wheel and
+        // advances its horizon; a subsequent push at an earlier time (an
+        // external event source fired first) must still pop first.
+        let mut w = TimerWheel::new();
+        w.push(1_000_000_000, 0, 0);
+        assert_eq!(w.peek(), Some((1_000_000_000, 0)));
+        w.push(500, 1, 1);
+        w.push(400, 2, 2);
+        w.push(500, 3, 3);
+        assert_eq!(w.pop().map(|e| (e.0, e.2)), Some((400, 2)));
+        assert_eq!(w.pop().map(|e| (e.0, e.2)), Some((500, 1)));
+        assert_eq!(w.pop().map(|e| (e.0, e.2)), Some((500, 3)));
+        assert_eq!(w.pop().map(|e| (e.0, e.2)), Some((1_000_000_000, 0)));
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn randomized_interleaving_matches_btreemap_reference() {
+        let mut rng = StdRng::seed_from_u64(0xE56_2001);
+        for _round in 0..50 {
+            let mut w = TimerWheel::new();
+            let mut reference: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+            let mut seq = 0u64;
+            let mut clock = 0u64; // last popped time: usual insert floor
+            for _op in 0..400 {
+                let roll = rng.gen_range(0..10u32);
+                if roll < 6 || reference.is_empty() {
+                    // Mix of same-instant, near-future, far-future and
+                    // (occasionally) below-horizon times.
+                    let dt = match rng.gen_range(0..10u32) {
+                        0 => 0,
+                        1..=6 => rng.gen_range(0..1_000u64),
+                        7 | 8 => rng.gen_range(0..10_000_000u64),
+                        _ => rng.gen_range(0..u64::MAX / 2),
+                    };
+                    let t = if rng.gen_bool(0.1) {
+                        rng.gen_range(0..clock.max(1))
+                    } else {
+                        clock.saturating_add(dt)
+                    };
+                    w.push(t, seq, seq as u32);
+                    reference.insert((t, seq), seq as u32);
+                    seq += 1;
+                } else if roll < 9 {
+                    let got = w.pop();
+                    let want = reference.pop_first().map(|((t, s), v)| (t, s, v));
+                    assert_eq!(got, want);
+                    if let Some((t, _, _)) = got {
+                        clock = t;
+                    }
+                } else {
+                    // Peeks cascade internally; order must be unaffected.
+                    let want = reference.first_key_value().map(|(&k, _)| k);
+                    assert_eq!(w.peek(), want);
+                }
+                assert_eq!(w.len(), reference.len());
+            }
+            let rest = drain(&mut w);
+            let want: Vec<(u64, u64, u32)> =
+                reference.into_iter().map(|((t, s), v)| (t, s, v)).collect();
+            assert_eq!(rest, want);
+        }
+    }
+}

@@ -232,6 +232,41 @@ proptest! {
         );
     }
 
+    /// Property 5 — solver-mode equivalence. The same script run under the
+    /// sequential reference solver, the inline scratch-arena solver, and
+    /// the threaded worker pool (threshold 0 so every pass crosses the
+    /// pool) produces bitwise-identical rate AND byte trajectories at every
+    /// step, and the final state matches the from-scratch oracle. This is
+    /// the determinism contract of the parallel component solve: thread
+    /// scheduling may change when a component's result is produced, never
+    /// which result or the order it is applied in.
+    #[test]
+    fn parallel_solve_matches_sequential_and_oracle(
+        topo in topo_strategy(),
+        ops in ops_strategy(30),
+    ) {
+        let (n_hosts, links) = topo;
+        let run = |mode: SolverMode| {
+            let (mut net, hosts, lids) = build_net(n_hosts, &links);
+            net.set_solver(SolverConfig { mode });
+            let mut script = Script::new();
+            let mut trajectory: Vec<(u64, u64)> = Vec::new();
+            for op in &ops {
+                script.apply(&mut net, &hosts, &lids, op);
+                for &(id, rate) in &net.snapshot_rates() {
+                    trajectory.push((rate.to_bits(), net.flow_bytes(id).to_bits()));
+                }
+            }
+            assert_matches_oracle(&mut net);
+            trajectory
+        };
+        let seq = run(SolverMode::Sequential);
+        let inline = run(SolverMode::Parallel { workers: 1, threshold: 0 });
+        let pooled = run(SolverMode::Parallel { workers: 3, threshold: 0 });
+        prop_assert_eq!(&seq, &inline, "inline scratch solver diverged from sequential");
+        prop_assert_eq!(&seq, &pooled, "worker pool diverged from sequential");
+    }
+
     /// Property 4 — the `--full-recompute` ablation is bitwise identical:
     /// same script, same rates, same delivered bytes, in either mode.
     #[test]

@@ -132,8 +132,17 @@ fn user_scaling_trace_survives_incremental_allocator() {
 /// Golden trace hash for `scheduler_pipeline_trace_is_pinned` (seed 29).
 /// Regenerate with `cargo test scheduler_pipeline_trace -- --nocapture`
 /// after intentional changes to the scheduler, workload or logging.
+///
+/// Regenerated once for the 100k-scale allocator rework: flow completion
+/// instants are now exact (`anchor + remaining/rate`, no +1 ns epsilon),
+/// byte progress integrates lazily but piecewise-exactly across rate
+/// discontinuities, and `rm.tune.path` events carry the new data-channel
+/// `cached` field. The old trace rounded completions up by a nanosecond
+/// and jump-integrated across events, so every downstream timestamp
+/// shifted; the new trace is still bit-stable run-to-run and identical
+/// across all solver modes and the full-recompute ablation.
 const SCHED_PIPELINE_GOLDEN: &str =
-    "417138b4dd8108c4c3d34df3a7ac64fc877df0e7b0c56983c56750589d1be1b9";
+    "52cc912ddd664ac88dde92090d4890ec244cb19e5ef67e7d360390e5e4b285e3";
 
 #[test]
 fn scheduler_pipeline_trace_is_pinned() {
@@ -202,7 +211,11 @@ fn scheduler_pipeline_trace_is_pinned() {
 /// Golden trace hash for `soak_trace_survives_incremental_allocator`
 /// (seed 11). Regenerate with
 /// `cargo test soak_trace -- --nocapture` after intentional changes.
-const SOAK_GOLDEN: &str = "ec9e7d0d221237666540acb366bdfef55983eaba503f4ccda238c6d6b60cb356";
+///
+/// Regenerated once alongside `SCHED_PIPELINE_GOLDEN` for the 100k-scale
+/// allocator rework (exact completion times, lazy piecewise-exact byte
+/// integration, channel-cache tuning field) — see that constant's note.
+const SOAK_GOLDEN: &str = "aef364ab53c4997fa698932eeedb6ea5fdbc938bc39f68a5fb869be4f0af7dad";
 
 #[test]
 fn soak_trace_survives_incremental_allocator() {
