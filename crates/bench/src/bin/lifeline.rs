@@ -2,339 +2,44 @@
 //!
 //! `cargo run --release -p esg-bench --bin lifeline [seed] [requests] [out.json]`
 //!
-//! Replays the A12 mixed hot/cold workload (sixteen replicated disk files
-//! plus two tape-only files per request, scheduler on) with the request
-//! manager's causal tracing enabled, exports the NetLogger ULM trace, and
-//! reconstructs every file's lifeline offline — exactly the path the
-//! paper's Figure 8 took from instrumented GridFTP runs to per-phase
-//! lifeline plots.
-//!
-//! Asserts (exits non-zero on violation):
-//!   * the ULM trace survives export -> parse -> export byte-identically;
-//!   * every delivered file reconstructs to a complete span tree whose
-//!     phase durations tile the file's makespan exactly (float residue
-//!     <= 1e-6 s);
-//!   * transfer spans account for 100% of delivered bytes (banked restart
-//!     deltas telescope to the file size);
-//!   * every request yields a critical path.
-//!
-//! Writes `BENCH_lifeline.json` (committed baseline) with the aggregate
-//! phase breakdown, per-request critical paths, stall report and the
-//! unified metrics snapshot; the raw trace lands next to it as
-//! `BENCH_lifeline_trace.ulm` for CI artifact upload.
+//! Thin shim since the scenario-lab migration: the mixed hot/cold
+//! workload, the ULM export/roundtrip, the lifeline reconstruction
+//! invariants and the committed `BENCH_lifeline.json` artifact (plus its
+//! `_trace.ulm` sidecar) are declared in
+//! `crates/lab/scenarios/lifeline.json`; this bin loads that spec,
+//! applies the legacy CLI overrides and hands it to the lab runner
+//! (bit-identical artifact and trace to the pre-migration bin). Exits
+//! non-zero if any gate fails.
 
-use esg_core::esg_testbed;
-use esg_netlogger::{LifelineSet, NetLog};
-use esg_reqman::submit_request;
-use esg_simnet::{SimDuration, SimTime};
-use esg_storage::{Hrm, TapeParams};
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-const DISK_DS: &str = "pcm_life.disk";
-const TAPE_DS: &str = "pcm_life.tape";
-const DISK_STEPS: usize = 96;
-const DISK_SPF: usize = 4;
-const DISK_BPS: u64 = 10_000_000;
-const TAPE_STEPS: usize = 16;
-const TAPE_SPF: usize = 2;
-const TAPE_BPS: u64 = 15_000_000;
-const MIN_RATE: f64 = 2.6e6;
-/// Stall detector threshold: generous enough that healthy transfers pass,
-/// tight enough to flag tape-stage queueing.
-const STALL_S: f64 = 120.0;
-
-fn sha_hex(s: &str) -> String {
-    esg_gsi::sha256(s.as_bytes())
-        .iter()
-        .map(|b| format!("{b:02x}"))
-        .collect()
-}
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::ScenarioSpec;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(23);
-    let n_requests: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
-    let out_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_lifeline.json".into());
-    let trace_path = out_path.replace(".json", "_trace.ulm");
-
-    println!(
-        "== A13: lifeline reconstruction over {n_requests} mixed hot/cold requests \
-         (seed {seed}) ==\n"
-    );
-
-    let mut tb = esg_testbed(seed);
-    tb.sim.world.rm.min_rate = MIN_RATE;
-    tb.sim.world.rm.grace = SimDuration::from_secs(6);
-    tb.sim.world.rm.retry.base = SimDuration::from_secs(6);
-    tb.sim.world.rm.add_hrm(
-        "hpss.lbl.gov",
-        Hrm::new(
-            TapeParams {
-                drives: 4,
-                mount: SimDuration::from_secs(10),
-                seek: SimDuration::from_secs(5),
-                rate: 25e6,
-            },
-            1 << 38,
-        ),
-    );
-    tb.publish_dataset(DISK_DS, DISK_STEPS, DISK_SPF, DISK_BPS, &[1, 2, 3]);
-    tb.publish_dataset(TAPE_DS, TAPE_STEPS, TAPE_SPF, TAPE_BPS, &[0]);
-    tb.start_nws(SimDuration::from_secs(25));
-    tb.sim.run_until(SimTime::from_secs(100));
-
-    let disk_coll = tb.sim.world.metadata.collection_of(DISK_DS).unwrap();
-    let tape_coll = tb.sim.world.metadata.collection_of(TAPE_DS).unwrap();
-    let disk_files: Vec<String> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(DISK_DS)
-        .unwrap()
-        .iter()
-        .map(|f| f.name.clone())
-        .collect();
-    let tape_files: Vec<String> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(TAPE_DS)
-        .unwrap()
-        .iter()
-        .map(|f| f.name.clone())
-        .collect();
-
-    let client = tb.client;
-    for r in 0..n_requests {
-        let mut files: Vec<(String, String)> = (0..16)
-            .map(|k| {
-                let f = &disk_files[(r * 16 + k) % disk_files.len()];
-                (disk_coll.clone(), f.clone())
-            })
-            .collect();
-        for k in 0..2 {
-            let f = &tape_files[(r * 2 + k) % tape_files.len()];
-            files.push((tape_coll.clone(), f.clone()));
-        }
-        let at = SimTime::from_secs(100 + 2 * r as u64);
-        tb.sim.schedule_at(at, move |sim| {
-            submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
-        });
+    let mut spec = ScenarioSpec::load("lifeline").expect("builtin scenario parses");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = args.first().and_then(|s| s.parse().ok()) {
+        spec.seeds = vec![seed];
     }
-    tb.sim.run_until(SimTime::from_secs(3600));
-
-    let outcomes = &tb.sim.world.outcomes;
-    let mut failed = false;
-    if outcomes.len() != n_requests {
-        eprintln!(
-            "BENCH FAILED: {} of {n_requests} requests finished by the horizon",
-            outcomes.len()
-        );
-        std::process::exit(1);
+    if let Some(n) = args.get(1).and_then(|s| s.parse::<i128>().ok()) {
+        spec.params.0.push(("requests".into(), Json::Int(n)));
+    }
+    if let Some(out) = args.get(2) {
+        // The executor derives the trace sidecar from the artifact path,
+        // exactly like the pre-migration bin derived it from out.json.
+        spec.artifact = Some(out.clone());
     }
 
-    // -- ULM round-trip: export -> parse -> export must be byte-identical. --
-    let ulm = tb.sim.world.rm.log.to_ulm();
-    let parsed = match NetLog::from_ulm(&ulm) {
-        Ok(p) => p,
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
+    };
+    match run_and_report(&spec, &opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
         Err(e) => {
-            eprintln!("BENCH FAILED: trace does not parse back: {e}");
+            eprintln!("lifeline: {e}");
             std::process::exit(1);
         }
-    };
-    if parsed.to_ulm() != ulm {
-        eprintln!("BENCH FAILED: ULM round-trip is not byte-identical");
-        failed = true;
     }
-
-    // -- Lifeline reconstruction from the *parsed* trace. -------------------
-    let set = LifelineSet::from_log(&parsed);
-    if !set.orphans.is_empty() {
-        eprintln!(
-            "BENCH FAILED: {} orphan spans in the trace",
-            set.orphans.len()
-        );
-        failed = true;
-    }
-    let mut max_gap = 0.0f64;
-    let mut delivered_bytes = 0u64;
-    let mut span_bytes = 0u64;
-    let mut n_files = 0usize;
-    for o in outcomes {
-        for f in &o.files {
-            if !f.done {
-                eprintln!("BENCH FAILED: {}/{} did not deliver", o.id, f.name);
-                failed = true;
-                continue;
-            }
-            n_files += 1;
-            delivered_bytes += f.size;
-            let Some(l) = set.lifeline(o.id, &f.name) else {
-                eprintln!("BENCH FAILED: no lifeline for {}/{}", o.id, f.name);
-                failed = true;
-                continue;
-            };
-            if !l.is_complete() {
-                eprintln!(
-                    "BENCH FAILED: lifeline {}/{} is not a complete tiling",
-                    o.id, f.name
-                );
-                failed = true;
-            }
-            let gap = l.tiling_gap_s().unwrap_or(f64::INFINITY);
-            max_gap = max_gap.max(gap);
-            if gap > 1e-6 {
-                eprintln!(
-                    "BENCH FAILED: {}/{} phase sum off makespan by {gap:.3e} s",
-                    o.id, f.name
-                );
-                failed = true;
-            }
-            span_bytes += l.transfer_bytes();
-            if l.transfer_bytes() != f.size {
-                eprintln!(
-                    "BENCH FAILED: {}/{} transfer spans cover {} of {} bytes",
-                    o.id,
-                    f.name,
-                    l.transfer_bytes(),
-                    f.size
-                );
-                failed = true;
-            }
-            if l.status() != Some("done") {
-                eprintln!(
-                    "BENCH FAILED: {}/{} closed with status {:?}",
-                    o.id,
-                    f.name,
-                    l.status()
-                );
-                failed = true;
-            }
-        }
-    }
-
-    // -- Critical paths: one per request. -----------------------------------
-    let cps = set.critical_paths();
-    if cps.len() != n_requests {
-        eprintln!(
-            "BENCH FAILED: {} critical paths for {n_requests} requests",
-            cps.len()
-        );
-        failed = true;
-    }
-
-    // -- Aggregate phase breakdown (the Figure-8 view). ---------------------
-    let mut phase_totals: BTreeMap<&'static str, f64> = BTreeMap::new();
-    for l in &set.lifelines {
-        for (p, d) in l.phase_totals() {
-            *phase_totals.entry(p).or_insert(0.0) += d;
-        }
-    }
-    let stalls = set.detect_stalls(STALL_S);
-
-    println!(
-        "  {} lifelines reconstructed, {} complete, max tiling gap {:.1e} s",
-        set.lifelines.len(),
-        set.lifelines.iter().filter(|l| l.is_complete()).count(),
-        max_gap
-    );
-    println!(
-        "  transfer spans cover {span_bytes} of {delivered_bytes} delivered bytes \
-         across {n_files} files"
-    );
-    println!("  aggregate phase breakdown (s):");
-    for (p, d) in &phase_totals {
-        println!("    {p:<10} {d:>10.1}");
-    }
-    println!("  critical paths:");
-    for cp in &cps {
-        let dominant = cp
-            .breakdown
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(p, d)| format!("{p} {d:.1}s"))
-            .unwrap_or_default();
-        println!(
-            "    request {:<2} gated by {:<22} makespan {:>7.1} s  (dominant: {dominant})",
-            cp.request, cp.file, cp.makespan_s
-        );
-    }
-    println!(
-        "  stalls over {STALL_S:.0}s threshold: {} ({} still open at trace end)",
-        stalls.len(),
-        stalls.iter().filter(|s| s.open).count()
-    );
-
-    if failed {
-        std::process::exit(1);
-    }
-
-    // -- Unified metrics snapshot: RM + allocator + GridFTP + integrity. ----
-    let mut reg = tb.sim.world.rm.metrics.clone();
-    reg.import_alloc(&tb.sim.net.alloc_stats());
-    tb.sim.world.gridftp.export_metrics(&mut reg);
-    tb.sim.world.rm.integrity.export_metrics(&mut reg);
-
-    let trace_sha = sha_hex(&ulm);
-    let mut json = String::new();
-    write!(
-        json,
-        concat!(
-            "{{\n  \"bench\": \"lifeline\",\n  \"seed\": {},\n  \"requests\": {},\n",
-            "  \"files\": {},\n  \"lifelines\": {},\n  \"complete\": {},\n",
-            "  \"orphans\": {},\n  \"max_tiling_gap_s\": {:.3e},\n",
-            "  \"delivered_bytes\": {},\n  \"transfer_span_bytes\": {},\n",
-            "  \"roundtrip_identical\": true,\n  \"stall_threshold_s\": {:.0},\n",
-            "  \"stalls\": {},\n  \"trace_sha256\": \"{}\",\n"
-        ),
-        seed,
-        n_requests,
-        n_files,
-        set.lifelines.len(),
-        set.lifelines.iter().filter(|l| l.is_complete()).count(),
-        set.orphans.len(),
-        max_gap,
-        delivered_bytes,
-        span_bytes,
-        STALL_S,
-        stalls.len(),
-        trace_sha,
-    )
-    .unwrap();
-    json.push_str("  \"phase_totals_s\": {");
-    for (i, (p, d)) in phase_totals.iter().enumerate() {
-        if i > 0 {
-            json.push_str(", ");
-        }
-        write!(json, "\"{p}\": {d:.3}").unwrap();
-    }
-    json.push_str("},\n  \"critical_paths\": [\n");
-    for (i, cp) in cps.iter().enumerate() {
-        writeln!(
-            json,
-            "    {{\"request\": {}, \"file\": \"{}\", \"makespan_s\": {:.3}}}{}",
-            cp.request,
-            cp.file,
-            cp.makespan_s,
-            if i + 1 < cps.len() { "," } else { "" }
-        )
-        .unwrap();
-    }
-    json.push_str("  ],\n  \"metrics\": ");
-    // to_json emits a compact object; indent it under the top level as-is.
-    json.push_str(&reg.to_json());
-    json.push_str("\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write bench json");
-    std::fs::write(&trace_path, &ulm).expect("write ulm trace");
-    println!("\n  trace sha256: {trace_sha}");
-    println!("  wrote {out_path} and {trace_path}");
 }

@@ -3,343 +3,43 @@
 //!
 //! `cargo run --release -p esg-bench --bin request_pipeline [seed] [requests] [out.json]`
 //!
-//! Replays one seeded multi-user workload on the Figure 1 testbed twice:
-//! concurrent requests mixing hot disk-resident files (replicated at three
-//! disk sites) with cold tape-only files behind the HPSS HRM, under a
-//! minimum-rate reliability floor. The `scheduler` arm runs the transfer
-//! scheduler (per-request admission caps, per-host in-flight caps, BDP
-//! tuning from NWS forecasts, prestage of queued cold files); the `legacy`
-//! arm disables it, so every file of every request starts the moment the
-//! request arrives — oversubscribing the client access link, dragging every
-//! flow below the minimum-rate floor, and thrashing the failover/backoff
-//! machinery.
-//!
-//! Asserts (exits non-zero on violation):
-//!   * both arms complete every request and deliver identical per-file
-//!     bytes, and every completion is digest-verified in both arms;
-//!   * the scheduler arm never exceeds its per-host in-flight cap and
-//!     drains its ledger to zero;
-//!   * the scheduler arm improves the workload makespan by >= 1.3x.
-//!
-//! Writes `BENCH_request_pipeline.json` (committed baseline).
+//! Thin shim since the scenario-lab migration: the workload, both arms,
+//! the equivalence/invariant/speedup checks and the committed
+//! `BENCH_request_pipeline.json` artifact are all declared in
+//! `crates/lab/scenarios/request_pipeline.json`; this bin just loads that
+//! spec, applies the legacy CLI overrides and hands it to the lab runner
+//! (which reproduces the pre-migration output bit for bit). Exits
+//! non-zero if any gate fails.
 
-use esg_core::esg_testbed;
-use esg_reqman::submit_request;
-use esg_simnet::{SimDuration, SimTime};
-use esg_storage::{Hrm, TapeParams};
-use std::fmt::Write as _;
-
-const DISK_DS: &str = "pcm_pipe.disk";
-const TAPE_DS: &str = "pcm_pipe.tape";
-/// Disk files: 24 x 40 MB replicated at LLNL, ISI, ANL.
-const DISK_STEPS: usize = 96;
-const DISK_SPF: usize = 4;
-const DISK_BPS: u64 = 10_000_000;
-/// Tape files: 8 x 30 MB, HPSS only (cold until staged).
-const TAPE_STEPS: usize = 16;
-const TAPE_SPF: usize = 2;
-const TAPE_BPS: u64 = 15_000_000;
-/// Reliability floor: flows slower than this (after grace) fail over.
-/// The client access link is 77.75 MB/s: 24 admitted flows run at
-/// ~3.2 MB/s (healthy); the legacy arm's ~108 run at ~0.7 MB/s (churn).
-const MIN_RATE: f64 = 2.6e6;
-
-struct RunResult {
-    mode: &'static str,
-    makespan: f64,
-    agg_mbps: f64,
-    mean_sojourn: f64,
-    completes: usize,
-    verified: usize,
-    failovers: usize,
-    defers: usize,
-    prestaged: u64,
-    tuned: u64,
-    peak_host_inflight: usize,
-    wall: std::time::Duration,
-    /// (request id, file name, size, bytes_done, done) in submit order.
-    deliveries: Vec<(u64, String, u64, u64, bool)>,
-    trace_ulm: String,
-}
-
-fn run(seed: u64, n_requests: usize, scheduler_on: bool) -> RunResult {
-    let mut tb = esg_testbed(seed);
-    tb.sim.world.rm.scheduler.enabled = scheduler_on;
-    tb.sim.world.rm.min_rate = MIN_RATE;
-    tb.sim.world.rm.grace = SimDuration::from_secs(6);
-    tb.sim.world.rm.retry.base = SimDuration::from_secs(6);
-    // Faster robot than the HPSS default so the staging pipeline, not the
-    // tape mount queue, shapes the cold half of the workload.
-    tb.sim.world.rm.add_hrm(
-        "hpss.lbl.gov",
-        Hrm::new(
-            TapeParams {
-                drives: 4,
-                mount: SimDuration::from_secs(10),
-                seek: SimDuration::from_secs(5),
-                rate: 25e6,
-            },
-            1 << 38,
-        ),
-    );
-    tb.publish_dataset(DISK_DS, DISK_STEPS, DISK_SPF, DISK_BPS, &[1, 2, 3]);
-    tb.publish_dataset(TAPE_DS, TAPE_STEPS, TAPE_SPF, TAPE_BPS, &[0]);
-    tb.start_nws(SimDuration::from_secs(25));
-    tb.sim.run_until(SimTime::from_secs(100));
-
-    let disk_coll = tb.sim.world.metadata.collection_of(DISK_DS).unwrap();
-    let tape_coll = tb.sim.world.metadata.collection_of(TAPE_DS).unwrap();
-    let disk_files: Vec<String> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(DISK_DS)
-        .unwrap()
-        .iter()
-        .map(|f| f.name.clone())
-        .collect();
-    let tape_files: Vec<String> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(TAPE_DS)
-        .unwrap()
-        .iter()
-        .map(|f| f.name.clone())
-        .collect();
-
-    // Request r: sixteen disk files + two tape files, deterministic picks,
-    // submitted two seconds apart.
-    let client = tb.client;
-    for r in 0..n_requests {
-        let mut files: Vec<(String, String)> = (0..16)
-            .map(|k| {
-                let f = &disk_files[(r * 16 + k) % disk_files.len()];
-                (disk_coll.clone(), f.clone())
-            })
-            .collect();
-        for k in 0..2 {
-            let f = &tape_files[(r * 2 + k) % tape_files.len()];
-            files.push((tape_coll.clone(), f.clone()));
-        }
-        let at = SimTime::from_secs(100 + 2 * r as u64);
-        tb.sim.schedule_at(at, move |sim| {
-            submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
-        });
-    }
-
-    let wall = std::time::Instant::now();
-    tb.sim.run_until(SimTime::from_secs(3600));
-    let wall = wall.elapsed();
-
-    let outcomes = &tb.sim.world.outcomes;
-    if outcomes.len() != n_requests {
-        eprintln!(
-            "BENCH FAILED [{}]: {} of {n_requests} requests finished by the horizon",
-            if scheduler_on { "scheduler" } else { "legacy" },
-            outcomes.len()
-        );
-        std::process::exit(1);
-    }
-    let first_start = outcomes
-        .iter()
-        .map(|o| o.started)
-        .min()
-        .unwrap_or(SimTime::ZERO);
-    let last_finish = outcomes
-        .iter()
-        .map(|o| o.finished)
-        .max()
-        .unwrap_or(SimTime::ZERO);
-    let makespan = last_finish.since(first_start).as_secs_f64();
-    let bytes: u64 = outcomes
-        .iter()
-        .flat_map(|o| o.files.iter())
-        .map(|f| f.bytes_done)
-        .sum();
-    let mean_sojourn = outcomes
-        .iter()
-        .map(|o| o.finished.since(o.started).as_secs_f64())
-        .sum::<f64>()
-        / n_requests as f64;
-
-    let mut deliveries: Vec<(u64, String, u64, u64, bool)> = outcomes
-        .iter()
-        .flat_map(|o| {
-            o.files
-                .iter()
-                .map(move |f| (o.id, f.name.clone(), f.size, f.bytes_done, f.done))
-        })
-        .collect();
-    deliveries.sort();
-
-    let rm = &tb.sim.world.rm;
-    let count = |name: &str| rm.log.named(name).count();
-    RunResult {
-        mode: if scheduler_on { "scheduler" } else { "legacy" },
-        makespan,
-        agg_mbps: bytes as f64 / makespan.max(1e-9) / 1e6,
-        mean_sojourn,
-        completes: count("rm.file.complete"),
-        verified: count("integrity.file.verified"),
-        failovers: count("rm.reliability.failover"),
-        defers: count("rm.sched.defer"),
-        prestaged: rm.sched_stats().prestaged,
-        tuned: rm.sched_stats().tuned,
-        peak_host_inflight: rm.inflight().peak_attempts(),
-        wall,
-        deliveries,
-        trace_ulm: rm.log.to_ulm(),
-    }
-}
-
-fn report(v: &RunResult) {
-    println!(
-        "  {:<10} makespan {:>7.1} s  aggregate {:>6.1} MB/s  mean sojourn {:>6.1} s  \
-         failovers {:>4}  defers {:>4}  prestaged {}  tuned {:>3}  peak/host {}  wall {:.1?}",
-        v.mode,
-        v.makespan,
-        v.agg_mbps,
-        v.mean_sojourn,
-        v.failovers,
-        v.defers,
-        v.prestaged,
-        v.tuned,
-        v.peak_host_inflight,
-        v.wall,
-    );
-}
-
-fn json_variant(v: &RunResult) -> String {
-    let mut s = String::new();
-    write!(
-        s,
-        concat!(
-            "{{\"mode\": \"{}\", \"makespan_s\": {:.3}, \"aggregate_mb_s\": {:.3}, ",
-            "\"mean_sojourn_s\": {:.3}, \"files_complete\": {}, \"files_verified\": {}, ",
-            "\"failovers\": {}, \"defers\": {}, \"prestaged\": {}, \"tuned\": {}, ",
-            "\"peak_host_inflight\": {}}}"
-        ),
-        v.mode,
-        v.makespan,
-        v.agg_mbps,
-        v.mean_sojourn,
-        v.completes,
-        v.verified,
-        v.failovers,
-        v.defers,
-        v.prestaged,
-        v.tuned,
-        v.peak_host_inflight,
-    )
-    .unwrap();
-    s
-}
-
-fn sha_hex(s: &str) -> String {
-    esg_gsi::sha256(s.as_bytes())
-        .iter()
-        .map(|b| format!("{b:02x}"))
-        .collect()
-}
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::ScenarioSpec;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(23);
-    let n_requests: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
-    let out_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_request_pipeline.json".into());
-
-    println!(
-        "== A12: {n_requests} concurrent mixed hot/cold requests (seed {seed}, \
-         min_rate {:.1} MB/s) ==\n",
-        MIN_RATE / 1e6
-    );
-
-    let sched = run(seed, n_requests, true);
-    report(&sched);
-    let legacy = run(seed, n_requests, false);
-    report(&legacy);
-
-    // -- Equivalence: same deliveries, fully verified, in both arms. ------
-    let mut failed = false;
-    if sched.deliveries != legacy.deliveries {
-        eprintln!("BENCH FAILED: delivered bytes differ between arms");
-        failed = true;
+    let mut spec = ScenarioSpec::load("request_pipeline").expect("builtin scenario parses");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = args.first().and_then(|s| s.parse().ok()) {
+        spec.seeds = vec![seed];
     }
-    for v in [&sched, &legacy] {
-        if v.deliveries
-            .iter()
-            .any(|(_, _, size, done_b, done)| !done || done_b != size)
-        {
-            eprintln!(
-                "BENCH FAILED [{}]: a file finished short of its size",
-                v.mode
-            );
-            failed = true;
-        }
-        if v.verified != v.completes {
-            eprintln!(
-                "BENCH FAILED [{}]: {} completions but only {} digest-verified",
-                v.mode, v.completes, v.verified
-            );
-            failed = true;
+    if let Some(n) = args.get(1).and_then(|s| s.parse::<i128>().ok()) {
+        spec.params.0.push(("requests".into(), Json::Int(n)));
+    }
+    if let Some(out) = args.get(2) {
+        spec.artifact = Some(out.clone());
+    }
+
+    // The pre-migration bin always recomputed; keep that contract here
+    // (journal resume stays a `lab` CLI feature).
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
+    };
+    match run_and_report(&spec, &opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("request_pipeline: {e}");
+            std::process::exit(1);
         }
     }
-
-    // -- Scheduler invariants. -------------------------------------------
-    let host_cap = 8; // SchedulerConfig::default().max_inflight_per_host
-    if sched.peak_host_inflight > host_cap {
-        eprintln!(
-            "BENCH FAILED: per-host in-flight peaked at {} (cap {host_cap})",
-            sched.peak_host_inflight
-        );
-        failed = true;
-    }
-    if sched.prestaged == 0 || sched.tuned == 0 {
-        eprintln!("BENCH FAILED: scheduler arm never prestaged or never BDP-tuned");
-        failed = true;
-    }
-
-    // -- Performance: the whole point of the scheduler. -------------------
-    let speedup = legacy.makespan / sched.makespan.max(1e-9);
-    println!(
-        "\n  deliveries: IDENTICAL ({} files, every completion digest-verified)",
-        sched.deliveries.len()
-    );
-    println!("  makespan speedup (legacy / scheduler): {speedup:.2}x");
-    if speedup < 1.3 {
-        eprintln!("BENCH FAILED: makespan speedup {speedup:.2}x below the 1.3x floor");
-        failed = true;
-    }
-    if failed {
-        std::process::exit(1);
-    }
-
-    let trace_sha = sha_hex(&sched.trace_ulm);
-    let json = format!(
-        concat!(
-            "{{\n  \"bench\": \"request_pipeline\",\n  \"seed\": {},\n",
-            "  \"requests\": {},\n  \"files_per_request\": 18,\n",
-            "  \"min_rate_mb_s\": {:.1},\n  \"variants\": [\n    {},\n    {}\n  ],\n",
-            "  \"speedup_makespan\": {:.2},\n  \"equivalent\": true,\n",
-            "  \"trace_sha256\": \"{}\"\n}}\n"
-        ),
-        seed,
-        n_requests,
-        MIN_RATE / 1e6,
-        json_variant(&sched),
-        json_variant(&legacy),
-        speedup,
-        trace_sha,
-    );
-    std::fs::write(&out_path, &json).expect("write bench json");
-    println!("  scheduler trace sha256: {trace_sha}");
-    println!("  wrote {out_path}");
 }

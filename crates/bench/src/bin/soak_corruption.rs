@@ -3,184 +3,40 @@
 //!
 //! `cargo run --release -p esg-bench --bin soak_corruption [seed] [requests] [trace_path]`
 //!
-//! Pushes `requests` randomized requests through the Figure 1 testbed
-//! while blocks silently rot at rest on disk caches, tape reads corrupt
-//! cold stages at the HPSS site, and wire-corruption windows flip frames
-//! in flight. Reports detection/repair/quarantine statistics from the
-//! NetLogger trace, writes the full ULM trace to `trace_path` (default
-//! `SOAK_corruption.ulm`), and exits non-zero if any file fails, any
-//! request stalls, or any completion was not digest-verified.
+//! Thin shim since the scenario-lab migration: the corruption schedule
+//! (at-rest flips, tape-read errors, wire-corruption windows), the
+//! request workload, the integrity gates and the exported ULM trace are
+//! declared in `crates/lab/scenarios/soak_corruption.json`; this bin
+//! loads that spec and applies the legacy CLI overrides (byte-identical
+//! trace to the pre-migration bin). Exits non-zero if any gate fails.
 
-use esg_core::esg_testbed;
-use esg_reqman::submit_request;
-use esg_simnet::prelude::{inject_all, Fault, FaultKind};
-use esg_simnet::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
-
-const DATASET: &str = "pcm_intg.b06";
-const FILE_SIZE: u64 = 8_000_000;
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::ScenarioSpec;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(13);
-    let n_requests: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
-    let trace_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "SOAK_corruption.ulm".into());
+    let mut spec = ScenarioSpec::load("soak_corruption").expect("builtin scenario parses");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = args.first().and_then(|s| s.parse().ok()) {
+        spec.seeds = vec![seed];
+    }
+    if let Some(n) = args.get(1).and_then(|s| s.parse::<i128>().ok()) {
+        spec.params.0.push(("requests".into(), Json::Int(n)));
+    }
+    if let Some(path) = args.get(2) {
+        spec.params.0.push(("trace_path".into(), Json::str(path)));
+    }
 
-    let mut tb = esg_testbed(seed);
-    tb.sim
-        .world
-        .rm
-        .hrms
-        .get_mut("hpss.lbl.gov")
-        .unwrap()
-        .enable_tape_errors(3, seed);
-    tb.sim.world.rm.integrity.quarantine_threshold = 1;
-    tb.publish_dataset(DATASET, 24, 4, 2_000_000, &[0, 1, 2, 3, 4, 5]);
-    let collection = tb.sim.world.metadata.collection_of(DATASET).unwrap();
-    tb.start_nws(SimDuration::from_secs(25));
-    tb.sim.run_until(SimTime::from_secs(100));
-
-    let names: Vec<(String, String)> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(DATASET)
-        .unwrap()
-        .iter()
-        .map(|f| (collection.clone(), f.name.clone()))
-        .collect();
-
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BAD_B10C_C0DE_C0DE);
-
-    // At-rest block flips on the disk sites, capped at three of the five
-    // disk replicas per file so a clean repair source always survives.
-    let mut corrupted: HashMap<String, HashSet<usize>> = HashMap::new();
-    let mut flips = 0usize;
-    for _ in 0..30 {
-        let si = rng.gen_range(1usize..6);
-        let (_, name) = names[rng.gen_range(0usize..names.len())].clone();
-        let hit_sites = corrupted.entry(name.clone()).or_default();
-        if !hit_sites.contains(&si) && hit_sites.len() >= 3 {
-            continue;
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
+    };
+    match run_and_report(&spec, &opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("soak_corruption: {e}");
+            std::process::exit(1);
         }
-        hit_sites.insert(si);
-        let host = tb.sites[si].host.clone();
-        let block = rng.gen_range(0u64..FILE_SIZE.div_ceil(1 << 20));
-        let nonce = rng.gen::<u64>() | 1;
-        let at = SimTime::from_secs(rng.gen_range(50u64..1200));
-        flips += 1;
-        tb.sim.schedule_at(at, move |sim| {
-            sim.world.rm.corrupt_at_rest(&host, &name, block, nonce, at);
-        });
     }
-
-    // In-flight corruption windows at the storage sites.
-    let mut faults = Vec::new();
-    for _ in 0..8 {
-        let at = SimTime::from_secs(rng.gen_range(120u64..1200));
-        let duration = SimDuration::from_secs(rng.gen_range(10u64..60));
-        let site = rng.gen_range(1usize..6);
-        faults.push(Fault::new(
-            at,
-            duration,
-            FaultKind::WireCorrupt(tb.sites[site].node),
-        ));
-    }
-    inject_all(&mut tb.sim, &faults);
-    println!(
-        "seed {seed}: {flips} at-rest flips, {} wire windows, 1-in-3 tape errors, \
-         {n_requests} requests over [100, 1300) s",
-        faults.len()
-    );
-
-    let client = tb.client;
-    for _ in 0..n_requests {
-        let at = SimTime::from_secs(rng.gen_range(100u64..1300));
-        let k = rng.gen_range(1usize..=2);
-        let files: Vec<_> = (0..k)
-            .map(|_| names[rng.gen_range(0usize..names.len())].clone())
-            .collect();
-        tb.sim.schedule_at(at, move |sim| {
-            submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
-        });
-    }
-
-    let wall = std::time::Instant::now();
-    tb.sim.run_until(SimTime::from_secs(3600));
-    let wall = wall.elapsed();
-
-    let outcomes = &tb.sim.world.outcomes;
-    let log = &tb.sim.world.rm.log;
-    let count = |name: &str| log.named(name).count();
-    let files: usize = outcomes.iter().map(|o| o.files.len()).sum();
-    let complete = outcomes
-        .iter()
-        .flat_map(|o| o.files.iter())
-        .filter(|f| f.done && f.bytes_done == f.size)
-        .count();
-    let bytes: u64 = outcomes
-        .iter()
-        .flat_map(|o| o.files.iter())
-        .map(|f| f.bytes_done)
-        .sum();
-    let repair_bytes: f64 = log
-        .named("integrity.repair.eret")
-        .filter_map(|e| e.get_num("bytes"))
-        .sum();
-
-    println!("\n== corruption soak report (sim horizon 3600 s, wall {wall:.1?}) ==");
-    println!("requests completed:   {:>8} / {n_requests}", outcomes.len());
-    println!("files delivered:      {:>8} / {files}", complete);
-    println!("bytes delivered:      {:>8.2} GB", bytes as f64 / 1e9);
-    println!(
-        "files verified:       {:>8}",
-        count("integrity.file.verified")
-    );
-    println!(
-        "block mismatches:     {:>8}",
-        count("integrity.block.mismatch")
-    );
-    println!(
-        "ERET repairs:         {:>8}",
-        count("integrity.repair.eret")
-    );
-    println!("repair traffic:       {:>8.2} MB", repair_bytes / 1e6);
-    println!(
-        "escalations:          {:>8}",
-        count("integrity.repair.escalate")
-    );
-    println!(
-        "quarantines:          {:>8}",
-        count("integrity.replica.quarantine")
-    );
-    println!(
-        "rehabilitations:      {:>8}",
-        count("integrity.replica.rehabilitated")
-    );
-    println!("files failed:         {:>8}", count("rm.file.failed"));
-
-    let trace = log.to_ulm();
-    std::fs::write(&trace_path, &trace).expect("write trace");
-    println!("trace: {trace_path} ({} events)", log.len());
-
-    let verified = count("integrity.file.verified");
-    let completes = count("rm.file.complete");
-    if outcomes.len() != n_requests || complete != files {
-        eprintln!("SOAK FAILED: incomplete requests remain at the horizon");
-        std::process::exit(1);
-    }
-    if verified != completes {
-        eprintln!("SOAK FAILED: {completes} completions but only {verified} verified");
-        std::process::exit(1);
-    }
-    println!("\nall requests complete; every delivery digest-verified bit-exact");
 }

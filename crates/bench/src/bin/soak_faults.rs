@@ -3,145 +3,40 @@
 //!
 //! `cargo run --release -p esg-bench --bin soak_faults [seed] [requests] [mode]`
 //!
-//! Pushes `requests` randomized multi-file requests through the Figure 1
-//! testbed while storage sites drop and the name service blacks out, then
-//! reports completion, retry and breaker statistics from the NetLogger
-//! trace. Exits non-zero if any request fails to complete. `mode` filters
-//! the fault schedule: `all` (default), `node`, `ns` or `none`.
+//! Thin shim since the scenario-lab migration: the fault schedule
+//! generator, the request workload and the completion gates live in
+//! `crates/lab/scenarios/soak_faults.json` and the `soak_faults`
+//! executor; this bin loads that spec and applies the legacy CLI
+//! overrides. `mode` filters the fault schedule: `all` (default),
+//! `node`, `ns` or `none`. Exits non-zero if any gate fails.
 
-use esg_core::esg_testbed;
-use esg_reqman::submit_request;
-use esg_simnet::prelude::{inject_all, Fault, FaultKind};
-use esg_simnet::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const DATASET: &str = "pcm_soak.b06";
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::ScenarioSpec;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(11);
-    let n_requests: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let mut spec = ScenarioSpec::load("soak_faults").expect("builtin scenario parses");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(seed) = args.first().and_then(|s| s.parse().ok()) {
+        spec.seeds = vec![seed];
+    }
+    if let Some(n) = args.get(1).and_then(|s| s.parse::<i128>().ok()) {
+        spec.params.0.push(("requests".into(), Json::Int(n)));
+    }
+    if let Some(mode) = args.get(2) {
+        spec.params.0.push(("mode".into(), Json::str(mode)));
+    }
 
-    let mut tb = esg_testbed(seed);
-    tb.publish_dataset(DATASET, 24, 4, 2_000_000, &[1, 2, 3, 4, 5]);
-    let collection = tb.sim.world.metadata.collection_of(DATASET).unwrap();
-    tb.start_nws(SimDuration::from_secs(25));
-    tb.sim.run_until(SimTime::from_secs(100));
-
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_5EED_0BAD_F00D);
-
-    let mode = std::env::args().nth(3).unwrap_or_else(|| "all".into());
-    let mut faults = Vec::new();
-    for _ in 0..24 {
-        let at = SimTime::from_secs(rng.gen_range(120u64..1200));
-        let duration = SimDuration::from_secs(rng.gen_range(5u64..90));
-        let kind = if rng.gen_bool(0.3) {
-            FaultKind::NameServiceDown
-        } else {
-            FaultKind::NodeDown(tb.sites[rng.gen_range(1usize..6)].node)
-        };
-        let keep = match mode.as_str() {
-            "none" => false,
-            "node" => matches!(kind, FaultKind::NodeDown(_)),
-            "ns" => matches!(kind, FaultKind::NameServiceDown),
-            _ => true,
-        };
-        if keep {
-            faults.push(Fault::new(at, duration, kind));
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
+    };
+    match run_and_report(&spec, &opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("soak_faults: {e}");
+            std::process::exit(1);
         }
     }
-    inject_all(&mut tb.sim, &faults);
-    println!(
-        "seed {seed}: {} faults over [120, 1290) s, {n_requests} requests over [100, 1300) s",
-        faults.len()
-    );
-
-    let names: Vec<(String, String)> = tb
-        .sim
-        .world
-        .metadata
-        .all_files(DATASET)
-        .unwrap()
-        .iter()
-        .map(|f| (collection.clone(), f.name.clone()))
-        .collect();
-
-    let client = tb.client;
-    for _ in 0..n_requests {
-        let at = SimTime::from_secs(rng.gen_range(100u64..1300));
-        let k = rng.gen_range(1usize..=3);
-        let files: Vec<_> = (0..k)
-            .map(|_| names[rng.gen_range(0usize..names.len())].clone())
-            .collect();
-        tb.sim.schedule_at(at, move |sim| {
-            submit_request(sim, client, files, |s, o| s.world.outcomes.push(o));
-        });
-    }
-
-    // Progress ticker so long runs show where sim time has got to.
-    fn tick(sim: &mut esg_core::EsgSim, total: usize) {
-        let done = sim.world.outcomes.len();
-        eprintln!(
-            "  t={:>6.0}s  outcomes {done}/{total}  active flows {}  log events {}",
-            sim.now().as_secs_f64(),
-            sim.net.active_flow_count(),
-            sim.world.rm.log.len(),
-        );
-        if done < total {
-            sim.schedule(SimDuration::from_secs(300), move |s| tick(s, total));
-        }
-    }
-    let total = n_requests;
-    tb.sim
-        .schedule_at(SimTime::from_secs(300), move |s| tick(s, total));
-
-    let wall = std::time::Instant::now();
-    tb.sim.run_until(SimTime::from_secs(3600));
-    let wall = wall.elapsed();
-
-    let outcomes = &tb.sim.world.outcomes;
-    let log = &tb.sim.world.rm.log;
-    let count = |name: &str| log.named(name).count();
-    let files: usize = outcomes.iter().map(|o| o.files.len()).sum();
-    let complete = outcomes
-        .iter()
-        .flat_map(|o| o.files.iter())
-        .filter(|f| f.done && f.bytes_done == f.size)
-        .count();
-    let bytes: u64 = outcomes
-        .iter()
-        .flat_map(|o| o.files.iter())
-        .map(|f| f.bytes_done)
-        .sum();
-
-    println!("\n== soak report (sim horizon 3600 s, wall {wall:.1?}) ==");
-    println!("requests completed:   {:>8} / {n_requests}", outcomes.len());
-    println!("files delivered:      {:>8} / {files}", complete);
-    println!("bytes delivered:      {:>8.2} GB", bytes as f64 / 1e9);
-    println!("transfer attempts:    {:>8}", count("rm.replica.selected"));
-    println!("retry backoffs:       {:>8}", count("rm.retry.backoff"));
-    println!(
-        "stall/rate failovers: {:>8}",
-        count("rm.reliability.failover")
-    );
-    println!(
-        "restart markers used: {:>8}",
-        count("rm.failover.restart_marker")
-    );
-    println!("breaker opens:        {:>8}", count("rm.breaker.open"));
-    println!("breaker half-opens:   {:>8}", count("rm.breaker.half_open"));
-    println!("breaker closes:       {:>8}", count("rm.breaker.close"));
-    println!("files failed:         {:>8}", count("rm.file.failed"));
-
-    if outcomes.len() != n_requests || complete != files {
-        eprintln!("SOAK FAILED: incomplete requests remain at the horizon");
-        std::process::exit(1);
-    }
-    println!("\nall requests complete; byte accounting exact");
 }

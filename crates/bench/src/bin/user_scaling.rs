@@ -10,182 +10,44 @@
 //! `... --check-against BENCH_user_scaling.json` (compare against a
 //! previously committed curve and fail on >20% wall-clock regression)
 //!
-//! The curve runs 1k → 10k → 100k flows (smoke: 1k + 10k, the CI
-//! configuration). At every point the sequential reference solver and
-//! the parallel scratch-arena solver run the same seeded workload and
-//! must be observably identical — per-flow completion instants and
-//! NetLogger traces, bit for bit — and in-run oracle probes check the
-//! incremental allocation against a from-scratch re-solve at
-//! geometrically spaced instants. The full-recompute *trace* ablation
-//! additionally runs at the 1k point (its cost is quadratic in flows;
-//! the oracle probes carry the equivalence argument at 10k/100k). The
-//! full curve also enforces that the parallel solver beats the
-//! sequential reference at 10k and above.
-//!
-//! Exits non-zero if any equivalence assertion trips, the speedup floor
-//! is missed, or `--check-against` detects a regression.
+//! Thin shim since the scenario-lab migration: the curve points, the
+//! sequential/parallel/full-recompute equivalence argument, the speedup
+//! floor and the committed `BENCH_user_scaling.json` artifact are
+//! declared in `crates/lab/scenarios/user_scaling.json` (smoke:
+//! `user_scaling_smoke.json`); this bin loads the right spec, applies
+//! the legacy CLI overrides and hands it to the lab runner (bit-identical
+//! artifact and trace pins to the pre-migration bin). Without
+//! `--check-against` the wall-regression gate is dropped, exactly like
+//! the old bin only checked when the flag was given. Exits non-zero if
+//! any gate fails.
 
-use esg_bench::scaling::{
-    run_curve_point, run_variant, trace_sha256_hex, PointReport, VariantResult,
-};
-use std::fmt::Write as _;
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::scaling::{run_variant, trace_sha256_hex};
+use esg_lab::spec::{GateSpec, Params, ScenarioSpec, Variant};
 
-fn report(v: &VariantResult) {
-    println!(
-        "  {:<16} {:<22} wall {:>9.1?}  rss {:>9}  passes {:>8}  components {:>9}  flow-solves {:>10}  par-batches {:>6}",
-        v.mode,
-        v.solver,
-        v.wall,
-        v.peak_rss_kb
-            .map_or("n/a".into(), |k| format!("{:.1}MB", k as f64 / 1024.0)),
-        v.stats.recompute_passes,
-        v.stats.components_solved,
-        v.stats.flow_solves,
-        v.stats.parallel_batches,
-    );
-}
-
-/// One curve point as a single JSON line (keeps the committed file
-/// greppable and lets the regression check stay dependency-free).
-fn json_point(p: &PointReport) -> String {
-    let mut s = String::new();
-    write!(
-        s,
-        concat!(
-            "{{\"n\": {}, \"regions\": {}, ",
-            "\"wall_ms_sequential\": {:.3}, \"wall_ms_parallel\": {:.3}, "
-        ),
-        p.n,
-        p.regions,
-        p.seq.wall.as_secs_f64() * 1e3,
-        p.par.wall.as_secs_f64() * 1e3,
-    )
-    .unwrap();
-    match &p.full {
-        Some(f) => write!(
-            s,
-            "\"wall_ms_full_recompute\": {:.3}, ",
-            f.wall.as_secs_f64() * 1e3
-        ),
-        None => write!(s, "\"wall_ms_full_recompute\": null, "),
-    }
-    .unwrap();
-    write!(
-        s,
-        concat!(
-            "\"speedup_parallel_vs_sequential\": {:.3}, ",
-            "\"peak_rss_kb_sequential\": {}, \"peak_rss_kb_parallel\": {}, ",
-            "\"solver_parallel\": \"{}\", \"oracle_probes\": {}, ",
-            "\"recompute_passes\": {}, \"components_solved\": {}, ",
-            "\"flow_solves\": {}, \"parallel_batches\": {}, ",
-            "\"peak_concurrent_flows\": {}, \"equivalent\": true, ",
-            "\"trace_sha256\": \"{}\"}}"
-        ),
-        p.seq.wall.as_secs_f64() / p.par.wall.as_secs_f64().max(1e-9),
-        p.seq.peak_rss_kb.unwrap_or(0),
-        p.par.peak_rss_kb.unwrap_or(0),
-        p.par.solver,
-        p.par.oracle_probes_run,
-        p.par.stats.recompute_passes,
-        p.par.stats.components_solved,
-        p.par.stats.flow_solves,
-        p.par.stats.parallel_batches,
-        p.par.peak_concurrent,
-        trace_sha256_hex(&p.par),
-    )
-    .unwrap();
-    s
-}
-
-/// Pull `"wall_ms_parallel"` for the point with the given `n` out of a
-/// previously committed curve JSON. Hand-rolled on purpose: each point
-/// is one line, so a substring scan is exact for the format we write.
-fn baseline_wall_ms(json: &str, n: usize) -> Option<f64> {
-    let needle = format!("{{\"n\": {n}, ");
-    let line = json.lines().find(|l| l.trim_start().starts_with(&needle))?;
-    let key = "\"wall_ms_parallel\": ";
-    let at = line.find(key)? + key.len();
-    line[at..]
-        .split(&[',', '}'][..])
-        .next()?
-        .trim()
-        .parse()
-        .ok()
-}
-
-fn run_curve(points: &[(usize, usize)], seed: u64, baseline: Option<&str>, full_gate: bool) {
-    let mut reports = Vec::new();
-    for &(n, regions) in points {
-        println!("-- point: {n} flows over {regions} regions --");
-        // The full-recompute trace ablation is quadratic in flows: run it
-        // where it is affordable (1k); oracle probes cover the rest.
-        let repeats = if n >= 100_000 { 2 } else { 3 };
-        let p = run_curve_point(n, regions, seed, n <= 1_000, 8, repeats);
-        report(&p.seq);
-        report(&p.par);
-        if let Some(f) = &p.full {
-            report(f);
-        }
-        println!(
-            "  equivalence: sequential == parallel{} (sha256 {}), oracle probes {}x OK\n",
-            if p.full.is_some() {
-                " == full-recompute"
-            } else {
-                ""
-            },
-            &trace_sha256_hex(&p.par)[..16],
-            p.par.oracle_probes_run,
-        );
-        reports.push(p);
-    }
-
-    let mut failed = false;
-    for p in &reports {
-        if full_gate && p.n >= 10_000 && p.par.wall >= p.seq.wall {
-            eprintln!(
-                "FAIL: parallel solver ({:?}) did not beat sequential ({:?}) at n={}",
-                p.par.wall, p.seq.wall, p.n
-            );
-            failed = true;
-        }
-        if let Some(base) = baseline {
-            if let Some(b) = baseline_wall_ms(base, p.n) {
-                let cur = p.par.wall.as_secs_f64() * 1e3;
-                if cur > b * 1.2 {
-                    eprintln!(
-                        "FAIL: wall-clock regression at n={}: {cur:.1} ms vs baseline {b:.1} ms (>20%)",
-                        p.n
-                    );
-                    failed = true;
-                } else {
-                    println!(
-                        "  baseline check n={}: {cur:.1} ms vs committed {b:.1} ms — OK",
-                        p.n
-                    );
-                }
-            }
+fn run_spec(mut spec: ScenarioSpec, check_against: Option<String>) -> ! {
+    match check_against {
+        Some(path) => spec.baseline = Some(path),
+        None => {
+            // No --check-against: the legacy bin ran no regression check,
+            // so drop the gate rather than error on a missing baseline.
+            spec.baseline = None;
+            spec.gates
+                .retain(|g| !matches!(g, GateSpec::WallRegression { .. }));
         }
     }
-
-    let mut json = format!(
-        concat!(
-            "{{\n  \"bench\": \"user_scaling_curve\",\n  \"seed\": {},\n",
-            "  \"clients_per_region\": {},\n  \"points\": [\n"
-        ),
-        seed,
-        esg_bench::scaling::CLIENTS_PER_REGION,
-    );
-    for (i, p) in reports.iter().enumerate() {
-        json.push_str("    ");
-        json.push_str(&json_point(p));
-        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_user_scaling.json", &json).expect("write BENCH_user_scaling.json");
-    println!("  wrote BENCH_user_scaling.json ({} points)", reports.len());
-
-    if failed {
-        std::process::exit(1);
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
+    };
+    match run_and_report(&spec, &opts) {
+        Ok(true) => std::process::exit(0),
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("user_scaling: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -220,22 +82,16 @@ fn main() {
     }
 
     if let Some(smoke) = curve {
-        let seed = nums.first().copied().unwrap_or(17);
-        let full: &[(usize, usize)] = &[(1_000, 32), (10_000, 320), (100_000, 3_200)];
-        let points = if smoke { &full[..2] } else { full };
-        println!(
-            "== A14: scaling curve {} (seed {seed}) ==\n",
-            if smoke {
-                "1k + 10k (smoke)"
-            } else {
-                "1k -> 10k -> 100k"
-            }
-        );
-        let baseline = check_against.map(|p| {
-            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check-against {p}: {e}"))
-        });
-        run_curve(points, seed, baseline.as_deref(), !smoke);
-        return;
+        let mut spec = ScenarioSpec::load(if smoke {
+            "user_scaling_smoke"
+        } else {
+            "user_scaling"
+        })
+        .expect("builtin scenario parses");
+        if let Some(&seed) = nums.first() {
+            spec.seeds = vec![seed];
+        }
+        run_spec(spec, check_against);
     }
 
     let n = nums.first().copied().unwrap_or(1200) as usize;
@@ -245,25 +101,51 @@ fn main() {
     println!("== A10: {n} concurrent flows over {regions} regions (seed {seed}) ==\n");
 
     if let Some(full) = mode {
+        // One-variant diagnostic: run the solver directly, no spec matrix.
         let v = run_variant(n, regions, seed, full);
-        report(&v);
+        println!(
+            "  {:<16} {:<22} wall {:>9.1?}  passes {:>8}  components {:>9}  flow-solves {:>10}",
+            v.mode,
+            v.solver,
+            v.wall,
+            v.stats.recompute_passes,
+            v.stats.components_solved,
+            v.stats.flow_solves,
+        );
         println!("\n  peak concurrent flows: {}", v.peak_concurrent);
         println!("  trace sha256: {}", trace_sha256_hex(&v));
         return;
     }
 
-    // Both variants, equivalence-checked (no JSON: the committed
-    // BENCH_user_scaling.json is the curve's; use --curve to regenerate).
-    let inc = run_variant(n, regions, seed, false);
-    report(&inc);
-    let full = run_variant(n, regions, seed, true);
-    report(&full);
-    esg_bench::scaling::assert_equivalent(&inc, &full);
-    let speedup = full.wall.as_secs_f64() / inc.wall.as_secs_f64().max(1e-9);
-    println!("\n  peak concurrent flows: {}", inc.peak_concurrent);
-    println!(
-        "  traces + completion times: IDENTICAL (sha256 {})",
-        &trace_sha256_hex(&inc)[..16]
-    );
-    println!("  wall-clock speedup (full-recompute / incremental): {speedup:.1}x");
+    // Both variants, equivalence-checked: an ad-hoc one-point spec with
+    // the full-recompute trace ablation on (it carries the old
+    // assert_equivalent). No artifact: the committed
+    // BENCH_user_scaling.json is the curve's; use --curve to regenerate.
+    let spec = ScenarioSpec {
+        name: "user_scaling_point".into(),
+        kind: "user_scaling".into(),
+        description: format!("ad-hoc single point: {n} flows over {regions} regions"),
+        seeds: vec![seed],
+        reps: 1,
+        params: Params(vec![
+            ("n".into(), Json::Int(n as i128)),
+            ("regions".into(), Json::Int(regions as i128)),
+            ("full_ablation".into(), Json::Bool(true)),
+            ("oracle_probes".into(), Json::Int(8)),
+            ("repeats".into(), Json::Int(1)),
+        ]),
+        variants: vec![Variant {
+            name: format!("n{n}"),
+            overrides: Params::default(),
+        }],
+        faults: Vec::new(),
+        metrics: Vec::new(),
+        gates: vec![GateSpec::NonZero {
+            metric: "equivalent".into(),
+            variants: None,
+        }],
+        artifact: None,
+        baseline: None,
+    };
+    run_spec(spec, check_against);
 }

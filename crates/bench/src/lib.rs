@@ -38,7 +38,10 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-pub mod scaling;
+// The flow-scaling harness lives in esg-lab now (the lab's user_scaling
+// executor is its primary consumer); re-exported so `esg_bench::scaling`
+// callers keep working.
+pub use esg_lab::scaling;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,81 @@
+//! The scenario-lab runner CLI.
+//!
+//! ```text
+//! cargo run --release -p esg-lab --bin lab -- [options] <scenario>...
+//!
+//!   <scenario>          builtin name (see --list) or path to a spec file
+//!   --journal-dir DIR   journal + analysis-table directory (default lab_out)
+//!   --fresh             ignore existing journals, rerun every trial
+//!   --max-trials N      execute at most N new trials per scenario, then stop
+//!   --quiet             suppress per-trial progress lines
+//!   --list              print builtin scenario names and exit
+//! ```
+//!
+//! Runs each scenario's variant × seed × rep matrix (resuming from its
+//! journal), prints the deterministic analysis table and the gate
+//! report, and exits non-zero if any scenario is left incomplete or any
+//! gate does not pass (gate errors count as failures).
+
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::{builtin_names, ScenarioSpec};
+use std::path::PathBuf;
+
+fn main() {
+    let mut opts = RunOptions::default();
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--journal-dir" => match args.next() {
+                Some(d) => opts.journal_dir = PathBuf::from(d),
+                None => die("--journal-dir needs a directory argument"),
+            },
+            "--max-trials" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.max_trials = Some(n),
+                None => die("--max-trials needs an integer argument"),
+            },
+            "--fresh" => opts.fresh = true,
+            "--quiet" => opts.quiet = true,
+            "--list" => {
+                for name in builtin_names() {
+                    let spec = ScenarioSpec::load(name).expect("builtin parses");
+                    println!("{name:<24} {}", spec.description);
+                }
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown option {other}")),
+            _ => scenarios.push(a),
+        }
+    }
+    if scenarios.is_empty() {
+        die("usage: lab [options] <scenario>...  (--list shows builtins)");
+    }
+
+    let mut failed = false;
+    for name in &scenarios {
+        let spec = match ScenarioSpec::load(name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lab: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match run_and_report(&spec, &opts) {
+            Ok(true) => {}
+            Ok(false) => failed = true,
+            Err(e) => {
+                eprintln!("lab: {}: {e}", spec.name);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("lab: {msg}");
+    std::process::exit(2)
+}

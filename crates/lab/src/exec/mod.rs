@@ -1,0 +1,104 @@
+//! Scenario executors: one module per scenario *kind*.
+//!
+//! An executor is the imperative half of a spec — it builds the
+//! simulated world from the merged trial parameters, runs it, and
+//! returns a `TrialRecord`. The migrated executors reproduce their
+//! pre-migration bench bins operation-for-operation (same construction
+//! order, same RNG streams, same event schedule), so the golden trace
+//! pins and committed `BENCH_*.json` baselines carry over bit-for-bit —
+//! `tests/lab_equivalence.rs` at the workspace root holds inline copies
+//! of the old bin logic and asserts exactly that.
+
+use crate::gate::Baseline;
+use crate::journal::TrialRecord;
+use crate::json::Json;
+use crate::spec::{FaultSpec, Params, ScenarioSpec};
+use esg_core::scenario::Site;
+use esg_simnet::prelude::{Fault, FaultKind};
+use esg_simnet::{SimDuration, SimTime};
+
+pub mod lifeline;
+pub mod mixed;
+pub mod pipeline;
+pub mod soak;
+pub mod user_scaling;
+
+/// One trial's resolved inputs: the spec, the merged (base + variant
+/// override) parameters, and the matrix coordinates.
+pub struct TrialCtx<'a> {
+    pub spec: &'a ScenarioSpec,
+    pub params: Params,
+    pub variant: String,
+    pub seed: u64,
+    pub rep: u32,
+}
+
+/// Dispatch a trial to its kind's executor.
+pub fn run_trial(ctx: &TrialCtx) -> Result<TrialRecord, String> {
+    let mut record = match ctx.spec.kind.as_str() {
+        "user_scaling" => user_scaling::run(ctx),
+        "request_pipeline" => pipeline::run(ctx),
+        "lifeline" => lifeline::run(ctx),
+        "soak_faults" => soak::run_faults(ctx),
+        "soak_corruption" => soak::run_corruption(ctx),
+        other => Err(format!("unknown scenario kind '{other}'")),
+    }?;
+    record.sort_metrics();
+    Ok(record)
+}
+
+/// Assemble the committed `BENCH_*.json` artifact from the finished rows
+/// (byte-format-identical to what the pre-migration bin wrote). Kinds
+/// without an artifact return `None`.
+pub fn assemble_artifact(spec: &ScenarioSpec, rows: &[TrialRecord]) -> Option<String> {
+    match spec.kind.as_str() {
+        "user_scaling" => user_scaling::assemble(spec, rows),
+        "request_pipeline" => pipeline::assemble(spec, rows),
+        "lifeline" => lifeline::assemble(rows),
+        _ => None,
+    }
+}
+
+/// Extract per-variant baseline metrics from a committed artifact, for
+/// `wall_regression` gates.
+pub fn baseline_metrics(spec: &ScenarioSpec, artifact: &Json) -> Result<Baseline, String> {
+    match spec.kind.as_str() {
+        "user_scaling" => user_scaling::baseline(spec, artifact),
+        "request_pipeline" => pipeline::baseline(artifact),
+        other => Err(format!("kind '{other}' has no baseline extractor")),
+    }
+}
+
+/// Translate a spec-level declarative fault schedule into simnet faults
+/// against a testbed's site list. Applied *in addition to* whatever
+/// seeded faults the scenario kind generates itself.
+pub fn spec_faults(faults: &[FaultSpec], sites: &[Site]) -> Result<Vec<Fault>, String> {
+    let site_node = |i: usize| {
+        sites.get(i).map(|s| s.node).ok_or(format!(
+            "fault site {i} out of range ({} sites)",
+            sites.len()
+        ))
+    };
+    faults
+        .iter()
+        .map(|f| {
+            Ok(match *f {
+                FaultSpec::NodeDown { at_s, for_s, site } => Fault::new(
+                    SimTime::from_secs(at_s),
+                    SimDuration::from_secs(for_s),
+                    FaultKind::NodeDown(site_node(site)?),
+                ),
+                FaultSpec::NameServiceDown { at_s, for_s } => Fault::new(
+                    SimTime::from_secs(at_s),
+                    SimDuration::from_secs(for_s),
+                    FaultKind::NameServiceDown,
+                ),
+                FaultSpec::WireCorrupt { at_s, for_s, site } => Fault::new(
+                    SimTime::from_secs(at_s),
+                    SimDuration::from_secs(for_s),
+                    FaultKind::WireCorrupt(site_node(site)?),
+                ),
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,594 @@
+//! Declared-threshold gate evaluator.
+//!
+//! CI no longer encodes pass/fail logic in per-bin asserts: a spec
+//! declares gates (`GateSpec`) and this module evaluates them over the
+//! finished analysis rows. Three outcomes per gate:
+//!
+//! * `Pass` — the condition held everywhere it applied;
+//! * `Fail` — a trial violated it (equivalence trip, threshold breach);
+//! * `Error` — the gate could not be evaluated (missing metric, missing
+//!   baseline). An error is never a pass: a gate that silently cannot
+//!   see its data must fail the run, otherwise a renamed metric would
+//!   turn the tripwire off.
+
+use crate::journal::TrialRecord;
+use crate::spec::{GateSpec, MetricRef};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    Pass,
+    Fail,
+    Error,
+}
+
+impl GateStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GateStatus::Pass => "pass",
+            GateStatus::Fail => "FAIL",
+            GateStatus::Error => "ERROR",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    pub label: String,
+    pub status: GateStatus,
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub results: Vec<GateResult>,
+}
+
+impl GateReport {
+    /// True only if every gate passed — errors block, by design.
+    pub fn all_pass(&self) -> bool {
+        self.results.iter().all(|r| r.status == GateStatus::Pass)
+    }
+}
+
+/// Baseline metrics for `wall_regression` gates: variant → metric → value.
+pub type Baseline = BTreeMap<String, BTreeMap<String, f64>>;
+
+fn applies(variants: &Option<Vec<String>>, variant: &str) -> bool {
+    variants
+        .as_ref()
+        .map(|v| v.iter().any(|x| x == variant))
+        .unwrap_or(true)
+}
+
+/// Rows sharing (seed, rep) — the unit `equivalence` and cross-variant
+/// `min_ratio` gates compare within.
+fn groups(rows: &[TrialRecord]) -> Vec<Vec<&TrialRecord>> {
+    let mut by: BTreeMap<(u64, u32), Vec<&TrialRecord>> = BTreeMap::new();
+    for r in rows {
+        by.entry((r.key.seed, r.key.rep)).or_default().push(r);
+    }
+    by.into_values().collect()
+}
+
+pub fn evaluate(
+    gates: &[GateSpec],
+    rows: &[TrialRecord],
+    baseline: Option<&Baseline>,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for gate in gates {
+        let (status, detail) = eval_one(gate, rows, baseline);
+        report.results.push(GateResult {
+            label: gate.label(),
+            status,
+            detail,
+        });
+    }
+    report
+}
+
+fn eval_one(
+    gate: &GateSpec,
+    rows: &[TrialRecord],
+    baseline: Option<&Baseline>,
+) -> (GateStatus, String) {
+    match gate {
+        GateSpec::Equivalence { metric } => {
+            for group in groups(rows) {
+                let mut canon: Option<(String, &TrialRecord)> = None;
+                for r in &group {
+                    let Some(v) = r.metric(metric) else {
+                        return (
+                            GateStatus::Error,
+                            format!("{} missing metric '{metric}'", key_of(r)),
+                        );
+                    };
+                    let rendered = v.canon();
+                    match &canon {
+                        None => canon = Some((rendered, r)),
+                        Some((first, first_row)) if *first != rendered => {
+                            return (
+                                GateStatus::Fail,
+                                format!(
+                                    "equivalence trip: {} has {metric}={rendered} but {} has {first}",
+                                    key_of(r),
+                                    key_of(first_row)
+                                ),
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            (
+                GateStatus::Pass,
+                format!("{metric} identical across variants"),
+            )
+        }
+        GateSpec::MetricEq { a, b, variants } => {
+            for r in rows.iter().filter(|r| applies(variants, &r.key.variant)) {
+                let (Some(va), Some(vb)) = (r.value(a), r.value(b)) else {
+                    return (
+                        GateStatus::Error,
+                        format!("{} missing '{a}' or '{b}'", key_of(r)),
+                    );
+                };
+                if va != vb {
+                    return (
+                        GateStatus::Fail,
+                        format!("{}: {a}={va} != {b}={vb}", key_of(r)),
+                    );
+                }
+            }
+            (GateStatus::Pass, format!("{a} == {b} in every trial"))
+        }
+        GateSpec::NonZero { metric, variants } => {
+            for r in rows.iter().filter(|r| applies(variants, &r.key.variant)) {
+                let Some(v) = r.value(metric) else {
+                    return (
+                        GateStatus::Error,
+                        format!("{} missing metric '{metric}'", key_of(r)),
+                    );
+                };
+                if v == 0.0 {
+                    return (GateStatus::Fail, format!("{}: {metric} is zero", key_of(r)));
+                }
+            }
+            (
+                GateStatus::Pass,
+                format!("{metric} non-zero in every trial"),
+            )
+        }
+        GateSpec::MaxValue {
+            metric,
+            max,
+            variants,
+        } => {
+            for r in rows.iter().filter(|r| applies(variants, &r.key.variant)) {
+                let Some(v) = r.value(metric) else {
+                    return (
+                        GateStatus::Error,
+                        format!("{} missing metric '{metric}'", key_of(r)),
+                    );
+                };
+                if v > *max {
+                    return (
+                        GateStatus::Fail,
+                        format!("{}: {metric}={v} exceeds {max}", key_of(r)),
+                    );
+                }
+            }
+            (
+                GateStatus::Pass,
+                format!("{metric} <= {max} in every trial"),
+            )
+        }
+        GateSpec::MinRatio {
+            numer,
+            denom,
+            min,
+            variants,
+        } => eval_min_ratio(numer, denom, *min, variants, rows),
+        GateSpec::WallRegression { metric, max_pct } => {
+            let Some(base) = baseline else {
+                return (
+                    GateStatus::Error,
+                    "no baseline available (declare `baseline` in the spec or pass --baseline)"
+                        .into(),
+                );
+            };
+            let mut detail = String::new();
+            for r in rows {
+                let Some(cur) = r.value(metric) else {
+                    return (
+                        GateStatus::Error,
+                        format!("{} missing timing metric '{metric}'", key_of(r)),
+                    );
+                };
+                let Some(b) = base.get(&r.key.variant).and_then(|m| m.get(metric)) else {
+                    return (
+                        GateStatus::Error,
+                        format!("baseline has no '{metric}' for variant '{}'", r.key.variant),
+                    );
+                };
+                let limit = b * (1.0 + max_pct / 100.0);
+                if cur > limit {
+                    return (
+                        GateStatus::Fail,
+                        format!(
+                            "{}: {metric}={cur:.1} vs baseline {b:.1} (> +{max_pct}%)",
+                            key_of(r)
+                        ),
+                    );
+                }
+                if !detail.is_empty() {
+                    detail.push_str("; ");
+                }
+                detail.push_str(&format!("{}: {cur:.1} vs {b:.1}", key_of(r)));
+            }
+            (GateStatus::Pass, detail)
+        }
+    }
+}
+
+fn eval_min_ratio(
+    numer: &MetricRef,
+    denom: &MetricRef,
+    min: f64,
+    variants: &Option<Vec<String>>,
+    rows: &[TrialRecord],
+) -> (GateStatus, String) {
+    match (&numer.variant, &denom.variant) {
+        // Within-trial ratio of two metrics.
+        (None, None) => {
+            for r in rows.iter().filter(|r| applies(variants, &r.key.variant)) {
+                let (Some(n), Some(d)) = (r.value(&numer.metric), r.value(&denom.metric)) else {
+                    return (
+                        GateStatus::Error,
+                        format!(
+                            "{} missing '{}' or '{}'",
+                            key_of(r),
+                            numer.metric,
+                            denom.metric
+                        ),
+                    );
+                };
+                let ratio = n / d.max(1e-12);
+                if ratio < min {
+                    return (
+                        GateStatus::Fail,
+                        format!("{}: ratio {ratio:.3} below {min}", key_of(r)),
+                    );
+                }
+            }
+            (GateStatus::Pass, format!("ratio >= {min} in every trial"))
+        }
+        // Cross-variant ratio within each (seed, rep) group.
+        (Some(nv), Some(dv)) => {
+            for group in groups(rows) {
+                let find = |variant: &str, metric: &str| {
+                    group
+                        .iter()
+                        .find(|r| r.key.variant == variant)
+                        .and_then(|r| r.value(metric))
+                };
+                let (Some(n), Some(d)) = (find(nv, &numer.metric), find(dv, &denom.metric)) else {
+                    return (
+                        GateStatus::Error,
+                        format!(
+                            "group missing variant '{nv}'/'{dv}' or metric '{}'/'{}'",
+                            numer.metric, denom.metric
+                        ),
+                    );
+                };
+                let ratio = n / d.max(1e-12);
+                if ratio < min {
+                    return (
+                        GateStatus::Fail,
+                        format!("{nv}/{dv} ratio {ratio:.3} below {min}"),
+                    );
+                }
+            }
+            (GateStatus::Pass, format!("{nv}/{dv} ratio >= {min}"))
+        }
+        _ => (
+            GateStatus::Error,
+            "min_ratio refs must both name a variant or neither".into(),
+        ),
+    }
+}
+
+fn key_of(r: &TrialRecord) -> String {
+    format!("{}/seed={}/rep={}", r.key.variant, r.key.seed, r.key.rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{MetricValue, TrialKey};
+
+    fn row(variant: &str, seed: u64, metrics: &[(&str, MetricValue)], wall: f64) -> TrialRecord {
+        TrialRecord {
+            key: TrialKey {
+                variant: variant.into(),
+                seed,
+                rep: 0,
+            },
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            timing: vec![("wall_ms".into(), wall)],
+            fragment: None,
+            aux: vec![],
+        }
+    }
+
+    fn sha(s: &str) -> MetricValue {
+        MetricValue::Str(s.into())
+    }
+
+    #[test]
+    fn equivalence_trip_fails() {
+        let gate = GateSpec::Equivalence {
+            metric: "trace_sha256".into(),
+        };
+        let ok = [
+            row("a", 17, &[("trace_sha256", sha("x"))], 1.0),
+            row("b", 17, &[("trace_sha256", sha("x"))], 2.0),
+        ];
+        assert_eq!(
+            evaluate(std::slice::from_ref(&gate), &ok, None).results[0].status,
+            GateStatus::Pass
+        );
+        let trip = [
+            row("a", 17, &[("trace_sha256", sha("x"))], 1.0),
+            row("b", 17, &[("trace_sha256", sha("y"))], 2.0),
+        ];
+        let r = &evaluate(&[gate], &trip, None).results[0];
+        assert_eq!(r.status, GateStatus::Fail);
+        assert!(r.detail.contains("equivalence trip"), "{}", r.detail);
+    }
+
+    #[test]
+    fn equivalence_compares_within_seed_groups_only() {
+        // Different seeds legitimately have different traces.
+        let gate = GateSpec::Equivalence {
+            metric: "trace_sha256".into(),
+        };
+        let rows = [
+            row("a", 17, &[("trace_sha256", sha("x"))], 1.0),
+            row("b", 17, &[("trace_sha256", sha("x"))], 1.0),
+            row("a", 23, &[("trace_sha256", sha("z"))], 1.0),
+            row("b", 23, &[("trace_sha256", sha("z"))], 1.0),
+        ];
+        assert_eq!(
+            evaluate(&[gate], &rows, None).results[0].status,
+            GateStatus::Pass
+        );
+    }
+
+    #[test]
+    fn wall_regression_past_threshold_fails_within_passes() {
+        let gate = GateSpec::WallRegression {
+            metric: "wall_ms".into(),
+            max_pct: 20.0,
+        };
+        let mut base: Baseline = Baseline::new();
+        base.entry("a".into())
+            .or_default()
+            .insert("wall_ms".into(), 100.0);
+
+        // 115 ms vs 100 ms baseline: inside +20%.
+        let within = [row("a", 17, &[], 115.0)];
+        assert_eq!(
+            evaluate(std::slice::from_ref(&gate), &within, Some(&base)).results[0].status,
+            GateStatus::Pass
+        );
+
+        // 121 ms vs 100 ms baseline: past +20%.
+        let past = [row("a", 17, &[], 121.0)];
+        let r = &evaluate(&[gate], &past, Some(&base)).results[0];
+        assert_eq!(r.status, GateStatus::Fail);
+        assert!(r.detail.contains("baseline 100.0"), "{}", r.detail);
+    }
+
+    #[test]
+    fn missing_baseline_is_an_explicit_error_not_a_pass() {
+        let gate = GateSpec::WallRegression {
+            metric: "wall_ms".into(),
+            max_pct: 20.0,
+        };
+        let rows = [row("a", 17, &[], 10.0)];
+        let r = &evaluate(std::slice::from_ref(&gate), &rows, None).results[0];
+        assert_eq!(r.status, GateStatus::Error);
+        assert!(r.detail.contains("no baseline"), "{}", r.detail);
+        // An error blocks the run.
+        assert!(!evaluate(std::slice::from_ref(&gate), &rows, None).all_pass());
+
+        // Baseline present but lacking the variant: also an error.
+        let other: Baseline = Baseline::new();
+        let r = &evaluate(&[gate], &rows, Some(&other)).results[0];
+        assert_eq!(r.status, GateStatus::Error);
+    }
+
+    #[test]
+    fn missing_metric_is_an_error() {
+        let rows = [row("a", 17, &[], 1.0)];
+        for gate in [
+            GateSpec::NonZero {
+                metric: "ghost".into(),
+                variants: None,
+            },
+            GateSpec::MetricEq {
+                a: "ghost".into(),
+                b: "wall_ms".into(),
+                variants: None,
+            },
+            GateSpec::MaxValue {
+                metric: "ghost".into(),
+                max: 1.0,
+                variants: None,
+            },
+            GateSpec::Equivalence {
+                metric: "ghost".into(),
+            },
+        ] {
+            assert_eq!(
+                evaluate(&[gate], &rows, None).results[0].status,
+                GateStatus::Error
+            );
+        }
+    }
+
+    #[test]
+    fn per_trial_gates() {
+        let rows = [row(
+            "scheduler",
+            23,
+            &[
+                ("files_complete", MetricValue::Num(108.0)),
+                ("files_verified", MetricValue::Num(108.0)),
+                ("prestaged", MetricValue::Num(6.0)),
+                ("peak_host_inflight", MetricValue::Num(8.0)),
+            ],
+            1.0,
+        )];
+        let gates = [
+            GateSpec::MetricEq {
+                a: "files_verified".into(),
+                b: "files_complete".into(),
+                variants: None,
+            },
+            GateSpec::NonZero {
+                metric: "prestaged".into(),
+                variants: Some(vec!["scheduler".into()]),
+            },
+            GateSpec::MaxValue {
+                metric: "peak_host_inflight".into(),
+                max: 8.0,
+                variants: None,
+            },
+        ];
+        let rep = evaluate(&gates, &rows, None);
+        assert!(rep.all_pass(), "{:?}", rep.results);
+
+        // And each flavor of violation fails.
+        let bad = [row(
+            "scheduler",
+            23,
+            &[
+                ("files_complete", MetricValue::Num(108.0)),
+                ("files_verified", MetricValue::Num(107.0)),
+                ("prestaged", MetricValue::Num(0.0)),
+                ("peak_host_inflight", MetricValue::Num(9.0)),
+            ],
+            1.0,
+        )];
+        let rep = evaluate(&gates, &bad, None);
+        assert!(rep.results.iter().all(|r| r.status == GateStatus::Fail));
+    }
+
+    #[test]
+    fn min_ratio_cross_variant_and_within_trial() {
+        let rows = [
+            row(
+                "scheduler",
+                23,
+                &[("makespan_s", MetricValue::Num(480.0))],
+                1.0,
+            ),
+            row(
+                "legacy",
+                23,
+                &[("makespan_s", MetricValue::Num(726.0))],
+                1.0,
+            ),
+        ];
+        let cross = GateSpec::MinRatio {
+            numer: MetricRef {
+                metric: "makespan_s".into(),
+                variant: Some("legacy".into()),
+            },
+            denom: MetricRef {
+                metric: "makespan_s".into(),
+                variant: Some("scheduler".into()),
+            },
+            min: 1.3,
+            variants: None,
+        };
+        assert_eq!(
+            evaluate(std::slice::from_ref(&cross), &rows, None).results[0].status,
+            GateStatus::Pass
+        );
+        let slow = [
+            row(
+                "scheduler",
+                23,
+                &[("makespan_s", MetricValue::Num(700.0))],
+                1.0,
+            ),
+            row(
+                "legacy",
+                23,
+                &[("makespan_s", MetricValue::Num(726.0))],
+                1.0,
+            ),
+        ];
+        assert_eq!(
+            evaluate(&[cross], &slow, None).results[0].status,
+            GateStatus::Fail
+        );
+
+        // Within-trial form, filtered to one variant.
+        let within = GateSpec::MinRatio {
+            numer: MetricRef {
+                metric: "wall_ms_sequential".into(),
+                variant: None,
+            },
+            denom: MetricRef {
+                metric: "wall_ms_parallel".into(),
+                variant: None,
+            },
+            min: 1.0,
+            variants: Some(vec!["n10k".into()]),
+        };
+        let mut r = row("n10k", 17, &[], 0.0);
+        r.timing = vec![
+            ("wall_ms_parallel".into(), 100.0),
+            ("wall_ms_sequential".into(), 150.0),
+        ];
+        let mut r_small = row("n1k", 17, &[], 0.0);
+        r_small.timing = vec![
+            // The filter must exempt this variant from the floor.
+            ("wall_ms_parallel".into(), 100.0),
+            ("wall_ms_sequential".into(), 50.0),
+        ];
+        assert_eq!(
+            evaluate(&[within], &[r, r_small], None).results[0].status,
+            GateStatus::Pass
+        );
+    }
+
+    #[test]
+    fn mismatched_metric_refs_error() {
+        let gate = GateSpec::MinRatio {
+            numer: MetricRef {
+                metric: "x".into(),
+                variant: Some("a".into()),
+            },
+            denom: MetricRef {
+                metric: "x".into(),
+                variant: None,
+            },
+            min: 1.0,
+            variants: None,
+        };
+        let rows = [row("a", 1, &[("x", MetricValue::Num(1.0))], 0.0)];
+        assert_eq!(
+            evaluate(&[gate], &rows, None).results[0].status,
+            GateStatus::Error
+        );
+    }
+}

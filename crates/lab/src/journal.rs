@@ -1,0 +1,419 @@
+//! Resume-safe JSONL trial journal.
+//!
+//! Every completed trial is appended to `<journal_dir>/<scenario>.jsonl`
+//! as one self-contained line: the spec hash it ran under, the trial
+//! coordinates (variant, seed, rep), the deterministic metrics, the
+//! timing section, the artifact fragment, and the path+sha256 of any
+//! auxiliary files the trial wrote. A rerun replays the journal first
+//! and skips every trial whose spec hash matches and whose auxiliary
+//! files are still on disk with matching digests — the deterministic
+//! same-seed trace contract means a journaled trial's metrics ARE the
+//! trial, so the resumed analysis table is byte-identical to an
+//! uninterrupted run (regression-tested in `tests/journal_resume.rs`).
+//!
+//! A truncated final line (the run died mid-append) is silently dropped:
+//! that trial simply reruns.
+
+use crate::json::{fmt_num, Json};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Coordinates of one trial in the variant × seed × rep matrix.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrialKey {
+    pub variant: String,
+    pub seed: u64,
+    pub rep: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Num(f64),
+    Str(String),
+}
+
+impl MetricValue {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::Num(v) => Some(*v),
+            MetricValue::Str(_) => None,
+        }
+    }
+
+    /// Canonical rendering used for table bytes and equivalence compare.
+    pub fn canon(&self) -> String {
+        match self {
+            MetricValue::Num(v) => fmt_num(*v),
+            MetricValue::Str(s) => s.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Num(v) => num_to_json(*v),
+            MetricValue::Str(s) => Json::str(s),
+        }
+    }
+}
+
+/// Canonical numeric JSON: integral in-range values stay integers so
+/// counts journal as counts; everything else is a float.
+pub fn num_to_json(v: f64) -> Json {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        Json::Int(v as i64 as i128)
+    } else {
+        Json::Float(v)
+    }
+}
+
+/// An auxiliary file a trial wrote (ULM trace, …), recorded by path and
+/// content digest so resume can prove it still holds the trial's bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxFile {
+    pub path: String,
+    pub sha256: String,
+}
+
+/// Everything one finished trial produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    pub key: TrialKey,
+    /// Deterministic metrics (pure functions of spec + seed), sorted by
+    /// name before journaling so the bytes are canonical.
+    pub metrics: Vec<(String, MetricValue)>,
+    /// Wall-clock / RSS measurements. Kept out of the deterministic
+    /// table section: they differ run to run by nature.
+    pub timing: Vec<(String, f64)>,
+    /// Kind-specific fragment the artifact assembler consumes.
+    pub fragment: Option<String>,
+    pub aux: Vec<AuxFile>,
+}
+
+impl TrialRecord {
+    pub fn metric(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Numeric lookup across both sections (timing shadows nothing:
+    /// deterministic metrics win).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.metric(name)
+            .and_then(MetricValue::as_f64)
+            .or_else(|| self.timing.iter().find(|(k, _)| k == name).map(|(_, v)| *v))
+    }
+
+    pub fn sort_metrics(&mut self) {
+        self.metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        self.timing.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    pub spec_sha256: String,
+    pub record: TrialRecord,
+}
+
+impl JournalEntry {
+    fn to_json(&self) -> Json {
+        let r = &self.record;
+        Json::obj(vec![
+            ("v", Json::Int(1)),
+            ("spec_sha256", Json::str(&self.spec_sha256)),
+            ("variant", Json::str(&r.key.variant)),
+            ("seed", Json::Int(r.key.seed as i128)),
+            ("rep", Json::Int(r.key.rep as i128)),
+            (
+                "metrics",
+                Json::Obj(
+                    r.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "timing",
+                Json::Obj(
+                    r.timing
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "fragment",
+                r.fragment.as_ref().map_or(Json::Null, Json::str),
+            ),
+            (
+                "aux",
+                Json::Arr(
+                    r.aux
+                        .iter()
+                        .map(|a| {
+                            Json::obj(vec![
+                                ("path", Json::str(&a.path)),
+                                ("sha256", Json::str(&a.sha256)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JournalEntry, String> {
+        let metrics = v
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("journal entry needs metrics")?
+            .iter()
+            .map(|(k, v)| {
+                let mv = match v {
+                    Json::Str(s) => MetricValue::Str(s.clone()),
+                    other => {
+                        MetricValue::Num(other.as_f64().ok_or("metric must be number or string")?)
+                    }
+                };
+                Ok((k.clone(), mv))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let timing = v
+            .get("timing")
+            .and_then(Json::as_obj)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or("timing values must be numeric".to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let aux = match v.get("aux") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(a)) => a
+                .iter()
+                .map(|e| {
+                    Ok(AuxFile {
+                        path: e
+                            .get("path")
+                            .and_then(Json::as_str)
+                            .ok_or("aux needs path")?
+                            .to_string(),
+                        sha256: e
+                            .get("sha256")
+                            .and_then(Json::as_str)
+                            .ok_or("aux needs sha256")?
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("aux must be an array".into()),
+        };
+        Ok(JournalEntry {
+            spec_sha256: v
+                .get("spec_sha256")
+                .and_then(Json::as_str)
+                .ok_or("journal entry needs spec_sha256")?
+                .to_string(),
+            record: TrialRecord {
+                key: TrialKey {
+                    variant: v
+                        .get("variant")
+                        .and_then(Json::as_str)
+                        .ok_or("journal entry needs variant")?
+                        .to_string(),
+                    seed: v
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or("journal entry needs seed")?,
+                    rep: v.get("rep").and_then(Json::as_u64).unwrap_or(0) as u32,
+                },
+                metrics,
+                timing,
+                fragment: v.get("fragment").and_then(Json::as_str).map(str::to_string),
+                aux,
+            },
+        })
+    }
+}
+
+pub fn journal_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{scenario}.jsonl"))
+}
+
+/// Append one entry; the line is flushed before returning so a crash
+/// after `append` never loses the trial. A torn final line left by a
+/// previous crash is truncated away first — otherwise the new entry
+/// would weld onto it and turn a recoverable tail into mid-journal
+/// corruption on the next read.
+pub fn append(path: &Path, entry: &JournalEntry) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+    }
+    if let Ok(bytes) = std::fs::read(path) {
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| format!("open {path:?}: {e}"))?;
+            f.set_len(keep as u64)
+                .map_err(|e| format!("truncate torn tail of {path:?}: {e}"))?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {path:?}: {e}"))?;
+    let mut line = entry.to_json().emit();
+    line.push('\n');
+    f.write_all(line.as_bytes())
+        .map_err(|e| format!("append {path:?}: {e}"))?;
+    f.flush().map_err(|e| format!("flush {path:?}: {e}"))?;
+    Ok(())
+}
+
+/// Read a journal back. A final line that does not parse (truncated
+/// mid-append) is dropped; a malformed line anywhere earlier is an
+/// error — that journal did not come from this code.
+pub fn read(path: &Path) -> Result<Vec<JournalEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {path:?}: {e}")),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match Json::parse(line).and_then(|v| JournalEntry::from_json(&v)) {
+            Ok(e) => out.push(e),
+            Err(err) if i + 1 == lines.len() => {
+                // Torn tail from an interrupted append — rerun that trial.
+                eprintln!("lab: dropping torn journal tail in {path:?}: {err}");
+            }
+            Err(err) => return Err(format!("{path:?} line {}: {err}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// Is this journaled trial safe to reuse for `spec_sha`? The spec hash
+/// must match and every auxiliary file must still exist with the
+/// journaled digest.
+pub fn reusable(entry: &JournalEntry, spec_sha: &str) -> bool {
+    entry.spec_sha256 == spec_sha
+        && entry.record.aux.iter().all(|a| {
+            std::fs::read_to_string(&a.path)
+                .map(|text| crate::sha_hex(&text) == a.sha256)
+                .unwrap_or(false)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(variant: &str, seed: u64) -> JournalEntry {
+        JournalEntry {
+            spec_sha256: "abc".into(),
+            record: TrialRecord {
+                key: TrialKey {
+                    variant: variant.into(),
+                    seed,
+                    rep: 0,
+                },
+                metrics: vec![
+                    ("count".into(), MetricValue::Num(4.0)),
+                    ("sha".into(), MetricValue::Str("deadbeef".into())),
+                ],
+                timing: vec![("wall_ms".into(), 12.25)],
+                fragment: Some("{\"n\": 1}".into()),
+                aux: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lab_j_{}", std::process::id()));
+        let path = journal_path(&dir, "demo");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &entry("a", 17)).unwrap();
+        append(&path, &entry("b", 23)).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], entry("a", 17));
+        assert_eq!(back[1], entry("b", 23));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("lab_torn_{}", std::process::id()));
+        let path = journal_path(&dir, "demo");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &entry("a", 17)).unwrap();
+        // Simulate a crash mid-append: half a JSON line, no newline.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"v\":1,\"spec_sha256\":\"abc\",\"varia")
+            .unwrap();
+        drop(f);
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].record.key.seed, 17);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_it() {
+        let dir = std::env::temp_dir().join(format!("lab_heal_{}", std::process::id()));
+        let path = journal_path(&dir, "demo");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &entry("a", 17)).unwrap();
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"v\":1,\"spec_sha256\":\"abc\",\"varia")
+            .unwrap();
+        drop(f);
+        // The resumed run appends over the torn tail: it must not weld
+        // onto the half line.
+        append(&path, &entry("b", 23)).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].record.key.variant, "b");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("lab_mid_{}", std::process::id()));
+        let path = journal_path(&dir, "demo");
+        let _ = std::fs::remove_file(&path);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "not json\n").unwrap();
+        append(&path, &entry("a", 17)).unwrap();
+        assert!(read(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reuse_requires_matching_spec_and_aux() {
+        let mut e = entry("a", 17);
+        assert!(reusable(&e, "abc"));
+        assert!(!reusable(&e, "other"));
+        e.record.aux.push(AuxFile {
+            path: "/definitely/not/a/file.ulm".into(),
+            sha256: "0".into(),
+        });
+        assert!(!reusable(&e, "abc"));
+    }
+}

@@ -1,0 +1,456 @@
+//! Minimal JSON value model with a canonical emitter.
+//!
+//! The build environment has no registry access, so there is no serde;
+//! the lab owns a small parser/emitter instead. Canonical form is the
+//! contract the rest of the crate leans on: object members keep their
+//! insertion order, integers and floats are distinct variants (a float
+//! always renders with a `.` or exponent so it re-parses as a float),
+//! and floats use Rust's shortest round-trip `Display`. Emission is a
+//! pure function of the value, so `emit ∘ parse ∘ emit == emit` — the
+//! byte-identity that spec hashing and the journal rely on
+//! (proptest-enforced in `tests/spec_roundtrip.rs`).
+
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integer literal (no `.`/`e`); covers every u64/i64 the specs use.
+    Int(i128),
+    /// Fractional or exponent literal. Always finite: JSON has no NaN.
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Members in insertion order — canonical emission preserves it.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: both `Int` and `Float` coerce.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Compact canonical emission (no whitespace).
+    pub fn emit(&self) -> String {
+        let mut s = String::new();
+        self.emit_into(&mut s);
+        s
+    }
+
+    fn emit_into(&self, s: &mut String) {
+        match self {
+            Json::Null => s.push_str("null"),
+            Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                write!(s, "{i}").unwrap();
+            }
+            Json::Float(f) => emit_float(*f, s),
+            Json::Str(v) => emit_str(v, s),
+            Json::Arr(a) => {
+                s.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    v.emit_into(s);
+                }
+                s.push(']');
+            }
+            Json::Obj(m) => {
+                s.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    emit_str(k, s);
+                    s.push(':');
+                    v.emit_into(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            at: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.at != p.b.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(v)
+    }
+}
+
+/// A float renders so that it re-parses as `Float`: Rust's `{}` is the
+/// shortest representation that round-trips the value; if it contains
+/// neither `.` nor an exponent (e.g. `-0` or `2600000`), `.0` is
+/// appended to keep the int/float distinction stable across a re-parse.
+fn emit_float(f: f64, s: &mut String) {
+    debug_assert!(f.is_finite(), "JSON has no non-finite numbers");
+    let start = s.len();
+    write!(s, "{f}").unwrap();
+    if !s[start..].contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+}
+
+fn emit_str(v: &str, s: &mut String) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(s, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.at < self.b.len() && matches!(self.b[self.at], b' ' | b'\t' | b'\n' | b'\r') {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.at).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.at,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.at
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            out.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.b[start..self.at])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.at + 4 > self.b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.b[self.at..self.at + 4])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.at += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.at]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))?;
+        if !f.is_finite() {
+            return Err(format!("number '{text}' overflows f64"));
+        }
+        Ok(Json::Float(f))
+    }
+}
+
+/// Render a metric value: integral floats in range emit as integers
+/// (counts read as counts), everything else as a canonical float.
+pub fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        let mut s = String::new();
+        emit_float(v, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basics() {
+        let src = r#"{"a": 1, "b": [true, null, -2.5], "c": {"x": "hi\nthere"}, "d": 2600000.0}"#;
+        let v = Json::parse(src).unwrap();
+        let once = v.emit();
+        let twice = Json::parse(&once).unwrap().emit();
+        assert_eq!(once, twice, "emit must be idempotent over parse");
+        assert_eq!(v.get("a").unwrap(), &Json::Int(1));
+        assert_eq!(v.get("d").unwrap(), &Json::Float(2_600_000.0));
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        let v = Json::parse("[1, 1.0, -0.0, 1e3]").unwrap();
+        assert_eq!(v.emit(), "[1,1.0,-0.0,1000.0]");
+        let v2 = Json::parse(&v.emit()).unwrap();
+        assert_eq!(v2.emit(), v.emit());
+    }
+
+    #[test]
+    fn big_integers_are_exact() {
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v.emit(), "18446744073709551615");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::parse(r#""A\t\" é 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\t\" é 😀"));
+        let emitted = v.emit();
+        assert_eq!(Json::parse(&emitted).unwrap().emit(), emitted);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{,}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn fmt_num_prefers_integers() {
+        assert_eq!(fmt_num(4.0), "4");
+        assert_eq!(fmt_num(1.51), "1.51");
+        assert_eq!(fmt_num(-0.5), "-0.5");
+    }
+}

@@ -1,0 +1,35 @@
+//! # esg-lab — declarative scenario lab for the ESG prototype
+//!
+//! A `ScenarioSpec` (topology parameters, workload mix, fault schedule,
+//! config variants, seeds, reps, metrics, gates) declares an experiment;
+//! one runner plans the variant × seed × rep matrix, executes trials
+//! against the simnet/reqman stack, journals every completed trial to a
+//! resume-safe JSONL journal, aggregates deterministic analysis tables,
+//! writes the committed `BENCH_*.json` artifacts, and judges declared
+//! regression gates (equivalence trips, threshold breaches) in place of
+//! per-bin asserts.
+//!
+//! Layering: `json` (canonical parser/emitter, no serde in this tree) →
+//! `spec` (the declarative surface + builtin scenario files) → `exec`
+//! (kind-specific executors, operation-for-operation ports of the old
+//! bench bins) → `journal` (resume) → `gate` (pass/fail/error) →
+//! `runner` (the matrix loop tying it together). `scaling` hosts the
+//! flow-scaling harness that moved here from esg-bench so the bench bins
+//! can depend on the lab without a cycle.
+
+pub mod exec;
+pub mod gate;
+pub mod journal;
+pub mod json;
+pub mod runner;
+pub mod scaling;
+pub mod spec;
+
+/// Hex sha256 of a string — the digest used for spec identity, trace
+/// pins, delivery manifests and journal aux-file verification.
+pub fn sha_hex(s: &str) -> String {
+    esg_gsi::sha256(s.as_bytes())
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}

@@ -1,0 +1,319 @@
+//! The scenario runner: plan the variant × seed × rep matrix, replay the
+//! journal, execute what is missing, evaluate gates, assemble artifacts.
+//!
+//! One invariant carries the whole resume story: a trial's deterministic
+//! metrics are a pure function of (spec, variant, seed, rep), so a
+//! journaled trial IS the trial and the deterministic analysis table of
+//! a resumed run is byte-identical to an uninterrupted one. Timing
+//! (wall clock, RSS) is kept in a separate section that never feeds the
+//! table or the equivalence gates.
+
+use crate::exec::{self, TrialCtx};
+use crate::gate::{self, Baseline, GateReport};
+use crate::journal::{self, JournalEntry, TrialKey, TrialRecord};
+use crate::json::Json;
+use crate::spec::ScenarioSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Where the journal and analysis tables live (CI uploads this dir).
+    pub journal_dir: PathBuf,
+    /// Ignore any existing journal and rerun everything.
+    pub fresh: bool,
+    /// Execute at most this many *new* trials, then stop (journaled
+    /// trials still replay). The interruption hook the resume tests use.
+    pub max_trials: Option<usize>,
+    /// Suppress per-trial progress lines.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            journal_dir: PathBuf::from("lab_out"),
+            fresh: false,
+            max_trials: None,
+            quiet: false,
+        }
+    }
+}
+
+pub struct RunOutcome {
+    pub spec: ScenarioSpec,
+    pub spec_sha256: String,
+    /// Finished trials in plan order (the full matrix when `complete`).
+    pub rows: Vec<TrialRecord>,
+    pub reused: usize,
+    pub executed: usize,
+    /// False when `max_trials` stopped the run early.
+    pub complete: bool,
+    /// Empty unless `complete` — gates judge the whole matrix or nothing.
+    pub gates: GateReport,
+    /// Deterministic analysis table (metrics only, canonical rendering).
+    pub table: String,
+    /// Human section with wall clocks; excluded from `table` by design.
+    pub timing: String,
+    pub artifact_path: Option<String>,
+    pub table_path: PathBuf,
+}
+
+/// Plan the full trial matrix in canonical order: variants in spec
+/// order, seeds in spec order, reps innermost.
+pub fn plan(spec: &ScenarioSpec) -> Vec<TrialKey> {
+    let mut keys = Vec::new();
+    for v in spec.effective_variants() {
+        for &seed in &spec.seeds {
+            for rep in 0..spec.reps {
+                keys.push(TrialKey {
+                    variant: v.name.clone(),
+                    seed,
+                    rep,
+                });
+            }
+        }
+    }
+    keys
+}
+
+pub fn run_scenario(spec: &ScenarioSpec, opts: &RunOptions) -> Result<RunOutcome, String> {
+    spec.validate()?;
+    let spec_sha = spec.sha256_hex();
+    let jpath = journal::journal_path(&opts.journal_dir, &spec.name);
+
+    // Load the regression baseline *before* any artifact overwrite, so a
+    // run that rewrites its own committed baseline still gates against
+    // the pre-run bytes.
+    let (baseline, baseline_err) = load_baseline(spec);
+
+    let journaled = if opts.fresh {
+        Vec::new()
+    } else {
+        journal::read(&jpath)?
+    };
+    let reusable: Vec<&JournalEntry> = journaled
+        .iter()
+        .filter(|e| journal::reusable(e, &spec_sha))
+        .collect();
+
+    let keys = plan(spec);
+    let variants = spec.effective_variants();
+    let mut rows: Vec<TrialRecord> = Vec::with_capacity(keys.len());
+    let mut reused = 0usize;
+    let mut executed = 0usize;
+    let mut complete = true;
+    for key in &keys {
+        if let Some(e) = reusable.iter().find(|e| e.record.key == *key) {
+            if !opts.quiet {
+                println!(
+                    "  [journal] {}/seed={}/rep={}",
+                    key.variant, key.seed, key.rep
+                );
+            }
+            rows.push(e.record.clone());
+            reused += 1;
+            continue;
+        }
+        if opts.max_trials.is_some_and(|m| executed >= m) {
+            complete = false;
+            break;
+        }
+        let variant = variants
+            .iter()
+            .find(|v| v.name == key.variant)
+            .expect("plan key names a spec variant");
+        let ctx = TrialCtx {
+            spec,
+            params: spec.params.merged(&variant.overrides),
+            variant: key.variant.clone(),
+            seed: key.seed,
+            rep: key.rep,
+        };
+        if !opts.quiet {
+            println!(
+                "  [run]     {}/seed={}/rep={}",
+                key.variant, key.seed, key.rep
+            );
+        }
+        let record = exec::run_trial(&ctx)
+            .map_err(|e| format!("{}/seed={}/rep={}: {e}", key.variant, key.seed, key.rep))?;
+        journal::append(
+            &jpath,
+            &JournalEntry {
+                spec_sha256: spec_sha.clone(),
+                record: record.clone(),
+            },
+        )?;
+        rows.push(record);
+        executed += 1;
+    }
+
+    let table = analysis_table(spec, &spec_sha, &rows, complete);
+    let table_path = opts.journal_dir.join(format!("{}.table.txt", spec.name));
+    if let Some(parent) = table_path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+    }
+    std::fs::write(&table_path, &table).map_err(|e| format!("write {table_path:?}: {e}"))?;
+
+    let mut gates = GateReport::default();
+    let mut artifact_path = None;
+    if complete {
+        if baseline.is_none() && needs_baseline(spec) {
+            // Surface *why* there is no baseline next to the gate error.
+            if let Some(err) = &baseline_err {
+                eprintln!("lab: baseline unavailable: {err}");
+            }
+        }
+        gates = gate::evaluate(&spec.gates, &rows, baseline.as_ref());
+        if gates.all_pass() {
+            if let (Some(path), Some(body)) = (&spec.artifact, exec::assemble_artifact(spec, &rows))
+            {
+                std::fs::write(path, &body).map_err(|e| format!("write {path}: {e}"))?;
+                artifact_path = Some(path.clone());
+            }
+        }
+    }
+
+    Ok(RunOutcome {
+        spec: spec.clone(),
+        spec_sha256: spec_sha,
+        timing: timing_section(&rows),
+        rows,
+        reused,
+        executed,
+        complete,
+        gates,
+        table,
+        artifact_path,
+        table_path,
+    })
+}
+
+/// Run a scenario and print the standard report: header, trial counts,
+/// the deterministic analysis table, the timing section, gate lines and
+/// the artifact/journal paths. Returns whether the run completed with
+/// every gate passing — the shared body of the `lab` CLI and the thin
+/// per-bench shim bins, so they all render results identically.
+pub fn run_and_report(spec: &ScenarioSpec, opts: &RunOptions) -> Result<bool, String> {
+    println!(
+        "== scenario {} ({}, {} variants x {} seeds x {} reps) ==",
+        spec.name,
+        spec.kind,
+        spec.effective_variants().len(),
+        spec.seeds.len(),
+        spec.reps
+    );
+    let outcome = run_scenario(spec, opts)?;
+    println!(
+        "  {} trials ({} from journal, {} executed){}",
+        outcome.rows.len(),
+        outcome.reused,
+        outcome.executed,
+        if outcome.complete {
+            ""
+        } else {
+            " — INTERRUPTED by --max-trials"
+        }
+    );
+    print!("{}", outcome.table);
+    if !outcome.timing.is_empty() {
+        println!("timing (non-deterministic, excluded from the table):");
+        print!("{}", outcome.timing);
+    }
+    if outcome.complete {
+        for g in &outcome.gates.results {
+            println!(
+                "  gate {:<55} {:<5} {}",
+                g.label,
+                g.status.as_str(),
+                g.detail
+            );
+        }
+    }
+    if let Some(p) = &outcome.artifact_path {
+        println!("  wrote {p}");
+    }
+    println!(
+        "  journal: {:?}, table: {:?}",
+        journal::journal_path(&opts.journal_dir, &spec.name),
+        outcome.table_path
+    );
+    println!();
+    Ok(outcome.complete && outcome.gates.all_pass())
+}
+
+fn needs_baseline(spec: &ScenarioSpec) -> bool {
+    spec.gates
+        .iter()
+        .any(|g| matches!(g, crate::spec::GateSpec::WallRegression { .. }))
+}
+
+fn load_baseline(spec: &ScenarioSpec) -> (Option<Baseline>, Option<String>) {
+    let Some(path) = &spec.baseline else {
+        return (None, None);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return (None, Some(format!("read {path}: {e}"))),
+    };
+    let parsed = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return (None, Some(format!("parse {path}: {e}"))),
+    };
+    match exec::baseline_metrics(spec, &parsed) {
+        Ok(b) => (Some(b), None),
+        Err(e) => (None, Some(format!("extract baseline from {path}: {e}"))),
+    }
+}
+
+/// The deterministic analysis table: scenario identity, then one block
+/// per trial in plan order with every deterministic metric in canonical
+/// rendering. Byte-identical across interrupted/resumed/fresh runs of
+/// the same spec — `tests/journal_resume.rs` pins exactly that.
+fn analysis_table(
+    spec: &ScenarioSpec,
+    spec_sha: &str,
+    rows: &[TrialRecord],
+    complete: bool,
+) -> String {
+    let mut t = String::new();
+    writeln!(t, "# scenario {} ({})", spec.name, spec.kind).unwrap();
+    writeln!(t, "# spec sha256 {spec_sha}").unwrap();
+    writeln!(
+        t,
+        "# trials {}{}",
+        rows.len(),
+        if complete { "" } else { " (partial)" }
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            t,
+            "trial variant={} seed={} rep={}",
+            r.key.variant, r.key.seed, r.key.rep
+        )
+        .unwrap();
+        for (k, v) in &r.metrics {
+            writeln!(t, "  {k} = {}", v.canon()).unwrap();
+        }
+    }
+    t
+}
+
+/// Wall clocks and other run-to-run noise, formatted for humans and kept
+/// strictly out of the deterministic table.
+fn timing_section(rows: &[TrialRecord]) -> String {
+    let mut t = String::new();
+    for r in rows {
+        for (k, v) in &r.timing {
+            writeln!(
+                t,
+                "  {}/seed={}/rep={}: {k} = {v:.3}",
+                r.key.variant, r.key.seed, r.key.rep
+            )
+            .unwrap();
+        }
+    }
+    t
+}

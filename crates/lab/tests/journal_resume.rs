@@ -1,0 +1,172 @@
+//! Journal resume correctness: a scenario run that is interrupted after
+//! N trials — by `--max-trials` or by a truncated/torn journal file —
+//! must, on rerun, skip the already-journaled trials and converge to an
+//! analysis table (including every trace sha256 pin) byte-identical to
+//! an uninterrupted run of the same spec.
+
+use esg_lab::journal;
+use esg_lab::json::Json;
+use esg_lab::runner::{plan, run_scenario, RunOptions};
+use esg_lab::spec::{GateSpec, Params, ScenarioSpec, Variant};
+use std::path::{Path, PathBuf};
+
+/// A cheap, fully deterministic scenario: two tiny user_scaling points
+/// over two seeds (4 trials), debug-build friendly.
+fn probe_spec() -> ScenarioSpec {
+    let point = |n: i128| Variant {
+        name: format!("n{n}"),
+        overrides: Params(vec![("n".into(), Json::Int(n))]),
+    };
+    ScenarioSpec {
+        name: "resume_probe".into(),
+        kind: "user_scaling".into(),
+        description: "journal resume test workload".into(),
+        seeds: vec![17, 23],
+        reps: 1,
+        params: Params(vec![
+            ("regions".into(), Json::Int(8)),
+            ("full_ablation".into(), Json::Bool(false)),
+            ("oracle_probes".into(), Json::Int(2)),
+            ("repeats".into(), Json::Int(1)),
+        ]),
+        variants: vec![point(48), point(64)],
+        faults: Vec::new(),
+        metrics: Vec::new(),
+        gates: vec![GateSpec::NonZero {
+            metric: "equivalent".into(),
+            variants: None,
+        }],
+        artifact: None,
+        baseline: None,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("esg_lab_resume_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn opts(dir: &Path) -> RunOptions {
+    RunOptions {
+        journal_dir: dir.to_path_buf(),
+        fresh: false,
+        max_trials: None,
+        quiet: true,
+    }
+}
+
+#[test]
+fn interrupted_run_resumes_to_identical_table() {
+    let spec = probe_spec();
+    assert_eq!(plan(&spec).len(), 4);
+
+    // Reference: one uninterrupted run.
+    let dir_a = tmp_dir("uninterrupted");
+    let full = run_scenario(&spec, &opts(&dir_a)).unwrap();
+    assert!(full.complete);
+    assert_eq!(full.executed, 4);
+    assert!(full.gates.all_pass());
+    let pins: Vec<String> = full
+        .rows
+        .iter()
+        .map(|r| match r.metric("trace_sha256").unwrap() {
+            esg_lab::journal::MetricValue::Str(s) => s.clone(),
+            other => panic!("trace_sha256 must be a string, got {other:?}"),
+        })
+        .collect();
+
+    // Interrupted: two trials, stop, then resume to completion.
+    let dir_b = tmp_dir("maxtrials");
+    let part = run_scenario(
+        &spec,
+        &RunOptions {
+            max_trials: Some(2),
+            ..opts(&dir_b)
+        },
+    )
+    .unwrap();
+    assert!(!part.complete);
+    assert_eq!(part.executed, 2);
+    assert!(part.table.contains("(partial)"));
+    // Gates never judge a partial matrix.
+    assert!(part.gates.results.is_empty());
+
+    let resumed = run_scenario(&spec, &opts(&dir_b)).unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.reused, 2, "journaled trials must be skipped");
+    assert_eq!(resumed.executed, 2, "only the missing trials execute");
+    assert_eq!(
+        resumed.table, full.table,
+        "resumed analysis table must be byte-identical to the uninterrupted run"
+    );
+    let resumed_pins: Vec<String> = resumed
+        .rows
+        .iter()
+        .map(|r| match r.metric("trace_sha256").unwrap() {
+            esg_lab::journal::MetricValue::Str(s) => s.clone(),
+            other => panic!("trace_sha256 must be a string, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(resumed_pins, pins, "trace pins must survive the resume");
+
+    // A third run reuses everything and still lands on the same bytes.
+    let replay = run_scenario(&spec, &opts(&dir_b)).unwrap();
+    assert_eq!(replay.reused, 4);
+    assert_eq!(replay.executed, 0);
+    assert_eq!(replay.table, full.table);
+}
+
+#[test]
+fn truncated_journal_with_torn_tail_resumes_cleanly() {
+    let spec = probe_spec();
+
+    let dir = tmp_dir("truncated");
+    let full = run_scenario(&spec, &opts(&dir)).unwrap();
+    assert!(full.complete && full.executed == 4);
+
+    // Simulate a crash mid-append: keep the first two entries plus half
+    // of the third line (a torn write the reader must drop silently).
+    let jpath = journal::journal_path(&dir, &spec.name);
+    let text = std::fs::read_to_string(&jpath).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "one journal line per trial");
+    let torn = format!(
+        "{}\n{}\n{}",
+        lines[0],
+        lines[1],
+        &lines[2][..lines[2].len() / 2]
+    );
+    std::fs::write(&jpath, torn).unwrap();
+    assert_eq!(journal::read(&jpath).unwrap().len(), 2);
+
+    let resumed = run_scenario(&spec, &opts(&dir)).unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.reused, 2);
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(
+        resumed.table, full.table,
+        "post-crash resume must converge to the uninterrupted table"
+    );
+    // The journal healed: all four trials re-journaled, next run is free.
+    assert_eq!(journal::read(&jpath).unwrap().len(), 4);
+}
+
+#[test]
+fn changed_spec_invalidates_the_journal() {
+    let mut spec = probe_spec();
+    let dir = tmp_dir("spec_hash");
+    let first = run_scenario(&spec, &opts(&dir)).unwrap();
+    assert_eq!(first.executed, 4);
+
+    // Same scenario name, different params — same journal file, but the
+    // recorded spec hash no longer matches, so nothing is reusable.
+    spec.params.0.push(("oracle_probes".into(), Json::Int(3)));
+    let second = run_scenario(&spec, &opts(&dir)).unwrap();
+    assert_eq!(
+        second.reused, 0,
+        "a changed spec must invalidate journaled trials"
+    );
+    assert_eq!(second.executed, 4);
+}

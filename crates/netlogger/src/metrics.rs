@@ -213,6 +213,27 @@ impl MetricsRegistry {
         self.counters.insert(name.to_string(), v);
     }
 
+    /// Flat numeric lookup across all three metric families, used by the
+    /// scenario lab to extract spec-declared metrics from a snapshot.
+    /// Counters and gauges resolve by name (counters win on collision);
+    /// histograms resolve through a `.count` / `.sum` / `.mean` suffix.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        if let Some(v) = self.counters.get(name) {
+            return Some(*v as f64);
+        }
+        if let Some(v) = self.gauges.get(name) {
+            return Some(*v);
+        }
+        let (base, field) = name.rsplit_once('.')?;
+        let h = self.histograms.get(base)?;
+        match field {
+            "count" => Some(h.count() as f64),
+            "sum" => Some(h.sum()),
+            "mean" => h.mean(),
+            _ => None,
+        }
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
