@@ -2,81 +2,34 @@
 //!
 //! `cargo run --release -p esg-bench --bin table1 [minutes]`
 //! (default: the paper's full hour).
+//!
+//! Thin shim since the scenario-lab migration: the experiment
+//! configuration and the shape gates (peak(0.1 s) >= peak(5 s) >=
+//! sustained, aggregate under the OC-48 ceiling, full 8 x 4 stream
+//! fan-out) live in `crates/lab/scenarios/table1.json` and the `table1`
+//! executor; this bin loads that spec and applies the legacy CLI
+//! override. Exits non-zero if any gate fails.
 
-use esg_bench::table;
-use esg_core::{run_table1, Table1Config};
-use esg_simnet::SimDuration;
+use esg_lab::json::Json;
+use esg_lab::runner::{run_and_report, RunOptions};
+use esg_lab::spec::ScenarioSpec;
 
 fn main() {
-    let minutes: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
-    let cfg = Table1Config {
-        duration: SimDuration::from_mins(minutes),
-        ..Table1Config::default()
+    let mut spec = ScenarioSpec::load("table1").expect("builtin scenario parses");
+    if let Some(minutes) = std::env::args().nth(1).and_then(|s| s.parse::<i128>().ok()) {
+        spec.params.0.push(("minutes".into(), Json::Int(minutes)));
+    }
+
+    let opts = RunOptions {
+        fresh: true,
+        ..RunOptions::default()
     };
-
-    println!("Topology (Figure 7, as modeled):");
-    println!("  8x Dallas GigE workstations -- 2x bonded GigE -- SciNet");
-    println!("  SciNet == HSCC/NTON OC-48 (1.55 Gb/s usable) == LBNL exit");
-    println!("  8x LBNL workstations (4 Linux + 4 Solaris in the paper)");
-    println!("  RTT 14 ms, 1 MB TCP buffers, software RAID disks");
-    println!("\nWorkload: each server streams copies of its 2 GB/8 = 256 MB");
-    println!("partition; a new copy starts when the previous is 25% done;");
-    println!("<= 4 concurrent TCP streams per server (32 overall).");
-    println!("\nsimulating {minutes} min of SC'00 show-floor activity...");
-
-    let r = run_table1(cfg);
-    table(
-        "Table 1: Configuration and performance results",
-        &[
-            (
-                "Striped servers at source location",
-                r.striped_servers_source.to_string(),
-                "8".into(),
-            ),
-            (
-                "Striped servers at destination location",
-                r.striped_servers_destination.to_string(),
-                "8".into(),
-            ),
-            (
-                "Max simultaneous TCP streams per server",
-                r.max_streams_per_server.to_string(),
-                "4".into(),
-            ),
-            (
-                "Max simultaneous TCP streams overall",
-                r.max_streams_total.to_string(),
-                "32".into(),
-            ),
-            (
-                "Peak transfer rate over 0.1 seconds",
-                format!("{:.2} Gb/s", r.peak_0_1s_gbps),
-                "1.55 Gb/s".into(),
-            ),
-            (
-                "Peak transfer rate over 5 seconds",
-                format!("{:.2} Gb/s", r.peak_5s_gbps),
-                "1.03 Gb/s".into(),
-            ),
-            (
-                format!("Sustained transfer rate over {minutes} min").leak(),
-                format!("{:.1} Mb/s", r.sustained_mbps),
-                "512.9 Mb/s".into(),
-            ),
-            (
-                format!("Total data transferred in {minutes} min").leak(),
-                format!("{:.1} GB", r.total_gbytes),
-                "230.8 GB (1 h)".into(),
-            ),
-        ],
-    );
-    println!(
-        "\n{} partition-copy transfers completed.",
-        r.transfers_completed
-    );
-    println!("Shape checks: peak(0.1s) >= peak(5s) >= sustained; striping x");
-    println!("parallel streams lift aggregate far above one stream's Mathis cap.");
+    match run_and_report(&spec, &opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("table1: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -17,10 +17,12 @@ use esg_core::scenario::Site;
 use esg_simnet::prelude::{Fault, FaultKind};
 use esg_simnet::{SimDuration, SimTime};
 
+pub mod campaign;
 pub mod lifeline;
 pub mod mixed;
 pub mod pipeline;
 pub mod soak;
+pub mod table1;
 pub mod user_scaling;
 
 /// One trial's resolved inputs: the spec, the merged (base + variant
@@ -41,6 +43,8 @@ pub fn run_trial(ctx: &TrialCtx) -> Result<TrialRecord, String> {
         "lifeline" => lifeline::run(ctx),
         "soak_faults" => soak::run_faults(ctx),
         "soak_corruption" => soak::run_corruption(ctx),
+        "campaign_soak" => campaign::run(ctx),
+        "table1" => table1::run(ctx),
         other => Err(format!("unknown scenario kind '{other}'")),
     }?;
     record.sort_metrics();
@@ -55,6 +59,7 @@ pub fn assemble_artifact(spec: &ScenarioSpec, rows: &[TrialRecord]) -> Option<St
         "user_scaling" => user_scaling::assemble(spec, rows),
         "request_pipeline" => pipeline::assemble(spec, rows),
         "lifeline" => lifeline::assemble(rows),
+        "campaign_soak" => campaign::assemble(spec, rows),
         _ => None,
     }
 }

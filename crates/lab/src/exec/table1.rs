@@ -1,0 +1,84 @@
+//! Table 1 executor: the SC'00 striped wide-area transfer, migrated from
+//! the one-off `table1` bench bin onto the lab harness. The simulation
+//! (`esg_core::run_table1`) is deterministic for a given configuration —
+//! the seed only labels the trial — so the gates pin the paper's shape
+//! claims: peak(0.1 s) >= peak(5 s) >= sustained, aggregate under the
+//! OC-48 ceiling, and the full 8 x 4 stream fan-out actually reached.
+
+use super::TrialCtx;
+use crate::journal::{AuxFile, MetricValue, TrialKey, TrialRecord};
+use esg_core::{run_table1, Table1Config};
+use esg_simnet::SimDuration;
+
+fn num(v: f64) -> MetricValue {
+    MetricValue::Num(v)
+}
+
+pub fn run(ctx: &TrialCtx) -> Result<TrialRecord, String> {
+    let p = &ctx.params;
+    let minutes = p.u64("minutes", 60);
+    let file_bytes = p.u64("file_bytes", 2_000_000_000);
+    let per_server = p.usize("max_concurrent_per_server", 4);
+
+    let cfg = Table1Config {
+        duration: SimDuration::from_mins(minutes),
+        file_bytes,
+        max_concurrent_per_server: per_server,
+        ..Table1Config::default()
+    };
+
+    let wall = std::time::Instant::now();
+    let r = run_table1(cfg);
+    let wall = wall.elapsed();
+
+    Ok(TrialRecord {
+        key: TrialKey {
+            variant: ctx.variant.clone(),
+            seed: ctx.seed,
+            rep: ctx.rep,
+        },
+        metrics: vec![
+            ("minutes".into(), num(minutes as f64)),
+            (
+                "striped_servers_source".into(),
+                num(r.striped_servers_source as f64),
+            ),
+            (
+                "striped_servers_destination".into(),
+                num(r.striped_servers_destination as f64),
+            ),
+            (
+                "max_streams_per_server".into(),
+                num(r.max_streams_per_server as f64),
+            ),
+            ("max_streams_total".into(), num(r.max_streams_total as f64)),
+            (
+                "peak_0_1s_gbps".into(),
+                num((r.peak_0_1s_gbps * 1e4).round() / 1e4),
+            ),
+            (
+                "peak_5s_gbps".into(),
+                num((r.peak_5s_gbps * 1e4).round() / 1e4),
+            ),
+            (
+                "sustained_gbps".into(),
+                num((r.sustained_mbps * 10.0).round() / 1e4),
+            ),
+            (
+                "sustained_mbps".into(),
+                num((r.sustained_mbps * 10.0).round() / 10.0),
+            ),
+            (
+                "total_gbytes".into(),
+                num((r.total_gbytes * 10.0).round() / 10.0),
+            ),
+            (
+                "transfers_completed".into(),
+                num(r.transfers_completed as f64),
+            ),
+        ],
+        timing: vec![("wall_ms".into(), wall.as_secs_f64() * 1e3)],
+        fragment: None,
+        aux: Vec::<AuxFile>::new(),
+    })
+}

@@ -343,7 +343,8 @@ impl GateSpec {
 pub struct ScenarioSpec {
     pub name: String,
     /// Which executor runs a trial (`user_scaling`, `request_pipeline`,
-    /// `lifeline`, `soak_faults`, `soak_corruption`).
+    /// `lifeline`, `soak_faults`, `soak_corruption`, `campaign_soak`,
+    /// `table1`).
     pub kind: String,
     pub description: String,
     pub seeds: Vec<u64>,
@@ -595,6 +596,15 @@ const BUILTINS: &[(&str, &str)] = &[
         "soak_corruption_smoke",
         include_str!("../scenarios/soak_corruption_smoke.json"),
     ),
+    (
+        "campaign_soak",
+        include_str!("../scenarios/campaign_soak.json"),
+    ),
+    (
+        "campaign_soak_smoke",
+        include_str!("../scenarios/campaign_soak_smoke.json"),
+    ),
+    ("table1", include_str!("../scenarios/table1.json")),
 ];
 
 pub fn builtin(name: &str) -> Option<&'static str> {

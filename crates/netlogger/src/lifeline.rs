@@ -162,6 +162,10 @@ pub struct LifelineSet {
     pub lifelines: Vec<Lifeline>,
     /// Request-scoped prestage spans (no file; one per cold HRM host batch).
     pub prestage: Vec<Span>,
+    /// Campaign root spans (no file; one per replication campaign), so
+    /// lifeline analysis can attribute round requests to the campaign
+    /// that drove them instead of reporting the spans as orphans.
+    pub campaigns: Vec<Span>,
     /// Span ids that could not be attached (end without start, or a child
     /// whose parent/file never materialised).
     pub orphans: Vec<u64>,
@@ -222,10 +226,12 @@ impl LifelineSet {
         let mut children: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
         let mut roots: Vec<Span> = Vec::new();
         let mut prestage = Vec::new();
+        let mut campaigns = Vec::new();
         for (_, s) in spans {
             match s.phase {
                 Phase::File => roots.push(s),
                 Phase::Prestage => prestage.push(s),
+                Phase::Campaign => campaigns.push(s),
                 _ if s.parent != 0 => children.entry(s.parent).or_default().push(s),
                 _ => orphans.push(s.id),
             }
@@ -255,6 +261,7 @@ impl LifelineSet {
         LifelineSet {
             lifelines,
             prestage,
+            campaigns,
             orphans,
             trace_end,
         }

@@ -63,10 +63,13 @@ pub enum Phase {
     Backoff,
     /// Request-scoped stage-ahead prefetch of cold files on one HRM host.
     Prestage,
+    /// Root span of a replication campaign: start → complete/cancel,
+    /// enclosing every round request the orchestrator drives.
+    Campaign,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::File,
         Phase::Queue,
         Phase::Select,
@@ -76,6 +79,7 @@ impl Phase {
         Phase::Repair,
         Phase::Backoff,
         Phase::Prestage,
+        Phase::Campaign,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -89,6 +93,7 @@ impl Phase {
             Phase::Repair => "repair",
             Phase::Backoff => "backoff",
             Phase::Prestage => "prestage",
+            Phase::Campaign => "campaign",
         }
     }
 

@@ -1,0 +1,1350 @@
+//! Replication campaigns: fault-tolerant bulk dataset→site copies.
+//!
+//! A [`CampaignSpec`] names a collection and a target host; the
+//! orchestrator decomposes the copy into batched rounds, drives each round
+//! through the ordinary request pipeline ([`submit_request_for_tenant`])
+//! so campaign pulls share the scheduler's admission caps, the host
+//! ledger, the circuit breakers and the integrity layer with interactive
+//! traffic, and journals per-file progress to a durable checkpoint so an
+//! interrupted campaign resumes without re-transferring any verified
+//! bytes.
+//!
+//! ## Checkpoint journal
+//!
+//! Line-oriented text, one fact per line, percent-escaped fields:
+//!
+//! ```text
+//! campaign v1 spec=<sha256> name=<enc> collection=<enc> target=<enc> files=<n>
+//! settled file=<enc> size=<u64> digest=<hex|-> status=done|failed round=<k>
+//! marker file=<enc> offset=<u64> round=<k>
+//! resume skipped=<k> bytes=<n>
+//! complete manifest=<sha256>
+//! ```
+//!
+//! The same torn-tail discipline as the lab journal applies: a crash can
+//! only tear the final line, so the reader drops an unterminated tail and
+//! the writer truncates it before appending. A header whose `spec` hash
+//! does not match the live spec (the collection changed, a file was
+//! resized) invalidates the whole checkpoint — the campaign restarts
+//! fresh rather than trusting stale facts. Only `status=done` entries are
+//! skipped on resume; `failed` entries are retried. Resume granularity is
+//! the settled file: `marker` lines record mid-transfer progress for
+//! forensics, but a file interrupted mid-flight restarts from its banked
+//! bytes inside the RM's own restart-marker machinery, not from the
+//! journal.
+//!
+//! ## Equivalence
+//!
+//! The campaign's `manifest_sha256` is a pure function of the delivered
+//! file set (sorted name/size/digest lines), so an interrupted-and-resumed
+//! campaign is checked bit-for-bit against an uninterrupted one by
+//! comparing manifests; `bytes_skipped + bytes_transferred == total`
+//! accounts every byte to exactly one of the two runs.
+
+use crate::manager::{cancel_request, submit_request_for_tenant, RequestOutcome, RmWorld};
+use esg_gridftp::GridUrl;
+use esg_netlogger::{LogEvent, Phase, SpanId, TraceCtx};
+use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// What to replicate, where to, and how.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name — also the fair-share tenant its rounds bill to.
+    pub name: String,
+    /// Logical collection to replicate (every file of it).
+    pub collection: String,
+    /// Destination host (must be registered with the RM).
+    pub target_host: String,
+    /// Replica-catalog location name registered at the target.
+    pub location_name: String,
+    /// Files per round. Each round is one multi-file request, so the
+    /// scheduler's per-request admission cap pipelines within a round and
+    /// the checkpoint settles at round grain.
+    pub batch_files: usize,
+    /// Checkpoint journal path; `None` disables durability.
+    pub checkpoint: Option<PathBuf>,
+    /// How often the marker tick snapshots mid-transfer progress into the
+    /// journal. Zero disables markers (settled lines still written).
+    pub checkpoint_every: SimDuration,
+}
+
+impl CampaignSpec {
+    pub fn new(
+        name: impl Into<String>,
+        collection: impl Into<String>,
+        target_host: impl Into<String>,
+    ) -> CampaignSpec {
+        let name = name.into();
+        CampaignSpec {
+            location_name: format!("{name}-replica"),
+            name,
+            collection: collection.into(),
+            target_host: target_host.into(),
+            batch_files: 4,
+            checkpoint: None,
+            checkpoint_every: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Final accounting delivered to the campaign's completion callback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    pub id: u64,
+    pub name: String,
+    pub collection: String,
+    pub target_host: String,
+    /// Files in the collection when the campaign started.
+    pub files_total: usize,
+    /// Files transferred (and verified) by *this* run.
+    pub files_delivered: usize,
+    /// Files that exhausted their retries this run.
+    pub files_failed: usize,
+    /// Files skipped because the checkpoint proved them already delivered.
+    pub files_skipped: usize,
+    /// Bytes moved by this run.
+    pub bytes_transferred: u64,
+    /// Bytes *not* moved because the checkpoint vouched for them.
+    pub bytes_skipped: u64,
+    /// Rounds driven this run.
+    pub rounds: usize,
+    /// A valid checkpoint was loaded at start.
+    pub resumed: bool,
+    pub cancelled: bool,
+    /// sha256 over the sorted delivered-file manifest — the
+    /// resume-equivalence witness.
+    pub manifest_sha256: String,
+    pub started: SimTime,
+    pub finished: SimTime,
+}
+
+/// One settled fact about a file, in memory and in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Settled {
+    pub size: u64,
+    pub digest: Option<String>,
+    pub done: bool,
+    pub round: u64,
+}
+
+pub(crate) struct CampaignState {
+    pub spec: CampaignSpec,
+    pub id: u64,
+    target_node: NodeId,
+    files_total: usize,
+    rounds: Vec<Vec<String>>,
+    round_idx: usize,
+    pub current_request: Option<u64>,
+    /// Every settled file (done or failed), by name. `done` entries are
+    /// exactly the checkpoint-skippable set.
+    settled: BTreeMap<String, Settled>,
+    bytes_transferred: u64,
+    bytes_skipped: u64,
+    files_skipped: usize,
+    resumed: bool,
+    cancelled: bool,
+    finished: bool,
+    started: SimTime,
+    span: SpanId,
+    /// Last journaled marker offset per in-flight file.
+    last_marker: HashMap<String, u64>,
+}
+
+pub(crate) type SharedCampaign = Rc<RefCell<CampaignState>>;
+type CampaignDone<W> = Rc<RefCell<Option<Box<dyn FnOnce(&mut Sim<W>, CampaignOutcome)>>>>;
+
+// ---------------------------------------------------------------------------
+// Journal encoding
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Percent-escape the characters that would break line/field framing.
+fn enc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '=' => out.push_str("%3D"),
+            '\n' => out.push_str("%0A"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn dec(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(v as char);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Append `lines` to the journal, first truncating any torn tail left by
+/// a crash mid-write (mirrors the lab journal's healing discipline).
+fn append_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let keep = match buf.iter().rposition(|&b| b == b'\n') {
+        Some(i) => i + 1,
+        None => 0,
+    };
+    if keep != buf.len() {
+        f.set_len(keep as u64)?;
+    }
+    f.seek(SeekFrom::End(0))?;
+    for l in lines {
+        writeln!(f, "{l}")?;
+    }
+    f.flush()
+}
+
+/// Parsed checkpoint: the settled map, whether the journal already holds a
+/// `complete` line.
+struct Checkpoint {
+    settled: BTreeMap<String, Settled>,
+}
+
+/// Load a checkpoint if it exists and its header vouches for `spec_sha`.
+/// A torn final line is dropped; a missing, unreadable, or mismatched
+/// journal yields `None` (fresh start).
+fn load_checkpoint(path: &Path, spec_sha: &str) -> Option<Checkpoint> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    if raw.is_empty() {
+        return None;
+    }
+    // Only complete lines are facts: drop an unterminated tail.
+    let upto = raw.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let mut lines = raw[..upto].lines();
+    let header = lines.next()?;
+    if !header.starts_with("campaign v1 ") {
+        return None;
+    }
+    let fields = parse_fields(header, "campaign")?;
+    if fields.get("spec").map(String::as_str) != Some(spec_sha) {
+        return None;
+    }
+    let mut settled = BTreeMap::new();
+    for line in lines {
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("settled") => {
+                let Some(f) = parse_fields(line, "settled") else {
+                    continue;
+                };
+                let (Some(name), Some(size)) = (f.get("file"), f.get("size")) else {
+                    continue;
+                };
+                let Ok(size) = size.parse::<u64>() else {
+                    continue;
+                };
+                let digest = f.get("digest").filter(|d| d.as_str() != "-").cloned();
+                let done = f.get("status").map(String::as_str) == Some("done");
+                let round = f.get("round").and_then(|r| r.parse().ok()).unwrap_or(0u64);
+                settled.insert(
+                    dec(name),
+                    Settled {
+                        size,
+                        digest,
+                        done,
+                        round,
+                    },
+                );
+            }
+            // Markers, resume notes and the complete line are forensic
+            // records, not resume inputs.
+            Some("marker") | Some("resume") | Some("complete") => {}
+            _ => {}
+        }
+    }
+    Some(Checkpoint { settled })
+}
+
+/// Split a `kind k=v k=v ...` journal line into its fields.
+fn parse_fields(line: &str, kind: &str) -> Option<HashMap<String, String>> {
+    let mut toks = line.split_whitespace();
+    if toks.next() != Some(kind) {
+        return None;
+    }
+    let mut out = HashMap::new();
+    for t in toks {
+        if let Some((k, v)) = t.split_once('=') {
+            out.insert(k.to_string(), v.to_string());
+        }
+    }
+    Some(out)
+}
+
+fn settled_line(name: &str, s: &Settled) -> String {
+    format!(
+        "settled file={} size={} digest={} status={} round={}",
+        enc(name),
+        s.size,
+        s.digest.as_deref().unwrap_or("-"),
+        if s.done { "done" } else { "failed" },
+        s.round,
+    )
+}
+
+/// sha256 over the canonical spec identity: name, collection, target,
+/// location, and the sorted file list with sizes. Tuning knobs (batch
+/// size, tenant weights, marker period) are deliberately excluded so a
+/// resume may retune without forfeiting the checkpoint.
+fn spec_sha(spec: &CampaignSpec, files: &[(String, u64)]) -> String {
+    let mut s = format!(
+        "campaign-spec v1\nname={}\ncollection={}\ntarget={}\nlocation={}\n",
+        enc(&spec.name),
+        enc(&spec.collection),
+        enc(&spec.target_host),
+        enc(&spec.location_name),
+    );
+    for (name, size) in files {
+        s.push_str(&format!("file={} size={size}\n", enc(name)));
+    }
+    hex(&esg_gsi::sha256(s.as_bytes()))
+}
+
+/// The resume-equivalence witness: sha256 over the sorted delivered set.
+fn manifest_sha(settled: &BTreeMap<String, Settled>) -> String {
+    let mut s = String::new();
+    for (name, e) in settled.iter().filter(|(_, e)| e.done) {
+        s.push_str(&format!(
+            "file={} size={} digest={}\n",
+            enc(name),
+            e.size,
+            e.digest.as_deref().unwrap_or("-"),
+        ));
+    }
+    hex(&esg_gsi::sha256(s.as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration
+
+/// Start a replication campaign. Returns the campaign id; `on_complete`
+/// fires once, when the final round settles (never on cancellation).
+pub fn start_campaign<W: RmWorld>(
+    sim: &mut Sim<W>,
+    spec: CampaignSpec,
+    on_complete: impl FnOnce(&mut Sim<W>, CampaignOutcome) + 'static,
+) -> u64 {
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    rm.campaign_seq += 1;
+    let id = rm.campaign_seq;
+    let ctx = TraceCtx::system();
+
+    let target_node = rm.hosts.get(&spec.target_host).copied();
+    let mut files: Vec<(String, u64)> = rm
+        .catalog
+        .logical_files(&spec.collection)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|f| {
+            let size = rm.catalog.file_size(&spec.collection, &f).unwrap_or(0);
+            (f, size)
+        })
+        .collect();
+    files.sort();
+    let files_total = files.len();
+
+    rm.metrics.counter_add("rm.campaign.started", 1);
+    rm.log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.campaign.start")
+            .field("campaign", id)
+            .field("name", spec.name.clone())
+            .field("collection", spec.collection.clone())
+            .field("target", spec.target_host.clone())
+            .field("files", files_total as u64),
+    );
+
+    // An unknown target is a configuration error, not a retryable fault:
+    // fail the whole campaign immediately.
+    let Some(target_node) = target_node else {
+        rm.metrics.counter_add("rm.campaign.failed", 1);
+        rm.log.emit(
+            &ctx,
+            LogEvent::new(now, "rm.campaign.complete")
+                .field("campaign", id)
+                .field("status", "failed")
+                .field("reason", "unknown_target"),
+        );
+        let outcome = CampaignOutcome {
+            id,
+            name: spec.name.clone(),
+            collection: spec.collection.clone(),
+            target_host: spec.target_host.clone(),
+            files_total,
+            files_delivered: 0,
+            files_failed: files_total,
+            files_skipped: 0,
+            bytes_transferred: 0,
+            bytes_skipped: 0,
+            rounds: 0,
+            resumed: false,
+            cancelled: false,
+            manifest_sha256: manifest_sha(&BTreeMap::new()),
+            started: now,
+            finished: now,
+        };
+        sim.schedule(SimDuration::from_secs(0), move |s| on_complete(s, outcome));
+        return id;
+    };
+
+    let sha = spec_sha(&spec, &files);
+
+    // Load the checkpoint (if any) and classify it: valid → resume,
+    // invalid/mismatched → fresh start with a rewritten header.
+    let mut settled = BTreeMap::new();
+    let mut resumed = false;
+    if let Some(path) = &spec.checkpoint {
+        match load_checkpoint(path, &sha) {
+            Some(cp) => {
+                settled = cp.settled;
+                resumed = true;
+            }
+            None => {
+                if path.exists() {
+                    rm.metrics.counter_add("rm.campaign.fresh_start", 1);
+                }
+                let header = format!(
+                    "campaign v1 spec={sha} name={} collection={} target={} files={files_total}",
+                    enc(&spec.name),
+                    enc(&spec.collection),
+                    enc(&spec.target_host),
+                );
+                let _ = std::fs::write(path, format!("{header}\n"));
+            }
+        }
+    }
+
+    // Checkpoint facts only count when they still describe a current file
+    // (name and size both match); anything else is retried.
+    settled.retain(|name, e| e.done && files.iter().any(|(f, size)| f == name && *size == e.size));
+    let files_skipped = settled.len();
+    let bytes_skipped: u64 = settled.values().map(|e| e.size).sum();
+
+    // The target location exists from the first round; settled files are
+    // re-registered so a resumed catalog converges with an uninterrupted
+    // one.
+    let base = GridUrl::new(
+        spec.target_host.clone(),
+        format!("/replicas/{}", spec.collection),
+    );
+    let _ = rm
+        .catalog
+        .register_location(&spec.collection, &spec.location_name, &base, &[]);
+    for name in settled.keys() {
+        let _ = rm
+            .catalog
+            .add_file_to_location(&spec.collection, &spec.location_name, name);
+    }
+
+    if resumed {
+        rm.metrics.counter_add("rm.campaign.resumed", 1);
+        rm.metrics
+            .counter_add("rm.campaign.bytes_skipped", bytes_skipped);
+        rm.log.emit(
+            &ctx,
+            LogEvent::new(now, "rm.campaign.resume")
+                .field("campaign", id)
+                .field("skipped", files_skipped as u64)
+                .field("bytes_skipped", bytes_skipped),
+        );
+        if let Some(path) = &spec.checkpoint {
+            let _ = append_lines(
+                path,
+                &[format!(
+                    "resume skipped={files_skipped} bytes={bytes_skipped}"
+                )],
+            );
+        }
+    }
+
+    // Round plan: the unsettled files, in sorted order, chunked.
+    let batch = spec.batch_files.max(1);
+    let mut rounds: Vec<Vec<String>> = Vec::new();
+    for (name, _) in files.iter().filter(|(f, _)| !settled.contains_key(f)) {
+        if rounds.last().map(|r| r.len() >= batch).unwrap_or(true) {
+            rounds.push(Vec::new());
+        }
+        rounds.last_mut().unwrap().push(name.clone());
+    }
+
+    let span = rm.log.span_start(&ctx, now, Phase::Campaign, None);
+    let camp: SharedCampaign = Rc::new(RefCell::new(CampaignState {
+        spec,
+        id,
+        target_node,
+        files_total,
+        rounds,
+        round_idx: 0,
+        current_request: None,
+        settled,
+        bytes_transferred: 0,
+        bytes_skipped,
+        files_skipped,
+        resumed,
+        cancelled: false,
+        finished: false,
+        started: now,
+        span,
+        last_marker: HashMap::new(),
+    }));
+    rm.campaigns.insert(id, camp.clone());
+    let cb: CampaignDone<W> = Rc::new(RefCell::new(Some(Box::new(on_complete))));
+
+    if camp.borrow().rounds.is_empty() {
+        complete_campaign(sim, &camp, &cb);
+    } else {
+        launch_round(sim, camp.clone(), cb);
+        schedule_markers(sim, &camp);
+    }
+    id
+}
+
+/// Cancel a live campaign: tears down the in-flight round (transfers,
+/// ledger entries, breaker probe slots), closes the campaign span and
+/// removes the campaign without firing its callback. The checkpoint keeps
+/// every settled fact, so a later [`start_campaign`] with the same spec
+/// resumes where the cancel left off. Returns `false` for unknown ids.
+pub fn cancel_campaign<W: RmWorld>(sim: &mut Sim<W>, id: u64) -> bool {
+    let Some(camp) = sim.world.reqman().campaigns.remove(&id) else {
+        return false;
+    };
+    let (req, span, name) = {
+        let mut c = camp.borrow_mut();
+        c.cancelled = true;
+        c.finished = true;
+        (c.current_request.take(), c.span, c.spec.name.clone())
+    };
+    if let Some(req) = req {
+        cancel_request(sim, req);
+    }
+    let now = sim.now();
+    let ctx = TraceCtx::system();
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.campaign.cancelled", 1);
+    rm.log.span_end(
+        &ctx,
+        now,
+        span,
+        Phase::Campaign,
+        vec![("campaign", id.into()), ("status", "cancelled".into())],
+    );
+    rm.log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.campaign.cancel")
+            .field("campaign", id)
+            .field("name", name),
+    );
+    true
+}
+
+fn launch_round<W: RmWorld>(sim: &mut Sim<W>, camp: SharedCampaign, cb: CampaignDone<W>) {
+    let now = sim.now();
+    let (id, round, req_files, tenant, target_node) = {
+        let c = camp.borrow();
+        let files: Vec<(String, String)> = c.rounds[c.round_idx]
+            .iter()
+            .map(|f| (c.spec.collection.clone(), f.clone()))
+            .collect();
+        (
+            c.id,
+            c.round_idx as u64,
+            files,
+            c.spec.name.clone(),
+            c.target_node,
+        )
+    };
+    let rm = sim.world.reqman();
+    rm.metrics.counter_add("rm.campaign.rounds", 1);
+    rm.log.emit(
+        &TraceCtx::system(),
+        LogEvent::new(now, "rm.campaign.round")
+            .field("campaign", id)
+            .field("round", round)
+            .field("files", req_files.len() as u64),
+    );
+    let camp2 = camp.clone();
+    let req = submit_request_for_tenant(sim, target_node, req_files, &tenant, move |s, o| {
+        round_done(s, camp2, cb, o)
+    });
+    camp.borrow_mut().current_request = Some(req);
+}
+
+fn round_done<W: RmWorld>(
+    sim: &mut Sim<W>,
+    camp: SharedCampaign,
+    cb: CampaignDone<W>,
+    outcome: RequestOutcome,
+) {
+    let now = sim.now();
+    // Digest lookups need the RM while the campaign is unborrowed.
+    let (collection, location, id, round) = {
+        let c = camp.borrow();
+        (
+            c.spec.collection.clone(),
+            c.spec.location_name.clone(),
+            c.id,
+            c.round_idx as u64,
+        )
+    };
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    let mut lines = Vec::new();
+    for fs in &outcome.files {
+        let digest = sim
+            .world
+            .reqman()
+            .catalog
+            .file_digest(&collection, &fs.name);
+        let entry = Settled {
+            size: fs.size,
+            digest,
+            done: fs.done,
+            round,
+        };
+        if fs.done {
+            delivered += 1;
+            let _ =
+                sim.world
+                    .reqman()
+                    .catalog
+                    .add_file_to_location(&collection, &location, &fs.name);
+        } else {
+            failed += 1;
+        }
+        lines.push(settled_line(&fs.name, &entry));
+        let mut c = camp.borrow_mut();
+        if fs.done {
+            c.bytes_transferred += fs.size;
+        }
+        c.settled.insert(fs.name.clone(), entry);
+        c.last_marker.remove(&fs.name);
+    }
+    {
+        let rm = sim.world.reqman();
+        rm.metrics
+            .counter_add("rm.campaign.files_delivered", delivered);
+        rm.metrics.counter_add("rm.campaign.files_failed", failed);
+        rm.metrics.counter_add(
+            "rm.campaign.bytes_transferred",
+            outcome
+                .files
+                .iter()
+                .filter(|f| f.done)
+                .map(|f| f.size)
+                .sum(),
+        );
+    }
+    let checkpointed = {
+        let c = camp.borrow();
+        match &c.spec.checkpoint {
+            Some(path) => append_lines(path, &lines).is_ok(),
+            None => false,
+        }
+    };
+    {
+        let settled_total = camp.borrow().settled.len() as u64;
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add("rm.campaign.checkpoints", 1);
+        rm.log.emit(
+            &TraceCtx::system(),
+            LogEvent::new(now, "rm.campaign.checkpoint")
+                .field("campaign", id)
+                .field("round", round)
+                .field("settled", settled_total)
+                .field("durable", u64::from(checkpointed)),
+        );
+    }
+    let (more, cancelled) = {
+        let mut c = camp.borrow_mut();
+        c.current_request = None;
+        c.round_idx += 1;
+        (c.round_idx < c.rounds.len(), c.cancelled)
+    };
+    if cancelled {
+        return;
+    }
+    if more {
+        launch_round(sim, camp, cb);
+    } else {
+        complete_campaign(sim, &camp, &cb);
+    }
+}
+
+fn complete_campaign<W: RmWorld>(sim: &mut Sim<W>, camp: &SharedCampaign, cb: &CampaignDone<W>) {
+    let now = sim.now();
+    let outcome = {
+        let mut c = camp.borrow_mut();
+        c.finished = true;
+        let manifest = manifest_sha(&c.settled);
+        CampaignOutcome {
+            id: c.id,
+            name: c.spec.name.clone(),
+            collection: c.spec.collection.clone(),
+            target_host: c.spec.target_host.clone(),
+            files_total: c.files_total,
+            files_delivered: c.settled.values().filter(|e| e.done).count() - c.files_skipped,
+            files_failed: c.files_total - c.settled.values().filter(|e| e.done).count(),
+            files_skipped: c.files_skipped,
+            bytes_transferred: c.bytes_transferred,
+            bytes_skipped: c.bytes_skipped,
+            rounds: c.round_idx,
+            resumed: c.resumed,
+            cancelled: false,
+            manifest_sha256: manifest,
+            started: c.started,
+            finished: now,
+        }
+    };
+    if let Some(path) = camp.borrow().spec.checkpoint.clone() {
+        let _ = append_lines(
+            &path,
+            &[format!("complete manifest={}", outcome.manifest_sha256)],
+        );
+    }
+    let span = camp.borrow().span;
+    let id = outcome.id;
+    let ctx = TraceCtx::system();
+    let rm = sim.world.reqman();
+    rm.campaigns.remove(&id);
+    rm.metrics.counter_add("rm.campaign.completed", 1);
+    rm.log.span_end(
+        &ctx,
+        now,
+        span,
+        Phase::Campaign,
+        vec![
+            ("campaign", id.into()),
+            ("status", "complete".into()),
+            ("bytes", outcome.bytes_transferred.into()),
+        ],
+    );
+    rm.log.emit(
+        &ctx,
+        LogEvent::new(now, "rm.campaign.complete")
+            .field("campaign", id)
+            .field("delivered", outcome.files_delivered as u64)
+            .field("failed", outcome.files_failed as u64)
+            .field("skipped", outcome.files_skipped as u64)
+            .field("rounds", outcome.rounds as u64)
+            .field("manifest", outcome.manifest_sha256.clone()),
+    );
+    if let Some(f) = cb.borrow_mut().take() {
+        f(sim, outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Marker ticks
+
+fn schedule_markers<W: RmWorld>(sim: &mut Sim<W>, camp: &SharedCampaign) {
+    let every = {
+        let c = camp.borrow();
+        if c.spec.checkpoint.is_none() {
+            return;
+        }
+        c.spec.checkpoint_every
+    };
+    if every.is_zero() {
+        return;
+    }
+    let camp2 = camp.clone();
+    sim.schedule(every, move |s| marker_tick(s, camp2));
+}
+
+/// Periodic durability snapshot: journal a `marker` line for every
+/// in-flight file whose delivered byte count grew since the last tick.
+/// Markers are forensic — resume is file-grained — but they bound how much
+/// progress a post-crash observer can be blind to.
+fn marker_tick<W: RmWorld>(sim: &mut Sim<W>, camp: SharedCampaign) {
+    if camp.borrow().finished {
+        return;
+    }
+    let req = camp.borrow().current_request;
+    if let Some(req) = req {
+        if let Some(statuses) = sim.world.reqman().status(req) {
+            let (lines, path, id) = {
+                let mut c = camp.borrow_mut();
+                let round = c.round_idx as u64;
+                let mut lines = Vec::new();
+                for fs in &statuses {
+                    if fs.done || fs.bytes_done == 0 {
+                        continue;
+                    }
+                    let last = c.last_marker.get(&fs.name).copied().unwrap_or(0);
+                    if fs.bytes_done > last {
+                        c.last_marker.insert(fs.name.clone(), fs.bytes_done);
+                        lines.push(format!(
+                            "marker file={} offset={} round={round}",
+                            enc(&fs.name),
+                            fs.bytes_done
+                        ));
+                    }
+                }
+                (lines, c.spec.checkpoint.clone(), c.id)
+            };
+            if !lines.is_empty() {
+                if let Some(path) = path {
+                    let _ = append_lines(&path, &lines);
+                }
+                let n = lines.len() as u64;
+                let now = sim.now();
+                let rm = sim.world.reqman();
+                rm.metrics.counter_add("rm.campaign.markers", n);
+                rm.log.emit(
+                    &TraceCtx::system(),
+                    LogEvent::new(now, "rm.campaign.checkpoint")
+                        .field("campaign", id)
+                        .field("markers", n),
+                );
+            }
+        }
+    }
+    schedule_markers(sim, &camp);
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{submit_request, HasReqMan, RequestManager};
+    use crate::reliability::BreakerState;
+    use esg_gridftp::simxfer::{GridFtpSim, HasGridFtp};
+    use esg_nws::{HasNws, NwsRegistry};
+    use esg_replica::Policy;
+    use esg_simnet::{Node, Topology};
+
+    struct World {
+        rm: RequestManager,
+        gridftp: GridFtpSim,
+        nws: NwsRegistry,
+        outcomes: Vec<CampaignOutcome>,
+        requests: Vec<RequestOutcome>,
+    }
+
+    impl HasReqMan for World {
+        fn reqman(&mut self) -> &mut RequestManager {
+            &mut self.rm
+        }
+    }
+    impl HasGridFtp for World {
+        fn gridftp(&mut self) -> &mut GridFtpSim {
+            &mut self.gridftp
+        }
+    }
+    impl HasNws for World {
+        fn nws(&mut self) -> &mut NwsRegistry {
+            &mut self.nws
+        }
+    }
+
+    const FILES: usize = 6;
+    const FILE_BYTES: u64 = 50_000_000;
+
+    /// Two source sites and one archive target. The target's 10 MB/s link
+    /// is the bottleneck, so a round of two 50 MB files takes ≈10 s and
+    /// the full six-file campaign ≈30 s — slow enough that `run_until`
+    /// can interrupt it mid-flight.
+    fn setup() -> (Sim<World>, NodeId) {
+        let mut topo = Topology::new();
+        let core = topo.add_node(Node::router("core"));
+        let src_a = topo.add_node(Node::host("pcmdi.llnl.gov"));
+        topo.add_link(src_a, core, 10e6, SimDuration::from_millis(5));
+        let src_b = topo.add_node(Node::host("jupiter.isi.edu"));
+        topo.add_link(src_b, core, 10e6, SimDuration::from_millis(10));
+        let target = topo.add_node(Node::host("archive.ucar.edu"));
+        topo.add_link(target, core, 10e6, SimDuration::from_millis(5));
+
+        let mut rm = RequestManager::new(Policy::BestBandwidth, 7);
+        rm.add_host("pcmdi.llnl.gov", src_a);
+        rm.add_host("jupiter.isi.edu", src_b);
+        rm.add_host("archive.ucar.edu", target);
+        rm.catalog.create_collection("pcm").unwrap();
+        for i in 0..FILES {
+            let name = format!("pcm.run1.f{i:03}");
+            rm.catalog
+                .add_logical_file("pcm", &name, FILE_BYTES)
+                .unwrap();
+            let key = format!("pcm/{name}");
+            let hexd = esg_storage::file_digest_hex(&key, FILE_BYTES);
+            rm.catalog.set_file_digest("pcm", &name, &hexd).unwrap();
+        }
+        let names: Vec<String> = (0..FILES).map(|i| format!("pcm.run1.f{i:03}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        rm.catalog
+            .register_location(
+                "pcm",
+                "llnl",
+                &GridUrl::new("pcmdi.llnl.gov", "/data"),
+                &refs,
+            )
+            .unwrap();
+        rm.catalog
+            .register_location(
+                "pcm",
+                "isi",
+                &GridUrl::new("jupiter.isi.edu", "/data"),
+                &refs,
+            )
+            .unwrap();
+
+        let mut world = World {
+            rm,
+            gridftp: GridFtpSim::new(),
+            nws: NwsRegistry::new(),
+            outcomes: Vec::new(),
+            requests: Vec::new(),
+        };
+        world
+            .nws
+            .observe_bandwidth(src_a, target, SimTime::ZERO, 10e6);
+        world
+            .nws
+            .observe_bandwidth(src_b, target, SimTime::ZERO, 8e6);
+        (Sim::new(topo, world), target)
+    }
+
+    fn tmp_checkpoint(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("esg-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn spec_with(tag: &str, checkpoint: Option<PathBuf>) -> CampaignSpec {
+        let mut spec = CampaignSpec::new(tag, "pcm", "archive.ucar.edu");
+        spec.batch_files = 2;
+        spec.checkpoint = checkpoint;
+        spec.checkpoint_every = SimDuration::from_secs(5);
+        spec
+    }
+
+    #[test]
+    fn campaign_completes_and_registers_target_replicas() {
+        let (mut sim, _target) = setup();
+        start_campaign(&mut sim, spec_with("mirror", None), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        sim.run();
+        assert_eq!(sim.world.outcomes.len(), 1);
+        let o = &sim.world.outcomes[0];
+        assert_eq!(o.files_total, FILES);
+        assert_eq!(o.files_delivered, FILES);
+        assert_eq!(o.files_failed, 0);
+        assert_eq!(o.files_skipped, 0);
+        assert_eq!(o.bytes_transferred, FILES as u64 * FILE_BYTES);
+        assert_eq!(o.rounds, FILES / 2);
+        assert!(!o.resumed);
+        assert_eq!(o.manifest_sha256.len(), 64);
+        // Every file is now registered at the target location.
+        for i in 0..FILES {
+            let name = format!("pcm.run1.f{i:03}");
+            let replicas = sim.world.rm.catalog.lookup_replicas("pcm", &name).unwrap();
+            assert!(
+                replicas.iter().any(|r| r.host == "archive.ucar.edu"),
+                "{name} must be registered at the target"
+            );
+        }
+        // The campaign's root span closed and its lifecycle events fired.
+        assert!(sim.world.rm.campaigns.is_empty());
+        assert_eq!(sim.world.rm.metrics.counter("rm.campaign.completed"), 1);
+        assert_eq!(
+            sim.world.rm.metrics.counter("rm.campaign.rounds"),
+            (FILES / 2) as u64
+        );
+        assert!(sim.world.rm.log.named("rm.campaign.start").next().is_some());
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("rm.campaign.complete")
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn completed_checkpoint_resumes_with_zero_retransfer() {
+        let ckpt = tmp_checkpoint("resume-full");
+        let manifest_a;
+        {
+            let (mut sim, _) = setup();
+            start_campaign(&mut sim, spec_with("mirror", Some(ckpt.clone())), |s, o| {
+                s.world.outcomes.push(o)
+            });
+            sim.run();
+            manifest_a = sim.world.outcomes[0].manifest_sha256.clone();
+        }
+        // A fresh simulation (fresh RM, fresh catalog) resuming from the
+        // journal: every file is vouched for, so nothing moves.
+        let (mut sim, _) = setup();
+        start_campaign(&mut sim, spec_with("mirror", Some(ckpt.clone())), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.resumed);
+        assert_eq!(o.files_skipped, FILES);
+        assert_eq!(o.files_delivered, 0);
+        assert_eq!(
+            o.bytes_transferred, 0,
+            "verified bytes must not re-transfer"
+        );
+        assert_eq!(o.bytes_skipped, FILES as u64 * FILE_BYTES);
+        assert_eq!(o.manifest_sha256, manifest_a, "resume-equivalence");
+        assert_eq!(
+            sim.world.rm.metrics.counter("rm.campaign.bytes_skipped"),
+            FILES as u64 * FILE_BYTES
+        );
+        // Skipped files still converge the catalog.
+        let replicas = sim
+            .world
+            .rm
+            .catalog
+            .lookup_replicas("pcm", "pcm.run1.f000")
+            .unwrap();
+        assert!(replicas.iter().any(|r| r.host == "archive.ucar.edu"));
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_without_retransferring_settled_bytes() {
+        let ckpt = tmp_checkpoint("resume-partial");
+        // Uninterrupted baseline manifest.
+        let manifest_baseline = {
+            let (mut sim, _) = setup();
+            start_campaign(&mut sim, spec_with("mirror", None), |s, o| {
+                s.world.outcomes.push(o)
+            });
+            sim.run();
+            sim.world.outcomes[0].manifest_sha256.clone()
+        };
+        // Interrupted run: stop the world mid-campaign (the "crash").
+        {
+            let (mut sim, _) = setup();
+            start_campaign(&mut sim, spec_with("mirror", Some(ckpt.clone())), |s, o| {
+                s.world.outcomes.push(o)
+            });
+            sim.run_until(SimTime::from_secs(15));
+            assert!(
+                sim.world.outcomes.is_empty(),
+                "campaign must still be in flight at the interruption point"
+            );
+        }
+        // Resume in a fresh world.
+        let (mut sim, _) = setup();
+        start_campaign(&mut sim, spec_with("mirror", Some(ckpt.clone())), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.resumed);
+        assert!(
+            o.files_skipped >= 1 && o.files_skipped < FILES,
+            "interruption must land mid-campaign (skipped {})",
+            o.files_skipped
+        );
+        assert_eq!(o.files_skipped + o.files_delivered, FILES);
+        assert_eq!(
+            o.bytes_skipped + o.bytes_transferred,
+            FILES as u64 * FILE_BYTES,
+            "every byte is accounted to exactly one run"
+        );
+        assert_eq!(
+            o.manifest_sha256, manifest_baseline,
+            "resumed manifest must match the uninterrupted baseline"
+        );
+        let journal = std::fs::read_to_string(&ckpt).unwrap();
+        assert!(journal.contains("\nresume "));
+        assert!(journal.contains("complete manifest="));
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    /// Satellite: cancelling a campaign with pulls in flight (and a retry
+    /// pending against a downed host) must drain the shared host ledger to
+    /// zero — no leaked in-flight slots, no late finish_request.
+    #[test]
+    fn cancel_mid_flight_drains_ledger_to_zero() {
+        let (mut sim, _) = setup();
+        let id = start_campaign(&mut sim, spec_with("mirror", None), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        // Knock out a source mid-round: the stalled pulls will be torn
+        // down by the monitor *after* the cancel, and their retry/backoff
+        // closures must no-op against the cancelled request.
+        sim.schedule(SimDuration::from_millis(500), |s| {
+            let node = s.world.rm.hosts["pcmdi.llnl.gov"];
+            s.net.set_node_up(node, false);
+        });
+        // At t=5 s (seed 7): f000 has failed fast on the dead host, backed
+        // off, and restarted from the healthy one (in flight, holding a
+        // ledger slot); f001's retry backoff is still pending and will
+        // fire *after* the cancel.
+        sim.run_until(SimTime::from_secs(5));
+        assert!(
+            sim.world.rm.inflight().total() > 0,
+            "pulls must be in flight at the cancel point"
+        );
+        assert!(cancel_campaign(&mut sim, id));
+        assert_eq!(
+            sim.world.rm.inflight().total(),
+            0,
+            "cancel must release every ledger slot"
+        );
+        // Let pending monitor ticks and backoff wakes fire: they must all
+        // no-op against the settled files.
+        sim.run();
+        assert_eq!(sim.world.rm.inflight().total(), 0);
+        assert!(sim.world.rm.live_requests().is_empty());
+        assert!(sim.world.rm.campaigns.is_empty());
+        assert!(sim.world.outcomes.is_empty(), "no callback after cancel");
+        assert!(!cancel_campaign(&mut sim, id), "second cancel is a no-op");
+        assert_eq!(sim.world.rm.metrics.counter("rm.campaign.cancelled"), 1);
+    }
+
+    /// Satellite: campaign and interactive traffic share one breaker per
+    /// host — after campaign failures trip a source, an interactive
+    /// request sees the breaker half-open (probe), not closed.
+    #[test]
+    fn campaign_trips_breaker_shared_with_interactive() {
+        let (mut sim, target) = setup();
+        {
+            let rm = &mut sim.world.rm;
+            rm.breaker_threshold = 2;
+            rm.breaker_cooldown = SimDuration::from_secs(30);
+            // Leave only one replica per file so failover cannot dodge the
+            // downed host.
+            for i in 0..FILES {
+                let name = format!("pcm.run1.f{i:03}");
+                rm.catalog
+                    .remove_file_from_location("pcm", "isi", &name)
+                    .unwrap();
+            }
+        }
+        // The sole source goes down before anything moves.
+        let node = sim.world.rm.hosts["pcmdi.llnl.gov"];
+        sim.net.set_node_up(node, false);
+        let id = start_campaign(&mut sim, spec_with("mirror", None), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        sim.run_until(SimTime::from_secs(25));
+        assert!(
+            matches!(
+                sim.world.rm.breaker_state("pcmdi.llnl.gov"),
+                Some(BreakerState::Open { .. })
+            ),
+            "campaign failures must trip the shared breaker, got {:?}",
+            sim.world.rm.breaker_state("pcmdi.llnl.gov")
+        );
+        cancel_campaign(&mut sim, id);
+        // Past the cooldown, an interactive request probes the host
+        // through the *same* breaker: the half-open transition must be
+        // observable before the probe's success closes it.
+        sim.net.set_node_up(node, true);
+        let half_open_before = sim.world.rm.log.named("rm.breaker.half_open").count();
+        sim.run_until(SimTime::from_secs(40));
+        submit_request(
+            &mut sim,
+            target,
+            vec![("pcm".into(), "pcm.run1.f000".into())],
+            |s, o| s.world.requests.push(o),
+        );
+        sim.run();
+        assert_eq!(sim.world.requests.len(), 1);
+        assert!(sim.world.requests[0].files[0].done);
+        assert!(
+            sim.world.rm.log.named("rm.breaker.half_open").count() > half_open_before,
+            "interactive probe must pass through the campaign-tripped breaker's half-open state"
+        );
+    }
+
+    /// Fair-share gate: a campaign whose tenant quota is 1 can only hold
+    /// one ledger slot; the rest of its round defers, and once the wait
+    /// exceeds the starvation window the distress signal fires.
+    #[test]
+    fn tenant_quota_defers_campaign_and_reports_starvation() {
+        let (mut sim, _) = setup();
+        {
+            let rm = &mut sim.world.rm;
+            rm.tenants.budget = 2;
+            rm.tenants.set_quota("mirror", 1);
+            rm.tenants.starvation_after = SimDuration::from_secs(2);
+        }
+        let mut spec = spec_with("mirror", None);
+        spec.batch_files = FILES; // one big round: max pressure on the quota
+        start_campaign(&mut sim, spec, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert_eq!(o.files_delivered, FILES);
+        let stats = sim.world.rm.sched_stats();
+        assert!(
+            stats.tenant_deferred > 0,
+            "quota must defer the over-subscribed round"
+        );
+        assert!(
+            sim.world.rm.metrics.counter("rm.campaign.starved") > 0,
+            "starvation window must trip while the quota throttles the round"
+        );
+        assert!(sim
+            .world
+            .rm
+            .log
+            .named("rm.campaign.starved")
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_dropped_and_healed() {
+        let ckpt = tmp_checkpoint("torn");
+        let spec = spec_with("mirror", Some(ckpt.clone()));
+        let (sim, _) = setup();
+        let files: Vec<(String, u64)> = (0..FILES)
+            .map(|i| (format!("pcm.run1.f{i:03}"), FILE_BYTES))
+            .collect();
+        let sha = spec_sha(&spec, &files);
+        drop(sim);
+        std::fs::write(
+            &ckpt,
+            format!(
+                "campaign v1 spec={sha} name=mirror collection=pcm target=archive.ucar.edu files={FILES}\n\
+                 settled file=pcm.run1.f000 size={FILE_BYTES} digest=- status=done round=0\n\
+                 settled file=pcm.run1.f001 si",
+            ),
+        )
+        .unwrap();
+        // The torn tail is not a fact.
+        let cp = load_checkpoint(&ckpt, &sha).expect("journal must load");
+        assert_eq!(cp.settled.len(), 1);
+        assert!(cp.settled["pcm.run1.f000"].done);
+        // Appending heals the tear before writing.
+        append_lines(&ckpt, &["resume skipped=1 bytes=0".into()]).unwrap();
+        let raw = std::fs::read_to_string(&ckpt).unwrap();
+        assert!(!raw.contains("f001 si"), "torn fragment must be truncated");
+        assert!(raw.ends_with("resume skipped=1 bytes=0\n"));
+        // And a resumed campaign trusts exactly the surviving fact.
+        let (mut sim, _) = setup();
+        start_campaign(&mut sim, spec, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.resumed);
+        assert_eq!(o.files_skipped, 1);
+        assert_eq!(o.files_delivered, FILES - 1);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_restarts_fresh() {
+        let ckpt = tmp_checkpoint("mismatch");
+        std::fs::write(
+            &ckpt,
+            format!(
+                "campaign v1 spec={} name=mirror collection=pcm target=archive.ucar.edu files=6\n\
+                 settled file=pcm.run1.f000 size={FILE_BYTES} digest=- status=done round=0\n",
+                hex(&esg_gsi::sha256(b"some other spec")),
+            ),
+        )
+        .unwrap();
+        let (mut sim, _) = setup();
+        start_campaign(&mut sim, spec_with("mirror", Some(ckpt.clone())), |s, o| {
+            s.world.outcomes.push(o)
+        });
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(!o.resumed, "a stale checkpoint must not be trusted");
+        assert_eq!(o.files_skipped, 0);
+        assert_eq!(o.files_delivered, FILES);
+        assert_eq!(sim.world.rm.metrics.counter("rm.campaign.fresh_start"), 1);
+        // The journal was rewritten under the live spec.
+        let raw = std::fs::read_to_string(&ckpt).unwrap();
+        let files: Vec<(String, u64)> = (0..FILES)
+            .map(|i| (format!("pcm.run1.f{i:03}"), FILE_BYTES))
+            .collect();
+        assert!(raw.starts_with(&format!(
+            "campaign v1 spec={}",
+            spec_sha(&spec_with("mirror", Some(ckpt.clone())), &files)
+        )));
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn failed_status_checkpoint_entries_are_retried() {
+        let ckpt = tmp_checkpoint("retry-failed");
+        let spec = spec_with("mirror", Some(ckpt.clone()));
+        let files: Vec<(String, u64)> = (0..FILES)
+            .map(|i| (format!("pcm.run1.f{i:03}"), FILE_BYTES))
+            .collect();
+        let sha = spec_sha(&spec, &files);
+        std::fs::write(
+            &ckpt,
+            format!(
+                "campaign v1 spec={sha} name=mirror collection=pcm target=archive.ucar.edu files={FILES}\n\
+                 settled file=pcm.run1.f000 size={FILE_BYTES} digest=- status=done round=0\n\
+                 settled file=pcm.run1.f001 size={FILE_BYTES} digest=- status=failed round=0\n",
+            ),
+        )
+        .unwrap();
+        let (mut sim, _) = setup();
+        start_campaign(&mut sim, spec, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert!(o.resumed);
+        assert_eq!(o.files_skipped, 1, "only the done entry is vouched for");
+        assert_eq!(o.files_delivered, FILES - 1, "the failed entry is retried");
+        assert_eq!(o.files_failed, 0);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn unknown_target_fails_the_campaign_immediately() {
+        let (mut sim, _) = setup();
+        let spec = CampaignSpec::new("mirror", "pcm", "nowhere.example.org");
+        start_campaign(&mut sim, spec, |s, o| s.world.outcomes.push(o));
+        sim.run();
+        let o = &sim.world.outcomes[0];
+        assert_eq!(o.files_failed, FILES);
+        assert_eq!(o.files_delivered, 0);
+        assert!(sim.world.rm.campaigns.is_empty());
+    }
+
+    #[test]
+    fn field_encoding_round_trips() {
+        for s in ["plain", "with space", "a=b", "50%", "nl\nend", "%20"] {
+            assert_eq!(dec(&enc(s)), s, "{s:?}");
+        }
+    }
+}

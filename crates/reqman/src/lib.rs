@@ -15,7 +15,11 @@
 //! * [`reliability`] — retry/backoff policy and per-host circuit breakers.
 //! * [`integrity`] — post-delivery block digest verification, ERET block
 //!   repair planning and replica quarantine.
+//! * [`campaign`] — fault-tolerant replication campaigns: batched rounds
+//!   driven through the scheduler, durable checkpoint/resume, and
+//!   multi-tenant fair sharing with the interactive workload.
 
+pub mod campaign;
 pub mod integrity;
 pub mod manager;
 pub mod monitor;
@@ -24,14 +28,17 @@ pub mod reliability;
 pub mod replication;
 pub mod scheduler;
 
+pub use campaign::{cancel_campaign, start_campaign, CampaignOutcome, CampaignSpec};
 pub use integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView, VerifyReport};
 pub use manager::{
-    submit_request, FileStatus, HasReqMan, RequestManager, RequestOutcome, RmWorld, TransferTuning,
+    cancel_request, submit_request, submit_request_for_tenant, FileStatus, HasReqMan,
+    RequestManager, RequestOutcome, RmWorld, TransferTuning,
 };
 pub use monitor::{render_monitor, render_monitor_metered};
 pub use planner::plan_spread;
 pub use reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
 pub use replication::{replicate_collection, ReplicationOutcome};
 pub use scheduler::{
-    bdp_tuning, order_queue, AdmissionPolicy, HostLedger, SchedStats, SchedulerConfig,
+    bdp_tuning, order_queue, AdmissionPolicy, HostLedger, SchedStats, SchedulerConfig, TenantTable,
+    DEFAULT_TENANT,
 };

@@ -27,7 +27,9 @@
 
 use crate::integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView};
 use crate::reliability::{BreakerState, BreakerTransition, CircuitBreaker, RetryPolicy};
-use crate::scheduler::{bdp_tuning, order_queue, HostLedger, SchedStats, SchedulerConfig};
+use crate::scheduler::{
+    bdp_tuning, order_queue, HostLedger, SchedStats, SchedulerConfig, TenantTable, DEFAULT_TENANT,
+};
 use esg_gridftp::repair_ranges;
 use esg_gridftp::simxfer::{
     cancel_transfer, start_transfer, transfer_bytes, transfer_rate, transfer_stalled, HasGridFtp,
@@ -159,6 +161,9 @@ struct FileWork {
 struct RequestState {
     id: u64,
     client: NodeId,
+    /// Tenant this request is accounted to by the weighted fair-share
+    /// admission check (campaign name, or [`DEFAULT_TENANT`]).
+    tenant: String,
     files: Vec<FileWork>,
     remaining: usize,
     started: SimTime,
@@ -216,11 +221,25 @@ pub struct RequestManager {
     /// histogram lives here behind one interface (scheduler stats, monitor
     /// ticks, integrity incidents, phase-duration histograms).
     pub metrics: MetricsRegistry,
+    /// Multi-tenant weighted fair-share table (weights, quotas,
+    /// starvation window). Inert by default.
+    pub tenants: TenantTable,
     /// Manager-wide in-flight pulls per source host (all requests).
     inflight: HostLedger,
     breakers: HashMap<String, CircuitBreaker>,
     rng: StdRng,
     requests: HashMap<u64, SharedRequest>,
+    /// Live request count per tenant — defines the *active* tenant set
+    /// whose weights split the fair-share budget.
+    tenant_live: HashMap<String, usize>,
+    /// Last instant each tenant made admission progress (ledger acquire),
+    /// the reference point for starvation detection.
+    tenant_progress: HashMap<String, SimTime>,
+    /// Last `rm.campaign.starved` emission per tenant (rate limiting).
+    tenant_starved_at: HashMap<String, SimTime>,
+    /// Live campaign state, keyed by campaign id (see `campaign.rs`).
+    pub(crate) campaigns: HashMap<u64, crate::campaign::SharedCampaign>,
+    pub(crate) campaign_seq: u64,
     next_id: u64,
     xfer_seq: u64,
 }
@@ -251,12 +270,18 @@ impl RequestManager {
             integrity: IntegrityManager::default(),
             scheduler: SchedulerConfig::default(),
             metrics: MetricsRegistry::new(),
+            tenants: TenantTable::default(),
             inflight: HostLedger::default(),
             breakers: HashMap::new(),
             // Decorrelate the jitter stream from the selector's RNG while
             // staying a pure function of the caller's seed.
             rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)),
             requests: HashMap::new(),
+            tenant_live: HashMap::new(),
+            tenant_progress: HashMap::new(),
+            tenant_starved_at: HashMap::new(),
+            campaigns: HashMap::new(),
+            campaign_seq: 0,
             next_id: 0,
             xfer_seq: 0,
         }
@@ -315,6 +340,37 @@ impl RequestManager {
         self.metrics.counter("rm.monitor.ticks")
     }
 
+    /// Live request count for a tenant.
+    pub fn tenant_live(&self, tenant: &str) -> usize {
+        self.tenant_live.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Retire one live request for `tenant`, dropping its bookkeeping
+    /// when the last one goes so an idle tenant stops diluting shares.
+    fn tenant_retire(&mut self, tenant: &str) {
+        if let Some(n) = self.tenant_live.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.tenant_live.remove(tenant);
+                self.tenant_progress.remove(tenant);
+                self.tenant_starved_at.remove(tenant);
+            }
+        }
+    }
+
+    /// The in-flight ceiling for `tenant` right now: its weighted share
+    /// of the budget over the *active* tenant set, clipped by any hard
+    /// quota. `usize::MAX` when fair sharing is disabled.
+    pub fn tenant_limit(&self, tenant: &str) -> usize {
+        let active_weight: u64 = self
+            .tenant_live
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(t, _)| self.tenants.weight(t) as u64)
+            .sum();
+        self.tenants.limit(tenant, active_weight)
+    }
+
     fn breaker_entry(&mut self, host: &str) -> &mut CircuitBreaker {
         let (threshold, cooldown) = (self.breaker_threshold, self.breaker_cooldown);
         self.breakers
@@ -323,29 +379,29 @@ impl RequestManager {
     }
 
     /// Non-committal check used when filtering replica candidates.
-    fn breaker_would_admit(&self, host: &str, now: SimTime) -> bool {
+    pub(crate) fn breaker_would_admit(&self, host: &str, now: SimTime) -> bool {
         self.breakers.get(host).is_none_or(|b| b.would_admit(now))
     }
 
     /// Commit an admission for `host` (may consume the half-open probe
     /// slot). Logs the open → half-open transition.
-    fn breaker_admit(&mut self, host: &str, now: SimTime) {
+    pub(crate) fn breaker_admit(&mut self, host: &str, now: SimTime) {
         let tr = self.breaker_entry(host).admits(now).1;
         self.log_breaker(host, tr, now);
     }
 
-    fn breaker_failure(&mut self, host: &str, now: SimTime) {
+    pub(crate) fn breaker_failure(&mut self, host: &str, now: SimTime) {
         let tr = self.breaker_entry(host).record_failure(now);
         self.log_breaker(host, tr, now);
     }
 
-    fn breaker_success(&mut self, host: &str, now: SimTime) {
+    pub(crate) fn breaker_success(&mut self, host: &str, now: SimTime) {
         let tr = self.breaker_entry(host).record_success();
         self.log_breaker(host, tr, now);
     }
 
     /// Free an admitted probe without judging the host (global outages).
-    fn breaker_release(&mut self, host: &str) {
+    pub(crate) fn breaker_release(&mut self, host: &str) {
         if let Some(b) = self.breakers.get_mut(host) {
             b.release();
         }
@@ -508,15 +564,37 @@ fn close_file_span<W: RmWorld>(
 
 /// Submit a request: the CDAT client hands the RM a list of logical files
 /// (collection, file name). The callback fires when every file has landed.
+/// Accounted to [`DEFAULT_TENANT`] for fair sharing.
 pub fn submit_request<W: RmWorld>(
     sim: &mut Sim<W>,
     client: NodeId,
     files: Vec<(String, String)>,
     on_complete: impl FnOnce(&mut Sim<W>, RequestOutcome) + 'static,
 ) -> u64 {
+    submit_request_for_tenant(sim, client, files, DEFAULT_TENANT, on_complete)
+}
+
+/// [`submit_request`] accounted to a named tenant: the campaign
+/// orchestrator submits every round this way so its pulls are governed by
+/// the tenant's weighted fair share rather than the interactive pool's.
+pub fn submit_request_for_tenant<W: RmWorld>(
+    sim: &mut Sim<W>,
+    client: NodeId,
+    files: Vec<(String, String)>,
+    tenant: &str,
+    on_complete: impl FnOnce(&mut Sim<W>, RequestOutcome) + 'static,
+) -> u64 {
+    let now = sim.now();
     let rm = sim.world.reqman();
     let id = rm.next_id;
     rm.next_id += 1;
+    let live = rm.tenant_live.entry(tenant.to_string()).or_insert(0);
+    *live += 1;
+    if *live == 1 {
+        // Fresh activation: starvation is measured from this submit until
+        // the tenant first acquires a ledger slot.
+        rm.tenant_progress.insert(tenant.to_string(), now);
+    }
 
     let mut work = Vec::new();
     for (collection, name) in files {
@@ -555,6 +633,7 @@ pub fn submit_request<W: RmWorld>(
     let state: SharedRequest = Rc::new(RefCell::new(RequestState {
         id,
         client,
+        tenant: tenant.to_string(),
         files: work,
         remaining,
         started: sim.now(),
@@ -734,18 +813,62 @@ fn ledger_acquire<W: RmWorld>(
 ) {
     // A stale entry here would double-count; release defensively first.
     ledger_release(sim, state, idx);
-    state.borrow_mut().files[idx].ledger_host = Some((host.to_string(), is_attempt));
-    sim.world.reqman().inflight.acquire(host, is_attempt);
+    let now = sim.now();
+    let tenant = {
+        let mut st = state.borrow_mut();
+        st.files[idx].ledger_host = Some((host.to_string(), is_attempt));
+        st.tenant.clone()
+    };
+    let rm = sim.world.reqman();
+    rm.inflight.acquire(host, &tenant, is_attempt);
+    // Admission progress: the reference point for starvation detection.
+    rm.tenant_progress.insert(tenant, now);
 }
 
 /// Release `idx`'s ledger entry if it still owns one. Idempotent, so the
 /// several paths on which an attempt can end (completion, cancellation,
 /// failure, settling) may each call it safely.
 fn ledger_release<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, idx: usize) {
-    let entry = state.borrow_mut().files[idx].ledger_host.take();
+    let (entry, tenant) = {
+        let mut st = state.borrow_mut();
+        (st.files[idx].ledger_host.take(), st.tenant.clone())
+    };
     if let Some((host, is_attempt)) = entry {
-        sim.world.reqman().inflight.release(&host, is_attempt);
+        sim.world
+            .reqman()
+            .inflight
+            .release(&host, &tenant, is_attempt);
     }
+}
+
+/// Starvation detection: when a deferred tenant has made no admission
+/// progress for the configured window, emit `rm.campaign.starved` (at
+/// most once per window per tenant) and bump the matching counter —
+/// the fairness layer's observable distress signal.
+fn note_tenant_starvation<W: RmWorld>(sim: &mut Sim<W>, tenant: &str, now: SimTime) {
+    let rm = sim.world.reqman();
+    let window = rm.tenants.starvation_after;
+    if window.is_zero() {
+        return;
+    }
+    let last_progress = rm.tenant_progress.get(tenant).copied().unwrap_or(now);
+    let waited = now.since(last_progress);
+    if waited < window {
+        return;
+    }
+    if let Some(last_emit) = rm.tenant_starved_at.get(tenant) {
+        if now.since(*last_emit) < window {
+            return;
+        }
+    }
+    rm.tenant_starved_at.insert(tenant.to_string(), now);
+    rm.metrics.counter_add("rm.campaign.starved", 1);
+    rm.log.emit(
+        &TraceCtx::system(),
+        LogEvent::new(now, "rm.campaign.starved")
+            .field("tenant", tenant.to_string())
+            .field("waited_s", waited.as_secs_f64()),
+    );
 }
 
 type DoneCell<W> = Rc<RefCell<Option<Box<dyn FnOnce(&mut Sim<W>, RequestOutcome)>>>>;
@@ -762,9 +885,11 @@ fn finish_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
         }
     };
     let id = outcome.id;
-    sim.world.reqman().requests.remove(&id);
+    let tenant = state.borrow().tenant.clone();
     let now = sim.now();
     let rm = sim.world.reqman();
+    rm.requests.remove(&id);
+    rm.tenant_retire(&tenant);
     rm.metrics.counter_add("rm.requests.completed", 1);
     rm.log.emit(
         &TraceCtx::request(id),
@@ -773,6 +898,73 @@ fn finish_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
     if let Some(f) = cb.borrow_mut().take() {
         f(sim, outcome);
     }
+}
+
+/// Cancel a live request: every in-flight transfer is torn down, ledger
+/// entries and breaker probe slots are released, spans are closed with a
+/// `cancelled` status, and the request is removed without firing its
+/// completion callback. Returns `false` when the id is not live.
+///
+/// Pending retry/backoff closures that still hold the request are
+/// harmless: each re-checks its file's settled flags on wake and returns.
+pub fn cancel_request<W: RmWorld>(sim: &mut Sim<W>, id: u64) -> bool {
+    let Some(state) = sim.world.reqman().requests.get(&id).cloned() else {
+        return false;
+    };
+    let n = state.borrow().files.len();
+    for idx in 0..n {
+        let (settled, handle, probe_host) = {
+            let mut st = state.borrow_mut();
+            let fw = &mut st.files[idx];
+            if fw.status.done || fw.status.failed {
+                (true, None, None)
+            } else {
+                (
+                    false,
+                    fw.current.take(),
+                    fw.ledger_host.as_ref().map(|(h, _)| h.clone()),
+                )
+            }
+        };
+        if settled {
+            continue;
+        }
+        if let Some(h) = handle {
+            let _ = cancel_transfer(sim, h);
+        }
+        // The cancelled pull may hold its host's half-open probe slot;
+        // free it without judging the host.
+        if let Some(host) = probe_host {
+            sim.world.reqman().breaker_release(&host);
+        }
+        ledger_release(sim, &state, idx);
+        {
+            let mut st = state.borrow_mut();
+            let fw = &mut st.files[idx];
+            // Mark failed without decrementing `remaining`: stragglers
+            // (late monitor ticks, backoff wakes) see a settled file and
+            // return, and finish_request can never fire afterwards.
+            fw.status.failed = true;
+            fw.repairing = false;
+            if fw.admitted {
+                fw.admitted = false;
+                st.active -= 1;
+            }
+        }
+        close_file_span(sim, &state, idx, "cancelled");
+    }
+    state.borrow_mut().queue.clear();
+    let tenant = state.borrow().tenant.clone();
+    let now = sim.now();
+    let rm = sim.world.reqman();
+    rm.requests.remove(&id);
+    rm.tenant_retire(&tenant);
+    rm.metrics.counter_add("rm.requests.cancelled", 1);
+    rm.log.emit(
+        &TraceCtx::request(id),
+        LogEvent::new(now, "rm.request.cancel"),
+    );
+    true
 }
 
 /// Mark one file delivered and finish the request when it was the last.
@@ -1055,6 +1247,41 @@ fn start_file_worker<W: RmWorld>(
     // no-op — the Select span keeps accumulating the wait.
     enter_phase(sim, &state, idx, Phase::Select, vec![]);
 
+    // Multi-tenant weighted fair sharing: a tenant at its share of the
+    // global budget waits for capacity exactly like the per-host cap —
+    // no attempt consumed, no backoff growth, slot retained. This is the
+    // one point where a tenant's demand is visibly postponed, so
+    // starvation detection lives here too.
+    let tenant = state.borrow().tenant.clone();
+    let (tenant_blocked, delay) = {
+        let rm = sim.world.reqman();
+        if rm.scheduler.enabled {
+            let limit = rm.tenant_limit(&tenant);
+            (
+                rm.inflight().tenant_load(&tenant) >= limit,
+                rm.scheduler.defer_retry,
+            )
+        } else {
+            (false, SimDuration::ZERO)
+        }
+    };
+    if tenant_blocked {
+        let now = sim.now();
+        note_tenant_starvation(sim, &tenant, now);
+        let ctx = fw_ctx(&state, idx);
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add(SchedStats::TENANT_DEFERRED, 1);
+        rm.log.emit(
+            &ctx,
+            LogEvent::new(now, "rm.sched.defer")
+                .field("reason", "tenant")
+                .field("tenant", tenant)
+                .field("delay_s", delay.as_secs_f64()),
+        );
+        sim.schedule(delay, move |s| start_file_worker(s, state, cb, idx));
+        return;
+    }
+
     // The per-host in-flight cap; loads come from the manager-wide ledger
     // inside `select_replica`, so the spread planner sees what every
     // request (not just this one) is doing.
@@ -1075,6 +1302,8 @@ fn start_file_worker<W: RmWorld>(
             // growth, and the file keeps its admission slot.
             let delay = sim.world.reqman().scheduler.defer_retry;
             let now = sim.now();
+            // A tenant can starve behind host caps as well as its share.
+            note_tenant_starvation(sim, &tenant, now);
             let ctx = fw_ctx(&state, idx);
             let rm = sim.world.reqman();
             rm.metrics.counter_add(SchedStats::DEFERRED, 1);

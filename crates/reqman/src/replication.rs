@@ -148,21 +148,32 @@ fn copy_one<W: RmWorld>(
             st.target_location.clone(),
         )
     };
-    // Pick any existing replica that is not the target itself.
-    let (source_node, size) = {
+    // Pick any existing replica that is not the target itself, skipping
+    // hosts whose circuit breaker is open: replication shares the
+    // manager-wide breakers with interactive requests, so a host tripped
+    // by either workload is avoided by both until its cooldown probe.
+    let now = sim.now();
+    let (source, candidates, size) = {
         let rm = sim.world.reqman();
         let replicas = rm
             .catalog
             .lookup_replicas(&collection, &file)
             .unwrap_or_default();
+        let candidates = replicas.iter().filter(|r| r.host != target_host).count();
         let source = replicas
             .iter()
-            .filter(|r| r.host != target_host)
-            .find_map(|r| rm.hosts.get(&r.host).copied());
+            .filter(|r| r.host != target_host && rm.breaker_would_admit(&r.host, now))
+            .find_map(|r| rm.hosts.get(&r.host).copied().map(|n| (r.host.clone(), n)));
         let size = rm.catalog.file_size(&collection, &file).unwrap_or(0);
-        (source, size)
+        (source, candidates, size)
     };
-    let Some(source_node) = source_node else {
+    let Some((source_host, source_node)) = source else {
+        if candidates > 0 {
+            // Replicas exist but every source is breaker-blocked: wait
+            // for a cooldown probe window instead of failing the file.
+            retry_or_fail(sim, state, cb, file, target_node, attempt);
+            return;
+        }
         let mut st = state.borrow_mut();
         st.failed.push(file);
         st.remaining -= 1;
@@ -173,6 +184,7 @@ fn copy_one<W: RmWorld>(
         }
         return;
     };
+    sim.world.reqman().breaker_admit(&source_host, now);
 
     let tuning = sim.world.reqman().tuning;
     let mut spec = TransferSpec::new(source_node, target_node, size)
@@ -184,11 +196,14 @@ fn copy_one<W: RmWorld>(
     let st2 = state.clone();
     let cb2 = cb.clone();
     let file2 = file.clone();
+    let source_host2 = source_host.clone();
     let started = start_transfer(sim, spec, move |s, result| match result {
         Ok(r) => {
             // Register the new replica in the catalog.
             {
+                let now = s.now();
                 let rm = s.world.reqman();
+                rm.breaker_success(&source_host2, now);
                 let _ = rm
                     .catalog
                     .add_file_to_location(&collection, &target_location, &file2);
@@ -210,10 +225,13 @@ fn copy_one<W: RmWorld>(
             }
         }
         Err(_) => {
+            let now = s.now();
+            s.world.reqman().breaker_failure(&source_host2, now);
             retry_or_fail(s, st2, cb2, file2, target_node, attempt);
         }
     });
     if started.is_err() {
+        sim.world.reqman().breaker_failure(&source_host, now);
         retry_or_fail(sim, state, cb, file, target_node, attempt);
     }
 

@@ -117,6 +117,10 @@ pub struct HostLedger {
     /// (soak tests assert this never exceeds the per-host cap).
     peak_attempts: usize,
     attempts: HashMap<String, usize>,
+    /// In-flight pulls per tenant, across all hosts — the quantity the
+    /// weighted fair-share admission check compares against a tenant's
+    /// share of the global budget.
+    tenant_counts: HashMap<String, usize>,
 }
 
 impl HostLedger {
@@ -130,6 +134,11 @@ impl HostLedger {
         self.total
     }
 
+    /// In-flight pulls owned by `tenant` right now.
+    pub fn tenant_load(&self, tenant: &str) -> usize {
+        self.tenant_counts.get(tenant).copied().unwrap_or(0)
+    }
+
     /// Highest simultaneous attempt count seen on any host.
     pub fn peak_attempts(&self) -> usize {
         self.peak_attempts
@@ -140,10 +149,12 @@ impl HostLedger {
         self.counts.clone()
     }
 
-    /// Record a pull starting from `host`. `is_attempt` distinguishes
-    /// cap-governed attempts from cap-exempt repairs.
-    pub fn acquire(&mut self, host: &str, is_attempt: bool) {
+    /// Record a pull starting from `host` on behalf of `tenant`.
+    /// `is_attempt` distinguishes cap-governed attempts from cap-exempt
+    /// repairs.
+    pub fn acquire(&mut self, host: &str, tenant: &str, is_attempt: bool) {
         *self.counts.entry(host.to_string()).or_default() += 1;
+        *self.tenant_counts.entry(tenant.to_string()).or_default() += 1;
         self.total += 1;
         if is_attempt {
             let a = self.attempts.entry(host.to_string()).or_default();
@@ -152,13 +163,22 @@ impl HostLedger {
         }
     }
 
-    /// Record a pull from `host` ending.
-    pub fn release(&mut self, host: &str, is_attempt: bool) {
+    /// Record a pull from `host` on behalf of `tenant` ending.
+    pub fn release(&mut self, host: &str, tenant: &str, is_attempt: bool) {
         if let Some(c) = self.counts.get_mut(host) {
             *c -= 1;
             self.total -= 1;
             if *c == 0 {
                 self.counts.remove(host);
+            }
+            // Tenant bookkeeping only moves when the host entry was real:
+            // a double release (cancel racing an attempt-end path) must
+            // leave both maps untouched, not drive the tenant negative.
+            if let Some(t) = self.tenant_counts.get_mut(tenant) {
+                *t -= 1;
+                if *t == 0 {
+                    self.tenant_counts.remove(tenant);
+                }
             }
         }
         if is_attempt {
@@ -172,6 +192,93 @@ impl HostLedger {
     }
 }
 
+/// The tenant a request belongs to when none is named: interactive
+/// traffic submitted through the plain [`submit_request`] path.
+///
+/// [`submit_request`]: crate::manager::submit_request
+pub const DEFAULT_TENANT: &str = "interactive";
+
+/// Multi-tenant weighted fair-share configuration.
+///
+/// Lives on the request manager (not inside the `Copy`
+/// [`SchedulerConfig`]) because it owns per-tenant maps. With
+/// `budget == 0` and no quotas the table is inert and the scheduler
+/// behaves exactly as before this layer existed.
+#[derive(Debug, Clone)]
+pub struct TenantTable {
+    /// Global concurrent-pull budget divided among *active* tenants
+    /// (those with live requests) in proportion to weight. `0` disables
+    /// weighted sharing entirely.
+    pub budget: usize,
+    /// Weight for tenants without an explicit entry.
+    pub default_weight: u32,
+    /// A tenant whose queued work has made no admission progress for
+    /// this long is starved: the next deferral emits
+    /// `rm.campaign.starved` (rate-limited to once per window).
+    /// `SimDuration::ZERO` disables detection.
+    pub starvation_after: SimDuration,
+    weights: HashMap<String, u32>,
+    quotas: HashMap<String, usize>,
+}
+
+impl Default for TenantTable {
+    fn default() -> Self {
+        TenantTable {
+            budget: 0,
+            default_weight: 1,
+            starvation_after: SimDuration::from_secs(120),
+            weights: HashMap::new(),
+            quotas: HashMap::new(),
+        }
+    }
+}
+
+impl TenantTable {
+    pub fn set_weight(&mut self, tenant: &str, weight: u32) {
+        self.weights.insert(tenant.to_string(), weight.max(1));
+    }
+
+    /// Hard per-tenant in-flight ceiling, applied on top of the weighted
+    /// share (`0` = none).
+    pub fn set_quota(&mut self, tenant: &str, quota: usize) {
+        self.quotas.insert(tenant.to_string(), quota);
+    }
+
+    pub fn weight(&self, tenant: &str) -> u32 {
+        self.weights
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_weight)
+            .max(1)
+    }
+
+    pub fn quota(&self, tenant: &str) -> usize {
+        self.quotas.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// The in-flight ceiling for `tenant` given the total weight of the
+    /// currently active tenants. Work-conserving: an active tenant always
+    /// gets at least one slot, and capacity left idle by inactive tenants
+    /// is redistributed (shares are computed over *active* weight only).
+    pub fn limit(&self, tenant: &str, active_weight: u64) -> usize {
+        let share = if self.budget == 0 {
+            0
+        } else {
+            let w = self.weight(tenant) as u64;
+            match ((self.budget as u64) * w).checked_div(active_weight) {
+                None => self.budget,
+                Some(s) => (s as usize).max(1),
+            }
+        };
+        match (share, self.quota(tenant)) {
+            (0, 0) => usize::MAX,
+            (0, q) => q,
+            (s, 0) => s,
+            (s, q) => s.min(q),
+        }
+    }
+}
+
 /// Scheduler observability counters.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SchedStats {
@@ -180,6 +287,9 @@ pub struct SchedStats {
     /// Selection rounds postponed because every candidate was at its
     /// host cap (capacity waits, not failures).
     pub deferred: u64,
+    /// Selection rounds postponed because the owning tenant was at its
+    /// weighted fair share (or hard quota) of the global budget.
+    pub tenant_deferred: u64,
     /// Cold tape files prestaged at submit time.
     pub prestaged: u64,
     /// Transfers launched with BDP-derived tuning (vs. defaults).
@@ -193,6 +303,7 @@ impl SchedStats {
     /// directly into its `MetricsRegistry`; this struct is a typed view.
     pub const ADMITTED: &'static str = "rm.sched.admitted";
     pub const DEFERRED: &'static str = "rm.sched.deferred";
+    pub const TENANT_DEFERRED: &'static str = "rm.sched.tenant_deferred";
     pub const PRESTAGED: &'static str = "rm.sched.prestaged";
     pub const TUNED: &'static str = "rm.sched.tuned";
     pub const PEAK_ACTIVE: &'static str = "rm.sched.peak_active_per_request";
@@ -202,6 +313,7 @@ impl SchedStats {
         SchedStats {
             admitted: reg.counter(Self::ADMITTED),
             deferred: reg.counter(Self::DEFERRED),
+            tenant_deferred: reg.counter(Self::TENANT_DEFERRED),
             prestaged: reg.counter(Self::PRESTAGED),
             tuned: reg.counter(Self::TUNED),
             peak_active_per_request: reg.gauge(Self::PEAK_ACTIVE) as usize,
@@ -318,26 +430,70 @@ mod tests {
     #[test]
     fn ledger_tracks_loads_and_peak() {
         let mut l = HostLedger::default();
-        l.acquire("a", true);
-        l.acquire("a", true);
-        l.acquire("b", false); // repair: counted, not peak-tracked
+        l.acquire("a", "t1", true);
+        l.acquire("a", "t1", true);
+        l.acquire("b", "t2", false); // repair: counted, not peak-tracked
         assert_eq!(l.load("a"), 2);
         assert_eq!(l.load("b"), 1);
         assert_eq!(l.total(), 3);
+        assert_eq!(l.tenant_load("t1"), 2);
+        assert_eq!(l.tenant_load("t2"), 1);
         assert_eq!(l.peak_attempts(), 2);
-        l.release("a", true);
-        l.release("a", true);
-        l.release("b", false);
+        l.release("a", "t1", true);
+        l.release("a", "t1", true);
+        l.release("b", "t2", false);
         assert_eq!(l.total(), 0);
         assert_eq!(l.load("a"), 0);
+        assert_eq!(l.tenant_load("t1"), 0);
         assert_eq!(l.peak_attempts(), 2, "peak is a high-water mark");
     }
 
     #[test]
     fn ledger_release_of_unknown_host_is_noop() {
         let mut l = HostLedger::default();
-        l.release("ghost", true);
+        l.release("ghost", "t1", true);
         assert_eq!(l.total(), 0);
+        assert_eq!(l.tenant_load("t1"), 0);
+    }
+
+    #[test]
+    fn ledger_double_release_leaves_tenant_counts_consistent() {
+        let mut l = HostLedger::default();
+        l.acquire("a", "t1", true);
+        l.release("a", "t1", true);
+        // A second release of the same pull (the cancel-vs-attempt-end
+        // race the manager's idempotent ledger_host guard prevents) must
+        // be a no-op at this layer too.
+        l.release("a", "t1", true);
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.load("a"), 0);
+        assert_eq!(l.tenant_load("t1"), 0);
+    }
+
+    #[test]
+    fn tenant_limits_follow_weights_and_quotas() {
+        let mut t = TenantTable::default();
+        // Inert by default: no budget, no quota.
+        assert_eq!(t.limit("any", 0), usize::MAX);
+        t.budget = 12;
+        t.set_weight("bulk", 1);
+        t.set_weight("fg", 4);
+        // Active weight 5 (interactive absent): bulk 12*1/5=2, fg 12*4/5=9.
+        assert_eq!(t.limit("bulk", 5), 2);
+        assert_eq!(t.limit("fg", 5), 9);
+        // Alone, an active tenant gets the full budget (work conserving).
+        assert_eq!(t.limit("bulk", 1), 12);
+        // A hard quota clips the share; a share clips a generous quota.
+        t.set_quota("bulk", 1);
+        assert_eq!(t.limit("bulk", 5), 1);
+        t.set_quota("fg", 100);
+        assert_eq!(t.limit("fg", 5), 9);
+        // Even a tiny weight yields at least one slot.
+        t.set_weight("spec", 1);
+        assert_eq!(t.limit("spec", 1000), 1);
+        // Quota alone (no budget) is a plain ceiling.
+        t.budget = 0;
+        assert_eq!(t.limit("bulk", 5), 1);
     }
 
     #[test]
