@@ -21,6 +21,7 @@ pub mod campaign;
 pub mod lifeline;
 pub mod mixed;
 pub mod pipeline;
+pub mod rm_scaling;
 pub mod soak;
 pub mod table1;
 pub mod user_scaling;
@@ -44,6 +45,7 @@ pub fn run_trial(ctx: &TrialCtx) -> Result<TrialRecord, String> {
         "soak_faults" => soak::run_faults(ctx),
         "soak_corruption" => soak::run_corruption(ctx),
         "campaign_soak" => campaign::run(ctx),
+        "rm_scaling" => rm_scaling::run(ctx),
         "table1" => table1::run(ctx),
         other => Err(format!("unknown scenario kind '{other}'")),
     }?;
@@ -60,6 +62,7 @@ pub fn assemble_artifact(spec: &ScenarioSpec, rows: &[TrialRecord]) -> Option<St
         "request_pipeline" => pipeline::assemble(spec, rows),
         "lifeline" => lifeline::assemble(rows),
         "campaign_soak" => campaign::assemble(spec, rows),
+        "rm_scaling" => rm_scaling::assemble(spec, rows),
         _ => None,
     }
 }
@@ -70,6 +73,7 @@ pub fn baseline_metrics(spec: &ScenarioSpec, artifact: &Json) -> Result<Baseline
     match spec.kind.as_str() {
         "user_scaling" => user_scaling::baseline(spec, artifact),
         "request_pipeline" => pipeline::baseline(artifact),
+        "rm_scaling" => rm_scaling::baseline(spec, artifact),
         other => Err(format!("kind '{other}' has no baseline extractor")),
     }
 }

@@ -604,6 +604,11 @@ const BUILTINS: &[(&str, &str)] = &[
         "campaign_soak_smoke",
         include_str!("../scenarios/campaign_soak_smoke.json"),
     ),
+    ("rm_scaling", include_str!("../scenarios/rm_scaling.json")),
+    (
+        "rm_scaling_smoke",
+        include_str!("../scenarios/rm_scaling_smoke.json"),
+    ),
     ("table1", include_str!("../scenarios/table1.json")),
 ];
 

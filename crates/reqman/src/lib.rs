@@ -32,7 +32,7 @@ pub use campaign::{cancel_campaign, start_campaign, CampaignOutcome, CampaignSpe
 pub use integrity::{verify_blocks, IntegrityManager, SegRecord, SegmentView, VerifyReport};
 pub use manager::{
     cancel_request, submit_request, submit_request_for_tenant, FileStatus, HasReqMan,
-    RequestManager, RequestOutcome, RmWorld, TransferTuning,
+    RequestManager, RequestOutcome, RmWorld, TransferTuning, LEDGER_SCAN_LEN, QUEUE_RESCANS,
 };
 pub use monitor::{render_monitor, render_monitor_metered};
 pub use planner::plan_spread;

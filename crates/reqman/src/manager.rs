@@ -44,8 +44,17 @@ use esg_storage::{blocks_overlapping, Hrm, StageOutcome, BLOCK_SIZE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
+
+/// Counter: full linear passes over a request's file vector (or the tenant
+/// table) on the legacy hot path. The indexed path (`scheduler.indexed`)
+/// never rescans, so the differential tests pin this to zero there.
+pub const QUEUE_RESCANS: &str = "rm.sched.queue_rescans";
+/// Counter: elements visited by those legacy scans (files per monitor/
+/// marker/outcome pass, tenants per active-weight recompute). O(1)-bounded
+/// per event on the indexed path — it stays zero.
+pub const LEDGER_SCAN_LEN: &str = "rm.ledger.scan_len";
 
 /// World bound shared by all request-manager operations.
 pub trait RmWorld: HasGridFtp + HasNws + HasReqMan + 'static {}
@@ -173,6 +182,38 @@ struct RequestState {
     active: usize,
     /// A per-request monitor tick is scheduled.
     monitor_active: bool,
+    /// Indices with a live transfer handle (`current.is_some()` and not
+    /// settled) — the monitor tick's working set on the indexed path.
+    /// A `BTreeSet` so iteration is in ascending index order, i.e. the
+    /// exact order the legacy full scan visits files.
+    live: BTreeSet<usize>,
+    /// Indices with banked-but-unfinished bytes
+    /// (`bytes_done > 0 && !done`) — the campaign marker tick's working
+    /// set on the indexed path. Failed files with banked bytes stay in,
+    /// matching the legacy marker filter bit for bit.
+    progress: BTreeSet<usize>,
+    /// Sum of catalog sizes, fixed at submit — the outcome's
+    /// `total_bytes` without an O(files) re-sum at completion.
+    total_size: u64,
+}
+
+impl RequestState {
+    /// Re-derive file `idx`'s membership in the incremental index sets
+    /// from its current status. Called after every mutation of
+    /// `current` / `bytes_done` / `done` / `failed`; O(log files).
+    fn sync_file(&mut self, idx: usize) {
+        let fw = &self.files[idx];
+        if fw.current.is_some() && !fw.status.done && !fw.status.failed {
+            self.live.insert(idx);
+        } else {
+            self.live.remove(&idx);
+        }
+        if fw.status.bytes_done > 0 && !fw.status.done {
+            self.progress.insert(idx);
+        } else {
+            self.progress.remove(&idx);
+        }
+    }
 }
 
 type SharedRequest = Rc<RefCell<RequestState>>;
@@ -237,6 +278,15 @@ pub struct RequestManager {
     tenant_progress: HashMap<String, SimTime>,
     /// Last `rm.campaign.starved` emission per tenant (rate limiting).
     tenant_starved_at: HashMap<String, SimTime>,
+    /// Bumped whenever the *active tenant set* changes (a tenant's first
+    /// live request arrives or its last one retires) — one half of the
+    /// active-weight cache key.
+    tenant_epoch: u64,
+    /// Cached active-weight sum for the fair-share limit:
+    /// `((tenant_epoch, table_epoch, default_weight), weight)`. Valid
+    /// while neither the active tenant set nor the tenant table changed,
+    /// so the indexed admission path skips the per-event tenant scan.
+    active_weight_cache: Option<((u64, u64, u32), u64)>,
     /// Live campaign state, keyed by campaign id (see `campaign.rs`).
     pub(crate) campaigns: HashMap<u64, crate::campaign::SharedCampaign>,
     pub(crate) campaign_seq: u64,
@@ -280,6 +330,8 @@ impl RequestManager {
             tenant_live: HashMap::new(),
             tenant_progress: HashMap::new(),
             tenant_starved_at: HashMap::new(),
+            tenant_epoch: 0,
+            active_weight_cache: None,
             campaigns: HashMap::new(),
             campaign_seq: 0,
             next_id: 0,
@@ -354,21 +406,74 @@ impl RequestManager {
                 self.tenant_live.remove(tenant);
                 self.tenant_progress.remove(tenant);
                 self.tenant_starved_at.remove(tenant);
+                self.tenant_epoch += 1;
             }
         }
+    }
+
+    /// Sum of active tenants' weights — the denominator of the fair-share
+    /// split. O(active tenants).
+    fn active_weight_scan(&self) -> u64 {
+        self.tenant_live
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(t, _)| self.tenants.weight(t) as u64)
+            .sum()
     }
 
     /// The in-flight ceiling for `tenant` right now: its weighted share
     /// of the budget over the *active* tenant set, clipped by any hard
     /// quota. `usize::MAX` when fair sharing is disabled.
     pub fn tenant_limit(&self, tenant: &str) -> usize {
-        let active_weight: u64 = self
-            .tenant_live
-            .iter()
-            .filter(|(_, n)| **n > 0)
-            .map(|(t, _)| self.tenants.weight(t) as u64)
-            .sum();
+        self.tenants.limit(tenant, self.active_weight_scan())
+    }
+
+    /// [`tenant_limit`](Self::tenant_limit) on the admission hot path:
+    /// the indexed pipeline serves the active-weight sum from a cache
+    /// invalidated by tenant-set / table epochs (recomputed only when a
+    /// tenant activates/retires or a weight changes); the legacy path
+    /// rescans every call and says so in the scaling counters.
+    fn tenant_limit_metered(&mut self, tenant: &str) -> usize {
+        let active_weight = if self.scheduler.indexed {
+            let key = (
+                self.tenant_epoch,
+                self.tenants.epoch(),
+                self.tenants.default_weight,
+            );
+            match self.active_weight_cache {
+                Some((k, w)) if k == key => w,
+                _ => {
+                    let w = self.active_weight_scan();
+                    self.active_weight_cache = Some((key, w));
+                    w
+                }
+            }
+        } else {
+            self.metrics.counter_add(QUEUE_RESCANS, 1);
+            self.metrics
+                .counter_add(LEDGER_SCAN_LEN, self.tenant_live.len() as u64);
+            self.active_weight_scan()
+        };
         self.tenants.limit(tenant, active_weight)
+    }
+
+    /// Banked-progress snapshot for the campaign marker tick, served from
+    /// the request's incremental `progress` index: only files with
+    /// unfinished banked bytes are visited (and nothing is cloned but
+    /// their names), in the same ascending order the legacy full scan
+    /// produces. `None` when the request already finished.
+    pub fn marker_progress(&self, request: u64) -> Option<Vec<(String, u64)>> {
+        let state = self.requests.get(&request)?;
+        let st = state.borrow();
+        Some(
+            st.progress
+                .iter()
+                .map(|&i| {
+                    let fw = &st.files[i];
+                    (fw.status.name.clone(), fw.status.bytes_done)
+                })
+                .collect(),
+        )
     }
 
     fn breaker_entry(&mut self, host: &str) -> &mut CircuitBreaker {
@@ -592,8 +697,10 @@ pub fn submit_request_for_tenant<W: RmWorld>(
     *live += 1;
     if *live == 1 {
         // Fresh activation: starvation is measured from this submit until
-        // the tenant first acquires a ledger slot.
+        // the tenant first acquires a ledger slot. The active tenant set
+        // changed, so the fair-share weight cache must recompute.
         rm.tenant_progress.insert(tenant.to_string(), now);
+        rm.tenant_epoch += 1;
     }
 
     let mut work = Vec::new();
@@ -630,6 +737,7 @@ pub fn submit_request_for_tenant<W: RmWorld>(
         });
     }
     let remaining = work.len();
+    let total_size = work.iter().map(|f| f.status.size).sum();
     let state: SharedRequest = Rc::new(RefCell::new(RequestState {
         id,
         client,
@@ -640,6 +748,9 @@ pub fn submit_request_for_tenant<W: RmWorld>(
         queue: VecDeque::new(),
         active: 0,
         monitor_active: false,
+        live: BTreeSet::new(),
+        progress: BTreeSet::new(),
+        total_size,
     }));
     sim.world.reqman().requests.insert(id, state.clone());
     let now = sim.now();
@@ -874,16 +985,30 @@ fn note_tenant_starvation<W: RmWorld>(sim: &mut Sim<W>, tenant: &str, now: SimTi
 type DoneCell<W> = Rc<RefCell<Option<Box<dyn FnOnce(&mut Sim<W>, RequestOutcome)>>>>;
 
 fn finish_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>) {
+    let indexed = sim.world.reqman().scheduler.indexed;
     let outcome = {
         let st = state.borrow();
+        // The file snapshot is cloned exactly once, here at completion;
+        // the byte total was fixed at submit on the indexed path, while
+        // the legacy path re-sums (and is charged for the scan below).
         RequestOutcome {
             id: st.id,
             started: st.started,
             finished: sim.now(),
             files: st.files.iter().map(|f| f.status.clone()).collect(),
-            total_bytes: st.files.iter().map(|f| f.status.size).sum(),
+            total_bytes: if indexed {
+                st.total_size
+            } else {
+                st.files.iter().map(|f| f.status.size).sum()
+            },
         }
     };
+    if !indexed {
+        let n = state.borrow().files.len() as u64;
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add(QUEUE_RESCANS, 1);
+        rm.metrics.counter_add(LEDGER_SCAN_LEN, n);
+    }
     let id = outcome.id;
     let tenant = state.borrow().tenant.clone();
     let now = sim.now();
@@ -950,6 +1075,7 @@ pub fn cancel_request<W: RmWorld>(sim: &mut Sim<W>, id: u64) -> bool {
                 fw.admitted = false;
                 st.active -= 1;
             }
+            st.sync_file(idx);
         }
         close_file_span(sim, &state, idx, "cancelled");
     }
@@ -991,6 +1117,7 @@ fn complete_file<W: RmWorld>(
             st.active -= 1;
         }
         st.remaining -= 1;
+        st.sync_file(idx);
         (st.remaining == 0, was_admitted)
     };
     ledger_release(sim, state, idx);
@@ -1026,6 +1153,7 @@ fn fail_file<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<
             st.active -= 1;
         }
         st.remaining -= 1;
+        st.sync_file(idx);
         (st.remaining == 0, name, attempts, was_admitted)
     };
     ledger_release(sim, state, idx);
@@ -1256,7 +1384,7 @@ fn start_file_worker<W: RmWorld>(
     let (tenant_blocked, delay) = {
         let rm = sim.world.reqman();
         if rm.scheduler.enabled {
-            let limit = rm.tenant_limit(&tenant);
+            let limit = rm.tenant_limit_metered(&tenant);
             (
                 rm.inflight().tenant_load(&tenant) >= limit,
                 rm.scheduler.defer_retry,
@@ -1466,6 +1594,7 @@ fn start_file_worker<W: RmWorld>(
                         let delta = fw.status.size.saturating_sub(base);
                         fw.status.bytes_done = fw.status.size;
                         fw.current = None;
+                        st.sync_file(idx);
                         delta
                     };
                     // Close the Transfer span crediting this attempt's
@@ -1509,6 +1638,7 @@ fn start_file_worker<W: RmWorld>(
                     fw.current_seq = seq;
                     fw.current_src = Some(src_node);
                     fw.repairing = false;
+                    st.sync_file(idx);
                 }
                 enter_phase(s, &st2, idx, Phase::Transfer, vec![]);
                 // Make sure the request's monitor tick is running.
@@ -1561,14 +1691,31 @@ fn monitor_tick<W: RmWorld>(sim: &mut Sim<W>, state: SharedRequest, cb: DoneCell
         .reqman()
         .metrics
         .counter_add("rm.monitor.ticks", 1);
+    let indexed = sim.world.reqman().scheduler.indexed;
+    if !indexed {
+        let n = state.borrow().files.len() as u64;
+        let rm = sim.world.reqman();
+        rm.metrics.counter_add(QUEUE_RESCANS, 1);
+        rm.metrics.counter_add(LEDGER_SCAN_LEN, n);
+    }
     let live: Vec<(usize, TransferHandle)> = {
         let st = state.borrow();
-        st.files
-            .iter()
-            .enumerate()
-            .filter(|(_, fw)| !fw.status.done && !fw.status.failed)
-            .filter_map(|(i, fw)| fw.current.map(|h| (i, h)))
-            .collect()
+        if indexed {
+            // The incremental `live` index holds exactly the unsettled
+            // files with a transfer handle, in ascending index order —
+            // the same sequence the legacy full scan yields.
+            st.live
+                .iter()
+                .filter_map(|&i| st.files[i].current.map(|h| (i, h)))
+                .collect()
+        } else {
+            st.files
+                .iter()
+                .enumerate()
+                .filter(|(_, fw)| !fw.status.done && !fw.status.failed)
+                .filter_map(|(i, fw)| fw.current.map(|h| (i, h)))
+                .collect()
+        }
     };
     if live.is_empty() {
         // Nothing in flight: retire. The next transfer start re-arms us.
@@ -1614,6 +1761,7 @@ fn poll_file<W: RmWorld>(
         let fw = &mut st.files[idx];
         let live = (fw.attempt_base + bytes).min(fw.status.size);
         fw.status.bytes_done = fw.status.bytes_done.max(live);
+        st.sync_file(idx);
     }
     let (min_rate, grace, attempt_timeout) = {
         let rm = sim.world.reqman();
@@ -1657,6 +1805,7 @@ fn poll_file<W: RmWorld>(
             fw.repairing = false;
             let host = fw.status.replica_host.clone().unwrap_or_default();
             fw.excluded_hosts.push(host.clone());
+            st.sync_file(idx);
             (host, delta)
         };
         ledger_release(sim, state, idx);
@@ -1819,6 +1968,7 @@ fn verify_and_finish<W: RmWorld>(
             fw.repairing = false;
             fw.current = None;
             fw.excluded_hosts = blamed.clone();
+            st.sync_file(idx);
         }
         {
             let rm = sim.world.reqman();
@@ -1946,6 +2096,7 @@ fn launch_repair<W: RmWorld>(
                 }
                 fw.repairing = false;
                 fw.current = None;
+                st.sync_file(idx);
             }
             enter_phase(s2, &st2, idx, Phase::Verify, vec![("bytes", bytes.into())]);
             verify_and_finish(s2, &st2, &cb2, idx);
@@ -1962,6 +2113,7 @@ fn launch_repair<W: RmWorld>(
                 let fw = &mut st.files[idx];
                 fw.repairing = false;
                 fw.current = None;
+                st.sync_file(idx);
             }
             if matches!(e, TransferError::NoRoute { .. }) {
                 s2.world.reqman().breaker_failure(&host, done);
@@ -1984,6 +2136,7 @@ fn launch_repair<W: RmWorld>(
                 fw.attempt_base = fw.status.size;
                 fw.current_seq = seq;
                 fw.current_src = Some(src_node);
+                st.sync_file(idx);
             }
             ensure_monitor(sim, state, cb);
         }
@@ -1994,6 +2147,7 @@ fn launch_repair<W: RmWorld>(
                 let fw = &mut st.files[idx];
                 fw.repairing = false;
                 fw.current = None;
+                st.sync_file(idx);
             }
             let h = replica.host.clone();
             if matches!(e, TransferError::NoRoute { .. }) {
@@ -2184,6 +2338,46 @@ mod tests {
         let mut reg = esg_netlogger::MetricsRegistry::new();
         g.export_metrics(&mut reg);
         assert_eq!(reg.counter("gridftp.cache_hits"), g.cache_hits);
+    }
+
+    #[test]
+    fn indexed_pipeline_is_trace_identical_and_scan_free() {
+        // The ablation contract behind `SchedulerConfig::indexed`: both
+        // arms must emit bit-identical traces and outcomes, and only the
+        // legacy arm may pay (and report) O(N) rescans.
+        let run = |indexed: bool| {
+            let (mut sim, client) = setup(Policy::BestBandwidth);
+            sim.world.rm.scheduler.indexed = indexed;
+            {
+                let rm = &mut sim.world.rm;
+                for i in 0..8 {
+                    let f = format!("wave{i}.esg");
+                    rm.catalog.add_logical_file("co2", &f, 10_000_000).unwrap();
+                    rm.catalog.add_file_to_location("co2", "llnl", &f).unwrap();
+                }
+            }
+            let files: Vec<(String, String)> = (0..8)
+                .map(|i| ("co2".to_string(), format!("wave{i}.esg")))
+                .collect();
+            submit_request(&mut sim, client, files, |s, o| s.world.outcomes.push(o));
+            sim.run();
+            assert_eq!(sim.world.outcomes.len(), 1);
+            let rm = &sim.world.rm;
+            (
+                rm.log.to_ulm(),
+                rm.metrics.counter(QUEUE_RESCANS),
+                rm.metrics.counter(LEDGER_SCAN_LEN),
+                sim.world.outcomes[0].clone(),
+            )
+        };
+        let (ulm_i, rescans_i, scan_i, out_i) = run(true);
+        let (ulm_l, rescans_l, scan_l, out_l) = run(false);
+        assert_eq!(ulm_i, ulm_l, "indexed trace diverged from legacy");
+        assert_eq!(out_i, out_l, "indexed outcome diverged from legacy");
+        assert_eq!(rescans_i, 0, "indexed path must not rescan");
+        assert_eq!(scan_i, 0, "indexed path must not scan elements");
+        assert!(rescans_l > 0, "legacy path must report its rescans");
+        assert!(scan_l >= rescans_l, "legacy scans visit >= 1 element each");
     }
 
     #[test]

@@ -15,6 +15,14 @@ use std::fmt::Write;
 
 const BAR_WIDTH: usize = 40;
 
+/// Above this many files the per-file panes collapse into the summarized
+/// view: counts by status plus the worst stragglers. A 10k-file campaign
+/// round renders in O(stragglers + tail), not O(files) lines of bars.
+pub const SUMMARY_THRESHOLD: usize = 64;
+
+/// How many of the least-complete unsettled files the summary shows.
+const STRAGGLERS: usize = 8;
+
 fn human_bytes(b: u64) -> String {
     const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
     let mut x = b as f64;
@@ -47,8 +55,61 @@ pub fn render_monitor_metered(
     render_monitor(now, files, log)
 }
 
-/// Render the three-pane monitor for a request's files.
+/// One per-file progress bar line, shared by the detailed top pane and
+/// the summary's straggler pane.
+fn bar_line(out: &mut String, f: &FileStatus) {
+    let frac = f.fraction().clamp(0.0, 1.0);
+    let filled = (frac * BAR_WIDTH as f64).round() as usize;
+    let bar: String = "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled);
+    let state = if f.done {
+        "done".to_string()
+    } else if f.failed {
+        "FAILED".to_string()
+    } else if let Some(t) = f.staging_until {
+        format!("staging (tape, ready {t})")
+    } else {
+        format!("{:3.0}%", frac * 100.0)
+    };
+    writeln!(
+        out,
+        "  {:<28} [{bar}] {:>9} / {:<9} {state}",
+        f.name,
+        human_bytes(f.bytes_done),
+        human_bytes(f.size),
+    )
+    .unwrap();
+}
+
+fn message_pane(out: &mut String, log: &NetLog) {
+    // Recent event messages. `tail` slices the log's end in O(1);
+    // collecting the whole log made every render O(events so far), which
+    // turned a long soak's periodic monitor into a quadratic scan.
+    writeln!(out, "\n--- messages ---").unwrap();
+    for e in log.tail(8) {
+        writeln!(out, "  [{:9.3}s] {}", e.time.as_secs_f64(), e.to_ulm()).unwrap();
+    }
+}
+
+fn total_line(out: &mut String, files: &[FileStatus]) {
+    let total_done: u64 = files.iter().map(|f| f.bytes_done).sum();
+    let total: u64 = files.iter().map(|f| f.size).sum();
+    writeln!(
+        out,
+        "\n  total transferred: {} of {}",
+        human_bytes(total_done),
+        human_bytes(total)
+    )
+    .unwrap();
+}
+
+/// Render the three-pane monitor for a request's files. Above
+/// [`SUMMARY_THRESHOLD`] files the per-file panes give way to the
+/// summarized view — counts by status plus the worst stragglers — so the
+/// string (and the screen) stays bounded at campaign scale.
 pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> String {
+    if files.len() > SUMMARY_THRESHOLD {
+        return render_summary(now, files, log);
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -59,36 +120,9 @@ pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> Strin
 
     // Top pane: per-file progress bars.
     for f in files {
-        let frac = f.fraction().clamp(0.0, 1.0);
-        let filled = (frac * BAR_WIDTH as f64).round() as usize;
-        let bar: String = "#".repeat(filled) + &"-".repeat(BAR_WIDTH - filled);
-        let state = if f.done {
-            "done".to_string()
-        } else if f.failed {
-            "FAILED".to_string()
-        } else if let Some(t) = f.staging_until {
-            format!("staging (tape, ready {t})")
-        } else {
-            format!("{:3.0}%", frac * 100.0)
-        };
-        writeln!(
-            out,
-            "  {:<28} [{bar}] {:>9} / {:<9} {state}",
-            f.name,
-            human_bytes(f.bytes_done),
-            human_bytes(f.size),
-        )
-        .unwrap();
+        bar_line(&mut out, f);
     }
-    let total_done: u64 = files.iter().map(|f| f.bytes_done).sum();
-    let total: u64 = files.iter().map(|f| f.size).sum();
-    writeln!(
-        out,
-        "\n  total transferred: {} of {}",
-        human_bytes(total_done),
-        human_bytes(total)
-    )
-    .unwrap();
+    total_line(&mut out, files);
 
     // Middle pane: selected replica locations.
     writeln!(out, "\n--- replica selections ---").unwrap();
@@ -109,13 +143,59 @@ pub fn render_monitor(now: SimTime, files: &[FileStatus], log: &NetLog) -> Strin
         }
     }
 
-    // Bottom pane: recent event messages. `tail` slices the log's end in
-    // O(1); collecting the whole log made every render O(events so far),
-    // which turned a long soak's periodic monitor into a quadratic scan.
-    writeln!(out, "\n--- messages ---").unwrap();
-    for e in log.tail(8) {
-        writeln!(out, "  [{:9.3}s] {}", e.time.as_secs_f64(), e.to_ulm()).unwrap();
+    message_pane(&mut out, log);
+    out
+}
+
+/// The large-request monitor: one counts-by-status line, the running byte
+/// total, and progress bars for only the least-complete unsettled files.
+fn render_summary(now: SimTime, files: &[FileStatus], log: &NetLog) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== ESG Request Manager — transfer monitor (t={now}) ==="
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+
+    let (mut done, mut failed, mut staging, mut transferring, mut pending) = (0, 0, 0, 0, 0);
+    for f in files {
+        if f.done {
+            done += 1;
+        } else if f.failed {
+            failed += 1;
+        } else if f.staging_until.is_some() {
+            staging += 1;
+        } else if f.bytes_done > 0 {
+            transferring += 1;
+        } else {
+            pending += 1;
+        }
     }
+    writeln!(
+        out,
+        "  {} files: {done} done, {failed} failed, {staging} staging, \
+         {transferring} transferring, {pending} pending",
+        files.len(),
+    )
+    .unwrap();
+    total_line(&mut out, files);
+
+    // The stragglers pane: the unsettled files closest to zero progress,
+    // ties broken by name so the rendering is deterministic.
+    let mut unsettled: Vec<&FileStatus> = files.iter().filter(|f| !f.done && !f.failed).collect();
+    unsettled.sort_by(|a, b| {
+        a.fraction()
+            .partial_cmp(&b.fraction())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    writeln!(out, "\n--- worst stragglers ---").unwrap();
+    for f in unsettled.into_iter().take(STRAGGLERS) {
+        bar_line(&mut out, f);
+    }
+
+    message_pane(&mut out, log);
     out
 }
 
@@ -258,6 +338,70 @@ mod tests {
         assert!(text.contains("[    1.500s]"));
         assert!(text.contains("EVNT=rm.request.submit"));
         assert!(text.contains("files=1"));
+    }
+
+    #[test]
+    fn summary_kicks_in_above_threshold() {
+        let files: Vec<FileStatus> = (0..SUMMARY_THRESHOLD + 1)
+            .map(|i| file(&format!("f{i:04}.esg"), (i as u64) * 10, 1000))
+            .collect();
+        let text = render_monitor(SimTime::ZERO, &files, &NetLog::new());
+        assert!(text.contains("worst stragglers"));
+        assert!(text.contains(&format!("{} files:", SUMMARY_THRESHOLD + 1)));
+        // Mid-pack files are not itemized, and the per-file middle pane
+        // is gone entirely.
+        assert!(!text.contains("f0040.esg"));
+        assert!(!text.contains("replica selections"));
+        assert!(text.contains("--- messages ---"));
+    }
+
+    #[test]
+    fn detailed_view_below_threshold_keeps_every_file() {
+        let files: Vec<FileStatus> = (0..SUMMARY_THRESHOLD)
+            .map(|i| file(&format!("f{i:04}.esg"), 10, 1000))
+            .collect();
+        let text = render_monitor(SimTime::ZERO, &files, &NetLog::new());
+        assert!(!text.contains("worst stragglers"));
+        assert!(text.contains("replica selections"));
+        for i in 0..SUMMARY_THRESHOLD {
+            assert!(text.contains(&format!("f{i:04}.esg")));
+        }
+    }
+
+    #[test]
+    fn summary_stragglers_are_least_complete() {
+        let mut files: Vec<FileStatus> = (0..100)
+            .map(|i| file(&format!("fast{i:03}.esg"), 900, 1000))
+            .collect();
+        files.push(file("slowest.esg", 1, 1000));
+        let text = render_monitor(SimTime::ZERO, &files, &NetLog::new());
+        let pane = text.split("worst stragglers").nth(1).unwrap();
+        let first = pane.lines().find(|l| l.contains(".esg")).unwrap();
+        assert!(first.contains("slowest.esg"), "slowest file must lead");
+        // Only STRAGGLERS bar lines, not one per file.
+        assert_eq!(pane.lines().filter(|l| l.contains(".esg")).count(), 8);
+    }
+
+    #[test]
+    fn summary_counts_by_status() {
+        let mut files = Vec::new();
+        for i in 0..70 {
+            files.push(file(&format!("d{i}.esg"), 1000, 1000));
+        }
+        let mut f = file("bad.esg", 10, 1000);
+        f.failed = true;
+        files.push(f);
+        let mut s = file("tape.esg", 0, 1000);
+        s.staging_until = Some(SimTime::from_secs(60));
+        files.push(s);
+        files.push(file("moving.esg", 500, 1000));
+        files.push(file("waiting.esg", 0, 1000));
+        let text = render_monitor(SimTime::ZERO, &files, &NetLog::new());
+        assert!(
+            text.contains("74 files: 70 done, 1 failed, 1 staging, 1 transferring, 1 pending"),
+            "{text}"
+        );
+        assert!(text.contains("total transferred:"));
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub struct SchedulerConfig {
     /// transfer at the previously observed rate (a self-fulfilling
     /// underestimate), so the window gets headroom to discover more.
     pub bdp_headroom: f64,
+    /// Use the indexed hot path: incremental per-request live/progress
+    /// sets, cached tenant active-weight, and a persistent campaign
+    /// journal writer, so per-event cost stays O(1) at 10k files per
+    /// round. `false` keeps the legacy O(N)-rescan paths (the
+    /// `rm_scaling` ablation baseline); both paths must produce bitwise
+    /// identical traces, deliveries, and manifests — the legacy arm
+    /// additionally counts `rm.sched.queue_rescans` / `rm.ledger.scan_len`
+    /// so the differential tests can prove the indexed arm stopped
+    /// scanning.
+    pub indexed: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -97,6 +107,7 @@ impl Default for SchedulerConfig {
             window_max: (4u64 << 20) as f64,
             max_streams: 8,
             bdp_headroom: 2.0,
+            indexed: true,
         }
     }
 }
@@ -111,22 +122,56 @@ impl Default for SchedulerConfig {
 /// because only attempts are subject to the cap.
 #[derive(Debug, Default)]
 pub struct HostLedger {
-    counts: HashMap<String, usize>,
+    /// Interning table: host name → dense id. Hosts are never un-interned
+    /// (the testbed has a handful), so every count lives in a flat vector
+    /// and acquire/release after first sight allocate nothing.
+    host_ids: HashMap<String, usize>,
+    hosts: Vec<String>,
+    counts: Vec<usize>,
+    attempts: Vec<usize>,
     total: usize,
     /// Highest simultaneous *attempt* count observed on any single host
     /// (soak tests assert this never exceeds the per-host cap).
     peak_attempts: usize,
-    attempts: HashMap<String, usize>,
     /// In-flight pulls per tenant, across all hosts — the quantity the
     /// weighted fair-share admission check compares against a tenant's
-    /// share of the global budget.
-    tenant_counts: HashMap<String, usize>,
+    /// share of the global budget. Interned like hosts.
+    tenant_ids: HashMap<String, usize>,
+    tenants: Vec<String>,
+    tenant_counts: Vec<usize>,
 }
 
 impl HostLedger {
+    fn host_id(&mut self, host: &str) -> usize {
+        match self.host_ids.get(host) {
+            Some(&id) => id,
+            None => {
+                let id = self.hosts.len();
+                self.hosts.push(host.to_string());
+                self.host_ids.insert(host.to_string(), id);
+                self.counts.push(0);
+                self.attempts.push(0);
+                id
+            }
+        }
+    }
+
+    fn tenant_id(&mut self, tenant: &str) -> usize {
+        match self.tenant_ids.get(tenant) {
+            Some(&id) => id,
+            None => {
+                let id = self.tenants.len();
+                self.tenants.push(tenant.to_string());
+                self.tenant_ids.insert(tenant.to_string(), id);
+                self.tenant_counts.push(0);
+                id
+            }
+        }
+    }
+
     /// In-flight pulls from `host` right now.
     pub fn load(&self, host: &str) -> usize {
-        self.counts.get(host).copied().unwrap_or(0)
+        self.host_ids.get(host).map_or(0, |&id| self.counts[id])
     }
 
     /// Total in-flight pulls across all hosts.
@@ -136,7 +181,9 @@ impl HostLedger {
 
     /// In-flight pulls owned by `tenant` right now.
     pub fn tenant_load(&self, tenant: &str) -> usize {
-        self.tenant_counts.get(tenant).copied().unwrap_or(0)
+        self.tenant_ids
+            .get(tenant)
+            .map_or(0, |&id| self.tenant_counts[id])
     }
 
     /// Highest simultaneous attempt count seen on any host.
@@ -146,47 +193,48 @@ impl HostLedger {
 
     /// Snapshot of per-host loads for the spread planner.
     pub fn snapshot(&self) -> HashMap<String, usize> {
-        self.counts.clone()
+        self.hosts
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(h, &c)| (h.clone(), c))
+            .collect()
     }
 
     /// Record a pull starting from `host` on behalf of `tenant`.
     /// `is_attempt` distinguishes cap-governed attempts from cap-exempt
     /// repairs.
     pub fn acquire(&mut self, host: &str, tenant: &str, is_attempt: bool) {
-        *self.counts.entry(host.to_string()).or_default() += 1;
-        *self.tenant_counts.entry(tenant.to_string()).or_default() += 1;
+        let hid = self.host_id(host);
+        let tid = self.tenant_id(tenant);
+        self.counts[hid] += 1;
+        self.tenant_counts[tid] += 1;
         self.total += 1;
         if is_attempt {
-            let a = self.attempts.entry(host.to_string()).or_default();
-            *a += 1;
-            self.peak_attempts = self.peak_attempts.max(*a);
+            self.attempts[hid] += 1;
+            self.peak_attempts = self.peak_attempts.max(self.attempts[hid]);
         }
     }
 
     /// Record a pull from `host` on behalf of `tenant` ending.
     pub fn release(&mut self, host: &str, tenant: &str, is_attempt: bool) {
-        if let Some(c) = self.counts.get_mut(host) {
-            *c -= 1;
-            self.total -= 1;
-            if *c == 0 {
-                self.counts.remove(host);
-            }
-            // Tenant bookkeeping only moves when the host entry was real:
-            // a double release (cancel racing an attempt-end path) must
-            // leave both maps untouched, not drive the tenant negative.
-            if let Some(t) = self.tenant_counts.get_mut(tenant) {
-                *t -= 1;
-                if *t == 0 {
-                    self.tenant_counts.remove(tenant);
+        let hid = self.host_ids.get(host).copied();
+        if let Some(hid) = hid {
+            if self.counts[hid] > 0 {
+                self.counts[hid] -= 1;
+                self.total -= 1;
+                // Tenant bookkeeping only moves when the host count was
+                // real: a double release (cancel racing an attempt-end
+                // path) must leave both untouched, not drive the tenant
+                // negative.
+                if let Some(&tid) = self.tenant_ids.get(tenant) {
+                    if self.tenant_counts[tid] > 0 {
+                        self.tenant_counts[tid] -= 1;
+                    }
                 }
             }
-        }
-        if is_attempt {
-            if let Some(a) = self.attempts.get_mut(host) {
-                *a = a.saturating_sub(1);
-                if *a == 0 {
-                    self.attempts.remove(host);
-                }
+            if is_attempt && self.attempts[hid] > 0 {
+                self.attempts[hid] -= 1;
             }
         }
     }
@@ -219,6 +267,9 @@ pub struct TenantTable {
     pub starvation_after: SimDuration,
     weights: HashMap<String, u32>,
     quotas: HashMap<String, usize>,
+    /// Bumped on every weight/quota edit so the manager's cached
+    /// active-weight sum (indexed path) knows when to recompute.
+    epoch: u64,
 }
 
 impl Default for TenantTable {
@@ -229,6 +280,7 @@ impl Default for TenantTable {
             starvation_after: SimDuration::from_secs(120),
             weights: HashMap::new(),
             quotas: HashMap::new(),
+            epoch: 0,
         }
     }
 }
@@ -236,12 +288,20 @@ impl Default for TenantTable {
 impl TenantTable {
     pub fn set_weight(&mut self, tenant: &str, weight: u32) {
         self.weights.insert(tenant.to_string(), weight.max(1));
+        self.epoch += 1;
     }
 
     /// Hard per-tenant in-flight ceiling, applied on top of the weighted
     /// share (`0` = none).
     pub fn set_quota(&mut self, tenant: &str, quota: usize) {
         self.quotas.insert(tenant.to_string(), quota);
+        self.epoch += 1;
+    }
+
+    /// Configuration generation: changes whenever a weight or quota is
+    /// edited. Cache keys derived from this table must include it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     pub fn weight(&self, tenant: &str) -> u32 {

@@ -1,0 +1,178 @@
+//! Differential property tests for the indexed request-manager hot path
+//! (`SchedulerConfig::indexed`): across random round sizes, file sizes,
+//! admission policies, checkpoint cadences, and fault schedules, a
+//! campaign driven through the indexed pipeline must be bitwise
+//! indistinguishable from the legacy O(N)-rescan pipeline — same ULM
+//! trace, same delivery manifest, same checkpoint journal bytes, same
+//! per-file accounting — while reporting exactly zero
+//! `rm.sched.queue_rescans` / `rm.ledger.scan_len`. The legacy arm must
+//! report a non-zero scan count, proving the ablation flag actually
+//! selects different code.
+//!
+//! Case count is `PROPTEST_CASES`-bounded (default 96, CI runs 128);
+//! each case runs two small sims (one per arm).
+
+use esg::core::esg_testbed;
+use esg::reqman::{
+    start_campaign, AdmissionPolicy, CampaignOutcome, CampaignSpec, LEDGER_SCAN_LEN, QUEUE_RESCANS,
+};
+use esg::simnet::prelude::{inject_all, Fault, FaultKind};
+use esg::simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DS: &str = "pcm_rmprop.b06";
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn ckpt_path(tag: &str, case: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "esg-rm-scaling-prop-{}-{case}-{tag}.ckpt",
+        std::process::id()
+    ))
+}
+
+struct RunResult {
+    outcome: CampaignOutcome,
+    trace_sha: String,
+    journal: String,
+    queue_rescans: u64,
+    ledger_scan_len: u64,
+}
+
+/// One campaign sim through the chosen pipeline arm: `n` files at sites
+/// 1 and 3, replicated to site 4, faults only ever hitting site 1 so a
+/// clean source always survives. Everything except `indexed` is shared
+/// between the arms, so any divergence is the indexed rewrite's fault.
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    seed: u64,
+    n: usize,
+    bytes_per_file: u64,
+    policy: AdmissionPolicy,
+    batch: usize,
+    ckpt_every: u64,
+    faults: &[(u64, u64)],
+    ckpt: &Path,
+    indexed: bool,
+) -> Option<RunResult> {
+    let mut tb = esg_testbed(seed);
+    tb.publish_dataset(DS, n, 1, bytes_per_file, &[1, 3]);
+    let collection = tb.sim.world.metadata.collection_of(DS).unwrap();
+    {
+        let rm = &mut tb.sim.world.rm;
+        rm.scheduler.indexed = indexed;
+        rm.scheduler.policy = policy;
+    }
+    tb.start_nws(SimDuration::from_secs(25));
+    tb.sim.run_until(SimTime::from_secs(100));
+
+    let schedule: Vec<Fault> = faults
+        .iter()
+        .map(|&(at, dur)| {
+            Fault::new(
+                SimTime::from_secs(at),
+                SimDuration::from_secs(dur),
+                FaultKind::NodeDown(tb.sites[1].node),
+            )
+        })
+        .collect();
+    inject_all(&mut tb.sim, &schedule);
+
+    let target = tb.sites[4].host.clone();
+    let mut spec = CampaignSpec::new("rm-prop", collection, target);
+    spec.batch_files = batch;
+    spec.checkpoint = Some(ckpt.to_path_buf());
+    spec.checkpoint_every = SimDuration::from_secs(ckpt_every);
+    let done: Rc<RefCell<Option<CampaignOutcome>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&done);
+    tb.sim.schedule_at(SimTime::from_secs(105), move |sim| {
+        start_campaign(sim, spec, move |_, o| *sink.borrow_mut() = Some(o));
+    });
+
+    tb.sim.run_until(SimTime::from_secs(900));
+
+    let journal = std::fs::read_to_string(ckpt).unwrap_or_default();
+    let rm = &tb.sim.world.rm;
+    let outcome = done.borrow_mut().take()?;
+    Some(RunResult {
+        trace_sha: {
+            let ulm = rm.log.to_ulm();
+            format!("{:x?}", esg::gsi::sha256(ulm.as_bytes()))
+        },
+        journal,
+        queue_rescans: rm.metrics.counter(QUEUE_RESCANS),
+        ledger_scan_len: rm.metrics.counter(LEDGER_SCAN_LEN),
+        outcome,
+    })
+}
+
+proptest! {
+    /// The ablation contract, differentially: legacy and indexed arms
+    /// agree bitwise on every observable, and only the legacy arm scans.
+    #[test]
+    fn indexed_pipeline_is_bitwise_identical_to_legacy(
+        seed in 0u64..500,
+        n in 4usize..40,
+        bytes_per_file in 500_000u64..4_000_000,
+        shape in 0usize..9,
+        ckpt_every in 2u64..9,
+        faults in prop::collection::vec((102u64..260, 5u64..25), 0..4),
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        // `shape` fans out into policy x batching (3 x 3).
+        let policy = [
+            AdmissionPolicy::Fifo,
+            AdmissionPolicy::ShortestFirst,
+            AdmissionPolicy::SiteSpread,
+        ][shape % 3];
+        // batch: whole round at once, small rounds, or mid-size rounds.
+        let batch = [n, 3, 8][shape / 3];
+
+        let ckpt_leg = ckpt_path("leg", case);
+        let ckpt_idx = ckpt_path("idx", case);
+        for p in [&ckpt_leg, &ckpt_idx] {
+            let _ = std::fs::remove_file(p);
+        }
+
+        let legacy = run_arm(
+            seed, n, bytes_per_file, policy, batch, ckpt_every, &faults, &ckpt_leg, false,
+        );
+        let indexed = run_arm(
+            seed, n, bytes_per_file, policy, batch, ckpt_every, &faults, &ckpt_idx, true,
+        );
+        let legacy = legacy.expect("legacy campaign completes by horizon");
+        let indexed = indexed.expect("indexed campaign completes by horizon");
+
+        prop_assert_eq!(
+            &indexed.trace_sha, &legacy.trace_sha,
+            "indexed trace diverged from legacy"
+        );
+        prop_assert_eq!(
+            &indexed.outcome.manifest_sha256, &legacy.outcome.manifest_sha256,
+            "indexed manifest diverged from legacy"
+        );
+        prop_assert_eq!(
+            &indexed.journal, &legacy.journal,
+            "indexed checkpoint journal diverged from legacy"
+        );
+        prop_assert_eq!(indexed.outcome.files_delivered, legacy.outcome.files_delivered);
+        prop_assert_eq!(indexed.outcome.files_failed, legacy.outcome.files_failed);
+        prop_assert_eq!(indexed.outcome.bytes_transferred, legacy.outcome.bytes_transferred);
+        prop_assert_eq!(indexed.outcome.rounds, legacy.outcome.rounds);
+
+        prop_assert_eq!(indexed.queue_rescans, 0, "indexed arm rescanned");
+        prop_assert_eq!(indexed.ledger_scan_len, 0, "indexed arm scanned elements");
+        prop_assert!(
+            legacy.queue_rescans > 0,
+            "legacy arm reported no rescans — the ablation flag is dead"
+        );
+
+        for p in [&ckpt_leg, &ckpt_idx] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
