@@ -21,6 +21,7 @@ pub mod campaign;
 pub mod lifeline;
 pub mod mixed;
 pub mod pipeline;
+pub mod rm_profile;
 pub mod rm_scaling;
 pub mod soak;
 pub mod table1;
@@ -46,6 +47,7 @@ pub fn run_trial(ctx: &TrialCtx) -> Result<TrialRecord, String> {
         "soak_corruption" => soak::run_corruption(ctx),
         "campaign_soak" => campaign::run(ctx),
         "rm_scaling" => rm_scaling::run(ctx),
+        "rm_profile" => rm_profile::run(ctx),
         "table1" => table1::run(ctx),
         other => Err(format!("unknown scenario kind '{other}'")),
     }?;
@@ -63,6 +65,7 @@ pub fn assemble_artifact(spec: &ScenarioSpec, rows: &[TrialRecord]) -> Option<St
         "lifeline" => lifeline::assemble(rows),
         "campaign_soak" => campaign::assemble(spec, rows),
         "rm_scaling" => rm_scaling::assemble(spec, rows),
+        "rm_profile" => rm_profile::assemble(spec, rows),
         _ => None,
     }
 }

@@ -1,0 +1,356 @@
+//! `rm_profile` executor: where does the wall go in an n-files-per-round
+//! replication campaign?
+//!
+//! One trial drives the same campaign as `rm_scaling`'s indexed arm with
+//! the whole streaming observability plane switched on — online lifeline
+//! analyzer, live stall probes, metrics flight recorder — and the
+//! [`esg_simnet::profile`] subsystem profiler wrapped around the single
+//! `run_until` that does the work. The committed `BENCH_profile.json`
+//! answers ROADMAP item 1's question with numbers: how much of the wall is
+//! kernel shell, allocator, RM bookkeeping, per-transfer polling
+//! (`net_poll` — the wall `rm_scaling` found), journal I/O, and event
+//! callbacks — with the profiler's tiling guaranteeing the shares sum to
+//! what was measured.
+//!
+//! Every trial runs **twice** and holds the two runs to byte-identical
+//! flight tapes and traces (`snapshot_match`), and holds the online
+//! analyzer to the offline `LifelineSet::from_log` pass over the finished
+//! trace (`live_match`): same phase totals, same stall set, same critical
+//! paths, same tiling verdicts.
+
+use super::TrialCtx;
+use crate::journal::{AuxFile, MetricValue, TrialKey, TrialRecord};
+use crate::spec::ScenarioSpec;
+use esg_netlogger::LifelineSet;
+use esg_reqman::{start_campaign, CampaignOutcome, CampaignSpec};
+use esg_simnet::prelude::inject_all;
+use esg_simnet::profile;
+use esg_simnet::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Same source dataset shape as `rm_scaling`: replicated at two OC-12
+/// sites, pulled to the OC-3 portal.
+const DS: &str = "pcm_rmprof.b06";
+const TARGET_SITE: usize = 4;
+
+fn num(v: f64) -> MetricValue {
+    MetricValue::Num(v)
+}
+
+fn tmp_path(ctx: &TrialCtx, tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "esg-lab-{}-{}-s{}-r{}-{tag}.{ext}",
+        ctx.spec.name, ctx.variant, ctx.seed, ctx.rep
+    ))
+}
+
+/// One instrumented run's harvest.
+struct ProfRun {
+    outcome: CampaignOutcome,
+    trace_sha256: String,
+    tape: String,
+    live_match: bool,
+    obs_stalls: u64,
+    stall_events: u64,
+    report: profile::ProfileReport,
+    /// `reg.`-prefixed spec metrics harvested after `import_profile`.
+    reg: Vec<(String, f64)>,
+}
+
+/// Does the online analyzer's view of the finished trace match the
+/// offline pass bit-for-bit? Compared through `Debug` renderings so every
+/// field (ids, times, bytes, open flags) participates in the equality.
+fn live_matches_offline(
+    live: &esg_netlogger::LiveLifelines,
+    offline: &LifelineSet,
+    stall_s: f64,
+) -> bool {
+    let snap = live.snapshot();
+    let view = |s: &LifelineSet| {
+        (
+            format!("{:?}", s.lifelines),
+            format!("{:?}", s.orphans),
+            format!("{:?}", s.detect_stalls(stall_s)),
+            format!("{:?}", s.critical_paths()),
+            s.trace_end,
+        )
+    };
+    if view(&snap) != view(offline) {
+        return false;
+    }
+    // The incremental per-lifeline totals must agree with each offline
+    // lifeline's closed-phase attribution (empty maps both ways count).
+    offline.lifelines.iter().all(|l| {
+        live.file_phase_totals(l.request, &l.file)
+            .cloned()
+            .unwrap_or_default()
+            == l.phase_totals()
+    }) && snap.lifelines.iter().all(|l| {
+        l.is_complete()
+            == offline
+                .lifeline(l.request, &l.file)
+                .is_some_and(|o| o.is_complete())
+    })
+}
+
+fn run_once(ctx: &TrialCtx, tag: &str) -> Result<ProfRun, String> {
+    let p = &ctx.params;
+    let n = p.usize("n", 1000);
+    let bpf = p.u64("bytes_per_file", 1_000_000);
+    let max_active = p.usize("max_active", 24);
+    let batch = match p.usize("batch_files", 0) {
+        0 => n,
+        b => b,
+    };
+    let ckpt_every = p.u64("checkpoint_every_s", 1);
+    let recorder_every = p.u64("recorder_every_s", 30);
+    let stall_s = p.f64("stall_threshold_s", 120.0);
+    let horizon = SimTime::from_secs(p.u64("horizon_s", 6000));
+
+    let mut tb = esg_core::esg_testbed(ctx.seed);
+    tb.publish_dataset(DS, n, 1, bpf, &[1, 3]);
+    {
+        let rm = &mut tb.sim.world.rm;
+        rm.scheduler.indexed = true;
+        rm.scheduler.max_active_per_request = max_active;
+        rm.enable_live_analysis(SimDuration::from_secs_f64(stall_s));
+    }
+    tb.start_nws(SimDuration::from_secs(25));
+    tb.sim.run_until(SimTime::from_secs(100));
+
+    let faults = super::spec_faults(&ctx.spec.faults, &tb.sites)?;
+    inject_all(&mut tb.sim, &faults);
+
+    let coll = tb
+        .sim
+        .world
+        .metadata
+        .collection_of(DS)
+        .map_err(|e| format!("collection_of: {e}"))?;
+    let target = tb.sites[TARGET_SITE].host.clone();
+    let ckpt = tmp_path(ctx, tag, "ckpt");
+    let tape = tmp_path(ctx, tag, "jsonl");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&tape);
+
+    let mut spec = CampaignSpec::new("rm-profile", coll, target);
+    spec.batch_files = batch;
+    spec.checkpoint = Some(ckpt.clone());
+    spec.checkpoint_every = SimDuration::from_secs(ckpt_every);
+    spec.recorder = Some(tape.clone());
+    spec.recorder_every = SimDuration::from_secs(recorder_every);
+    let outcome: Rc<RefCell<Option<CampaignOutcome>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&outcome);
+    tb.sim.schedule_at(SimTime::from_secs(105), move |sim| {
+        start_campaign(sim, spec, move |_, o| *sink.borrow_mut() = Some(o));
+    });
+
+    profile::start();
+    tb.sim.run_until(horizon);
+    let report = profile::stop();
+
+    let outcome = outcome
+        .borrow_mut()
+        .take()
+        .ok_or_else(|| format!("campaign did not finish by horizon (n={n})"))?;
+    let tape_body =
+        std::fs::read_to_string(&tape).map_err(|e| format!("read {}: {e}", tape.display()))?;
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&tape);
+
+    let world = &mut tb.sim.world;
+    let offline = LifelineSet::from_log(&world.rm.log);
+    let live = world.rm.log.live().ok_or("live analyzer not attached")?;
+    let live_match = live_matches_offline(live, &offline, stall_s)
+        && live.events_seen() == world.rm.log.len() as u64;
+    let obs_stalls = world.rm.metrics.counter("obs.stalls");
+    let stall_events = world.rm.log.named("obs.stall").count() as u64;
+    let trace_sha256 = crate::sha_hex(&world.rm.log.to_ulm());
+
+    // Deterministic profiler counts flow into the registry (`profile.*`);
+    // spec-declared metrics are harvested from the unified snapshot.
+    world.rm.metrics.import_profile(&report);
+    let reg = ctx
+        .spec
+        .metrics
+        .iter()
+        .filter_map(|name| world.rm.metrics.value(name).map(|v| (name.clone(), v)))
+        .collect();
+
+    Ok(ProfRun {
+        outcome,
+        trace_sha256,
+        tape: tape_body,
+        live_match,
+        obs_stalls,
+        stall_events,
+        report,
+        reg,
+    })
+}
+
+pub fn run(ctx: &TrialCtx) -> Result<TrialRecord, String> {
+    let n = ctx.params.usize("n", 1000);
+
+    let a = run_once(ctx, "a")?;
+    let b = run_once(ctx, "b")?;
+    let snapshot_match = a.tape == b.tape && a.trace_sha256 == b.trace_sha256;
+
+    // The committed flight tape rides along as an aux artifact.
+    let tape_path = ctx
+        .spec
+        .artifact
+        .as_deref()
+        .unwrap_or("BENCH_profile.json")
+        .replace(".json", &format!("_tape_{}.jsonl", ctx.variant));
+    std::fs::write(&tape_path, &a.tape).map_err(|e| format!("write {tape_path}: {e}"))?;
+    let tape_sha = crate::sha_hex(&a.tape);
+
+    let r = &a.report;
+    let total_ms = r.total_s * 1e3;
+    let attributed_ms = r.attributed_s() * 1e3;
+    let as01 = |v: bool| num(if v { 1.0 } else { 0.0 });
+
+    let mut metrics = vec![
+        ("n".into(), num(n as f64)),
+        ("files_total".into(), num(a.outcome.files_total as f64)),
+        (
+            "files_delivered".into(),
+            num(a.outcome.files_delivered as f64),
+        ),
+        ("rounds".into(), num(a.outcome.rounds as f64)),
+        ("live_match".into(), as01(a.live_match && b.live_match)),
+        ("snapshot_match".into(), as01(snapshot_match)),
+        ("obs_stalls".into(), num(a.obs_stalls as f64)),
+        ("obs_stall_events".into(), num(a.stall_events as f64)),
+        ("recorder_lines".into(), num(a.tape.lines().count() as f64)),
+        (
+            "net_poll_calls".into(),
+            num(r.count_of("net_poll.calls") as f64),
+        ),
+        (
+            "kernel_events".into(),
+            num(r.count_of("kernel.events") as f64),
+        ),
+        (
+            "flow_callbacks".into(),
+            num(r.count_of("kernel.flow_callbacks") as f64),
+        ),
+        (
+            "journal_lines".into(),
+            num(r.count_of("journal.lines") as f64),
+        ),
+        (
+            "monitor_ticks".into(),
+            num(r.count_of("rm.monitor_ticks") as f64),
+        ),
+        (
+            "trace_sha256".into(),
+            MetricValue::Str(a.trace_sha256.clone()),
+        ),
+        ("tape_sha256".into(), MetricValue::Str(tape_sha)),
+    ];
+    for (name, v) in &a.reg {
+        metrics.push((format!("reg.{name}"), num(*v)));
+    }
+
+    let mut timing = vec![
+        ("wall_ms_total".into(), total_ms),
+        ("wall_ms_attributed".into(), attributed_ms),
+    ];
+    for name in [
+        profile::KERNEL,
+        profile::ALLOCATOR,
+        profile::RM,
+        profile::NET_POLL,
+        profile::JOURNAL,
+        profile::EVENTS,
+    ] {
+        timing.push((format!("wall_ms_{name}"), r.self_s_of(name) * 1e3));
+    }
+
+    let share = |name: &str| {
+        if total_ms <= 0.0 {
+            0.0
+        } else {
+            r.self_s_of(name) * 1e3 / total_ms
+        }
+    };
+    let mut frag = String::new();
+    write!(
+        frag,
+        concat!(
+            "{{\"n\": {}, \"files_delivered\": {}, \"rounds\": {}, ",
+            "\"wall_ms_total\": {:.3}, \"wall_ms_attributed\": {:.3}, ",
+            "\"attributed_frac\": {:.4}, ",
+            "\"share_kernel\": {:.4}, \"share_allocator\": {:.4}, ",
+            "\"share_rm\": {:.4}, \"share_net_poll\": {:.4}, ",
+            "\"share_journal\": {:.4}, \"share_events\": {:.4}, ",
+            "\"net_poll_calls\": {}, \"kernel_events\": {}, ",
+            "\"journal_lines\": {}, \"monitor_ticks\": {}, ",
+            "\"obs_stalls\": {}, \"recorder_lines\": {}, ",
+            "\"live_match\": {}, \"snapshot_match\": {}, ",
+            "\"trace_sha256\": \"{}\"}}"
+        ),
+        n,
+        a.outcome.files_delivered,
+        a.outcome.rounds,
+        total_ms,
+        attributed_ms,
+        if total_ms > 0.0 {
+            attributed_ms / total_ms
+        } else {
+            0.0
+        },
+        share(profile::KERNEL),
+        share(profile::ALLOCATOR),
+        share(profile::RM),
+        share(profile::NET_POLL),
+        share(profile::JOURNAL),
+        share(profile::EVENTS),
+        r.count_of("net_poll.calls"),
+        r.count_of("kernel.events"),
+        r.count_of("journal.lines"),
+        r.count_of("rm.monitor_ticks"),
+        a.obs_stalls,
+        a.tape.lines().count(),
+        a.live_match && b.live_match,
+        snapshot_match,
+        a.trace_sha256,
+    )
+    .unwrap();
+
+    Ok(TrialRecord {
+        key: TrialKey {
+            variant: ctx.variant.clone(),
+            seed: ctx.seed,
+            rep: ctx.rep,
+        },
+        metrics,
+        timing,
+        fragment: Some(frag),
+        aux: vec![AuxFile {
+            path: tape_path,
+            sha256: crate::sha_hex(&a.tape),
+        }],
+    })
+}
+
+/// The committed `BENCH_profile.json`: one fragment per curve point.
+pub fn assemble(spec: &ScenarioSpec, rows: &[TrialRecord]) -> Option<String> {
+    let mut json = format!(
+        "{{\n  \"bench\": \"rm_profile\",\n  \"seed\": {},\n  \"points\": [\n",
+        spec.seeds.first().copied().unwrap_or(17),
+    );
+    let fragments: Vec<&str> = rows.iter().filter_map(|r| r.fragment.as_deref()).collect();
+    for (i, frag) in fragments.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(frag);
+        json.push_str(if i + 1 < fragments.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    Some(json)
+}

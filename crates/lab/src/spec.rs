@@ -609,6 +609,11 @@ const BUILTINS: &[(&str, &str)] = &[
         "rm_scaling_smoke",
         include_str!("../scenarios/rm_scaling_smoke.json"),
     ),
+    ("rm_profile", include_str!("../scenarios/rm_profile.json")),
+    (
+        "rm_profile_smoke",
+        include_str!("../scenarios/rm_profile_smoke.json"),
+    ),
     ("table1", include_str!("../scenarios/table1.json")),
 ];
 

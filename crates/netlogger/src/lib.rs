@@ -10,11 +10,15 @@
 pub mod bandwidth;
 pub mod event;
 pub mod lifeline;
+pub mod live;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
 pub use bandwidth::{to_gbps, to_mbps, BandwidthMeter};
 pub use event::{sanitize_key, LogEvent, NetLog, OrderPolicy, UlmError, Value};
 pub use lifeline::{CriticalPath, Lifeline, LifelineSet, Span, Stall};
+pub use live::{LiveLifelines, OpenSpan};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::FlightRecorder;
 pub use trace::{Phase, SpanId, TraceCtx, TracedLog};

@@ -213,6 +213,17 @@ impl MetricsRegistry {
         self.counters.insert(name.to_string(), v);
     }
 
+    /// Import the *deterministic* half of a subsystem profiler report —
+    /// event counts only, under `profile.*`. Wall-clock self-times are
+    /// deliberately excluded: they vary run to run, and this registry's
+    /// exports must stay byte-stable for a fixed seed (route wall numbers
+    /// through a lab record's timing section instead).
+    pub fn import_profile(&mut self, report: &esg_simnet::ProfileReport) {
+        for (k, &v) in &report.counts {
+            self.counters.insert(format!("profile.{k}"), v);
+        }
+    }
+
     /// Flat numeric lookup across all three metric families, used by the
     /// scenario lab to extract spec-declared metrics from a snapshot.
     /// Counters and gauges resolve by name (counters win on collision);

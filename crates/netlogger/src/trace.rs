@@ -15,6 +15,7 @@
 //! un-contexted emission a compile error rather than a code-review hazard.
 
 use crate::event::{LogEvent, NetLog, Value};
+use crate::live::LiveLifelines;
 use esg_simnet::SimTime;
 use std::ops::Deref;
 
@@ -183,6 +184,10 @@ impl TraceCtx {
 pub struct TracedLog {
     log: NetLog,
     next_span: u64,
+    /// Optional streaming analyzer tap: when attached, every event that the
+    /// log actually stores (post order-policy) is also fed to the online
+    /// lifeline analyzer, making phase/stall state queryable mid-run.
+    live: Option<Box<LiveLifelines>>,
 }
 
 impl TracedLog {
@@ -191,8 +196,44 @@ impl TracedLog {
     }
 
     /// Emit one event stamped with `ctx`.
+    ///
+    /// If a live analyzer is attached, the event is also streamed to it —
+    /// *as stored*: the tap observes the post-`push` record (so an
+    /// out-of-order time the log clamped is seen clamped, and an event the
+    /// log dropped is never observed), which is what keeps the streaming
+    /// analysis byte-identical to a later offline pass over the same log.
     pub fn emit(&mut self, ctx: &TraceCtx, event: LogEvent) {
+        let before = self.log.len();
         self.log.push(ctx.stamp(event));
+        if let Some(live) = &mut self.live {
+            if self.log.len() > before {
+                if let Some(e) = self.log.tail(1).last() {
+                    live.observe(e);
+                }
+            }
+        }
+    }
+
+    /// Attach an online lifeline analyzer, replaying every event already in
+    /// the log so the live state is complete from this point on. Idempotent
+    /// in effect: re-attaching replaces the analyzer with a fresh replay.
+    pub fn attach_live(&mut self) {
+        let mut live = Box::new(LiveLifelines::new());
+        for e in self.log.iter() {
+            live.observe(e);
+        }
+        self.live = Some(live);
+    }
+
+    /// The attached streaming analyzer, if any.
+    pub fn live(&self) -> Option<&LiveLifelines> {
+        self.live.as_deref()
+    }
+
+    /// Mutable access to the attached streaming analyzer (used by the
+    /// request manager's stall detector to record fired probes).
+    pub fn live_mut(&mut self) -> Option<&mut LiveLifelines> {
+        self.live.as_deref_mut()
     }
 
     /// Open a span: allocates the next [`SpanId`], emits a `span.start`
@@ -301,6 +342,31 @@ mod tests {
             assert_eq!(Phase::from_str(p.as_str()), Some(p));
         }
         assert_eq!(Phase::from_str("nope"), None);
+    }
+
+    #[test]
+    fn live_tap_replays_and_streams() {
+        let mut log = TracedLog::new();
+        let ctx = TraceCtx::request(1).with_file("f");
+        let root = log.span_start(&ctx, SimTime::ZERO, Phase::File, None);
+        // Attach mid-stream: the pre-attach span must be replayed.
+        log.attach_live();
+        assert_eq!(log.live().unwrap().open_count(), 1);
+        let q = log.span_start(&ctx, SimTime::from_secs(1), Phase::Queue, Some(root));
+        assert_eq!(log.live().unwrap().open_count(), 2);
+        log.span_end(&ctx, SimTime::from_secs(4), q, Phase::Queue, vec![]);
+        assert_eq!(log.live().unwrap().open_count(), 1);
+        assert_eq!(log.live().unwrap().spans_closed(), 1);
+        // The tap sees events as stored: an out-of-order end is clamped by
+        // the log before observation, so live == offline on the same log.
+        log.span_end(&ctx, SimTime::from_secs(2), root, Phase::File, vec![]);
+        let live_snap = log.live().unwrap().snapshot();
+        let offline = crate::lifeline::LifelineSet::from_log(&log);
+        assert_eq!(
+            live_snap.lifelines[0].phase_totals(),
+            offline.lifelines[0].phase_totals()
+        );
+        assert_eq!(live_snap.trace_end, offline.trace_end);
     }
 
     #[test]

@@ -43,8 +43,8 @@
 
 use crate::manager::{cancel_request, submit_request_for_tenant, RequestOutcome, RmWorld};
 use esg_gridftp::GridUrl;
-use esg_netlogger::{LogEvent, Phase, SpanId, TraceCtx};
-use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
+use esg_netlogger::{FlightRecorder, LogEvent, Phase, SpanId, TraceCtx};
+use esg_simnet::{profile, NodeId, Sim, SimDuration, SimTime};
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -71,6 +71,15 @@ pub struct CampaignSpec {
     /// How often the marker tick snapshots mid-transfer progress into the
     /// journal. Zero disables markers (settled lines still written).
     pub checkpoint_every: SimDuration,
+    /// Metrics flight-recorder tape path; `None` disables recording. When
+    /// set, the campaign appends one delta-encoded [`FlightRecorder`]
+    /// JSONL snapshot of the RM's registry at start, every
+    /// [`recorder_every`](CampaignSpec::recorder_every), and at completion
+    /// — a byte-stable record of how the run's metrics evolved.
+    pub recorder: Option<PathBuf>,
+    /// Sim-time cadence of flight-recorder snapshots. Zero disables the
+    /// periodic tick (the start/complete snapshots still land).
+    pub recorder_every: SimDuration,
 }
 
 impl CampaignSpec {
@@ -88,6 +97,8 @@ impl CampaignSpec {
             batch_files: 4,
             checkpoint: None,
             checkpoint_every: SimDuration::from_secs(30),
+            recorder: None,
+            recorder_every: SimDuration::from_secs(10),
         }
     }
 }
@@ -157,6 +168,9 @@ pub(crate) struct CampaignState {
     /// runs once at open instead of on every append. `None` under the
     /// legacy flag or when no checkpoint is configured.
     writer: Option<JournalWriter>,
+    /// Delta state of the metrics flight recorder when a tape is
+    /// configured.
+    recorder: Option<FlightRecorder>,
 }
 
 impl CampaignState {
@@ -252,6 +266,8 @@ impl JournalWriter {
 
     fn append(&mut self, lines: &[String]) -> std::io::Result<()> {
         use std::io::Write;
+        let _j = profile::scope(profile::JOURNAL);
+        profile::count("journal.lines", lines.len() as u64);
         for l in lines {
             writeln!(self.file, "{l}")?;
         }
@@ -263,6 +279,8 @@ impl JournalWriter {
 /// a crash mid-write (mirrors the lab journal's healing discipline).
 fn append_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
     use std::io::{Read, Seek, SeekFrom, Write};
+    let _j = profile::scope(profile::JOURNAL);
+    profile::count("journal.lines", lines.len() as u64);
     let mut f = std::fs::OpenOptions::new()
         .read(true)
         .write(true)
@@ -504,6 +522,14 @@ pub fn start_campaign<W: RmWorld>(
             }
         }
     }
+    // A configured tape starts fresh each run: the recorder's first
+    // snapshot is the full flattened state, so nothing is lost by
+    // truncating a stale tape.
+    let recorder = spec.recorder.as_ref().map(|path| {
+        let _ = std::fs::write(path, "");
+        FlightRecorder::new()
+    });
+
     // The indexed pipeline holds the journal open for the campaign's
     // lifetime: one heal at open, O(lines) per append. Legacy re-opens
     // and re-reads per batch.
@@ -590,6 +616,7 @@ pub fn start_campaign<W: RmWorld>(
         span,
         last_marker: HashMap::new(),
         writer,
+        recorder,
     }));
     rm.campaigns.insert(id, camp.clone());
     let cb: CampaignDone<W> = Rc::new(RefCell::new(Some(Box::new(on_complete))));
@@ -597,8 +624,10 @@ pub fn start_campaign<W: RmWorld>(
     if camp.borrow().rounds.is_empty() {
         complete_campaign(sim, &camp, &cb);
     } else {
+        record_snapshot(sim, &camp);
         launch_round(sim, camp.clone(), cb);
         schedule_markers(sim, &camp);
+        schedule_recorder(sim, &camp);
     }
     id
 }
@@ -823,9 +852,70 @@ fn complete_campaign<W: RmWorld>(sim: &mut Sim<W>, camp: &SharedCampaign, cb: &C
             .field("rounds", outcome.rounds as u64)
             .field("manifest", outcome.manifest_sha256.clone()),
     );
+    // The tape's last line holds the completion counters.
+    record_snapshot(sim, camp);
     if let Some(f) = cb.borrow_mut().take() {
         f(sim, outcome);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder ticks
+
+/// Capture one flight-recorder snapshot of the RM registry and append it
+/// to the campaign's tape. No-op without a configured recorder.
+fn record_snapshot<W: RmWorld>(sim: &mut Sim<W>, camp: &SharedCampaign) {
+    let now = sim.now();
+    let Some(path) = camp.borrow().spec.recorder.clone() else {
+        return;
+    };
+    let line = {
+        let rm = sim.world.reqman();
+        let mut c = camp.borrow_mut();
+        let Some(rec) = c.recorder.as_mut() else {
+            return;
+        };
+        rec.snapshot(now, &rm.metrics).to_string()
+    };
+    {
+        let _j = profile::scope(profile::JOURNAL);
+        profile::count("journal.recorder_lines", 1);
+        let _ = append_to_tape(&path, &line);
+    }
+    sim.world
+        .reqman()
+        .metrics
+        .counter_add("rm.campaign.recorder_snapshots", 1);
+}
+
+/// Plain append for the tape: the recorder owns the whole file for the
+/// campaign's lifetime (truncated at start), so no healing pass is needed.
+fn append_to_tape(path: &Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    writeln!(f, "{line}")?;
+    f.flush()
+}
+
+fn schedule_recorder<W: RmWorld>(sim: &mut Sim<W>, camp: &SharedCampaign) {
+    let every = {
+        let c = camp.borrow();
+        if c.recorder.is_none() {
+            return;
+        }
+        c.spec.recorder_every
+    };
+    if every.is_zero() {
+        return;
+    }
+    let camp2 = camp.clone();
+    sim.schedule(every, move |s| {
+        if camp2.borrow().finished {
+            return;
+        }
+        record_snapshot(s, &camp2);
+        schedule_recorder(s, &camp2);
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -1416,6 +1506,56 @@ mod tests {
         assert_eq!(o.files_failed, FILES);
         assert_eq!(o.files_delivered, 0);
         assert!(sim.world.rm.campaigns.is_empty());
+    }
+
+    #[test]
+    fn campaign_writes_byte_stable_flight_tape() {
+        let run = |tag: &str| {
+            let tape = tmp_checkpoint(tag);
+            let (mut sim, _) = setup();
+            let mut spec = spec_with("mirror", None);
+            spec.recorder = Some(tape.clone());
+            spec.recorder_every = SimDuration::from_secs(5);
+            start_campaign(&mut sim, spec, |s, o| s.world.outcomes.push(o));
+            sim.run();
+            let raw = std::fs::read_to_string(&tape).unwrap();
+            let _ = std::fs::remove_file(&tape);
+            (
+                raw,
+                sim.world
+                    .rm
+                    .metrics
+                    .counter("rm.campaign.recorder_snapshots"),
+            )
+        };
+        let (raw, snapshots) = run("tape-a");
+        let lines: Vec<&str> = raw.lines().collect();
+        // Start snapshot + periodic ticks over the ~30 s run + completion.
+        assert!(lines.len() >= 4, "tape too short:\n{raw}");
+        assert_eq!(snapshots, lines.len() as u64);
+        // First line is the full state at campaign start...
+        assert!(lines[0].starts_with("{\"t\": "), "{}", lines[0]);
+        assert!(lines[0].contains("\"rm.campaign.started\": 1"));
+        // ...later lines are deltas: keys that never change stop appearing.
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("rm.campaign.started"))
+                .count(),
+            1,
+            "unchanged keys must be delta-elided:\n{raw}"
+        );
+        // The last line carries the completion counters.
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains("\"rm.campaign.completed\": 1"),
+            "{raw}"
+        );
+        // Same seed, same spec → byte-identical tape.
+        let (raw2, _) = run("tape-b");
+        assert_eq!(raw, raw2, "flight tape must be byte-stable");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use esg_gridftp::simxfer::{
 use esg_netlogger::{LogEvent, MetricsRegistry, Phase, SpanId, TraceCtx, TracedLog, Value};
 use esg_nws::HasNws;
 use esg_replica::{PathEstimate, Policy, Replica, ReplicaCatalog, ReplicaSelector};
-use esg_simnet::{NodeId, Sim, SimDuration, SimTime};
+use esg_simnet::{profile, NodeId, Sim, SimDuration, SimTime};
 use esg_storage::{blocks_overlapping, Hrm, StageOutcome, BLOCK_SIZE};
 
 use rand::rngs::StdRng;
@@ -245,6 +245,14 @@ pub struct RequestManager {
     pub breaker_cooldown: SimDuration,
     /// CORBA call latency between client and RM.
     pub rpc_latency: SimDuration,
+    /// Live stall detection threshold. When set (via
+    /// [`enable_live_analysis`](Self::enable_live_analysis)), every phase
+    /// and prestage span arms a probe that fires `obs.stall` *at detection
+    /// time* — the streaming counterpart of the offline
+    /// [`LifelineSet::detect_stalls`](esg_netlogger::LifelineSet::detect_stalls)
+    /// pass. `None` (the default) emits nothing, keeping golden traces
+    /// byte-identical.
+    pub stall_threshold: Option<SimDuration>,
     /// Plan multi-file requests to spread pulls across sites (§4:
     /// "maximize the number of different sites from which files are
     /// obtained"). When false, every file independently uses `selector`.
@@ -315,6 +323,7 @@ impl RequestManager {
             breaker_threshold: 3,
             breaker_cooldown: SimDuration::from_secs(60),
             rpc_latency: SimDuration::from_millis(2),
+            stall_threshold: None,
             spread_sites: false,
             log: TracedLog::new(),
             integrity: IntegrityManager::default(),
@@ -342,6 +351,26 @@ impl RequestManager {
     /// Register a storage host.
     pub fn add_host(&mut self, name: impl Into<String>, node: NodeId) {
         self.hosts.insert(name.into(), node);
+    }
+
+    /// Turn on the streaming observability plane: attach the online
+    /// lifeline analyzer to the trace log (replaying anything already
+    /// emitted, so mid-run activation is complete) and arm live stall
+    /// detection at `threshold`. From here on every phase/prestage span
+    /// schedules a probe that fires `obs.stall` the instant the span has
+    /// been open longer than the threshold — the same strict-`>` rule the
+    /// offline detector applies post-hoc — and each firing bumps the
+    /// `obs.stalls` counter plus the per-phase `obs.stall.<phase>_s`
+    /// histogram in the metrics registry.
+    pub fn enable_live_analysis(&mut self, threshold: SimDuration) {
+        self.log.attach_live();
+        self.stall_threshold = Some(threshold);
+    }
+
+    /// The attached online lifeline analyzer (None unless
+    /// [`enable_live_analysis`](Self::enable_live_analysis) was called).
+    pub fn live(&self) -> Option<&esg_netlogger::LiveLifelines> {
+        self.log.live()
     }
 
     /// Attach an HRM (tape-backed MSS) to a host.
@@ -565,6 +594,44 @@ impl RequestManager {
     }
 }
 
+/// Arm a live stall probe for a freshly-opened phase/prestage span: one
+/// scheduled check at `open + threshold + 1 ns`. If the span is still open
+/// when the probe fires, the stall is real under the offline detector's
+/// strict-`>` rule (a span that closed with duration exactly equal to the
+/// threshold is *not* a stall, and the +1 ns makes the probe see it
+/// closed), so the probe emits `obs.stall` at detection time and feeds the
+/// metrics registry. No-op unless `stall_threshold` is set.
+fn arm_stall_probe<W: RmWorld>(sim: &mut Sim<W>, ctx: TraceCtx, span: SpanId, phase: Phase) {
+    let Some(threshold) = sim.world.reqman().stall_threshold else {
+        return;
+    };
+    let opened = sim.now();
+    let probe_at = SimTime((opened + threshold).as_nanos() + 1);
+    sim.schedule_at(probe_at, move |s| {
+        let now = s.now();
+        let rm = s.world.reqman();
+        let open = rm.log.live().is_some_and(|l| l.is_open(span.0));
+        if !open {
+            return;
+        }
+        let age = now.since(opened).as_secs_f64();
+        rm.metrics.counter_add("obs.stalls", 1);
+        rm.metrics
+            .observe(&format!("obs.stall.{}_s", phase.as_str()), age);
+        rm.log.emit(
+            &ctx,
+            LogEvent::new(now, "obs.stall")
+                .field("span", span.0)
+                .field("phase", phase.as_str())
+                .field("stalled_s", age)
+                .field("open", 1u64),
+        );
+        if let Some(live) = rm.log.live_mut() {
+            live.note_stall_fired();
+        }
+    });
+}
+
 /// The causal coordinates of file `idx` of `state`, for event emission.
 fn fw_ctx(state: &SharedRequest, idx: usize) -> TraceCtx {
     let st = state.borrow();
@@ -627,6 +694,7 @@ fn enter_phase<W: RmWorld>(
     }
     let sid = rm.log.span_start(&ctx, now, phase, Some(root));
     state.borrow_mut().files[idx].trace_phase = Some((sid, phase, now));
+    arm_stall_probe(sim, ctx, sid, phase);
 }
 
 /// Close file `idx`'s open phase span and its root span with a terminal
@@ -809,6 +877,8 @@ pub fn submit_request_for_tenant<W: RmWorld>(
 /// failed), across retries, so a request never has more than the cap's
 /// worth of files competing for the client NIC at once.
 fn pump_request<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &DoneCell<W>) {
+    let _rm_scope = profile::scope(profile::RM);
+    profile::count("rm.pumps", 1);
     let cap = sim.world.reqman().scheduler.max_active_per_request.max(1);
     loop {
         let idx = {
@@ -911,6 +981,7 @@ fn prestage_cold_files<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest) {
                 vec![("host", host.into()), ("files", n.into())],
             );
         });
+        arm_stall_probe(sim, ctx.clone(), span, Phase::Prestage);
     }
 }
 
@@ -1102,6 +1173,7 @@ fn complete_file<W: RmWorld>(
     cb: &DoneCell<W>,
     idx: usize,
 ) {
+    let _rm_scope = profile::scope(profile::RM);
     let (finished_all, was_admitted) = {
         let mut st = state.borrow_mut();
         let fw = &mut st.files[idx];
@@ -1339,6 +1411,7 @@ fn start_file_worker<W: RmWorld>(
     cb: DoneCell<W>,
     idx: usize,
 ) {
+    let _rm_scope = profile::scope(profile::RM);
     let (client, collection, file, excluded, attempts, settled, delivered) = {
         let st = state.borrow();
         let fw = &st.files[idx];
@@ -1687,6 +1760,8 @@ fn ensure_monitor<W: RmWorld>(sim: &mut Sim<W>, state: &SharedRequest, cb: &Done
 /// update the visible progress snapshot, and apply the reliability plugin
 /// to each one.
 fn monitor_tick<W: RmWorld>(sim: &mut Sim<W>, state: SharedRequest, cb: DoneCell<W>) {
+    let _rm_scope = profile::scope(profile::RM);
+    profile::count("rm.monitor_ticks", 1);
     sim.world
         .reqman()
         .metrics
@@ -1748,9 +1823,18 @@ fn poll_file<W: RmWorld>(
             return;
         }
     }
-    let bytes = transfer_bytes(sim, handle);
-    let stalled = transfer_stalled(sim, handle);
-    let rate = transfer_rate(sim, handle);
+    // The per-transfer polling wall: three linear scans of the shared
+    // network layer per live file per tick. Attributed to `net_poll` so the
+    // rm_profile scenario can size it against everything else.
+    let (bytes, stalled, rate) = {
+        let _poll = profile::scope(profile::NET_POLL);
+        profile::count("net_poll.calls", 3);
+        (
+            transfer_bytes(sim, handle),
+            transfer_stalled(sim, handle),
+            transfer_rate(sim, handle),
+        )
+    };
     let age = {
         let st = state.borrow();
         sim.now().since(st.files[idx].transfer_started)
@@ -1847,6 +1931,7 @@ fn verify_and_finish<W: RmWorld>(
     cb: &DoneCell<W>,
     idx: usize,
 ) {
+    let _rm_scope = profile::scope(profile::RM);
     let (collection, name, size, segments, repair_rounds, repair_bytes, client) = {
         let st = state.borrow();
         let fw = &st.files[idx];

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use crate::flownet::{FlowError, FlowId, FlowNet, FlowSpec};
 use crate::network::Topology;
+use crate::profile;
 use crate::time::{SimDuration, SimTime};
 use crate::timerwheel::TimerWheel;
 
@@ -93,22 +94,38 @@ impl<W> Sim<W> {
     }
 
     /// Run until the event queue and network are exhausted, or until `limit`.
+    ///
+    /// Instrumented for the subsystem profiler ([`crate::profile`]): the
+    /// loop shell is [`profile::KERNEL`] self-time, allocation work
+    /// (`next_event_time` / `advance_to`) is [`profile::ALLOCATOR`], and
+    /// user callbacks run under [`profile::EVENTS`] — finer scopes opened
+    /// inside a callback (RM bookkeeping, per-transfer polling) subtract
+    /// from the events bucket automatically. When profiling is disabled
+    /// each scope is one relaxed atomic load.
     pub fn run_until(&mut self, limit: SimTime) {
+        let _kernel = profile::scope(profile::KERNEL);
         loop {
             let queue_next = self.queue.peek().map_or(SimTime::MAX, |(t, _)| SimTime(t));
-            let net_next = self.net.next_event_time();
+            let net_next = {
+                let _a = profile::scope(profile::ALLOCATOR);
+                self.net.next_event_time()
+            };
             let next = queue_next.min(net_next);
             if next > limit || next == SimTime::MAX {
                 // Advance the network to the horizon so observers see
                 // progress up to `limit`.
                 if limit != SimTime::MAX && limit > self.now {
+                    let _a = profile::scope(profile::ALLOCATOR);
                     self.net.advance_to(limit);
                     self.now = limit;
                 }
                 return;
             }
             self.now = next;
-            self.net.advance_to(next);
+            {
+                let _a = profile::scope(profile::ALLOCATOR);
+                self.net.advance_to(next);
+            }
 
             // Drain everything due at this instant as ONE batch: flow
             // completions first (they logically happen "inside" the network
@@ -123,6 +140,8 @@ impl<W> Sim<W> {
                 for fid in self.net.take_completed() {
                     fired = true;
                     if let Some(cb) = self.flow_callbacks.remove(&fid) {
+                        let _e = profile::scope(profile::EVENTS);
+                        profile::count("kernel.flow_callbacks", 1);
                         cb(self);
                     }
                     // Completed flows are removed so they stop occupying
@@ -134,7 +153,11 @@ impl<W> Sim<W> {
                         break;
                     }
                     let (_, _, f) = self.queue.pop().unwrap();
-                    f(self);
+                    {
+                        let _e = profile::scope(profile::EVENTS);
+                        profile::count("kernel.events", 1);
+                        f(self);
+                    }
                     fired = true;
                 }
                 if !fired {

@@ -52,6 +52,7 @@ pub mod flownet;
 pub mod kernel;
 pub(crate) mod membership;
 pub mod network;
+pub mod profile;
 pub mod tcp;
 pub mod time;
 pub mod timerwheel;
@@ -61,6 +62,7 @@ pub use flownet::{
 };
 pub use kernel::Sim;
 pub use network::{CpuModel, Dir, Link, LinkId, Node, NodeId, NodeKind, Topology};
+pub use profile::ProfileReport;
 pub use time::{SimDuration, SimTime};
 
 /// Convenient glob import for downstream crates.
@@ -73,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::kernel::Sim;
     pub use crate::network::{CpuModel, Dir, Link, LinkId, Node, NodeId, NodeKind, Topology};
+    pub use crate::profile::ProfileReport;
     pub use crate::tcp::{bandwidth_delay_product, TcpParams, MSS, MSS_JUMBO};
     pub use crate::time::{SimDuration, SimTime};
 }

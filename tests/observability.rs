@@ -10,7 +10,20 @@ use esg::storage::{Hrm, TapeParams};
 /// One mixed hot/cold request on the Figure 1 testbed: four replicated
 /// disk files plus one tape-only file behind the HPSS HRM.
 fn run_mixed(seed: u64) -> esg::core::EsgTestbed {
+    run_mixed_with(seed, None)
+}
+
+/// [`run_mixed`] with the streaming observability plane optionally on:
+/// `live_threshold_s` attaches the online lifeline analyzer and arms the
+/// live stall probes at that threshold.
+fn run_mixed_with(seed: u64, live_threshold_s: Option<u64>) -> esg::core::EsgTestbed {
     let mut tb = esg_testbed(seed);
+    if let Some(t) = live_threshold_s {
+        tb.sim
+            .world
+            .rm
+            .enable_live_analysis(SimDuration::from_secs(t));
+    }
     tb.sim.world.rm.add_hrm(
         "hpss.lbl.gov",
         Hrm::new(
@@ -182,4 +195,107 @@ fn stall_detector_flags_tape_staging_but_not_healthy_transfers() {
     assert_eq!(events.named("obs.stall").count(), stalls.len());
     // A generous threshold is silent.
     assert!(set.detect_stalls(500.0).is_empty());
+}
+
+#[test]
+fn streaming_analyzer_matches_offline_lifeline_pass_end_to_end() {
+    let tb = run_mixed_with(45, Some(15));
+    let rm = &tb.sim.world.rm;
+    let live = rm.log.live().expect("analyzer attached");
+    // The tap saw every stored event, including the live-fired obs.stall
+    // events themselves.
+    assert_eq!(live.events_seen(), rm.log.len() as u64);
+
+    // The streaming snapshot and a from-scratch offline pass over the same
+    // trace must agree on every derived artifact.
+    let offline = LifelineSet::from_log(&rm.log);
+    let snap = live.snapshot();
+    assert_eq!(
+        format!("{:?}", snap.lifelines),
+        format!("{:?}", offline.lifelines)
+    );
+    assert_eq!(
+        format!("{:?}", snap.orphans),
+        format!("{:?}", offline.orphans)
+    );
+    assert_eq!(snap.trace_end, offline.trace_end);
+    assert_eq!(
+        format!("{:?}", snap.detect_stalls(15.0)),
+        format!("{:?}", offline.detect_stalls(15.0))
+    );
+    assert_eq!(
+        format!("{:?}", snap.critical_paths()),
+        format!("{:?}", offline.critical_paths())
+    );
+    // The incrementally-maintained per-file phase totals (never rebuilt)
+    // agree with each offline lifeline's tiling.
+    assert!(!offline.lifelines.is_empty());
+    for l in &offline.lifelines {
+        let inc = live
+            .file_phase_totals(l.request, &l.file)
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(inc, l.phase_totals(), "incremental totals for {}", l.file);
+        assert!(l.is_complete(), "complete tiling for {}", l.file);
+    }
+}
+
+#[test]
+fn live_stall_probe_fires_obs_stall_at_detection_time() {
+    let threshold = 15u64;
+    let tb = run_mixed_with(46, Some(threshold));
+    let rm = &tb.sim.world.rm;
+
+    // The tape staging path holds spans open past the threshold, so the
+    // live probes must have fired — and counter, analyzer tally and trace
+    // events all agree on how often.
+    let fired: Vec<_> = rm.log.named("obs.stall").collect();
+    assert!(!fired.is_empty(), "tape staging must trip the live probe");
+    assert_eq!(rm.metrics.counter("obs.stalls"), fired.len() as u64);
+    assert_eq!(
+        rm.log.live().expect("analyzer attached").stalls_fired(),
+        fired.len() as u64
+    );
+    // Each firing also landed in the per-phase stall histograms.
+    let hist_count: u64 = ["stage", "prestage", "transfer", "queue", "verify"]
+        .iter()
+        .filter_map(|p| rm.metrics.histogram(&format!("obs.stall.{p}_s")))
+        .map(|h| h.count())
+        .sum();
+    assert_eq!(hist_count, fired.len() as u64);
+
+    // Every live firing corresponds to an offline-detected stall of the
+    // same span, and fired the instant the span crossed the threshold
+    // (open + threshold + 1 ns under the strict-> rule), while the span
+    // was still open — not post-hoc at trace end.
+    let set = LifelineSet::from_log(&rm.log);
+    let stalls = set.detect_stalls(threshold as f64);
+    let by_span: std::collections::BTreeMap<u64, _> = stalls.iter().map(|s| (s.span, s)).collect();
+    assert!(fired.len() <= stalls.len());
+    for e in &fired {
+        let span = e.get_num("span").expect("span field") as u64;
+        let s = by_span
+            .get(&span)
+            .expect("live-fired span is in the offline stall set");
+        assert_eq!(
+            e.time.as_nanos(),
+            s.start.as_nanos() + SimTime::from_secs(threshold).as_nanos() + 1,
+            "fires at detection time, span {span}"
+        );
+        assert!(
+            e.time.as_secs_f64() <= s.start.as_secs_f64() + s.duration_s + 1e-9,
+            "fires before the span closes, span {span}"
+        );
+        let stalled = e.get_num("stalled_s").expect("stalled_s field");
+        assert!(
+            (stalled - threshold as f64).abs() < 1e-6,
+            "age at fire time is the threshold, got {stalled}"
+        );
+        assert!(e.has("phase") && e.has("open"));
+    }
+    // The offline detector on the same trace still classifies the stalls
+    // the way the post-hoc test does: staging, never healthy transfers.
+    assert!(stalls
+        .iter()
+        .all(|s| s.phase.as_str() == "stage" || s.phase.as_str() == "prestage"));
 }
